@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out: measures
+ * the large-GRU and small-GRU steady-state cycles with each mechanism
+ * disabled in turn —
+ *
+ *   1. software pipelining / chain interleaving (compiler),
+ *   2. thin tail tiles (element-packed MRF compute),
+ *   3. the MFU count,
+ *   4. the per-chain configuration interval,
+ *   5. lane width at a fixed MAC budget.
+ *
+ * Quantifies how much of the paper's published utilization each
+ * mechanism buys.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+namespace {
+
+Cycles
+gruPerStep(unsigned hidden, const NpuConfig &cfg, bool pipeline,
+           bool thin_tiles)
+{
+    Rng rng(1);
+    CompiledModel m =
+        compileGir(makeGru(randomGruWeights(hidden, hidden, rng)), cfg,
+                   {.pipelineInputProjections = pipeline});
+    timing::NpuTiming sim(cfg);
+    if (thin_tiles)
+        sim.setTileBeats(m.tileBeats);
+    auto res = sim.run(m.prologue, m.step, 25);
+    return res.steadyStateIterationCycles();
+}
+
+double
+utilPct(unsigned hidden, Cycles per_step, const NpuConfig &cfg)
+{
+    RnnLayerSpec layer{RnnKind::Gru, hidden, 1, hidden};
+    return 100.0 * static_cast<double>(layer.opsPerStep()) /
+           (static_cast<double>(per_step) * cfg.opsPerCycle());
+}
+
+} // namespace
+
+int
+main()
+{
+    NpuConfig base = NpuConfig::bwS10();
+    std::printf("Design-choice ablations on %s "
+                "(GRU h=2816, the paper's largest benchmark; paper: 662 "
+                "cycles/step, 74.8%% util)\n\n",
+                base.name.c_str());
+
+    TextTable t({"Variant", "cycles/step", "util", "vs baseline"});
+    Cycles baseline = gruPerStep(2816, base, true, true);
+    auto add = [&](const char *name, Cycles c, const NpuConfig &cfg) {
+        t.addRow({name, std::to_string(c),
+                  fmtF(utilPct(2816, c, cfg), 1) + "%",
+                  pctDelta(static_cast<double>(c),
+                           static_cast<double>(baseline))});
+    };
+    add("baseline (all mechanisms)", baseline, base);
+    add("no software pipelining", gruPerStep(2816, base, false, true),
+        base);
+    add("no thin tail tiles", gruPerStep(2816, base, true, false), base);
+    {
+        NpuConfig c = base;
+        c.mfus = 1;
+        // With one MFU the compiler stops fusing at the unit budget and
+        // splits the GRU's blend into two chains — costing an extra
+        // chain-configuration interval per step.
+        add("1 MFU instead of 2", gruPerStep(2816, c, true, true), c);
+    }
+    {
+        NpuConfig c = base;
+        c.mfus = 4;
+        add("4 MFUs instead of 2", gruPerStep(2816, c, true, true), c);
+    }
+    {
+        NpuConfig c = base;
+        c.timing.chainInterval = 8;
+        add("chain config interval 76 -> 8",
+            gruPerStep(2816, c, true, true), c);
+    }
+    {
+        NpuConfig c = base;
+        c.lanes = 10;       // narrower dot engines: 40-beat streams
+        c.tileEngines = 24; // 24*400*10 = 96,000 MACs (same budget)
+        add("10 lanes x 24 engines (same MACs)",
+            gruPerStep(2816, c, true, true), c);
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Small-model floor (GRU h=1024; paper: 632 "
+                "cycles/step)\n\n");
+    TextTable s({"Variant", "cycles/step"});
+    s.addRow({"baseline",
+              std::to_string(gruPerStep(1024, base, true, true))});
+    {
+        NpuConfig c = base;
+        c.timing.chainInterval = 8;
+        s.addRow({"chain config interval 76 -> 8",
+                  std::to_string(gruPerStep(1024, c, true, true))});
+    }
+    {
+        NpuConfig c = base;
+        c.timing.mfuActLatency = 4;
+        c.timing.arbNetLatency = 4;
+        s.addRow({"shallow MFU/network latencies",
+                  std::to_string(gruPerStep(1024, c, true, true))});
+    }
+    std::printf("%s\n", s.render().c_str());
+
+    std::printf("Reading: software pipelining and thin tiles carry the "
+                "large-model utilization;\nthe chain-configuration "
+                "interval sets the small-model floor (the paper's flat "
+                "~630\ncycles/step); extra MFUs barely matter for RNNs "
+                "(the MVM dominates), matching the\npaper's choice of "
+                "two.\n");
+    return 0;
+}

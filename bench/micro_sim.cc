@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the reproduction's own machinery:
+ * BFP quantization, functional mv_mul, compilation, and the timing
+ * simulator's throughput in simulated timesteps per host second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bw/bw.h"
+
+namespace bw {
+namespace {
+
+void
+BM_BfpQuantizeBlock(benchmark::State &state)
+{
+    Rng rng(1);
+    FVec v(static_cast<size_t>(state.range(0)));
+    fillUniform(v, rng);
+    BfpFormat fmt = bfp152();
+    for (auto _ : state) {
+        BfpBlock b(v, fmt);
+        benchmark::DoNotOptimize(b);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BfpQuantizeBlock)->Arg(128)->Arg(400);
+
+void
+BM_Float16RoundTrip(benchmark::State &state)
+{
+    Rng rng(2);
+    FVec v(1024);
+    fillUniform(v, rng, -100.0f, 100.0f);
+    for (auto _ : state) {
+        float acc = 0;
+        for (float x : v)
+            acc += roundToHalf(x);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Float16RoundTrip);
+
+NpuConfig
+microConfig()
+{
+    NpuConfig c;
+    c.name = "micro";
+    c.nativeDim = 64;
+    c.lanes = 16;
+    c.tileEngines = 4;
+    c.mrfSize = 256;
+    c.mrfIndexSpace = 1024;
+    c.initialVrfSize = 128;
+    c.addSubVrfSize = 128;
+    c.multiplyVrfSize = 128;
+    c.precision = BfpFormat{1, 5, 5};
+    return c;
+}
+
+void
+BM_FunctionalMvMul(benchmark::State &state)
+{
+    NpuConfig cfg = microConfig();
+    FuncMachine m(cfg);
+    Rng rng(3);
+    FMat w(64, 64);
+    fillUniform(w, rng);
+    m.loadMrfTile(0, w);
+    FVec x(64);
+    fillUniform(x, rng);
+    m.loadVrf(MemId::InitialVrf, 0, x);
+    ProgramBuilder b;
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 1);
+    Program p = b.build();
+    for (auto _ : state)
+        m.run(p);
+    state.SetItemsProcessed(state.iterations() * 64 * 64 * 2);
+}
+BENCHMARK(BM_FunctionalMvMul);
+
+void
+BM_CompileLstm(benchmark::State &state)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    Rng rng(4);
+    LstmWeights w =
+        randomLstmWeights(static_cast<unsigned>(state.range(0)),
+                          static_cast<unsigned>(state.range(0)), rng);
+    GirGraph g = makeLstm(w);
+    for (auto _ : state) {
+        CompiledModel m = compileGir(g, cfg);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_CompileLstm)->Arg(512)->Arg(2048);
+
+void
+BM_TimingSimGruStep(benchmark::State &state)
+{
+    // Simulated RNN timesteps per host second — the simulator's
+    // headline speed metric.
+    NpuConfig cfg = NpuConfig::bwS10();
+    Rng rng(5);
+    CompiledModel m = compileGir(
+        makeGru(randomGruWeights(static_cast<unsigned>(state.range(0)),
+                                 static_cast<unsigned>(state.range(0)),
+                                 rng)),
+        cfg);
+    timing::NpuTiming sim(cfg);
+    sim.setTileBeats(m.tileBeats);
+    for (auto _ : state) {
+        auto res = sim.run(m.prologue, m.step, 50);
+        benchmark::DoNotOptimize(res.totalCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_TimingSimGruStep)->Arg(1024)->Arg(2816);
+
+void
+BM_TimingSimResnet50(benchmark::State &state)
+{
+    NpuConfig cfg = NpuConfig::bwCnnA10();
+    ConvNetPlan plan = planConvNet(resnet50Convs(), cfg);
+    timing::NpuTiming sim(cfg);
+    sim.setTileBeats(plan.tileBeats);
+    for (auto _ : state) {
+        auto res = sim.run(plan.program, 1);
+        benchmark::DoNotOptimize(res.totalCycles);
+    }
+}
+BENCHMARK(BM_TimingSimResnet50);
+
+void
+BM_AssembleDisassemble(benchmark::State &state)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    Rng rng(6);
+    CompiledModel m =
+        compileGir(makeLstm(randomLstmWeights(2048, 2048, rng)), cfg);
+    std::string text = disassemble(m.step);
+    for (auto _ : state) {
+        Program p = assemble(text);
+        benchmark::DoNotOptimize(p);
+    }
+    state.SetItemsProcessed(state.iterations() * m.step.size());
+}
+BENCHMARK(BM_AssembleDisassemble);
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Reproduction scorecard: re-derives every headline quantity of the
+ * paper's evaluation and gates it against its tolerance band, printing
+ * a single PASS/WARN table — the one-screen answer to "does this
+ * repository still reproduce the paper?". Exit status is non-zero if
+ * any PASS-band check fails, so it can serve as a CI gate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+namespace {
+
+struct Scorecard
+{
+    TextTable table{{"Check", "measured", "paper", "delta", "band",
+                     "status"}};
+    int failures = 0;
+
+    void
+    gate(const std::string &name, double measured, double published,
+         double band_pct)
+    {
+        double delta =
+            published != 0.0
+                ? 100.0 * (measured - published) / published
+                : 0.0;
+        bool ok = std::fabs(delta) <= band_pct;
+        if (!ok)
+            ++failures;
+        table.addRow({name, fmtF(measured, 2), fmtF(published, 2),
+                      fmtF(delta, 1) + "%", "±" + fmtF(band_pct, 0) + "%",
+                      ok ? "PASS" : "FAIL"});
+    }
+
+    void
+    info(const std::string &name, double measured, double published,
+         const std::string &note)
+    {
+        table.addRow({name, fmtF(measured, 2), fmtF(published, 2), "-",
+                      note, "WARN"});
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Scorecard sc;
+    NpuConfig s10 = NpuConfig::bwS10();
+
+    // --- Table I anchors (per-step cycles). ---
+    {
+        Rng rng(1);
+        CritPathResult lstm = analyzeCritPath(
+            makeLstm(randomLstmWeights(2000, 2000, rng)), s10.macCount());
+        sc.gate("T1 LSTM-2000 UDM cycles",
+                static_cast<double>(lstm.udmCycles), 19, 0);
+        sc.gate("T1 LSTM-2000 SDM cycles",
+                static_cast<double>(lstm.sdmCycles), 352, 1);
+    }
+
+    // --- Table V: BW per-step cycles on all eleven benchmarks. ---
+    struct Row
+    {
+        RnnKind kind;
+        unsigned h;
+        double paper;
+    };
+    for (Row r : std::initializer_list<Row>{
+             {RnnKind::Lstm, 2000, 718}, {RnnKind::Gru, 2816, 662},
+             {RnnKind::Gru, 2560, 662}, {RnnKind::Gru, 2048, 636},
+             {RnnKind::Gru, 1536, 634}, {RnnKind::Gru, 1024, 632},
+             {RnnKind::Lstm, 2048, 740}, {RnnKind::Lstm, 1536, 725},
+             {RnnKind::Lstm, 1024, 740}, {RnnKind::Lstm, 512, 770},
+             {RnnKind::Lstm, 256, 708}}) {
+        RnnLayerSpec layer{r.kind, r.h, 25, r.h};
+        BwRnnResult bw = runBwRnn(layer, s10, 25);
+        sc.gate("T5 " + layer.label() + " cyc/step",
+                static_cast<double>(bw.perStepCycles), r.paper, 10);
+    }
+
+    // --- Table V headline utilization and GPU side. ---
+    {
+        BwRnnResult big = runBwRnn({RnnKind::Gru, 2816, 750, 2816}, s10,
+                                   60);
+        sc.gate("T5 GRU-2816 utilization %", 100.0 * big.utilization,
+                74.8, 10);
+        GpuPerf gpu = gpuRnnInference(GpuModel::titanXp(),
+                                      {RnnKind::Gru, 2816, 750, 2816});
+        sc.gate("T5 GRU-2816 Titan Xp ms", gpu.latencyMs, 178.6, 10);
+    }
+
+    // --- Table III resource model. ---
+    {
+        auto rows = paper::tableThree();
+        struct P
+        {
+            NpuConfig cfg;
+            FpgaDevice dev;
+            size_t row;
+        };
+        for (P p : std::initializer_list<P>{
+                 {NpuConfig::bwS5(), FpgaDevice::stratixVD5(), 0},
+                 {NpuConfig::bwA10(), FpgaDevice::arria10_1150(), 1},
+                 {NpuConfig::bwS10(), FpgaDevice::stratix10_280(), 2}}) {
+            ResourceEstimate est = estimateResources(p.cfg, p.dev);
+            sc.gate("T3 " + p.cfg.name + " ALMs",
+                    static_cast<double>(est.alms),
+                    static_cast<double>(rows[p.row].alms), 15);
+            sc.gate("T3 " + p.cfg.name + " DSPs",
+                    static_cast<double>(est.dsps),
+                    static_cast<double>(rows[p.row].dsps), 10);
+            sc.gate("T3 " + p.cfg.name + " peak TFLOPS",
+                    est.peakTflops, rows[p.row].peakTflops, 3);
+        }
+    }
+
+    // --- Table VI. ---
+    {
+        auto convs = resnet50Convs();
+        GpuPerf p40 = gpuConvNetInference(GpuModel::p40(), convs, 1);
+        sc.gate("T6 P40 batch-1 ms", p40.latencyMs, 2.17, 15);
+
+        NpuConfig cfg = NpuConfig::bwCnnA10();
+        ConvNetPlan plan = planConvNet(convs, cfg);
+        timing::NpuTiming sim(cfg);
+        sim.setTileBeats(plan.tileBeats);
+        auto res = sim.run(plan.program, 1);
+        sc.info("T6 BW_CNN_A10 batch-1 ms", res.latencyMs(cfg) + 0.10,
+                1.80, "shape-only");
+    }
+
+    // --- Fig. 8 crossover. ---
+    {
+        GpuPerf b4 = gpuRnnInference(GpuModel::titanXp(),
+                                     {RnnKind::Gru, 2816, 750, 2816}, 4);
+        sc.gate("F8 Titan batch-4 util % (<13)", 100.0 * b4.utilization,
+                12.9, 15);
+    }
+
+    std::printf("Reproduction scorecard (see EXPERIMENTS.md for the "
+                "full per-cell record)\n\n%s\n",
+                sc.table.render().c_str());
+    if (sc.failures) {
+        std::printf("%d check(s) outside their band.\n", sc.failures);
+        return 1;
+    }
+    std::printf("All banded checks pass.\n");
+    return 0;
+}

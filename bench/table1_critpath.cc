@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Regenerates Table I: critical-path analysis of LSTM, GRU and two
+ * representative CNN layers — operation counts, UDM and SDM cycles,
+ * measured BW NPU cycles, and data footprints — side by side with the
+ * paper's published values.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+namespace {
+
+std::string
+fmtData(uint64_t bytes)
+{
+    if (bytes >= 1'000'000)
+        return fmtF(static_cast<double>(bytes) / 1e6, 0) + "MB";
+    return fmtF(static_cast<double>(bytes) / 1e3, 0) + "KB";
+}
+
+} // namespace
+
+int
+main()
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    uint64_t macs = cfg.macCount();
+    auto paper_rows = paper::tableOne();
+
+    std::printf("Table I: critical-path analysis of LSTM, GRU, and CNN "
+                "(%llu MACs, %s)\n\n",
+                static_cast<unsigned long long>(macs), cfg.name.c_str());
+
+    TextTable t({"Model", "Dimension", "Ops", "UDM", "SDM", "BW NPU",
+                 "Data", "paper UDM/SDM/BW"});
+
+    // LSTM 2000x2000.
+    {
+        Rng rng(1);
+        CritPathResult r = analyzeCritPath(
+            makeLstm(randomLstmWeights(2000, 2000, rng)), macs);
+        BwRnnResult bw =
+            runBwRnn({RnnKind::Lstm, 2000, 25, 2000}, cfg);
+        t.addRow({"LSTM", "2000x2000",
+                  fmtF(static_cast<double>(r.matmulOpsPerStep) / 1e6, 0) +
+                      "M",
+                  std::to_string(r.udmCycles),
+                  std::to_string(r.sdmCycles),
+                  std::to_string(bw.perStepCycles), fmtData(r.dataBytes),
+                  "19 / 352 / 718"});
+    }
+    // GRU 2800x2800.
+    {
+        Rng rng(1);
+        CritPathResult r = analyzeCritPath(
+            makeGru(randomGruWeights(2800, 2800, rng)), macs);
+        BwRnnResult bw = runBwRnn({RnnKind::Gru, 2800, 25, 2800}, cfg);
+        t.addRow({"GRU", "2800x2800",
+                  fmtF(static_cast<double>(r.matmulOpsPerStep) / 1e6, 0) +
+                      "M",
+                  std::to_string(r.udmCycles),
+                  std::to_string(r.sdmCycles),
+                  std::to_string(bw.perStepCycles), fmtData(r.dataBytes),
+                  "31 / 520 / 662"});
+    }
+    // The two CNN layers: BW cycles from the conv timing path on a
+    // CNN-*specialized* S10-class instance (same ~96k MAC budget, but
+    // a 128-wide native dimension matched to the layers' channel
+    // counts — the Section VI specialization; an RNN-tuned N=400
+    // instance would cap these layers' utilization at 32% from output-
+    // channel padding alone, far below the published cycle counts).
+    for (const ConvSpec &spec : {tableOneCnn3x3(), tableOneCnn1x1()}) {
+        CritPathResult r = analyzeConvCritPath(spec, macs);
+        NpuConfig ccfg = cfg;
+        ccfg.name = "BW_CNN_S10";
+        ccfg.nativeDim = 128;
+        ccfg.lanes = 32;
+        ccfg.tileEngines = 24; // 24*128*32 = 98,304 MACs
+        ccfg.mfus = 6; // CNN variant: MFU bandwidth matched to the
+                       // MVM's higher output rate (Section VII future
+                       // work: "increasing MFU resources")
+        ccfg.timing.vectorUnitBeats = 1;
+        ccfg.initialVrfSize = 16384;
+        ccfg.addSubVrfSize = 1024;
+        ccfg.mrfIndexSpace = 2048;
+        // Table I measures the kernel with weights pinned: neutralize
+        // the one-time DRAM weight stream.
+        ccfg.timing.dramBytesPerCycle = 1u << 20;
+        ConvNetPlan plan = planConvNet({spec}, ccfg);
+        timing::NpuTiming sim(ccfg);
+        sim.setTileBeats(plan.tileBeats);
+        auto res = sim.run(plan.program, 1);
+        const paper::TableOneRow &p =
+            paper_rows[spec.patchLen() == 1152 ? 2 : 3];
+        t.addRow({"CNN", p.dimension,
+                  fmtF(static_cast<double>(r.opsPerStep) / 1e6, 0) + "M",
+                  std::to_string(r.udmCycles),
+                  std::to_string(r.sdmCycles),
+                  std::to_string(res.totalCycles), fmtData(r.dataBytes),
+                  std::to_string(p.udmCycles) + " / " +
+                      std::to_string(p.sdmCycles) + " / " +
+                      std::to_string(p.bwCycles)});
+    }
+
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Notes: UDM = infinite-resource dataflow depth; SDM = "
+                "96,000-MAC constrained;\nBW NPU = measured cycles on "
+                "the timing simulator (per step / per layer).\nThe "
+                "paper lists UDM 13 for the 1x1 CNN row; a 64-element "
+                "dot product's\nreduction tree is 7 levels (+bias = 8) "
+                "— see EXPERIMENTS.md.\n");
+    return 0;
+}

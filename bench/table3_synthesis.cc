@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Table III: hardware implementation results for the three
+ * published BW NPU configurations (BW_S5, BW_A10, BW_S10) from the
+ * analytic resource model, with per-cell deltas against the paper's
+ * post-fit Quartus numbers, plus a synthesis-specialization sweep from
+ * the explorer.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::bench;
+
+int
+main()
+{
+    std::printf("Table III: hardware implementation results (resource "
+                "model vs. paper post-fit)\n\n");
+
+    struct Point
+    {
+        NpuConfig cfg;
+        FpgaDevice dev;
+        paper::TableThreeRow row;
+    };
+    auto rows = paper::tableThree();
+    std::vector<Point> points = {
+        {NpuConfig::bwS5(), FpgaDevice::stratixVD5(), rows[0]},
+        {NpuConfig::bwA10(), FpgaDevice::arria10_1150(), rows[1]},
+        {NpuConfig::bwS10(), FpgaDevice::stratix10_280(), rows[2]},
+    };
+
+    TextTable t({"Instance", "Tiles", "Lanes", "Dim", "Device", "ALMs",
+                 "(paper)", "M20Ks", "(paper)", "DSPs", "(paper)", "MHz",
+                 "Peak TFLOPS"});
+    for (const Point &p : points) {
+        ResourceEstimate est = estimateResources(p.cfg, p.dev);
+        t.addRow({p.cfg.name, std::to_string(p.cfg.tileEngines),
+                  std::to_string(p.cfg.lanes),
+                  std::to_string(p.cfg.nativeDim), p.dev.name,
+                  fmtI(est.alms) + " (" + fmtF(est.almPct, 0) + "%)",
+                  fmtI(p.row.alms) + " " + pctDelta(est.alms, p.row.alms),
+                  fmtI(est.m20ks),
+                  fmtI(p.row.m20ks) + " " +
+                      pctDelta(est.m20ks, p.row.m20ks),
+                  fmtI(est.dsps),
+                  fmtI(p.row.dsps) + " " + pctDelta(est.dsps, p.row.dsps),
+                  fmtF(est.freqMhz, 0), fmtF(est.peakTflops, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Synthesis-specialization explorer: best configuration "
+                "per model dimension on each device\n\n");
+    TextTable e({"Model dim", "Device", "Native", "Lanes", "Tiles",
+                 "Peak TFLOPS", "Padding waste"});
+    for (unsigned dim : {512u, 1024u, 2048u, 2816u}) {
+        for (const FpgaDevice &dev :
+             {FpgaDevice::stratixVD5(), FpgaDevice::stratix10_280()}) {
+            ExplorerResult r = exploreConfig(dim, dev);
+            e.addRow({std::to_string(dim), dev.name,
+                      std::to_string(r.config.nativeDim),
+                      std::to_string(r.config.lanes),
+                      std::to_string(r.config.tileEngines),
+                      fmtF(r.estimate.peakTflops, 1),
+                      fmtPct(r.paddingWaste)});
+        }
+    }
+    std::printf("%s", e.render().c_str());
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: build an LSTM, compile it for the published BW_S10
+ * configuration, check numerical fidelity on the functional simulator,
+ * and measure serving latency on the cycle-level timing simulator.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "bw/bw.h"
+
+using namespace bw;
+
+int
+main()
+{
+    // 1. The target: the paper's Stratix-10 instance (Table III).
+    NpuConfig cfg = NpuConfig::bwS10();
+    std::printf("Target: %s — %llu MACs, native dim %u, %.0f MHz, "
+                "%.0f peak TFLOPS, %s weights\n",
+                cfg.name.c_str(),
+                static_cast<unsigned long long>(cfg.macCount()),
+                cfg.nativeDim, cfg.clockMhz, cfg.peakTflops(),
+                cfg.precision.toString().c_str());
+
+    // 2. A model: a 1200-hidden-unit LSTM with random weights.
+    Rng rng(42);
+    const unsigned hidden = 1200, steps = 30;
+    LstmWeights weights = randomLstmWeights(hidden, hidden, rng);
+    GirGraph graph = makeLstm(weights);
+    std::printf("Model: LSTM h=%u — %.1fM ops/step, %.1f MB of "
+                "weights\n",
+                hidden,
+                static_cast<double>(graph.matmulOpsPerStep()) / 1e6,
+                static_cast<double>(graph.weightBytes(8)) / 1e6);
+
+    // 3. Compile: graph -> instruction chains + MRF/VRF images.
+    CompiledModel model = compileGir(graph, cfg);
+    std::printf("Compiled: %zu instructions/step, %u MRF tile "
+                "equivalents of %u\n\n",
+                model.step.size(), model.mrfTilesUsed, cfg.mrfSize);
+    std::printf("First chain of the step program:\n");
+    auto chains = model.step.chains();
+    for (const Chain &c : chains) {
+        if (c.kind != Chain::Kind::Vector)
+            continue;
+        for (size_t i = c.first; i < c.end(); ++i)
+            std::printf("    %s\n", model.step[i].toString().c_str());
+        break;
+    }
+
+    // 4. Functional check: quantized NPU vs float reference.
+    FuncMachine machine(cfg);
+    model.install(machine);
+    std::vector<FVec> xs;
+    for (unsigned t = 0; t < steps; ++t) {
+        FVec x(hidden);
+        fillUniform(x, rng, -0.5f, 0.5f);
+        xs.push_back(x);
+    }
+    auto npu_out = model.runSequence(machine, xs);
+    auto ref_out = lstmRefRun(weights, xs);
+    QuantError err = measureQuantError(ref_out.back(), npu_out.back());
+    std::printf("\nFunctional: after %u steps, max |h_npu - h_ref| = "
+                "%.4f (BFP %s + float16)\n",
+                steps, err.maxAbs, cfg.precision.toString().c_str());
+
+    // 5. Performance: cycle-level serving latency at batch 1.
+    timing::NpuTiming sim(cfg);
+    sim.setTileBeats(model.tileBeats);
+    auto perf = sim.run(model.prologue, model.step, steps);
+    double ms = perf.latencyMs(cfg);
+    OpCount ops = model.matmulOpsPerStep * steps;
+    std::printf("Timing: %u steps in %s cycles = %.3f ms  "
+                "(%.1f effective TFLOPS, %.1f%% of peak, batch 1)\n",
+                steps, fmtI(perf.totalCycles).c_str(), ms,
+                perf.tflops(cfg, ops),
+                100.0 * perf.utilization(cfg, ops));
+    std::printf("Steady state: %llu cycles (%.1f us) per timestep\n",
+                static_cast<unsigned long long>(
+                    perf.steadyStateIterationCycles()),
+                cyclesToUs(perf.steadyStateIterationCycles(),
+                           cfg.clockMhz));
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "arch/mem_id.h"
+
+#include "common/logging.h"
+
+namespace bw {
+
+const char *
+memIdMnemonic(MemId id)
+{
+    switch (id) {
+      case MemId::InitialVrf: return "ivrf";
+      case MemId::AddSubVrf: return "asvrf";
+      case MemId::MultiplyVrf: return "mulvrf";
+      case MemId::MatrixRf: return "mrf";
+      case MemId::NetQ: return "netq";
+      case MemId::Dram: return "dram";
+      default: BW_PANIC("bad MemId %d", static_cast<int>(id));
+    }
+}
+
+const char *
+memIdName(MemId id)
+{
+    switch (id) {
+      case MemId::InitialVrf: return "InitialVrf";
+      case MemId::AddSubVrf: return "AddSubVrf";
+      case MemId::MultiplyVrf: return "MultiplyVrf";
+      case MemId::MatrixRf: return "MatrixRf";
+      case MemId::NetQ: return "NetQ";
+      case MemId::Dram: return "Dram";
+      default: BW_PANIC("bad MemId %d", static_cast<int>(id));
+    }
+}
+
+MemId
+parseMemId(const std::string &s)
+{
+    for (int i = 0; i < static_cast<int>(MemId::NumMemIds); ++i) {
+        MemId id = static_cast<MemId>(i);
+        if (s == memIdMnemonic(id) || s == memIdName(id))
+            return id;
+    }
+    BW_FATAL("unknown memory space '%s'", s.c_str());
+}
+
+bool
+isVrf(MemId id)
+{
+    return id == MemId::InitialVrf || id == MemId::AddSubVrf ||
+           id == MemId::MultiplyVrf;
+}
+
+bool
+isVectorReadable(MemId id)
+{
+    return isVrf(id) || id == MemId::NetQ || id == MemId::Dram;
+}
+
+bool
+isVectorWritable(MemId id)
+{
+    return isVrf(id) || id == MemId::NetQ || id == MemId::Dram;
+}
+
+} // namespace bw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Architectural memory spaces of the BW NPU (Section IV-C, Table II).
+ *
+ * Vector and matrix instructions name one of these spaces as their first
+ * operand. Register files are tightly coupled to specific function units:
+ * InitialVrf feeds the head of the pipeline (the MVM input), AddSubVrf and
+ * MultiplyVrf provide the secondary operands of the MFU add/subtract and
+ * multiply units, MatrixRf holds pinned model weights adjacent to the
+ * dot-product engines, NetQ is the network I/O queue pair, and Dram is the
+ * accelerator-local DRAM.
+ */
+
+#ifndef BW_ARCH_MEM_ID_H
+#define BW_ARCH_MEM_ID_H
+
+#include <cstdint>
+#include <string>
+
+namespace bw {
+
+/** Memory-space identifier used by v_rd/v_wr/m_rd/m_wr and VRF operands. */
+enum class MemId : uint8_t
+{
+    InitialVrf = 0, //!< pipeline-head vector register file
+    AddSubVrf,      //!< VRF feeding the MFU add/subtract units
+    MultiplyVrf,    //!< VRF feeding the MFU multiply units
+    MatrixRf,       //!< matrix register file (pinned weights)
+    NetQ,           //!< network input/output queue (no index)
+    Dram,           //!< accelerator-local DRAM
+    NumMemIds
+};
+
+/** Short mnemonic used by the assembler, e.g. "ivrf", "mrf", "netq". */
+const char *memIdMnemonic(MemId id);
+
+/** Human-readable name, e.g. "InitialVrf". */
+const char *memIdName(MemId id);
+
+/** Parse either the mnemonic or the full name; throws bw::Error. */
+MemId parseMemId(const std::string &s);
+
+/** True for the three vector register files. */
+bool isVrf(MemId id);
+
+/** True if a v_rd may source from this space. */
+bool isVectorReadable(MemId id);
+
+/** True if a v_wr may sink to this space. */
+bool isVectorWritable(MemId id);
+
+} // namespace bw
+
+#endif // BW_ARCH_MEM_ID_H

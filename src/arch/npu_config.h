@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Synthesis-time configuration of a BW NPU instance (Sections IV, VI).
+ *
+ * The four headline synthesis-specialization parameters from the paper are
+ * the data type (precision), the native vector dimension, the number of
+ * lanes per dot-product engine, and the number of matrix-vector tile
+ * engines. NpuConfig also carries storage sizing and the microarchitectural
+ * timing parameters of the pipeline, and provides the three published
+ * configurations of Table III (BW_S5, BW_A10, BW_S10) plus the CNN-
+ * specialized Arria 10 variant of Table VI as presets.
+ */
+
+#ifndef BW_ARCH_NPU_CONFIG_H
+#define BW_ARCH_NPU_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "bfp/bfp.h"
+#include "common/units.h"
+
+namespace bw {
+
+/**
+ * Microarchitectural latency/rate parameters of the timing model, in
+ * cycles. Defaults are calibrated so the BW_S10 preset reproduces the
+ * paper's measured per-timestep cycle counts (Table I: 718 cycles for the
+ * 2000-d LSTM, 662 for the 2800-d GRU).
+ */
+struct TimingParams
+{
+    /** Control processor issues one compound instruction per N cycles. */
+    unsigned dispatchInterval = 4;
+    /** Top-level scheduler decode latency per chain. */
+    unsigned topSchedLatency = 10;
+    /**
+     * Minimum interval between successive chain configurations at the
+     * top-level scheduler. Each chain reprograms the vector arbitration
+     * network, the MFU crossbars, and the register-file decoders before
+     * its vectors can flow, and that configuration pipeline admits one
+     * chain per interval. This sets the flat per-timestep latency floor
+     * the paper observes across model sizes (Section VII-B2).
+     */
+    unsigned chainInterval = 76;
+    /** Second-level (e.g. MVM) scheduler latency. */
+    unsigned l2SchedLatency = 8;
+    /** Leaf decoder latency (tile-engine / MFU / VRF decoders). */
+    unsigned decoderLatency = 4;
+    /** VRF read port latency. */
+    unsigned vrfReadLatency = 6;
+    /** VRF write port latency. */
+    unsigned vrfWriteLatency = 6;
+    /** Multiplier latency inside a dot-product engine. */
+    unsigned mvmMulLatency = 6;
+    /** Latency of one accumulation-tree stage. */
+    unsigned accumTreeStageLatency = 2;
+    /** Latency of one cross-tile add-reduction stage. */
+    unsigned reduceStageLatency = 3;
+    /** MFU add/subtract/max unit latency. */
+    unsigned mfuAddLatency = 14;
+    /** MFU Hadamard-multiply unit latency. */
+    unsigned mfuMulLatency = 14;
+    /** MFU activation (relu/sigmoid/tanh) unit latency. */
+    unsigned mfuActLatency = 40;
+    /** MFU internal crossbar hop latency. */
+    unsigned crossbarLatency = 2;
+    /** Vector arbitration network transfer latency (per hop). */
+    unsigned arbNetLatency = 20;
+    /**
+     * Cycles a post-MVM vector unit (MFU function units, the add-
+     * reduction stage, VRF ports on the MFU path) is occupied per
+     * native vector. The post-MVM datapath is native-vector wide, so
+     * this is much smaller than the MVM's nativeDim/lanes streaming
+     * beats.
+     */
+    unsigned vectorUnitBeats = 2;
+    /** Network queue occupancy per native vector (link bandwidth). */
+    unsigned netBeats = 8;
+    /** Latency from network input queue into the pipeline. */
+    unsigned netqLatency = 40;
+    /** DRAM access latency (first word). */
+    unsigned dramLatency = 60;
+    /** DRAM bandwidth in bytes/cycle (e.g. 64 B/cyc ~ 16 GB/s @ 250MHz). */
+    unsigned dramBytesPerCycle = 64;
+};
+
+/** A complete synthesis-time description of one BW NPU instance. */
+struct NpuConfig
+{
+    std::string name = "BW";
+
+    // --- The four synthesis-specialization parameters (Section VI). ---
+    /** Native vector dimension N; matrices are N x N tiles. */
+    unsigned nativeDim = 400;
+    /** Parallel multiplier lanes per dot-product engine. */
+    unsigned lanes = 40;
+    /** Matrix-vector tile engines in the MVM. */
+    unsigned tileEngines = 6;
+    /** Matrix (dot-product) precision. */
+    BfpFormat precision = bfp152();
+
+    // --- Storage sizing. ---
+    /**
+     * Matrix register file capacity, in native N x N tile *equivalents*.
+     * Matrix rows are element-packed in the MRF SRAM banks, so a matrix
+     * whose dimensions are not native multiples only charges its true
+     * element count (tail tiles are thin); the tile *index* space is
+     * correspondingly larger than the capacity (see mrfEntries()).
+     */
+    unsigned mrfSize = 306;
+    /**
+     * Addressable MRF tile entries (0 = default of 4 * mrfSize). Thin
+     * tail tiles consume an index without consuming a full tile of
+     * capacity, so the index space exceeds the capacity.
+     */
+    unsigned mrfIndexSpace = 0;
+    /** InitialVrf capacity in native vectors. */
+    unsigned initialVrfSize = 512;
+    /** AddSubVrf capacity in native vectors. */
+    unsigned addSubVrfSize = 512;
+    /** MultiplyVrf capacity in native vectors. */
+    unsigned multiplyVrfSize = 512;
+    /** DRAM capacity in bytes. */
+    uint64_t dramBytes = 8ull << 30;
+
+    // --- Vector pipeline structure. ---
+    /** Chained multifunction units after the MVM. */
+    unsigned mfus = 2;
+    /** Function units per MFU (add/sub, multiply, activation). */
+    unsigned fusPerMfu = 3;
+
+    // --- Clocking. ---
+    double clockMhz = 250.0;
+
+    /** Microarchitectural timing parameters. */
+    TimingParams timing;
+
+    // --- Derived quantities. ---
+
+    /** Total multiply-accumulate units: engines x rows x lanes. */
+    uint64_t
+    macCount() const
+    {
+        return static_cast<uint64_t>(tileEngines) * nativeDim * lanes;
+    }
+
+    /** Peak arithmetic ops (mul+add) per cycle. */
+    uint64_t opsPerCycle() const { return 2 * macCount(); }
+
+    /** Peak TFLOPS at the configured clock. */
+    double peakTflops() const
+    {
+        return bw::peakTflops(opsPerCycle(), clockMhz);
+    }
+
+    /** Cycles a dot-product engine needs to stream one native vector. */
+    unsigned
+    nativeVectorBeats() const
+    {
+        return (nativeDim + lanes - 1) / lanes;
+    }
+
+    /** Addressable MRF tile entries (resolves the 0 default). */
+    unsigned
+    mrfEntries() const
+    {
+        return mrfIndexSpace ? mrfIndexSpace : 4 * mrfSize;
+    }
+
+    /** Sanity-check invariants; throws bw::Error when malformed. */
+    void validate() const;
+
+    // --- Published configurations (Table III / Table VI). ---
+    static NpuConfig bwS5();     //!< Stratix V D5: 6 tiles, 10 lanes, N=100
+    static NpuConfig bwA10();    //!< Arria 10 1150: 8 tiles, 16 lanes, N=128
+    static NpuConfig bwS10();    //!< Stratix 10 280: 6 tiles, 40 lanes, N=400
+    static NpuConfig bwCnnA10(); //!< CNN-specialized Arria 10 (1s.5e.5m)
+};
+
+} // namespace bw
+
+#endif // BW_ARCH_NPU_CONFIG_H

@@ -1,0 +1,96 @@
+#include "baseline/gpu_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bw {
+
+GpuModel
+GpuModel::titanXp()
+{
+    GpuModel g;
+    g.name = "Titan Xp";
+    g.peakTflops = 12.1; // fp32 (Table IV)
+    g.memBwGBs = 547.0;
+    g.bytesPerElement = 4;
+    g.tdpWatts = 250.0;
+    return g;
+}
+
+GpuModel
+GpuModel::p40()
+{
+    GpuModel g;
+    g.name = "Nvidia P40";
+    g.peakTflops = 47.0; // INT8 TOPS (Table VI configuration)
+    g.memBwGBs = 346.0;
+    g.bytesPerElement = 1;
+    g.tdpWatts = 250.0;
+    return g;
+}
+
+GpuPerf
+gpuRnnInference(const GpuModel &gpu, const RnnLayerSpec &layer,
+                unsigned batch)
+{
+    BW_ASSERT(batch >= 1);
+    unsigned gates = layer.kind == RnnKind::Lstm ? 4 : 3;
+
+    // Recurrent weights stream every timestep; input-side projections
+    // amortize over the sequence as one large GEMM (fold its cost into
+    // the compute term).
+    double recurrent_bytes = static_cast<double>(gates) * layer.hidden *
+                             layer.hidden * gpu.bytesPerElement;
+    double mem_us = recurrent_bytes /
+                    (gpu.memBwGBs * gpu.memEfficiency * 1e3);
+
+    double step_ops = static_cast<double>(layer.opsPerStep()) * batch;
+    double compute_us =
+        step_ops / (gpu.peakTflops * gpu.computeEfficiency * 1e6);
+
+    unsigned kernels = layer.kind == RnnKind::Lstm
+                           ? gpu.kernelsPerLstmStep
+                           : gpu.kernelsPerGruStep;
+    double step_us = std::max(mem_us, compute_us) +
+                     kernels * gpu.launchOverheadUs;
+
+    GpuPerf perf;
+    perf.latencyMs =
+        (step_us * layer.timeSteps + gpu.setupUs) / 1e3;
+    double total_ops = static_cast<double>(layer.totalOps()) * batch;
+    perf.tflops = total_ops / (perf.latencyMs * 1e9);
+    perf.utilization = perf.tflops / gpu.peakTflops;
+    perf.ips = batch / (perf.latencyMs / 1e3);
+    return perf;
+}
+
+GpuPerf
+gpuConvNetInference(const GpuModel &gpu,
+                    const std::vector<ConvSpec> &layers, unsigned batch)
+{
+    BW_ASSERT(batch >= 1);
+    double eff = gpu.convEffMax * batch / (batch + gpu.convEffHalfBatch);
+
+    double total_us = gpu.setupUs;
+    double total_ops = 0;
+    for (const ConvSpec &s : layers) {
+        double ops = static_cast<double>(s.macOps()) * batch;
+        total_ops += ops;
+        double compute_us = ops / (gpu.peakTflops * eff * 1e6);
+        double weight_bytes =
+            static_cast<double>(s.weightCount()) * gpu.bytesPerElement;
+        double mem_us =
+            weight_bytes / (gpu.memBwGBs * gpu.memEfficiency * 1e3);
+        total_us += std::max(compute_us, mem_us) + gpu.launchOverheadUs;
+    }
+
+    GpuPerf perf;
+    perf.latencyMs = total_us / 1e3;
+    perf.tflops = total_ops / (perf.latencyMs * 1e9);
+    perf.utilization = perf.tflops / gpu.peakTflops;
+    perf.ips = batch / (perf.latencyMs / 1e3);
+    return perf;
+}
+
+} // namespace bw

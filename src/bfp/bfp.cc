@@ -1,0 +1,149 @@
+#include "bfp/bfp.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace bw {
+
+BfpFormat
+BfpFormat::parse(const std::string &s)
+{
+    BfpFormat f;
+    int n = std::sscanf(s.c_str(), "%ds.%de.%dm", &f.signBits, &f.expBits,
+                        &f.mantBits);
+    if (n != 3 || f.signBits != 1 || f.expBits < 2 || f.expBits > 8 ||
+        f.mantBits < 1 || f.mantBits > 23) {
+        BW_FATAL("malformed BFP format string '%s' (expected e.g. '1s.5e.2m')",
+                 s.c_str());
+    }
+    return f;
+}
+
+std::string
+BfpFormat::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%ds.%de.%dm", signBits, expBits,
+                  mantBits);
+    return buf;
+}
+
+BfpFormat
+bfp152()
+{
+    return BfpFormat{1, 5, 2};
+}
+
+BfpFormat
+bfp155()
+{
+    return BfpFormat{1, 5, 5};
+}
+
+BfpBlock::BfpBlock(std::span<const float> values, const BfpFormat &fmt)
+    : fmt_(fmt)
+{
+    // Shared exponent: exponent of the largest magnitude in the block,
+    // clamped to the representable 5-bit (by default) range.
+    float max_abs = 0.0f;
+    for (float v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+
+    if (max_abs == 0.0f) {
+        exp_ = fmt_.minExp();
+        mant_.assign(values.size(), 0);
+        return;
+    }
+
+    int e = static_cast<int>(std::floor(std::log2(max_abs)));
+    // If the block maximum would round past the largest mantissa, bump
+    // the shared exponent so no element saturates (keeps quantization
+    // error within half an LSB everywhere).
+    if (std::nearbyint(max_abs * std::ldexp(1.0, fmt_.mantBits - 1 - e)) >
+        fmt_.maxMant()) {
+        ++e;
+    }
+    e = std::min(std::max(e, fmt_.minExp()), fmt_.maxExp());
+    exp_ = e;
+
+    // Mantissa scale: value = q * 2^(E - (m-1)), so q = v * 2^((m-1) - E).
+    double inv_scale = std::ldexp(1.0, fmt_.mantBits - 1 - exp_);
+    mant_.resize(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        double q = std::nearbyint(values[i] * inv_scale);
+        double lim = fmt_.maxMant();
+        if (q > lim)
+            q = lim;
+        else if (q < -lim)
+            q = -lim;
+        mant_[i] = static_cast<int32_t>(q);
+    }
+}
+
+double
+BfpBlock::scale() const
+{
+    return std::ldexp(1.0, exp_ - (fmt_.mantBits - 1));
+}
+
+float
+BfpBlock::dequant(size_t i) const
+{
+    BW_ASSERT(i < mant_.size());
+    return static_cast<float>(mant_[i] * scale());
+}
+
+std::vector<float>
+BfpBlock::dequantAll() const
+{
+    std::vector<float> out(mant_.size());
+    for (size_t i = 0; i < mant_.size(); ++i)
+        out[i] = dequant(i);
+    return out;
+}
+
+double
+BfpBlock::dot(const BfpBlock &a, const BfpBlock &b)
+{
+    if (a.size() != b.size())
+        BW_FATAL("BFP dot of unequal blocks (%zu vs %zu)", a.size(),
+                 b.size());
+    // Hardware integer MAC tree: products and sums are exact in wide
+    // integer; a single scale is applied to the final accumulator.
+    int64_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        acc += static_cast<int64_t>(a.mant_[i]) *
+               static_cast<int64_t>(b.mant_[i]);
+    }
+    return static_cast<double>(acc) * a.scale() * b.scale();
+}
+
+std::vector<float>
+bfpRoundTrip(std::span<const float> v, const BfpFormat &fmt)
+{
+    return BfpBlock(v, fmt).dequantAll();
+}
+
+QuantError
+measureQuantError(std::span<const float> ref, std::span<const float> q)
+{
+    BW_ASSERT(ref.size() == q.size());
+    QuantError e;
+    double sum_sq = 0.0, ref_sq = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        double d = static_cast<double>(ref[i]) - q[i];
+        e.maxAbs = std::max(e.maxAbs, std::fabs(d));
+        sum_sq += d * d;
+        ref_sq += static_cast<double>(ref[i]) * ref[i];
+    }
+    if (!ref.empty()) {
+        e.rmse = std::sqrt(sum_sq / ref.size());
+        double ref_rms = std::sqrt(ref_sq / ref.size());
+        e.relRmse = ref_rms > 0.0 ? e.rmse / ref_rms : 0.0;
+    }
+    return e;
+}
+
+} // namespace bw

@@ -1,0 +1,119 @@
+#include "bfp/float16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace bw {
+
+namespace {
+
+/** Reinterpret float bits as uint32. */
+uint32_t
+floatBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+bool
+Half::isNan() const
+{
+    return (bits_ & 0x7C00) == 0x7C00 && (bits_ & 0x03FF) != 0;
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7FFF) == 0x7C00;
+}
+
+uint16_t
+Half::fromFloat(float f)
+{
+    uint32_t u = floatBits(f);
+    uint16_t sign = static_cast<uint16_t>((u >> 16) & 0x8000);
+    int32_t exp = static_cast<int32_t>((u >> 23) & 0xFF) - 127;
+    uint32_t mant = u & 0x007FFFFF;
+
+    // NaN / Inf.
+    if (exp == 128) {
+        if (mant)
+            return sign | 0x7C00 | 0x0200 | static_cast<uint16_t>(mant >> 13);
+        return sign | 0x7C00;
+    }
+
+    // Overflow to infinity.
+    if (exp > 15) {
+        // Values that would round to > half-max become inf.
+        return sign | 0x7C00;
+    }
+
+    // Normal range for half: exp in [-14, 15].
+    if (exp >= -14) {
+        // 23 -> 10 bit mantissa with round-to-nearest-even on the 13
+        // discarded bits.
+        uint32_t half_mant = mant >> 13;
+        uint32_t rem = mant & 0x1FFF;
+        uint16_t h = static_cast<uint16_t>(
+            sign | ((exp + 15) << 10) | half_mant);
+        if (rem > 0x1000 || (rem == 0x1000 && (half_mant & 1)))
+            ++h; // carries correctly into the exponent (and to inf)
+        return h;
+    }
+
+    // Denormal range: exp in [-24, -15]; shift in the implicit bit.
+    if (exp >= -24) {
+        mant |= 0x00800000;
+        unsigned shift = static_cast<unsigned>(-exp - 14) + 13;
+        uint32_t half_mant = mant >> shift;
+        uint32_t rem_mask = (1u << shift) - 1;
+        uint32_t rem = mant & rem_mask;
+        uint32_t halfway = 1u << (shift - 1);
+        uint16_t h = static_cast<uint16_t>(sign | half_mant);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            ++h;
+        return h;
+    }
+
+    // Underflow to signed zero.
+    return sign;
+}
+
+float
+Half::halfToFloat(uint16_t h)
+{
+    uint32_t sign = static_cast<uint32_t>(h & 0x8000) << 16;
+    uint32_t exp = (h >> 10) & 0x1F;
+    uint32_t mant = h & 0x03FF;
+
+    if (exp == 0x1F) { // inf / nan
+        return bitsFloat(sign | 0x7F800000 | (mant << 13));
+    }
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsFloat(sign); // signed zero
+        // Denormal: normalize.
+        int e = -1;
+        do {
+            mant <<= 1;
+            ++e;
+        } while (!(mant & 0x0400));
+        mant &= 0x03FF;
+        uint32_t fexp = static_cast<uint32_t>(127 - 15 - e);
+        return bitsFloat(sign | (fexp << 23) | (mant << 13));
+    }
+    return bitsFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+} // namespace bw

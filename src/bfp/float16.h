@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Software IEEE 754 binary16 ("float16"/"half") emulation.
+ *
+ * The paper (Section VI) states that secondary (point-wise vector)
+ * operations in the BW NPU execute as float16 on hardware; only matrix
+ * dot products see block-floating-point quantization. This type gives the
+ * functional simulator bit-exact float16 storage semantics: values round
+ * through binary16 (round-to-nearest-even, denormals, inf/nan) on every
+ * store, with arithmetic performed in float32, matching typical FPGA
+ * half-precision function-unit behaviour.
+ */
+
+#ifndef BW_BFP_FLOAT16_H
+#define BW_BFP_FLOAT16_H
+
+#include <cstdint>
+
+namespace bw {
+
+/** Bit-exact binary16 storage type. */
+class Half
+{
+  public:
+    Half() = default;
+
+    /** Construct by rounding a float32 to binary16 (RNE). */
+    explicit Half(float f) : bits_(fromFloat(f)) {}
+
+    /** Reinterpret raw binary16 bits. */
+    static Half
+    fromBits(uint16_t b)
+    {
+        Half h;
+        h.bits_ = b;
+        return h;
+    }
+
+    /** Widen to float32 (exact). */
+    float toFloat() const { return halfToFloat(bits_); }
+    explicit operator float() const { return toFloat(); }
+
+    uint16_t bits() const { return bits_; }
+
+    bool isNan() const;
+    bool isInf() const;
+
+    bool operator==(const Half &o) const { return bits_ == o.bits_; }
+
+    /** Round a float32 to the nearest binary16 bit pattern (RNE). */
+    static uint16_t fromFloat(float f);
+
+    /** Exact widening of a binary16 bit pattern to float32. */
+    static float halfToFloat(uint16_t h);
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+/** Round-trip a float32 value through binary16 precision. */
+inline float
+roundToHalf(float f)
+{
+    return Half(f).toFloat();
+}
+
+} // namespace bw
+
+#endif // BW_BFP_FLOAT16_H

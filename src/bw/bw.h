@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Umbrella header for the Brainwave NPU reproduction library.
+ *
+ * Typical quickstart:
+ *
+ *   #include "bw/bw.h"
+ *
+ *   bw::NpuConfig cfg = bw::NpuConfig::bwS10();
+ *   bw::Rng rng(42);
+ *   bw::GirGraph g = bw::makeLstm(bw::randomLstmWeights(512, 512, rng));
+ *   bw::CompiledModel m = bw::compileGir(g, cfg);
+ *
+ *   // Functional serving (bit-accurate BFP/float16 arithmetic):
+ *   bw::FuncMachine machine(cfg);
+ *   m.install(machine);
+ *   auto outputs = m.runSequence(machine, inputs);
+ *
+ *   // Performance (cycle-level microarchitecture model):
+ *   bw::timing::NpuTiming sim(cfg);
+ *   sim.setTileBeats(m.tileBeats);
+ *   auto perf = sim.run(m.prologue, m.step, steps);
+ */
+
+#ifndef BW_BW_H
+#define BW_BW_H
+
+#include "arch/mem_id.h"
+#include "arch/npu_config.h"
+#include "baseline/gpu_model.h"
+#include "bfp/bfp.h"
+#include "bfp/float16.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "compiler/conv_lowering.h"
+#include "compiler/lowering.h"
+#include "critpath/conv_critpath.h"
+#include "critpath/critpath.h"
+#include "func/machine.h"
+#include "graph/builders.h"
+#include "graph/conv.h"
+#include "graph/gir.h"
+#include "isa/analysis.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/encoding.h"
+#include "isa/validate.h"
+#include "refmodel/conv_ref.h"
+#include "refmodel/rnn_ref.h"
+#include "runtime/multi_fpga.h"
+#include "runtime/serving.h"
+#include "synth/resource_model.h"
+#include "tensor/tensor.h"
+#include "timing/npu_timing.h"
+#include "workloads/deepbench.h"
+#include "workloads/paper_data.h"
+#include "workloads/resnet50.h"
+
+#endif // BW_BW_H

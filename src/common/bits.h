@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small integer/bit utilities used throughout the simulator.
+ */
+
+#ifndef BW_COMMON_BITS_H
+#define BW_COMMON_BITS_H
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/logging.h"
+
+namespace bw {
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+template <typename T>
+constexpr T
+alignUp(T a, T b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)); v must be non-zero. ceilLog2(1) == 0. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return isPow2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo >= 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1));
+}
+
+/** Insert @p val into bits [hi:lo] of @p dst. */
+constexpr uint64_t
+insertBits(uint64_t dst, unsigned hi, unsigned lo, uint64_t val)
+{
+    uint64_t mask = ((hi - lo >= 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1));
+    return (dst & ~(mask << lo)) | ((val & mask) << lo);
+}
+
+} // namespace bw
+
+#endif // BW_COMMON_BITS_H

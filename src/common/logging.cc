@@ -1,0 +1,70 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace bw {
+namespace detail {
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n <= 0)
+        return std::string();
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+std::string
+assertMsg(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", m.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &m)
+{
+    throw Error(format("%s (%s:%d)", m.c_str(), file, line));
+}
+
+void
+warnImpl(const std::string &m)
+{
+    std::fprintf(stderr, "warn: %s\n", m.c_str());
+}
+
+void
+informImpl(const std::string &m)
+{
+    std::fprintf(stderr, "info: %s\n", m.c_str());
+}
+
+} // namespace detail
+} // namespace bw

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the Brainwave reproduction.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user errors (bad configuration, malformed
+ * programs), warn()/inform() for status messages that never stop execution.
+ * Recoverable user-facing errors thrown by library entry points use
+ * bw::Error so that callers (tests, services) can catch them.
+ */
+
+#ifndef BW_COMMON_LOGGING_H
+#define BW_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace bw {
+
+/** Exception type for user-recoverable errors raised by library calls. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &m);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &m);
+void warnImpl(const std::string &m);
+void informImpl(const std::string &m);
+
+/** Assertion-message helpers: with no arguments the message is empty. */
+inline std::string assertMsg() { return std::string(); }
+std::string assertMsg(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort with a message: something happened that is a bug in this library. */
+#define BW_PANIC(...) \
+    ::bw::detail::panicImpl(__FILE__, __LINE__, \
+                            ::bw::detail::format(__VA_ARGS__))
+
+/** Throw bw::Error: the caller supplied invalid input or configuration. */
+#define BW_FATAL(...) \
+    ::bw::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::bw::detail::format(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define BW_WARN(...) ::bw::detail::warnImpl(::bw::detail::format(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define BW_INFORM(...) \
+    ::bw::detail::informImpl(::bw::detail::format(__VA_ARGS__))
+
+/** Internal invariant check; active in all build types. */
+#define BW_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::bw::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " ") + \
+                ::bw::detail::assertMsg(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace bw
+
+#endif // BW_COMMON_LOGGING_H

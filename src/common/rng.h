@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic random number generation. All stochastic behaviour in the
+ * library (weight initialization, synthetic workloads) flows through Rng so
+ * results are reproducible run to run.
+ */
+
+#ifndef BW_COMMON_RNG_H
+#define BW_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace bw {
+
+/** Seeded pseudo-random source with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0xB3A117ED) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniformF(float lo = -1.0f, float hi = 1.0f)
+    {
+        return std::uniform_real_distribution<float>(lo, hi)(engine_);
+    }
+
+    /** Gaussian double with the given mean and standard deviation. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    integer(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Exponentially distributed double with the given rate. */
+    double
+    exponential(double rate)
+    {
+        return std::exponential_distribution<double>(rate)(engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace bw
+
+#endif // BW_COMMON_RNG_H

@@ -1,0 +1,22 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace bw {
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    std::string prefix = name_.empty() ? "" : name_ + ".";
+    for (const auto &[k, v] : counters_)
+        os << prefix << k << " = " << v << '\n';
+    for (const auto &[k, d] : dists_) {
+        os << prefix << k << " = {count=" << d.count()
+           << " min=" << d.min() << " max=" << d.max()
+           << " mean=" << d.mean() << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace bw

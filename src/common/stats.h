@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lightweight statistics collection for simulator components: named scalar
+ * counters and streaming distributions grouped per component, dumpable as a
+ * formatted report. Modeled loosely on gem5's stats package, scaled down.
+ */
+
+#ifndef BW_COMMON_STATS_H
+#define BW_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bw {
+
+/** Streaming summary of a sequence of samples (count/min/max/mean). */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        sumSq_ += v * v;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        return sumSq_ / count_ - m * m;
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+};
+
+/**
+ * A named group of counters and distributions. Components own a StatGroup
+ * and register stats lazily by name; dump() renders a report.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add @p delta to the named counter (creating it at zero). */
+    void
+    inc(const std::string &stat, uint64_t delta = 1)
+    {
+        counters_[stat] += delta;
+    }
+
+    /** Set the named counter to an absolute value. */
+    void
+    set(const std::string &stat, uint64_t value)
+    {
+        counters_[stat] = value;
+    }
+
+    /** Read a counter; zero if never touched. */
+    uint64_t
+    counter(const std::string &stat) const
+    {
+        auto it = counters_.find(stat);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Record a sample into the named distribution. */
+    void
+    sample(const std::string &stat, double v)
+    {
+        dists_[stat].sample(v);
+    }
+
+    /** Read a distribution; an empty one if never touched. */
+    const Distribution &
+    dist(const std::string &stat) const
+    {
+        static const Distribution empty;
+        auto it = dists_.find(stat);
+        return it == dists_.end() ? empty : it->second;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Distribution> &dists() const
+    {
+        return dists_;
+    }
+
+    /** Render a "name.stat = value" report, one line per stat. */
+    std::string dump() const;
+
+    /** Reset all counters and distributions. */
+    void
+    reset()
+    {
+        counters_.clear();
+        dists_.clear();
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace bw
+
+#endif // BW_COMMON_STATS_H

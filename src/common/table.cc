@@ -1,0 +1,104 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bw {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    BW_ASSERT(!headers_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        BW_FATAL("table row has %zu cells, expected %zu", cells.size(),
+                 headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+    ++rowCount_;
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " ");
+            os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+    auto emit_rule = [&](std::ostringstream &os) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-");
+            os << std::string(widths[c], '-') << "-|";
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(os, headers_);
+    emit_rule(os);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emit_rule(os);
+        else
+            emit_row(os, row);
+    }
+    return os.str();
+}
+
+std::string
+fmtF(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtI(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+fmtPct(double frac, int prec)
+{
+    return fmtF(frac * 100.0, prec) + "%";
+}
+
+} // namespace bw

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style tables (Table I, Table V, ...) with aligned columns.
+ */
+
+#ifndef BW_COMMON_TABLE_H
+#define BW_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace bw {
+
+/**
+ * Column-aligned text table. Rows are added as vectors of pre-formatted
+ * cells; render() pads every column to its widest cell and draws a rule
+ * under the header.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one data row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule. */
+    void addRule();
+
+    /** Number of data rows added so far (rules excluded). */
+    size_t rowCount() const { return rowCount_; }
+
+    /** Render the full table, each line terminated with '\n'. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    /** Each entry is either a row of cells or empty (= separator rule). */
+    std::vector<std::vector<std::string>> rows_;
+    size_t rowCount_ = 0;
+};
+
+/** Format a double with @p prec digits after the decimal point. */
+std::string fmtF(double v, int prec = 2);
+
+/** Format an integer with thousands separators (1,234,567). */
+std::string fmtI(uint64_t v);
+
+/** Format a fraction as a percentage string, e.g. 0.748 -> "74.8%". */
+std::string fmtPct(double frac, int prec = 1);
+
+} // namespace bw
+
+#endif // BW_COMMON_TABLE_H

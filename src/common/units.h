@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit helpers: cycles, time, rates. The simulator's native unit of time
+ * is the clock cycle; conversions to wall-clock latency and TFLOPS are
+ * performed through the configured clock frequency.
+ */
+
+#ifndef BW_COMMON_UNITS_H
+#define BW_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace bw {
+
+/** Simulated clock cycles. */
+using Cycles = uint64_t;
+
+/** Arithmetic operation counts (multiplies + adds, per the paper). */
+using OpCount = uint64_t;
+
+/** Convert cycles at @p mhz megahertz to milliseconds. */
+constexpr double
+cyclesToMs(Cycles c, double mhz)
+{
+    return static_cast<double>(c) / (mhz * 1e3);
+}
+
+/** Convert cycles at @p mhz megahertz to microseconds. */
+constexpr double
+cyclesToUs(Cycles c, double mhz)
+{
+    return static_cast<double>(c) / mhz;
+}
+
+/** Convert milliseconds at @p mhz megahertz to cycles (rounded down). */
+constexpr Cycles
+msToCycles(double ms, double mhz)
+{
+    return static_cast<Cycles>(ms * mhz * 1e3);
+}
+
+/** Effective TFLOPS given total ops and elapsed cycles at @p mhz. */
+constexpr double
+effectiveTflops(OpCount ops, Cycles c, double mhz)
+{
+    if (c == 0)
+        return 0.0;
+    return static_cast<double>(ops) / static_cast<double>(c) * mhz / 1e6;
+}
+
+/** Peak TFLOPS of a datapath doing @p ops_per_cycle ops at @p mhz. */
+constexpr double
+peakTflops(OpCount ops_per_cycle, double mhz)
+{
+    return static_cast<double>(ops_per_cycle) * mhz / 1e6;
+}
+
+} // namespace bw
+
+#endif // BW_COMMON_UNITS_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Convolution lowering: 2-D CNN layers linearized onto matrix-vector
+ * multiplication (Section IV-B), for the CNN-specialized BW NPU variant
+ * of Section VII-C.
+ *
+ * Each conv layer becomes a (outC x kH*kW*inC) weight matrix pinned (or
+ * DRAM-streamed) in the MRF, and one mega-SIMD iterated chain per group
+ * of output positions:
+ *
+ *     s_wr rows/cols/iters
+ *     v_rd  ivrf, patch_base     ; advances by patchTiles per position
+ *     mv_mul weight_base
+ *     vv_add bias
+ *     v_relu                     ; when the layer has an activation
+ *     v_wr  ivrf, out_base       ; advances by outTiles per position
+ *
+ * Patch vectors are the im2col layout of the receptive field. On real
+ * hardware a line-buffer/DMA engine (not exposed in the public ISA)
+ * feeds the distributed input VRFs with these patch vectors as the
+ * previous layer drains; in this reproduction the functional path
+ * stages patches from the host between groups (an explicit, documented
+ * substitution), while the timing path charges the MVM/MFU/weight-
+ * streaming costs and preserves inter-layer dependence through the
+ * ping-pong activation regions.
+ */
+
+#ifndef BW_COMPILER_CONV_LOWERING_H
+#define BW_COMPILER_CONV_LOWERING_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "arch/npu_config.h"
+#include "func/machine.h"
+#include "graph/conv.h"
+#include "isa/program.h"
+#include "tensor/tensor.h"
+
+namespace bw {
+
+/** Placement and tiling of one lowered conv layer. */
+struct ConvLayerPlan
+{
+    ConvSpec spec;
+    uint32_t rowTiles = 0;      //!< ceil(outC / N)
+    uint32_t colTiles = 0;      //!< ceil(patchLen / N)
+    uint32_t mrfBase = 0;       //!< weight tile base (ping-pong buffer)
+    uint32_t dramWeightBase = 0;//!< DRAM tile region holding the weights
+    uint32_t biasAddr = 0;      //!< AddSubVrf entry of the bias
+    uint32_t inBase = 0;        //!< ivrf activation region (input)
+    uint32_t outBase = 0;       //!< ivrf activation region (output)
+    unsigned groupSize = 0;     //!< output positions per iterated chain
+    unsigned groups = 0;
+    OpCount ops = 0;            //!< true MAC ops of the layer
+};
+
+/** A whole CNN lowered for one NPU configuration. */
+struct ConvNetPlan
+{
+    NpuConfig cfg;
+    std::vector<ConvLayerPlan> layers;
+    /**
+     * Timing program for one inference: per layer, a DRAM->MRF weight
+     * streaming chain (double-buffered one layer ahead) followed by the
+     * iterated compute chains.
+     */
+    Program program;
+    /** Thin tail tile streaming beats (see NpuTiming::setTileBeats). */
+    std::unordered_map<uint32_t, unsigned> tileBeats;
+    OpCount totalOps = 0;
+};
+
+/** Plan (and emit the timing program for) a CNN on @p cfg. */
+ConvNetPlan planConvNet(const std::vector<ConvSpec> &layers,
+                        const NpuConfig &cfg);
+
+/**
+ * Functional execution of a single lowered conv layer: pins the
+ * quantized weights and bias, stages im2col patch groups into the
+ * InitialVrf, runs the iterated chains, and reads back the output
+ * feature map. Validated against conv2dRef within BFP error bounds.
+ *
+ * @p weights is outC x patchLen in the (ky, kx, c) patch layout.
+ */
+FTensor4 runConvLayerFunctional(FuncMachine &m, const ConvSpec &spec,
+                                const FMat &weights,
+                                std::span<const float> bias,
+                                const FTensor4 &input);
+
+} // namespace bw
+
+#endif // BW_COMPILER_CONV_LOWERING_H

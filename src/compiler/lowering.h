@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GIR -> BW NPU program lowering.
+ *
+ * The lowering pass reproduces the structure of the paper's hand-written
+ * kernels from the model graph:
+ *
+ *  1. *Chain fusion*: walk the graph in topological order and grow
+ *     maximal instruction chains — an optional MatMul at the head (the
+ *     MVM sits at the head of the pipeline) followed by point-wise ops,
+ *     fusing through single-consumer edges whose secondary operands are
+ *     already materialized, bounded by the configured number of MFUs.
+ *  2. *Home assignment*: every materialized value is assigned the
+ *     register files its consumers need it in — InitialVrf for chain
+ *     inputs, AddSubVrf/MultiplyVrf for secondary operands — and chains
+ *     multicast their final value to all homes (and to NetQ for model
+ *     outputs and recurrent states bound to the chain tail).
+ *  3. *Allocation*: bump allocation of VRF entries and MRF tiles, with
+ *     zero-padding of weights/vectors to native-dim multiples.
+ *  4. *Emission*: s_wr Rows/Cols mega-SIMD configuration followed by the
+ *     v_rd / mv_mul / vv_* / v_wr chains, validated against the target.
+ */
+
+#ifndef BW_COMPILER_LOWERING_H
+#define BW_COMPILER_LOWERING_H
+
+#include "compiler/compiled_model.h"
+
+namespace bw {
+
+/** Compilation switches. */
+struct CompileOptions
+{
+    /**
+     * Software-pipeline the input-side projections: chains that depend
+     * on the step input but on no recurrent state are hoisted behind
+     * the recurrent chains and compute one step ahead (with a prologue
+     * for step 0). This spaces out the h->h serial dependency so the
+     * MVM stays busy while the recurrent chains drain — the same tuning
+     * the paper applies to its production kernels. Ignored for models
+     * without recurrent state, or when an input feeds a state-dependent
+     * chain directly.
+     */
+    bool pipelineInputProjections = true;
+
+    /**
+     * Compile for batch-interleaved serving (Section VII-B3's future-
+     * work optimization): every chain is configured once per step and
+     * iterates over @p batchSize independent samples with strided
+     * addresses (IterStride mode), sharing the pinned weights. Spaces
+     * out the recurrent dependence so small models recover utilization
+     * at modest batch sizes while remaining one-request-at-a-time at
+     * batch 1.
+     */
+    unsigned batchSize = 1;
+};
+
+/**
+ * Compile @p graph for @p cfg. Throws bw::Error when the model does not
+ * fit the configuration (e.g. MRF tile capacity exhausted — the paper's
+ * answer is multi-FPGA partitioning, see bw::runtime).
+ */
+CompiledModel compileGir(const GirGraph &graph, const NpuConfig &cfg,
+                         const CompileOptions &options = {});
+
+} // namespace bw
+
+#endif // BW_COMPILER_LOWERING_H

@@ -1,0 +1,28 @@
+#include "critpath/conv_critpath.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace bw {
+
+CritPathResult
+analyzeConvCritPath(const ConvSpec &spec, uint64_t macs)
+{
+    BW_ASSERT(macs > 0);
+    CritPathResult r;
+    r.matmulOpsPerStep = spec.macOps();
+    r.opsPerStep = spec.macOps(); // Table I counts MAC ops for CNNs
+
+    // One position: multiply (1) + reduction tree + bias add (1).
+    uint64_t len = spec.patchLen();
+    r.udmCycles = 1 + (len > 1 ? ceilLog2(len) : 0) + 1;
+
+    Cycles issue = ceilDiv<uint64_t>(r.opsPerStep, 2 * macs);
+    r.sdmCycles = issue + r.udmCycles - 1;
+
+    // Weights plus input feature map at one byte per element.
+    r.dataBytes = spec.weightCount() + spec.inputCount();
+    return r;
+}
+
+} // namespace bw

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Critical-path analysis of 2-D convolution layers (Table I's CNN rows).
+ * Each output position is an independent dot product of length
+ * kH*kW*inC followed by a bias add, so the UDM depth is that of a
+ * single position while the op count scales with all positions.
+ */
+
+#ifndef BW_CRITPATH_CONV_CRITPATH_H
+#define BW_CRITPATH_CONV_CRITPATH_H
+
+#include "critpath/critpath.h"
+#include "graph/conv.h"
+
+namespace bw {
+
+/** Analyze one conv layer against an accelerator with @p macs MACs. */
+CritPathResult analyzeConvCritPath(const ConvSpec &spec, uint64_t macs);
+
+} // namespace bw
+
+#endif // BW_CRITPATH_CONV_CRITPATH_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 2-D convolution layer specification. The BW NPU has no convolution
+ * primitive: 2-D CNNs are linearized onto matrix-vector multiplication
+ * (Section IV-B), treating each output position's input patch as a
+ * vector multiplied by a (outC x kH*kW*inC) weight matrix. ConvSpec is
+ * the shared description consumed by the critical-path analyzer, the
+ * conv lowering pass and the ResNet-50 layer table.
+ */
+
+#ifndef BW_GRAPH_CONV_H
+#define BW_GRAPH_CONV_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace bw {
+
+/** One convolutional layer (square stride, symmetric zero padding). */
+struct ConvSpec
+{
+    std::string name = "conv";
+    unsigned inH = 0, inW = 0, inC = 0;
+    unsigned outC = 0;
+    unsigned kH = 1, kW = 1;
+    unsigned stride = 1;
+    unsigned pad = 0;
+    bool relu = true;
+    /**
+     * This layer's output is summed element-wise with a shortcut branch
+     * (a ResNet bottleneck's expand conv): the lowering emits an extra
+     * point-wise add pass over the output feature map.
+     */
+    bool residualAdd = false;
+
+    unsigned outH() const { return (inH + 2 * pad - kH) / stride + 1; }
+    unsigned outW() const { return (inW + 2 * pad - kW) / stride + 1; }
+    unsigned positions() const { return outH() * outW(); }
+
+    /** Dot length of one output position: kH*kW*inC. */
+    unsigned patchLen() const { return kH * kW * inC; }
+
+    /** Multiply+add ops over the whole layer (2 per MAC). */
+    OpCount
+    macOps() const
+    {
+        return 2ull * positions() * outC * patchLen();
+    }
+
+    /** Point-wise ops (bias add, optional ReLU) over the layer. */
+    OpCount
+    pointwiseOps() const
+    {
+        return static_cast<OpCount>(positions()) * outC * (relu ? 2 : 1);
+    }
+
+    OpCount totalOps() const { return macOps() + pointwiseOps(); }
+
+    /** Weight elements: outC * kH * kW * inC. */
+    uint64_t
+    weightCount() const
+    {
+        return static_cast<uint64_t>(outC) * patchLen();
+    }
+
+    /** Input feature-map elements. */
+    uint64_t
+    inputCount() const
+    {
+        return static_cast<uint64_t>(inH) * inW * inC;
+    }
+
+    /** Output feature-map elements. */
+    uint64_t
+    outputCount() const
+    {
+        return static_cast<uint64_t>(outH()) * outW() * outC;
+    }
+};
+
+} // namespace bw
+
+#endif // BW_GRAPH_CONV_H

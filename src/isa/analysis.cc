@@ -1,0 +1,71 @@
+#include "isa/analysis.h"
+
+#include "common/logging.h"
+
+namespace bw {
+
+OpCount
+instructionOps(const Instruction &inst, uint32_t rows, uint32_t cols,
+               const NpuConfig &cfg)
+{
+    uint64_t n = cfg.nativeDim;
+    switch (opcodeInfo(inst.op).unit) {
+      case UnitClass::Mvm:
+        // R*N x C*N matrix against a C*N vector: one multiply and one
+        // add per matrix element.
+        return 2ull * rows * n * cols * n;
+      case UnitClass::MfuAddSub:
+      case UnitClass::MfuMul:
+      case UnitClass::MfuAct:
+        // One primitive op per element of the R-vector-wide chain value.
+        return static_cast<uint64_t>(rows) * n;
+      default:
+        return 0;
+    }
+}
+
+ProgramStats
+analyzeProgram(const Program &prog, const NpuConfig &cfg)
+{
+    ProgramStats s;
+    s.instructions = prog.size();
+    auto chains = prog.chains();
+    for (const Chain &c : chains) {
+        switch (c.kind) {
+          case Chain::Kind::Scalar:
+            ++s.scalarWrites;
+            continue;
+          case Chain::Kind::Matrix:
+            ++s.chains;
+            ++s.matrixChains;
+            s.vectorsMoved += static_cast<uint64_t>(c.rows) * c.cols *
+                              cfg.nativeDim; // one tile = N native rows
+            continue;
+          case Chain::Kind::Vector:
+            ++s.chains;
+            ++s.vectorChains;
+            break;
+        }
+        for (size_t i = c.first; i < c.end(); ++i) {
+            const Instruction &inst = prog[i];
+            OpCount ops =
+                instructionOps(inst, c.rows, c.cols, cfg) * c.iters;
+            s.totalOps += ops;
+            if (inst.op == Opcode::MvMul)
+                s.mvmOps += ops;
+            else if (isMfuOp(inst.op))
+                s.mfuOps += ops;
+            s.maxOpsPerInstruction = std::max(s.maxOpsPerInstruction, ops);
+            if (inst.op == Opcode::VRd) {
+                s.vectorsMoved +=
+                    static_cast<uint64_t>(c.hasMvMul ? c.cols : c.rows) *
+                    c.iters;
+            } else if (inst.op == Opcode::VWr) {
+                s.vectorsMoved += static_cast<uint64_t>(c.rows) * c.iters;
+            }
+        }
+    }
+    return s;
+}
+
+} // namespace bw

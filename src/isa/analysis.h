@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static program analysis: primitive-operation expansion accounting.
+ *
+ * A single compound BW instruction expands through hierarchical decode
+ * and dispatch into up to millions of primitive operations (Section IV-C
+ * reports over 7M ops dispatched from one instruction in the largest
+ * GRU). This module computes, per instruction and per program, how many
+ * primitive arithmetic operations each compound instruction dispatches
+ * on a given NPU configuration.
+ */
+
+#ifndef BW_ISA_ANALYSIS_H
+#define BW_ISA_ANALYSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/npu_config.h"
+#include "common/units.h"
+#include "isa/program.h"
+
+namespace bw {
+
+/** Expansion accounting for one program on one configuration. */
+struct ProgramStats
+{
+    uint64_t instructions = 0;   //!< total instructions
+    uint64_t chains = 0;         //!< vector + matrix chains
+    uint64_t vectorChains = 0;
+    uint64_t matrixChains = 0;
+    uint64_t scalarWrites = 0;
+    OpCount totalOps = 0;        //!< primitive arithmetic ops dispatched
+    OpCount mvmOps = 0;          //!< ops dispatched into the MVM
+    OpCount mfuOps = 0;          //!< ops dispatched into the MFUs
+    OpCount maxOpsPerInstruction = 0; //!< the mega-SIMD headline number
+    /** Native vectors moved between memories (v_rd/v_wr traffic). */
+    uint64_t vectorsMoved = 0;
+};
+
+/**
+ * Primitive arithmetic ops dispatched by one instruction given the
+ * Rows/Cols scaling in effect. mv_mul with RxC native tiles dispatches
+ * 2 * (R*N) * (C*N) multiply/add ops; point-wise ops dispatch R*N (or
+ * 2*R*N for fused multiply-style ops counted as one op per element here,
+ * matching the paper's op accounting of 2 ops per MAC and 1 per
+ * point-wise element).
+ */
+OpCount instructionOps(const Instruction &inst, uint32_t rows,
+                       uint32_t cols, const NpuConfig &cfg);
+
+/** Analyze @p prog under @p cfg. */
+ProgramStats analyzeProgram(const Program &prog, const NpuConfig &cfg);
+
+} // namespace bw
+
+#endif // BW_ISA_ANALYSIS_H

@@ -1,0 +1,161 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bw {
+
+namespace {
+
+/** Split a line into whitespace/comma separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char ch : line) {
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+/** Strip '#', '//' and ';' comments. */
+std::string
+stripComment(const std::string &line)
+{
+    size_t pos = line.size();
+    for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '#' || line[i] == ';' ||
+            (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/')) {
+            pos = i;
+            break;
+        }
+    }
+    return line.substr(0, pos);
+}
+
+int64_t
+parseNumber(const std::string &tok, const std::map<std::string, int64_t> &sym,
+            int lineno)
+{
+    auto it = sym.find(tok);
+    if (it != sym.end())
+        return it->second;
+    try {
+        size_t consumed = 0;
+        int64_t v = std::stoll(tok, &consumed, 0);
+        if (consumed != tok.size())
+            throw std::invalid_argument(tok);
+        return v;
+    } catch (const std::exception &) {
+        BW_FATAL("line %d: '%s' is neither a number nor a defined symbol",
+                 lineno, tok.c_str());
+    }
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Program prog;
+    std::map<std::string, int64_t> symbols;
+    std::istringstream in(source);
+    std::string raw;
+    int lineno = 0;
+
+    while (std::getline(in, raw)) {
+        ++lineno;
+        auto toks = tokenize(stripComment(raw));
+        if (toks.empty())
+            continue;
+
+        if (toks[0] == ".def") {
+            if (toks.size() != 3)
+                BW_FATAL("line %d: .def expects a name and a value", lineno);
+            symbols[toks[1]] = parseNumber(toks[2], symbols, lineno);
+            continue;
+        }
+
+        Opcode op;
+        try {
+            op = parseOpcode(toks[0]);
+        } catch (const Error &) {
+            BW_FATAL("line %d: unknown mnemonic '%s'", lineno,
+                     toks[0].c_str());
+        }
+        const OpcodeInfo &info = opcodeInfo(op);
+        Instruction inst;
+        inst.op = op;
+        // Canonicalize the implicit memory space of register-implicit ops
+        // so assembled instructions compare equal to builder-made ones.
+        switch (info.unit) {
+          case UnitClass::Mvm: inst.mem = MemId::MatrixRf; break;
+          case UnitClass::MfuAddSub: inst.mem = MemId::AddSubVrf; break;
+          case UnitClass::MfuMul: inst.mem = MemId::MultiplyVrf; break;
+          default: break;
+        }
+        size_t next = 1;
+
+        if (op == Opcode::SWr) {
+            if (toks.size() != 3)
+                BW_FATAL("line %d: s_wr expects a register and a value",
+                         lineno);
+            inst.addr = static_cast<uint32_t>(parseScalarReg(toks[1]));
+            inst.value = parseNumber(toks[2], symbols, lineno);
+            prog.push(inst);
+            continue;
+        }
+
+        if (info.hasMemOperand) {
+            if (next >= toks.size())
+                BW_FATAL("line %d: %s expects a memory space", lineno,
+                         info.name);
+            inst.mem = parseMemId(toks[next++]);
+            if (inst.mem != MemId::NetQ) {
+                if (next >= toks.size())
+                    BW_FATAL("line %d: %s %s expects an index", lineno,
+                             info.name, memIdMnemonic(inst.mem));
+                int64_t v = parseNumber(toks[next++], symbols, lineno);
+                if (v < 0)
+                    BW_FATAL("line %d: negative index %lld", lineno,
+                             static_cast<long long>(v));
+                inst.addr = static_cast<uint32_t>(v);
+            }
+        } else if (info.hasIndex) {
+            if (next >= toks.size())
+                BW_FATAL("line %d: %s expects an index", lineno, info.name);
+            int64_t v = parseNumber(toks[next++], symbols, lineno);
+            if (v < 0)
+                BW_FATAL("line %d: negative index %lld", lineno,
+                         static_cast<long long>(v));
+            inst.addr = static_cast<uint32_t>(v);
+        }
+        if (next != toks.size())
+            BW_FATAL("line %d: trailing operands after '%s'", lineno,
+                     info.name);
+        prog.push(inst);
+    }
+    return prog;
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    return prog.toString();
+}
+
+} // namespace bw

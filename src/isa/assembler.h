@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Textual assembler and disassembler for the BW NPU ISA.
+ *
+ * Syntax (one instruction per line, matching Instruction::toString()):
+ *
+ *   # comment, or // comment
+ *   .def ivrf_xt 4            ; symbolic constant definition
+ *   s_wr rows, 5
+ *   v_rd netq
+ *   v_wr ivrf, ivrf_xt
+ *   v_rd ivrf, ivrf_xt
+ *   mv_mul 0
+ *   vv_add 3
+ *   v_sigm
+ *   v_wr asvrf, 7
+ *   end_chain
+ *
+ * Memory spaces use their mnemonics (ivrf, asvrf, mulvrf, mrf, netq,
+ * dram). Index operands are decimal literals or .def'd symbols.
+ */
+
+#ifndef BW_ISA_ASSEMBLER_H
+#define BW_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace bw {
+
+/** Assemble source text into a program; throws bw::Error with line info. */
+Program assemble(const std::string &source);
+
+/** Disassemble a program to assembler-compatible text. */
+std::string disassemble(const Program &prog);
+
+} // namespace bw
+
+#endif // BW_ISA_ASSEMBLER_H

@@ -1,0 +1,117 @@
+#include "isa/builder.h"
+
+namespace bw {
+
+ProgramBuilder &
+ProgramBuilder::vRd(MemId mem, uint32_t addr)
+{
+    prog_.push(Instruction::vRd(mem, addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vWr(MemId mem, uint32_t addr)
+{
+    prog_.push(Instruction::vWr(mem, addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mRd(MemId mem, uint32_t addr)
+{
+    prog_.push(Instruction::mRd(mem, addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mWr(MemId mem, uint32_t addr)
+{
+    prog_.push(Instruction::mWr(mem, addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mvMul(uint32_t mrf_addr)
+{
+    prog_.push(Instruction::mvMul(mrf_addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vvAdd(uint32_t asvrf_addr)
+{
+    prog_.push(Instruction::vvAdd(asvrf_addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vvASubB(uint32_t asvrf_addr)
+{
+    prog_.push(Instruction::vvASubB(asvrf_addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vvBSubA(uint32_t asvrf_addr)
+{
+    prog_.push(Instruction::vvBSubA(asvrf_addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vvMax(uint32_t asvrf_addr)
+{
+    prog_.push(Instruction::vvMax(asvrf_addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vvMul(uint32_t mulvrf_addr)
+{
+    prog_.push(Instruction::vvMul(mulvrf_addr));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vRelu()
+{
+    prog_.push(Instruction::vRelu());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vSigm()
+{
+    prog_.push(Instruction::vSigm());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::vTanh()
+{
+    prog_.push(Instruction::vTanh());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::sWr(ScalarReg reg, int64_t value)
+{
+    prog_.push(Instruction::sWr(reg, value));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::endChain()
+{
+    prog_.push(Instruction::endChain());
+    return *this;
+}
+
+Program
+ProgramBuilder::build() const
+{
+    prog_.chains(); // throws on malformed structure
+    return prog_;
+}
+
+} // namespace bw

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fluent program builder mirroring the paper's software-macro style
+ * (Section IV-C shows an LSTM written against C macros that generate BW
+ * NPU instructions). Example:
+ *
+ *   ProgramBuilder b;
+ *   b.sWr(ScalarReg::Rows, 5).sWr(ScalarReg::Cols, 5);
+ *   b.vRd(MemId::InitialVrf, ivrf_xt)
+ *    .mvMul(mrf_Wf)
+ *    .vvAdd(asvrf_bf)
+ *    .vWr(MemId::AddSubVrf, asvrf_xWf);
+ *   Program p = b.build();
+ */
+
+#ifndef BW_ISA_BUILDER_H
+#define BW_ISA_BUILDER_H
+
+#include "isa/program.h"
+
+namespace bw {
+
+/** Incremental builder over a Program; build() checks chain structure. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder &vRd(MemId mem, uint32_t addr = 0);
+    ProgramBuilder &vWr(MemId mem, uint32_t addr = 0);
+    ProgramBuilder &mRd(MemId mem, uint32_t addr = 0);
+    ProgramBuilder &mWr(MemId mem, uint32_t addr = 0);
+    ProgramBuilder &mvMul(uint32_t mrf_addr);
+    ProgramBuilder &vvAdd(uint32_t asvrf_addr);
+    ProgramBuilder &vvASubB(uint32_t asvrf_addr);
+    ProgramBuilder &vvBSubA(uint32_t asvrf_addr);
+    ProgramBuilder &vvMax(uint32_t asvrf_addr);
+    ProgramBuilder &vvMul(uint32_t mulvrf_addr);
+    ProgramBuilder &vRelu();
+    ProgramBuilder &vSigm();
+    ProgramBuilder &vTanh();
+    ProgramBuilder &sWr(ScalarReg reg, int64_t value);
+    ProgramBuilder &endChain();
+
+    /** Set Rows and Cols in one call. */
+    ProgramBuilder &
+    tile(uint32_t rows, uint32_t cols)
+    {
+        sWr(ScalarReg::Rows, rows);
+        return sWr(ScalarReg::Cols, cols);
+    }
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return prog_.size(); }
+
+    /**
+     * Finish and return the program. Verifies chain structure (chains()
+     * succeeds); throws bw::Error otherwise.
+     */
+    Program build() const;
+
+    /** Access the program without structural verification. */
+    const Program &raw() const { return prog_; }
+
+  private:
+    Program prog_;
+};
+
+} // namespace bw
+
+#endif // BW_ISA_BUILDER_H

@@ -1,0 +1,98 @@
+#include "isa/encoding.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace bw {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'W', 'N', 'P', 'U', 'I', 'S', 'A'};
+constexpr uint32_t kVersion = 1;
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeProgram(const Program &prog)
+{
+    std::vector<uint8_t> out;
+    out.reserve(encodedSize(prog.size()));
+    for (char ch : kMagic)
+        out.push_back(static_cast<uint8_t>(ch));
+    put32(out, kVersion);
+    put32(out, static_cast<uint32_t>(prog.size()));
+    for (const Instruction &inst : prog.instructions()) {
+        out.push_back(static_cast<uint8_t>(inst.op));
+        out.push_back(static_cast<uint8_t>(inst.mem));
+        out.push_back(0);
+        out.push_back(0);
+        put32(out, inst.addr);
+        put64(out, static_cast<uint64_t>(inst.value));
+    }
+    return out;
+}
+
+Program
+decodeProgram(const std::vector<uint8_t> &image)
+{
+    if (image.size() < 16 || std::memcmp(image.data(), kMagic, 8) != 0)
+        BW_FATAL("bad BW binary: missing magic");
+    uint32_t version = get32(image.data() + 8);
+    if (version != kVersion)
+        BW_FATAL("bad BW binary: unsupported version %u", version);
+    uint32_t count = get32(image.data() + 12);
+    if (image.size() != encodedSize(count))
+        BW_FATAL("bad BW binary: truncated (%zu bytes for %u instructions)",
+                 image.size(), count);
+
+    Program prog;
+    const uint8_t *p = image.data() + 16;
+    for (uint32_t i = 0; i < count; ++i, p += 16) {
+        Instruction inst;
+        if (p[0] >= static_cast<uint8_t>(Opcode::NumOpcodes))
+            BW_FATAL("bad BW binary: invalid opcode %u at %u", p[0], i);
+        if (p[1] >= static_cast<uint8_t>(MemId::NumMemIds))
+            BW_FATAL("bad BW binary: invalid memory id %u at %u", p[1], i);
+        inst.op = static_cast<Opcode>(p[0]);
+        inst.mem = static_cast<MemId>(p[1]);
+        inst.addr = get32(p + 4);
+        inst.value = static_cast<int64_t>(get64(p + 8));
+        prog.push(inst);
+    }
+    return prog;
+}
+
+} // namespace bw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary encoding of BW programs.
+ *
+ * The deployment flow in the paper compiles sub-graphs to "BW NPU ISA
+ * binaries" that are shipped to the federated runtime (Section II-B). We
+ * define a compact fixed-width 16-byte little-endian encoding:
+ *
+ *   byte 0      opcode
+ *   byte 1      memory-space id
+ *   bytes 2-3   reserved (zero)
+ *   bytes 4-7   index operand (uint32)
+ *   bytes 8-15  immediate value (int64, s_wr only)
+ *
+ * plus an 16-byte header: magic "BWNPUISA", version (u32), count (u32).
+ */
+
+#ifndef BW_ISA_ENCODING_H
+#define BW_ISA_ENCODING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace bw {
+
+/** Serialize a program to its binary image. */
+std::vector<uint8_t> encodeProgram(const Program &prog);
+
+/** Deserialize; throws bw::Error on bad magic/version/truncation. */
+Program decodeProgram(const std::vector<uint8_t> &image);
+
+/** Encoded size in bytes of a program with @p count instructions. */
+constexpr size_t
+encodedSize(size_t count)
+{
+    return 16 + 16 * count;
+}
+
+} // namespace bw
+
+#endif // BW_ISA_ENCODING_H

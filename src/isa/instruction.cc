@@ -1,0 +1,159 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bw {
+
+const char *
+scalarRegName(ScalarReg r)
+{
+    switch (r) {
+      case ScalarReg::Rows: return "rows";
+      case ScalarReg::Cols: return "cols";
+      case ScalarReg::Iterations: return "iters";
+      case ScalarReg::IterStride: return "istride";
+      default: BW_PANIC("bad ScalarReg %d", static_cast<int>(r));
+    }
+}
+
+ScalarReg
+parseScalarReg(const std::string &s)
+{
+    for (int i = 0; i < static_cast<int>(ScalarReg::NumScalarRegs); ++i) {
+        ScalarReg r = static_cast<ScalarReg>(i);
+        if (s == scalarRegName(r))
+            return r;
+    }
+    BW_FATAL("unknown scalar register '%s'", s.c_str());
+}
+
+std::string
+Instruction::toString() const
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    std::ostringstream os;
+    os << info.name;
+    if (op == Opcode::SWr) {
+        os << ' ' << scalarRegName(static_cast<ScalarReg>(addr)) << ", "
+           << value;
+        return os.str();
+    }
+    if (info.hasMemOperand) {
+        os << ' ' << memIdMnemonic(mem);
+        if (mem != MemId::NetQ)
+            os << ", " << addr;
+    } else if (info.hasIndex) {
+        os << ' ' << addr;
+    }
+    return os.str();
+}
+
+namespace {
+
+Instruction
+make(Opcode op, MemId mem, uint32_t addr, int64_t value = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.mem = mem;
+    i.addr = addr;
+    i.value = value;
+    return i;
+}
+
+} // namespace
+
+Instruction
+Instruction::vRd(MemId mem, uint32_t addr)
+{
+    return make(Opcode::VRd, mem, addr);
+}
+
+Instruction
+Instruction::vWr(MemId mem, uint32_t addr)
+{
+    return make(Opcode::VWr, mem, addr);
+}
+
+Instruction
+Instruction::mRd(MemId mem, uint32_t addr)
+{
+    return make(Opcode::MRd, mem, addr);
+}
+
+Instruction
+Instruction::mWr(MemId mem, uint32_t addr)
+{
+    return make(Opcode::MWr, mem, addr);
+}
+
+Instruction
+Instruction::mvMul(uint32_t mrf_addr)
+{
+    return make(Opcode::MvMul, MemId::MatrixRf, mrf_addr);
+}
+
+Instruction
+Instruction::vvAdd(uint32_t asvrf_addr)
+{
+    return make(Opcode::VvAdd, MemId::AddSubVrf, asvrf_addr);
+}
+
+Instruction
+Instruction::vvASubB(uint32_t asvrf_addr)
+{
+    return make(Opcode::VvASubB, MemId::AddSubVrf, asvrf_addr);
+}
+
+Instruction
+Instruction::vvBSubA(uint32_t asvrf_addr)
+{
+    return make(Opcode::VvBSubA, MemId::AddSubVrf, asvrf_addr);
+}
+
+Instruction
+Instruction::vvMax(uint32_t asvrf_addr)
+{
+    return make(Opcode::VvMax, MemId::AddSubVrf, asvrf_addr);
+}
+
+Instruction
+Instruction::vvMul(uint32_t mulvrf_addr)
+{
+    return make(Opcode::VvMul, MemId::MultiplyVrf, mulvrf_addr);
+}
+
+Instruction
+Instruction::vRelu()
+{
+    return make(Opcode::VRelu, MemId::InitialVrf, 0);
+}
+
+Instruction
+Instruction::vSigm()
+{
+    return make(Opcode::VSigm, MemId::InitialVrf, 0);
+}
+
+Instruction
+Instruction::vTanh()
+{
+    return make(Opcode::VTanh, MemId::InitialVrf, 0);
+}
+
+Instruction
+Instruction::sWr(ScalarReg reg, int64_t value)
+{
+    return make(Opcode::SWr, MemId::InitialVrf,
+                static_cast<uint32_t>(reg), value);
+}
+
+Instruction
+Instruction::endChain()
+{
+    return make(Opcode::EndChain, MemId::InitialVrf, 0);
+}
+
+} // namespace bw

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A single BW NPU instruction and the scalar control registers.
+ */
+
+#ifndef BW_ISA_INSTRUCTION_H
+#define BW_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/mem_id.h"
+#include "isa/opcode.h"
+
+namespace bw {
+
+/**
+ * Scalar control registers written by s_wr (Section IV-C, "Mega-SIMD
+ * execution"). Rows and Cols scale subsequent chains: an mv_mul treats
+ * Rows*Cols consecutive MRF entries as a tiled (Rows*N) x (Cols*N) matrix,
+ * consuming Cols input vectors and producing Rows output vectors, and the
+ * other instructions in the chain scale accordingly.
+ */
+enum class ScalarReg : uint8_t
+{
+    Rows = 0,   //!< mega-SIMD row tiles
+    Cols,       //!< mega-SIMD column tiles
+    Iterations, //!< chain repetition count (mega-SIMD iteration)
+    /**
+     * When non-zero, iterated chains also advance their vv_* secondary
+     * operand addresses by the chain width each repetition (instead of
+     * holding them fixed). This is the batch-interleaving mode of
+     * Section VII-B3's future-work optimization: one configured chain
+     * sweeps the per-sample operands of a whole batch.
+     */
+    IterStride,
+    NumScalarRegs
+};
+
+/** Mnemonic of a scalar register ("rows", "cols", "iters"). */
+const char *scalarRegName(ScalarReg r);
+
+/** Parse a scalar register mnemonic; throws bw::Error. */
+ScalarReg parseScalarReg(const std::string &s);
+
+/**
+ * One decoded instruction. Fields not used by the opcode (per
+ * OpcodeInfo) must be left at their defaults; validation enforces this.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::EndChain;
+    /** Memory space operand (v_rd/v_wr/m_rd/m_wr). */
+    MemId mem = MemId::InitialVrf;
+    /** Memory / register-file / scalar-register index. */
+    uint32_t addr = 0;
+    /** Immediate value (s_wr only). */
+    int64_t value = 0;
+
+    bool operator==(const Instruction &o) const = default;
+
+    /** Render in assembly syntax, e.g. "v_wr asvrf, 12". */
+    std::string toString() const;
+
+    // --- Convenience constructors. ---
+    static Instruction vRd(MemId mem, uint32_t addr = 0);
+    static Instruction vWr(MemId mem, uint32_t addr = 0);
+    static Instruction mRd(MemId mem, uint32_t addr = 0);
+    static Instruction mWr(MemId mem, uint32_t addr = 0);
+    static Instruction mvMul(uint32_t mrf_addr);
+    static Instruction vvAdd(uint32_t asvrf_addr);
+    static Instruction vvASubB(uint32_t asvrf_addr);
+    static Instruction vvBSubA(uint32_t asvrf_addr);
+    static Instruction vvMax(uint32_t asvrf_addr);
+    static Instruction vvMul(uint32_t mulvrf_addr);
+    static Instruction vRelu();
+    static Instruction vSigm();
+    static Instruction vTanh();
+    static Instruction sWr(ScalarReg reg, int64_t value);
+    static Instruction endChain();
+};
+
+} // namespace bw
+
+#endif // BW_ISA_INSTRUCTION_H

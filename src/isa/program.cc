@@ -1,0 +1,142 @@
+#include "isa/program.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bw {
+
+std::vector<Chain>
+Program::chains() const
+{
+    std::vector<Chain> out;
+    uint32_t rows = 1, cols = 1, iters = 1;
+    bool stride_operands = false;
+
+    size_t i = 0;
+    while (i < insts_.size()) {
+        const Instruction &inst = insts_[i];
+        const OpcodeInfo &info = opcodeInfo(inst.op);
+
+        if (inst.op == Opcode::SWr) {
+            Chain c;
+            c.kind = Chain::Kind::Scalar;
+            c.first = i;
+            c.count = 1;
+            c.rows = rows;
+            c.cols = cols;
+            c.iters = iters;
+            out.push_back(c);
+            auto reg = static_cast<ScalarReg>(inst.addr);
+            if (inst.value <= 0 && reg != ScalarReg::IterStride) {
+                BW_FATAL("instruction %zu: s_wr %s with non-positive "
+                         "value %lld", i, scalarRegName(reg),
+                         static_cast<long long>(inst.value));
+            }
+            if (reg == ScalarReg::Rows)
+                rows = static_cast<uint32_t>(inst.value);
+            else if (reg == ScalarReg::Cols)
+                cols = static_cast<uint32_t>(inst.value);
+            else if (reg == ScalarReg::Iterations)
+                iters = static_cast<uint32_t>(inst.value);
+            else if (reg == ScalarReg::IterStride)
+                stride_operands = inst.value != 0;
+            ++i;
+            continue;
+        }
+
+        if (inst.op == Opcode::EndChain) {
+            BW_FATAL("instruction %zu: end_chain with no open chain", i);
+        }
+
+        if (inst.op == Opcode::MRd) {
+            if (i + 1 >= insts_.size() || insts_[i + 1].op != Opcode::MWr) {
+                BW_FATAL("instruction %zu: m_rd must be followed by m_wr "
+                         "(matrix chains are exactly two instructions)", i);
+            }
+            Chain c;
+            c.kind = Chain::Kind::Matrix;
+            c.first = i;
+            c.count = 2;
+            c.rows = rows;
+            c.cols = cols;
+            c.iters = 1; // iterations do not apply to matrix moves
+            out.push_back(c);
+            i += 2;
+            if (i < insts_.size() && insts_[i].op == Opcode::EndChain)
+                ++i;
+            continue;
+        }
+
+        if (inst.op != Opcode::VRd) {
+            BW_FATAL("instruction %zu: %s requires a chain input but no "
+                     "chain is open (chains begin with v_rd or m_rd)", i,
+                     info.name);
+        }
+
+        // Vector chain: v_rd, [mv_mul], pointwise ops, one or more v_wr.
+        Chain c;
+        c.kind = Chain::Kind::Vector;
+        c.first = i;
+        c.rows = rows;
+        c.cols = cols;
+        c.iters = iters;
+        c.strideOperands = stride_operands;
+        size_t j = i + 1;
+        bool in_writes = false;
+        bool saw_write = false;
+        for (; j < insts_.size(); ++j) {
+            const Instruction &cur = insts_[j];
+            if (cur.op == Opcode::EndChain)
+                break;
+            if (cur.op == Opcode::VWr) {
+                in_writes = true;
+                saw_write = true;
+                continue;
+            }
+            if (in_writes)
+                break; // chain ended at the last v_wr of the multicast
+            if (cur.op == Opcode::MvMul) {
+                if (j != i + 1) {
+                    BW_FATAL("instruction %zu: mv_mul must immediately "
+                             "follow the chain's v_rd (the MVM sits at the "
+                             "head of the pipeline)", j);
+                }
+                c.hasMvMul = true;
+                continue;
+            }
+            if (isMfuOp(cur.op))
+                continue;
+            // v_rd / m_rd / m_wr / s_wr inside an open chain.
+            BW_FATAL("instruction %zu: %s cannot appear inside an open "
+                     "vector chain", j, opcodeInfo(cur.op).name);
+        }
+        if (!saw_write) {
+            BW_FATAL("instruction %zu: vector chain starting here never "
+                     "sinks to a v_wr", i);
+        }
+        c.count = j - i;
+        out.push_back(c);
+        i = j;
+        if (i < insts_.size() && insts_[i].op == Opcode::EndChain)
+            ++i;
+    }
+    return out;
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (const auto &inst : insts_)
+        os << inst.toString() << '\n';
+    return os.str();
+}
+
+void
+Program::append(const Program &other)
+{
+    insts_.insert(insts_.end(), other.insts_.begin(), other.insts_.end());
+}
+
+} // namespace bw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Program container and instruction-chain extraction.
+ *
+ * A BW program is a linear sequence of instructions; dependent
+ * instructions are grouped into atomic chains that pass values directly
+ * from one operation to the next with no named intermediate storage
+ * (Section IV-C, "Instruction Chaining"). Chains begin with v_rd or m_rd
+ * (the only instructions producing a chain output without an input) and
+ * terminate with one or more writes; a trailing group of v_wr instructions
+ * multicasts the final value to several destinations.
+ */
+
+#ifndef BW_ISA_PROGRAM_H
+#define BW_ISA_PROGRAM_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace bw {
+
+/** A contiguous chain of instructions within a program. */
+struct Chain
+{
+    enum class Kind : uint8_t
+    {
+        Vector, //!< v_rd ... v_wr [v_wr ...]
+        Matrix, //!< m_rd, m_wr
+        Scalar  //!< a lone s_wr control write
+    };
+
+    Kind kind = Kind::Vector;
+    size_t first = 0; //!< index of the first instruction in the program
+    size_t count = 0; //!< number of instructions (excluding end_chain)
+    bool hasMvMul = false;
+    /** Value of the Rows/Cols scalar registers when this chain issues. */
+    uint32_t rows = 1;
+    uint32_t cols = 1;
+    /**
+     * Iterations register: the chain configuration repeats this many
+     * times, advancing v_rd/v_wr addresses by their width each
+     * repetition while mv_mul weights and vv_* secondary operands stay
+     * fixed. One configured chain can thereby sweep e.g. every output
+     * position of a convolution (mega-SIMD execution, Section IV-C).
+     */
+    uint32_t iters = 1;
+    /** Iterations also stride the vv_* secondary operands (IterStride). */
+    bool strideOperands = false;
+
+    size_t end() const { return first + count; }
+};
+
+/**
+ * An executable BW NPU program: the linearized operators of the
+ * accelerated sub-graph, as emitted by the compiler or assembler.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Append one instruction. */
+    void
+    push(const Instruction &inst)
+    {
+        insts_.push_back(inst);
+    }
+
+    size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+    const Instruction &operator[](size_t i) const { return insts_[i]; }
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    /**
+     * Split the program into chains, tracking scalar-register state so
+     * each chain records the Rows/Cols scaling in effect when it issues.
+     * Throws bw::Error on structural violations (e.g. a chain-input
+     * instruction with no live chain, or an unterminated chain).
+     */
+    std::vector<Chain> chains() const;
+
+    /** Disassemble to text, one instruction per line. */
+    std::string toString() const;
+
+    /** Concatenate another program after this one. */
+    void append(const Program &other);
+
+  private:
+    std::vector<Instruction> insts_;
+};
+
+} // namespace bw
+
+#endif // BW_ISA_PROGRAM_H

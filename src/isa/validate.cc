@@ -1,0 +1,210 @@
+#include "isa/validate.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bw {
+
+unsigned
+mfusRequired(const std::vector<Opcode> &pointwise_ops)
+{
+    unsigned segments = 0;
+    bool used_add = false, used_mul = false, used_act = false;
+    bool open = false;
+    for (Opcode op : pointwise_ops) {
+        UnitClass u = opcodeInfo(op).unit;
+        BW_ASSERT(isMfuOp(op), "non-MFU op %s in pointwise sequence",
+                  opcodeName(op));
+        bool *slot = nullptr;
+        switch (u) {
+          case UnitClass::MfuAddSub: slot = &used_add; break;
+          case UnitClass::MfuMul: slot = &used_mul; break;
+          case UnitClass::MfuAct: slot = &used_act; break;
+          default: BW_PANIC("unexpected unit class");
+        }
+        if (!open || *slot) {
+            // Start a new MFU segment.
+            ++segments;
+            used_add = used_mul = used_act = false;
+            open = true;
+        }
+        *slot = true;
+    }
+    return segments;
+}
+
+namespace {
+
+/** Capacity in native entries of the vector space @p mem, or 0 if n/a. */
+uint64_t
+vrfCapacity(MemId mem, const NpuConfig &cfg)
+{
+    switch (mem) {
+      case MemId::InitialVrf: return cfg.initialVrfSize;
+      case MemId::AddSubVrf: return cfg.addSubVrfSize;
+      case MemId::MultiplyVrf: return cfg.multiplyVrfSize;
+      default: return 0;
+    }
+}
+
+void
+checkFootprint(std::vector<std::string> &diags, size_t idx,
+               const Instruction &inst, uint64_t width,
+               const NpuConfig &cfg)
+{
+    if (inst.mem == MemId::NetQ)
+        return; // queues have no index
+    if (inst.mem == MemId::Dram) {
+        uint64_t bytes_per_vec = static_cast<uint64_t>(cfg.nativeDim) * 2;
+        uint64_t end = (static_cast<uint64_t>(inst.addr) + width) *
+                       bytes_per_vec;
+        if (end > cfg.dramBytes) {
+            std::ostringstream os;
+            os << "instruction " << idx << ": " << inst.toString()
+               << " overruns DRAM (" << end << " > " << cfg.dramBytes
+               << " bytes)";
+            diags.push_back(os.str());
+        }
+        return;
+    }
+    uint64_t cap = vrfCapacity(inst.mem, cfg);
+    BW_ASSERT(cap > 0);
+    if (inst.addr + width > cap) {
+        std::ostringstream os;
+        os << "instruction " << idx << ": " << inst.toString()
+           << " footprint [" << inst.addr << ", " << inst.addr + width
+           << ") exceeds " << memIdName(inst.mem) << " capacity " << cap;
+        diags.push_back(os.str());
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateProgram(const Program &prog, const NpuConfig &cfg)
+{
+    cfg.validate();
+    std::vector<std::string> diags;
+
+    std::vector<Chain> chains;
+    try {
+        chains = prog.chains();
+    } catch (const Error &e) {
+        diags.push_back(e.what());
+        return diags;
+    }
+
+    for (const Chain &c : chains) {
+        if (c.kind == Chain::Kind::Scalar) {
+            const Instruction &inst = prog[c.first];
+            if (inst.addr >=
+                static_cast<uint32_t>(ScalarReg::NumScalarRegs)) {
+                diags.push_back(detail::format(
+                    "instruction %zu: s_wr to unknown scalar register %u",
+                    c.first, inst.addr));
+            }
+            continue;
+        }
+
+        if (c.kind == Chain::Kind::Matrix) {
+            const Instruction &rd = prog[c.first];
+            const Instruction &wr = prog[c.first + 1];
+            if (rd.mem != MemId::NetQ && rd.mem != MemId::Dram) {
+                diags.push_back(detail::format(
+                    "instruction %zu: m_rd source must be NetQ or Dram, "
+                    "got %s", c.first, memIdName(rd.mem)));
+            }
+            if (wr.mem != MemId::MatrixRf && wr.mem != MemId::Dram) {
+                diags.push_back(detail::format(
+                    "instruction %zu: m_wr target must be MatrixRf or "
+                    "Dram, got %s", c.first + 1, memIdName(wr.mem)));
+            }
+            uint64_t tiles = static_cast<uint64_t>(c.rows) * c.cols;
+            if (wr.mem == MemId::MatrixRf &&
+                wr.addr + tiles > cfg.mrfEntries()) {
+                diags.push_back(detail::format(
+                    "instruction %zu: m_wr footprint [%u, %llu) exceeds "
+                    "MRF capacity %u tiles", c.first + 1, wr.addr,
+                    static_cast<unsigned long long>(wr.addr + tiles),
+                    cfg.mrfEntries()));
+            }
+            continue;
+        }
+
+        // Vector chain. Iterated chains advance v_rd/v_wr addresses by
+        // their width each repetition, so footprints scale with iters;
+        // secondary operands and the mv_mul weights stay fixed.
+        uint64_t in_width = c.hasMvMul ? c.cols : c.rows;
+        uint64_t out_width = c.rows;
+        uint64_t in_span = in_width * c.iters;
+        uint64_t out_span = out_width * c.iters;
+        std::vector<Opcode> pointwise;
+        for (size_t i = c.first; i < c.end(); ++i) {
+            const Instruction &inst = prog[i];
+            switch (inst.op) {
+              case Opcode::VRd:
+                if (!isVectorReadable(inst.mem)) {
+                    diags.push_back(detail::format(
+                        "instruction %zu: v_rd cannot source from %s", i,
+                        memIdName(inst.mem)));
+                }
+                checkFootprint(diags, i, inst, in_span, cfg);
+                break;
+              case Opcode::VWr:
+                if (!isVectorWritable(inst.mem)) {
+                    diags.push_back(detail::format(
+                        "instruction %zu: v_wr cannot sink to %s", i,
+                        memIdName(inst.mem)));
+                }
+                checkFootprint(diags, i, inst, out_span, cfg);
+                break;
+              case Opcode::MvMul: {
+                uint64_t tiles = static_cast<uint64_t>(c.rows) * c.cols;
+                if (inst.addr + tiles > cfg.mrfEntries()) {
+                    diags.push_back(detail::format(
+                        "instruction %zu: mv_mul footprint [%u, %llu) "
+                        "exceeds MRF capacity %u tiles", i, inst.addr,
+                        static_cast<unsigned long long>(inst.addr + tiles),
+                        cfg.mrfEntries()));
+                }
+                break;
+              }
+              default:
+                if (isMfuOp(inst.op)) {
+                    pointwise.push_back(inst.op);
+                    if (opcodeInfo(inst.op).hasIndex) {
+                        checkFootprint(diags, i, inst,
+                                       c.strideOperands ? out_span
+                                                        : out_width,
+                                       cfg);
+                    }
+                }
+                break;
+            }
+        }
+        unsigned need = mfusRequired(pointwise);
+        if (need > cfg.mfus) {
+            diags.push_back(detail::format(
+                "chain at instruction %zu needs %u MFUs but %s has only "
+                "%u (point-wise sequence too long for the pipeline)",
+                c.first, need, cfg.name.c_str(), cfg.mfus));
+        }
+    }
+    return diags;
+}
+
+void
+checkProgram(const Program &prog, const NpuConfig &cfg)
+{
+    auto diags = validateProgram(prog, cfg);
+    if (diags.empty())
+        return;
+    std::ostringstream os;
+    os << "program fails validation for " << cfg.name << ":";
+    for (const auto &d : diags)
+        os << "\n  - " << d;
+    throw Error(os.str());
+}
+
+} // namespace bw

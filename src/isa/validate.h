@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Configuration-dependent program validation.
+ *
+ * Beyond the structural chain rules checked by Program::chains(), a
+ * program is only executable on a particular NPU instance if:
+ *  - every memory operand is legal for its opcode (Table II: m_rd from
+ *    NetQ or DRAM only; m_wr to MatrixRf or DRAM only; v_rd/v_wr to a
+ *    VRF, NetQ, or DRAM),
+ *  - mega-SIMD-scaled address footprints fit the register files,
+ *  - the point-wise operations of each chain can be routed through the
+ *    configured number of multifunction units, where each MFU provides
+ *    one add/subtract unit, one multiply unit and one activation unit
+ *    reachable in any order via its internal crossbar (Section V-B).
+ */
+
+#ifndef BW_ISA_VALIDATE_H
+#define BW_ISA_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "arch/npu_config.h"
+#include "isa/program.h"
+
+namespace bw {
+
+/**
+ * Minimum number of MFUs needed to execute the given sequence of
+ * point-wise ops in order, with each MFU providing one unit per
+ * UnitClass. Returns 0 for an empty sequence.
+ */
+unsigned mfusRequired(const std::vector<Opcode> &pointwise_ops);
+
+/**
+ * Collect all validation diagnostics for @p prog on @p cfg. An empty
+ * result means the program is executable.
+ */
+std::vector<std::string> validateProgram(const Program &prog,
+                                         const NpuConfig &cfg);
+
+/** Throw bw::Error listing all diagnostics unless validation is clean. */
+void checkProgram(const Program &prog, const NpuConfig &cfg);
+
+} // namespace bw
+
+#endif // BW_ISA_VALIDATE_H

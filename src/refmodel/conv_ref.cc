@@ -1,0 +1,61 @@
+#include "refmodel/conv_ref.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bw {
+
+FVec
+im2colPatch(const ConvSpec &spec, const FTensor4 &input, unsigned y,
+            unsigned x)
+{
+    FVec patch(spec.patchLen(), 0.0f);
+    size_t idx = 0;
+    for (unsigned ky = 0; ky < spec.kH; ++ky) {
+        for (unsigned kx = 0; kx < spec.kW; ++kx) {
+            int iy = static_cast<int>(y * spec.stride + ky) -
+                     static_cast<int>(spec.pad);
+            int ix = static_cast<int>(x * spec.stride + kx) -
+                     static_cast<int>(spec.pad);
+            for (unsigned c = 0; c < spec.inC; ++c, ++idx) {
+                if (iy >= 0 && iy < static_cast<int>(spec.inH) &&
+                    ix >= 0 && ix < static_cast<int>(spec.inW)) {
+                    patch[idx] = input.at(0, iy, ix, c);
+                }
+            }
+        }
+    }
+    return patch;
+}
+
+FTensor4
+conv2dRef(const ConvSpec &spec, const FMat &weights,
+          std::span<const float> bias, const FTensor4 &input)
+{
+    BW_ASSERT(input.n() == 1 && input.h() == spec.inH &&
+              input.w() == spec.inW && input.c() == spec.inC);
+    BW_ASSERT(weights.rows() == spec.outC &&
+              weights.cols() == spec.patchLen());
+    BW_ASSERT(bias.size() == spec.outC);
+
+    FTensor4 out(1, spec.outH(), spec.outW(), spec.outC);
+    for (unsigned y = 0; y < spec.outH(); ++y) {
+        for (unsigned x = 0; x < spec.outW(); ++x) {
+            FVec patch = im2colPatch(spec, input, y, x);
+            for (unsigned oc = 0; oc < spec.outC; ++oc) {
+                double acc = bias[oc];
+                auto row = weights.row(oc);
+                for (size_t i = 0; i < patch.size(); ++i)
+                    acc += static_cast<double>(row[i]) * patch[i];
+                float v = static_cast<float>(acc);
+                if (spec.relu)
+                    v = std::max(v, 0.0f);
+                out.at(0, y, x, oc) = v;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace bw

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Direct (float) 2-D convolution reference, NHWC layout, used to
+ * validate the NPU conv lowering end to end.
+ */
+
+#ifndef BW_REFMODEL_CONV_REF_H
+#define BW_REFMODEL_CONV_REF_H
+
+#include "graph/conv.h"
+#include "tensor/tensor.h"
+
+namespace bw {
+
+/**
+ * Reference convolution. @p weights is outC x (kH*kW*inC) with the
+ * patch laid out row-major as (ky, kx, c) — the same layout the conv
+ * lowering uses for its im2col patch vectors. @p input is 1 x H x W x C.
+ */
+FTensor4 conv2dRef(const ConvSpec &spec, const FMat &weights,
+                   std::span<const float> bias, const FTensor4 &input);
+
+/** Extract the im2col patch vector for output position (y, x). */
+FVec im2colPatch(const ConvSpec &spec, const FTensor4 &input, unsigned y,
+                 unsigned x);
+
+} // namespace bw
+
+#endif // BW_REFMODEL_CONV_REF_H

@@ -1,0 +1,125 @@
+#include "refmodel/rnn_ref.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bw {
+
+namespace {
+
+float
+sigmoidF(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+/** y = W x + U h + b. */
+FVec
+gatePre(const FMat &w, std::span<const float> x, const FMat &u,
+        std::span<const float> h, std::span<const float> b)
+{
+    FVec wx = gemvRef(w, x);
+    FVec uh = gemvRef(u, h);
+    FVec y(wx.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = wx[i] + uh[i] + b[i];
+    return y;
+}
+
+} // namespace
+
+FVec
+lstmRefStep(const LstmWeights &w, LstmRefState &state,
+            std::span<const float> x)
+{
+    if (state.h.empty())
+        state.h.assign(w.hidden, 0.0f);
+    if (state.c.empty())
+        state.c.assign(w.hidden, 0.0f);
+    BW_ASSERT(x.size() == w.inputDim);
+
+    FVec f = gatePre(w.Wf, x, w.Uf, state.h, w.bf);
+    FVec i = gatePre(w.Wi, x, w.Ui, state.h, w.bi);
+    FVec o = gatePre(w.Wo, x, w.Uo, state.h, w.bo);
+    FVec c = gatePre(w.Wc, x, w.Uc, state.h, w.bc);
+
+    FVec h_new(w.hidden);
+    for (size_t k = 0; k < w.hidden; ++k) {
+        float ft = sigmoidF(f[k]);
+        float it = sigmoidF(i[k]);
+        float ot = sigmoidF(o[k]);
+        float ct = std::tanh(c[k]);
+        state.c[k] = ft * state.c[k] + it * ct;
+        h_new[k] = ot * std::tanh(state.c[k]);
+    }
+    state.h = h_new;
+    return h_new;
+}
+
+FVec
+gruRefStep(const GruWeights &w, FVec &h, std::span<const float> x)
+{
+    if (h.empty())
+        h.assign(w.hidden, 0.0f);
+    BW_ASSERT(x.size() == w.inputDim);
+
+    FVec z = gatePre(w.Wz, x, w.Uz, h, w.bz);
+    FVec r = gatePre(w.Wr, x, w.Ur, h, w.br);
+
+    FVec rh(w.hidden);
+    for (size_t k = 0; k < w.hidden; ++k)
+        rh[k] = sigmoidF(r[k]) * h[k];
+
+    FVec pre = gemvRef(w.Wh, x);
+    FVec urh = gemvRef(w.Uh, rh);
+
+    FVec h_new(w.hidden);
+    for (size_t k = 0; k < w.hidden; ++k) {
+        float zt = sigmoidF(z[k]);
+        float ht = std::tanh(pre[k] + urh[k] + w.bh[k]);
+        h_new[k] = ht + zt * (h[k] - ht);
+    }
+    h = h_new;
+    return h_new;
+}
+
+FVec
+mlpRef(const MlpWeights &w, std::span<const float> x)
+{
+    FVec cur(x.begin(), x.end());
+    for (size_t l = 0; l < w.weights.size(); ++l) {
+        FVec y = gemvRef(w.weights[l], cur);
+        for (size_t k = 0; k < y.size(); ++k) {
+            y[k] += w.biases[l][k];
+            if (l + 1 < w.weights.size())
+                y[k] = std::max(y[k], 0.0f);
+        }
+        cur = std::move(y);
+    }
+    return cur;
+}
+
+std::vector<FVec>
+lstmRefRun(const LstmWeights &w, const std::vector<FVec> &xs)
+{
+    LstmRefState st;
+    std::vector<FVec> out;
+    out.reserve(xs.size());
+    for (const auto &x : xs)
+        out.push_back(lstmRefStep(w, st, x));
+    return out;
+}
+
+std::vector<FVec>
+gruRefRun(const GruWeights &w, const std::vector<FVec> &xs)
+{
+    FVec h;
+    std::vector<FVec> out;
+    out.reserve(xs.size());
+    for (const auto &x : xs)
+        out.push_back(gruRefStep(w, h, x));
+    return out;
+}
+
+} // namespace bw

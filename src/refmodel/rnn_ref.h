@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Float reference implementations of the model cells, used to validate
+ * the functional simulator end to end (the quantized NPU result must
+ * track these within BFP/float16 error bounds).
+ */
+
+#ifndef BW_REFMODEL_RNN_REF_H
+#define BW_REFMODEL_RNN_REF_H
+
+#include "graph/builders.h"
+#include "tensor/tensor.h"
+
+namespace bw {
+
+/** LSTM cell state for the reference implementation. */
+struct LstmRefState
+{
+    FVec h;
+    FVec c;
+};
+
+/** One reference LSTM step; returns h' and updates @p state. */
+FVec lstmRefStep(const LstmWeights &w, LstmRefState &state,
+                 std::span<const float> x);
+
+/** One reference GRU step; returns h' and updates @p h. */
+FVec gruRefStep(const GruWeights &w, FVec &h, std::span<const float> x);
+
+/** Reference MLP forward pass. */
+FVec mlpRef(const MlpWeights &w, std::span<const float> x);
+
+/** Run @p steps reference LSTM steps over per-step inputs. */
+std::vector<FVec> lstmRefRun(const LstmWeights &w,
+                             const std::vector<FVec> &xs);
+
+/** Run @p steps reference GRU steps over per-step inputs. */
+std::vector<FVec> gruRefRun(const GruWeights &w,
+                            const std::vector<FVec> &xs);
+
+} // namespace bw
+
+#endif // BW_REFMODEL_RNN_REF_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-accelerator model execution (Sections II-A/B, V-A).
+ *
+ * Large multi-component models that exhaust a single accelerator's
+ * on-chip memory are partitioned across accelerators that talk
+ * point-to-point over the datacenter network. The paper's production
+ * example is a bidirectional RNN split across two FPGAs, with the
+ * server invoking the forward and backward directions separately and
+ * concatenating their outputs; this module models that deployment and
+ * provides the capacity query the partitioner uses.
+ */
+
+#ifndef BW_RUNTIME_MULTI_FPGA_H
+#define BW_RUNTIME_MULTI_FPGA_H
+
+#include "compiler/lowering.h"
+#include "graph/builders.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+
+/** Accelerators needed to pin @p graph's weights on @p cfg instances. */
+unsigned fpgasNeededForPinning(const GirGraph &graph,
+                               const NpuConfig &cfg);
+
+/** One direction of a bidirectional RNN deployment. */
+struct BidirDirection
+{
+    CompiledModel model;
+    Cycles cycles = 0; //!< serving cycles for the full sequence
+};
+
+/** Result of serving one bidirectional request on two accelerators. */
+struct BidirServeResult
+{
+    BidirDirection forward;
+    BidirDirection backward;
+    /** End-to-end latency: both directions run in parallel on separate
+     *  accelerators; the server waits for the slower one, plus one
+     *  network round trip for invocation and gather. */
+    double latencyMs = 0;
+    double networkMs = 0;
+};
+
+/**
+ * Compile and time a bidirectional GRU across two @p cfg accelerators
+ * (forward and backward passes of @p steps timesteps each), with
+ * @p network_ms of invoke/gather network time.
+ */
+BidirServeResult serveBidirectionalGru(const GruWeights &fwd,
+                                       const GruWeights &bwd,
+                                       unsigned steps,
+                                       const NpuConfig &cfg,
+                                       double network_ms = 0.02);
+
+} // namespace bw
+
+#endif // BW_RUNTIME_MULTI_FPGA_H

@@ -1,0 +1,59 @@
+#include "runtime/serving.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bw {
+
+std::vector<double>
+poissonArrivals(double rate_rps, double duration_s, Rng &rng)
+{
+    BW_ASSERT(rate_rps > 0 && duration_s > 0);
+    std::vector<double> out;
+    double t = 0.0;
+    while (true) {
+        t += rng.exponential(rate_rps);
+        if (t >= duration_s)
+            break;
+        out.push_back(t);
+    }
+    return out;
+}
+
+ServeStats
+serveUnbatched(const std::vector<double> &arrivals_s, double service_ms,
+               double network_ms)
+{
+    ServeStats stats;
+    if (arrivals_s.empty())
+        return stats;
+
+    std::vector<double> latencies;
+    latencies.reserve(arrivals_s.size());
+    double device_free_s = 0.0;
+    double service_s = service_ms / 1e3;
+    double net_s = network_ms / 1e3;
+    for (double a : arrivals_s) {
+        double start = std::max(a + net_s / 2, device_free_s);
+        double done = start + service_s;
+        device_free_s = done;
+        latencies.push_back((done + net_s / 2 - a) * 1e3);
+    }
+
+    stats.requests = latencies.size();
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0;
+    for (double l : sorted)
+        sum += l;
+    stats.meanLatencyMs = sum / sorted.size();
+    stats.p50LatencyMs = sorted[sorted.size() / 2];
+    stats.p99LatencyMs = sorted[sorted.size() * 99 / 100];
+    stats.maxLatencyMs = sorted.back();
+    double span = device_free_s - arrivals_s.front();
+    stats.throughputRps = span > 0 ? sorted.size() / span : 0;
+    return stats;
+}
+
+} // namespace bw

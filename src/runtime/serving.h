@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cloud serving model (Sections II, VII-B3).
+ *
+ * The BW system serves DNN requests as hardware microservices reached
+ * directly over the datacenter network: requests are processed one at a
+ * time as they arrive (no batching queue), so latency is network time
+ * plus any head-of-line wait plus a single-request service time. A GPU
+ * service instead accumulates a batch (up to a size cap or a timeout)
+ * before launching, trading latency for utilization — the contrast the
+ * paper draws in Section VII-B3 and Fig. 8.
+ */
+
+#ifndef BW_RUNTIME_SERVING_H
+#define BW_RUNTIME_SERVING_H
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/gpu_model.h"
+#include "common/rng.h"
+
+namespace bw {
+
+/** Latency/throughput summary of one simulated serving run. */
+struct ServeStats
+{
+    uint64_t requests = 0;
+    double meanLatencyMs = 0;
+    double p50LatencyMs = 0;
+    double p99LatencyMs = 0;
+    double maxLatencyMs = 0;
+    double throughputRps = 0; //!< completed requests per second
+    double meanBatch = 1.0;   //!< average formed batch size (GPU)
+};
+
+/** Poisson request arrivals at @p rate_rps for @p duration_s seconds. */
+std::vector<double> poissonArrivals(double rate_rps, double duration_s,
+                                    Rng &rng);
+
+/**
+ * Serve requests one at a time (the BW microservice discipline): each
+ * request costs @p service_ms on the accelerator plus @p network_ms of
+ * datacenter network round trip; queued requests wait FIFO.
+ */
+ServeStats serveUnbatched(const std::vector<double> &arrivals_s,
+                          double service_ms, double network_ms);
+
+/**
+ * Serve requests through a batching queue (the GPU discipline): wait
+ * until @p max_batch requests are queued or @p timeout_ms passed since
+ * the oldest queued request, then serve the batch in
+ * @p batch_service_ms(batch) milliseconds.
+ */
+template <typename BatchServiceFn>
+ServeStats
+serveBatched(const std::vector<double> &arrivals_s, unsigned max_batch,
+             double timeout_ms, BatchServiceFn batch_service_ms)
+{
+    ServeStats stats;
+    if (arrivals_s.empty())
+        return stats;
+
+    std::vector<double> latencies;
+    latencies.reserve(arrivals_s.size());
+    double device_free_s = 0.0;
+    size_t i = 0;
+    uint64_t batches = 0;
+    stats.meanBatch = 0.0;
+    while (i < arrivals_s.size()) {
+        // Form a batch: requests arriving before the trigger time.
+        double oldest = arrivals_s[i];
+        double trigger = oldest + timeout_ms / 1e3;
+        size_t j = i;
+        while (j < arrivals_s.size() && j - i < max_batch &&
+               arrivals_s[j] <= trigger) {
+            ++j;
+        }
+        unsigned batch = static_cast<unsigned>(j - i);
+        double launch = std::max(device_free_s,
+                                 batch == max_batch ? arrivals_s[j - 1]
+                                                    : trigger);
+        double service_s = batch_service_ms(batch) / 1e3;
+        double done = launch + service_s;
+        device_free_s = done;
+        for (size_t k = i; k < j; ++k)
+            latencies.push_back((done - arrivals_s[k]) * 1e3);
+        stats.meanBatch += batch;
+        ++batches;
+        i = j;
+    }
+    stats.meanBatch = batches ? stats.meanBatch / batches : 1.0;
+    stats.requests = latencies.size();
+
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0;
+    for (double l : latencies)
+        sum += l;
+    stats.meanLatencyMs = sum / latencies.size();
+    stats.p50LatencyMs = latencies[latencies.size() / 2];
+    stats.p99LatencyMs = latencies[latencies.size() * 99 / 100];
+    stats.maxLatencyMs = latencies.back();
+    double span = device_free_s - arrivals_s.front();
+    stats.throughputRps = span > 0 ? latencies.size() / span : 0;
+    return stats;
+}
+
+} // namespace bw
+
+#endif // BW_RUNTIME_SERVING_H

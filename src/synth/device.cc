@@ -1,0 +1,23 @@
+#include "synth/device.h"
+
+namespace bw {
+
+FpgaDevice
+FpgaDevice::stratixVD5()
+{
+    return {"Stratix V D5", 172600, 2014, 1590, 200.0};
+}
+
+FpgaDevice
+FpgaDevice::arria10_1150()
+{
+    return {"Arria 10 1150", 427200, 2713, 1518, 300.0};
+}
+
+FpgaDevice
+FpgaDevice::stratix10_280()
+{
+    return {"Stratix 10 280", 933120, 11721, 5760, 250.0};
+}
+
+} // namespace bw

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * FPGA device database: the three Intel device generations the paper
+ * targets (Table III). Resource totals are the published device
+ * capacities (ALMs, M20K block RAMs, DSP blocks).
+ */
+
+#ifndef BW_SYNTH_DEVICE_H
+#define BW_SYNTH_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+namespace bw {
+
+/** One FPGA device's capacity and achievable clock for this design. */
+struct FpgaDevice
+{
+    std::string name;
+    uint64_t alms = 0;   //!< adaptive logic modules
+    uint64_t m20ks = 0;  //!< 20kb block RAMs
+    uint64_t dsps = 0;   //!< DSP blocks
+    /** Clock the BW design family closes timing at on this device. */
+    double designMhz = 0;
+
+    static FpgaDevice stratixVD5();   //!< 172,600 ALM / 2,014 M20K / 1,590 DSP
+    static FpgaDevice arria10_1150(); //!< 427,200 / 2,713 / 1,518
+    static FpgaDevice stratix10_280();//!< 933,120 / 11,721 / 5,760
+};
+
+} // namespace bw
+
+#endif // BW_SYNTH_DEVICE_H

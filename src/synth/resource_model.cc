@@ -1,0 +1,131 @@
+#include "synth/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace bw {
+
+ResourceEstimate
+estimateResources(const NpuConfig &cfg, const FpgaDevice &dev,
+                  const ResourceCoeffs &k)
+{
+    cfg.validate();
+    ResourceEstimate r;
+
+    uint64_t macs = cfg.macCount();
+    double mfu_lanes = cfg.mfus * cfg.fusPerMfu *
+                       cfg.nativeDim * k.mfuWidthFraction;
+    uint64_t accumulators =
+        static_cast<uint64_t>(cfg.tileEngines) * cfg.nativeDim;
+
+    // DSP packing: a calibrated fraction of the MACs maps into DSP
+    // blocks; the float16 MFU lanes consume hard-FP DSPs.
+    double dsps = macs * k.dspPerMac + mfu_lanes * k.dspPerMfuLane;
+    r.dsps = static_cast<uint64_t>(std::lround(dsps));
+
+    // Soft-logic MACs scale with the mantissa width (narrow-precision
+    // multipliers map to LUTs, Section VI).
+    double mac_alms = static_cast<double>(macs) * k.almPerSoftMacBit *
+                      (cfg.precision.mantBits + 1);
+    double alms = mac_alms + accumulators * k.almPerAccumulator +
+                  mfu_lanes * k.almPerMfuLane + k.shellAlms;
+    r.alms = static_cast<uint64_t>(std::lround(alms));
+
+    // Block RAM: element-packed MRF at the matrix precision, the three
+    // architectural VRFs plus per-tile-engine input VRF replicas at
+    // float16, and fixed queue/shell buffers. One M20K is 20,480 bits.
+    double m20k_bits = 20480.0;
+    double mrf_bits = static_cast<double>(cfg.mrfSize) * cfg.nativeDim *
+                      cfg.nativeDim * cfg.precision.elemBits();
+    double vrf_entries =
+        static_cast<double>(cfg.initialVrfSize) * (1 + cfg.tileEngines) +
+        cfg.addSubVrfSize + cfg.multiplyVrfSize;
+    double vrf_bits = vrf_entries * cfg.nativeDim * 16.0;
+    double m20ks = mrf_bits / m20k_bits + vrf_bits / m20k_bits +
+                   k.fixedM20k;
+    r.m20ks = static_cast<uint64_t>(std::lround(m20ks));
+
+    r.almPct = 100.0 * static_cast<double>(r.alms) / dev.alms;
+    r.m20kPct = 100.0 * static_cast<double>(r.m20ks) / dev.m20ks;
+    r.dspPct = 100.0 * static_cast<double>(r.dsps) / dev.dsps;
+    r.fits = r.alms <= dev.alms && r.m20ks <= dev.m20ks &&
+             r.dsps <= dev.dsps;
+
+    // Achievable clock: the design family's closing frequency on this
+    // device, derated when logic is nearly full (routing pressure).
+    r.freqMhz = dev.designMhz;
+    if (r.almPct > 95.0)
+        r.freqMhz *= 0.9;
+
+    NpuConfig at_freq = cfg;
+    at_freq.clockMhz = r.freqMhz;
+    r.peakTflops = at_freq.peakTflops();
+    return r;
+}
+
+ExplorerResult
+exploreConfig(unsigned model_dim, const FpgaDevice &dev,
+              const BfpFormat &precision)
+{
+    BW_ASSERT(model_dim > 0);
+    ExplorerResult best;
+    double best_score = -1.0;
+
+    for (unsigned native : {64u, 100u, 128u, 200u, 256u, 320u, 400u,
+                            512u}) {
+        for (unsigned lanes : {8u, 10u, 16u, 20u, 32u, 40u, 64u}) {
+            if (lanes > native || native % lanes != 0)
+                continue;
+            for (unsigned engines = 1; engines <= 16; ++engines) {
+                NpuConfig cfg;
+                cfg.name = "BW_explored";
+                cfg.nativeDim = native;
+                cfg.lanes = lanes;
+                cfg.tileEngines = engines;
+                cfg.precision = precision;
+                cfg.mrfSize = 306; // sized separately from the sweep
+                ResourceEstimate est = estimateResources(cfg, dev);
+                // Leave routing/timing-closure headroom: post-fit
+                // designs above ~90% logic or ~85% RAM rarely close at
+                // the family's target clock.
+                if (!est.fits || est.almPct > 90.0 ||
+                    est.m20kPct > 85.0 || est.dspPct > 95.0) {
+                    continue;
+                }
+                // Compute-side padding waste of a model_dim^2 matrix:
+                // occupied MAC-beats (row tiles keep engines busy for
+                // every column tile's beats, thin tails included)
+                // versus the ideal model_dim^2 MACs.
+                unsigned col_tiles = ceilDiv(model_dim, native);
+                unsigned tail = model_dim - (col_tiles - 1) * native;
+                double col_beats =
+                    static_cast<double>(col_tiles - 1) *
+                        cfg.nativeVectorBeats() +
+                    ceilDiv(tail, lanes);
+                unsigned row_tiles = col_tiles;
+                double occupied_macs = static_cast<double>(row_tiles) *
+                                       native * col_beats * lanes;
+                double waste =
+                    1.0 - static_cast<double>(model_dim) * model_dim /
+                              occupied_macs;
+                double score = est.peakTflops * (1.0 - waste);
+                if (score > best_score) {
+                    best_score = score;
+                    best.config = cfg;
+                    best.estimate = est;
+                    best.paddingWaste = waste;
+                }
+            }
+        }
+    }
+    if (best_score < 0)
+        BW_FATAL("no feasible configuration for dim %u on %s", model_dim,
+                 dev.name.c_str());
+    best.config.clockMhz = best.estimate.freqMhz;
+    return best;
+}
+
+} // namespace bw

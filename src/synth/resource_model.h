@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytic FPGA resource model for BW NPU instances (Section VI).
+ *
+ * Estimates ALM / M20K / DSP usage of a synthesis-specialized NPU
+ * configuration on a target device. The model's structure follows the
+ * microarchitecture — soft-logic narrow-BFP multiply-accumulate lanes,
+ * per-dot-product-engine accumulation trees, native-width float16 MFU
+ * function units (DSP-heavy), MRF/VRF block RAM, and a fixed shell
+ * (network, PCIe, control processor) — with coefficients calibrated
+ * against the three published design points of Table III.
+ */
+
+#ifndef BW_SYNTH_RESOURCE_MODEL_H
+#define BW_SYNTH_RESOURCE_MODEL_H
+
+#include "arch/npu_config.h"
+#include "synth/device.h"
+
+namespace bw {
+
+/** Per-component coefficients of the resource model. */
+struct ResourceCoeffs
+{
+    /** ALMs per soft-logic narrow-precision MAC (scaled by mantissa). */
+    double almPerSoftMacBit = 1.9;
+    /** ALMs per dot-product-engine accumulator (tree + BFP align). */
+    double almPerAccumulator = 40.0;
+    /** ALMs per MFU vector lane (float16 add+mul+activation slice). */
+    double almPerMfuLane = 100.0;
+    /** Fixed shell: network stack, PCIe, Nios, schedulers/decoders. */
+    double shellAlms = 60000.0;
+    /** DSPs per MAC (most MACs map to soft logic; a fraction packs
+     *  into DSP blocks). */
+    double dspPerMac = 0.0112;
+    /** DSPs per MFU vector lane (float16 hard-FP usage). */
+    double dspPerMfuLane = 3.47;
+    /** Fixed M20Ks (queues, shell buffers). */
+    double fixedM20k = 300.0;
+    /** MFU vector width as a fraction of the native dimension. */
+    double mfuWidthFraction = 0.5;
+};
+
+/** Resource estimate for one configuration on one device. */
+struct ResourceEstimate
+{
+    uint64_t alms = 0;
+    uint64_t m20ks = 0;
+    uint64_t dsps = 0;
+    double almPct = 0;
+    double m20kPct = 0;
+    double dspPct = 0;
+    double freqMhz = 0;
+    double peakTflops = 0;
+    bool fits = false;
+};
+
+/** Estimate @p cfg on @p dev with the given (default) coefficients. */
+ResourceEstimate estimateResources(const NpuConfig &cfg,
+                                   const FpgaDevice &dev,
+                                   const ResourceCoeffs &k = {});
+
+/**
+ * Synthesis-specialization explorer: sweep native dimension, lanes and
+ * tile-engine count for a model with the given matrix dimension and
+ * pick the feasible configuration with the highest peak throughput
+ * whose native dimension minimizes padding waste.
+ */
+struct ExplorerResult
+{
+    NpuConfig config;
+    ResourceEstimate estimate;
+    /** Fraction of MVM work wasted on padding for the model dim. */
+    double paddingWaste = 0;
+};
+
+ExplorerResult exploreConfig(unsigned model_dim, const FpgaDevice &dev,
+                             const BfpFormat &precision = bfp152());
+
+} // namespace bw
+
+#endif // BW_SYNTH_RESOURCE_MODEL_H

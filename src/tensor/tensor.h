@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Host-side dense tensor types used at the library boundary: model weights
+ * and activations enter and leave the NPU stack as plain row-major float
+ * matrices/vectors. These are deliberately simple value types; device-side
+ * (quantized, tiled) storage lives in the functional simulator.
+ */
+
+#ifndef BW_TENSOR_TENSOR_H
+#define BW_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bw {
+
+/** 1-D float vector. */
+using FVec = std::vector<float>;
+
+/** Row-major 2-D float matrix. */
+class FMat
+{
+  public:
+    FMat() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    FMat(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    /** rows x cols matrix from flat row-major data. */
+    FMat(size_t rows, size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        BW_ASSERT(data_.size() == rows_ * cols_);
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    float &operator()(size_t r, size_t c) { return at(r, c); }
+    float operator()(size_t r, size_t c) const { return at(r, c); }
+
+    /** Row @p r as a span of cols() floats. */
+    std::span<const float>
+    row(size_t r) const
+    {
+        BW_ASSERT(r < rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    std::span<float>
+    row(size_t r)
+    {
+        BW_ASSERT(r < rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** 4-D NHWC float tensor for CNN activations. */
+class FTensor4
+{
+  public:
+    FTensor4() = default;
+
+    FTensor4(size_t n, size_t h, size_t w, size_t c)
+        : n_(n), h_(h), w_(w), c_(c), data_(n * h * w * c, 0.0f)
+    {}
+
+    size_t n() const { return n_; }
+    size_t h() const { return h_; }
+    size_t w() const { return w_; }
+    size_t c() const { return c_; }
+    size_t size() const { return data_.size(); }
+
+    float &
+    at(size_t n, size_t y, size_t x, size_t ch)
+    {
+        return data_[((n * h_ + y) * w_ + x) * c_ + ch];
+    }
+
+    float
+    at(size_t n, size_t y, size_t x, size_t ch) const
+    {
+        return data_[((n * h_ + y) * w_ + x) * c_ + ch];
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+  private:
+    size_t n_ = 0, h_ = 0, w_ = 0, c_ = 0;
+    std::vector<float> data_;
+};
+
+/** Reference y = A*x (row-major GEMV) in double accumulation. */
+FVec gemvRef(const FMat &a, std::span<const float> x);
+
+/** y = a + b elementwise. */
+FVec addRef(std::span<const float> a, std::span<const float> b);
+
+/** y = a (Hadamard) b elementwise. */
+FVec mulRef(std::span<const float> a, std::span<const float> b);
+
+/** Pad @p v with zeros to @p len (must be >= v.size()). */
+FVec padTo(std::span<const float> v, size_t len);
+
+/** Zero-pad a matrix to @p rows x @p cols. */
+FMat padTo(const FMat &m, size_t rows, size_t cols);
+
+/** Fill with uniform random values in [lo, hi). */
+void fillUniform(FVec &v, Rng &rng, float lo = -1.0f, float hi = 1.0f);
+void fillUniform(FMat &m, Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+/**
+ * Xavier/Glorot-style initialization used for synthetic RNN weights,
+ * giving realistic dynamic range for quantization experiments.
+ */
+void fillXavier(FMat &m, Rng &rng);
+
+/** Max |a-b| over two equal-length spans. */
+double maxAbsDiff(std::span<const float> a, std::span<const float> b);
+
+} // namespace bw
+
+#endif // BW_TENSOR_TENSOR_H

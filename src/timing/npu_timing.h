@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The BW NPU timing simulator (Section V microarchitecture).
+ *
+ * Models, at native-vector granularity, the flow of instruction chains
+ * through the distributed microarchitecture:
+ *
+ *   scalar control processor (1 compound instruction / dispatchInterval
+ *   cycles) -> top-level scheduler -> hierarchical decode & dispatch ->
+ *   { MVM: matrix-vector tile engines (static MRF-bank tile assignment,
+ *     lanes-wide dot-product engines, accumulation tree, cross-tile
+ *     add-reduction unit) ; MFUs: per-unit crossbar-connected add/sub,
+ *     multiply, activation function units } -> vector arbitration
+ *   network -> register files / network queues.
+ *
+ * Structural hazards are modeled by per-resource occupancy timelines
+ * (every resource is busy nativeDim/lanes cycles per native vector it
+ * streams), and data hazards by a scoreboard of per-entry ready times.
+ * Timing is data-independent: the simulator consumes the compiled
+ * program, not tensor values, so multi-thousand-timestep RNN serving
+ * simulates in milliseconds.
+ */
+
+#ifndef BW_TIMING_NPU_TIMING_H
+#define BW_TIMING_NPU_TIMING_H
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/npu_config.h"
+#include "isa/program.h"
+#include "timing/resources.h"
+#include "timing/result.h"
+#include "timing/scoreboard.h"
+
+namespace bw {
+namespace timing {
+
+/** Cycle-level performance model of one BW NPU instance. */
+class NpuTiming
+{
+  public:
+    explicit NpuTiming(const NpuConfig &cfg);
+
+    const NpuConfig &config() const { return cfg_; }
+
+    /**
+     * Provide arrival cycles for NetQ input vectors. Each v_rd(NetQ)
+     * consumes arrivals in FIFO order; when the schedule is exhausted,
+     * further inputs are treated as already buffered (arrival cycle 0).
+     * Used by the serving runtime to model request streams.
+     */
+    void setInputArrivals(std::vector<Cycles> arrivals);
+
+    /**
+     * Register thin tail tiles: per MRF entry, the number of streaming
+     * beats (entries absent take the full nativeDim/lanes). Produced by
+     * the compiler (CompiledModel::tileBeats).
+     */
+    void setTileBeats(std::unordered_map<uint32_t, unsigned> beats);
+
+    /**
+     * Simulate @p iterations back-to-back executions of @p prog (an RNN
+     * timestep program replayed T times, per the paper's control-
+     * processor loop). State (resource timelines, scoreboard) is reset
+     * at the start of each run() call; consecutive iterations within a
+     * run overlap in the pipeline exactly as the hardware does.
+     */
+    TimingResult run(const Program &prog, unsigned iterations = 1);
+
+    /**
+     * As run(prog, iterations), preceded by a one-shot prologue program
+     * (the compiler's software-pipelining prefetch; may be empty).
+     */
+    TimingResult run(const Program &prologue, const Program &step,
+                     unsigned iterations);
+
+  private:
+    struct ChainCtx;
+
+    void execScalar(const Chain &c);
+    Cycles execMatrixChain(const Program &prog, const Chain &c,
+                           Cycles decode_done, TimingResult &res);
+    Cycles execVectorChain(const Program &prog, const Chain &c,
+                           Cycles decode_done, TimingResult &res);
+
+    /** Pop the next NetQ input arrival (0 when pre-buffered). */
+    Cycles nextInputArrival();
+
+    /** Read one native block from a chain source. @p for_mvm selects
+     *  the distributed MVM input path for InitialVrf reads. */
+    Cycles readBlock(const Instruction &inst, uint32_t offset,
+                     Cycles earliest, bool for_mvm);
+
+    Server &readPort(MemId m);
+    ServerArray &writePorts(MemId m);
+
+    /** MFU op -> unit assignment for one chain (earliest-free greedy). */
+    std::vector<size_t> assignMfuUnits(
+        const std::vector<const Instruction *> &pointwise, Cycles at);
+
+    NpuConfig cfg_;
+    unsigned beats_;       //!< cycles per native vector on a stream
+    unsigned dotLatency_;  //!< multiply + accumulation-tree latency
+    TimingParams tp_;
+
+    // Resources.
+    Server nios_;
+    Server topSched_;
+    /** Second-level MVM scheduler: one decoder per tile engine, each
+     *  dispatching one tile op per cycle (the HDD tree's E parallel
+     *  tile-engine decoders, Fig. 6). */
+    ServerArray mvmSched_;
+    ServerArray engines_;
+    /** Cross-tile accumulation: per-tile-engine accumulation units feed
+     *  the add-reduction stage, so reduction bandwidth scales with the
+     *  engine count (Fig. 6). */
+    ServerArray reduceUnits_;
+    ServerArray mfuUnits_; //!< [mfu * 3 + class]
+    /**
+     * InitialVrf bandwidth is physically distributed across the
+     * per-tile-engine input VRFs (Fig. 5), so MVM input streaming and
+     * MFU-bound chain reads do not contend for one port.
+     */
+    Server ivrfReadMvm_;
+    Server ivrfRead_;
+    Server asvrfRead_;
+    Server mulvrfRead_;
+    /** VRF write ports: the vector arbitration network carries one
+     *  stream per tile engine into the distributed register-file
+     *  banks, so write bandwidth scales with the engine count. */
+    ServerArray ivrfWrite_, asvrfWrite_, mulvrfWrite_;
+    Server netIn_, netOut_;
+    Server dram_;
+
+    Scoreboard board_;
+    std::deque<Cycles> inputArrivals_;
+    std::unordered_map<uint32_t, unsigned> tileBeats_;
+    bool trace_ = false;
+};
+
+} // namespace timing
+} // namespace bw
+
+#endif // BW_TIMING_NPU_TIMING_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Occupancy-tracking primitives for the timing model. Each physical
+ * resource (a matrix-vector tile engine, an MFU function unit, a VRF
+ * port, the add-reduction unit, a network queue port) is a Server whose
+ * timeline records when it is next free; acquiring a server models the
+ * structural hazard of a busy unit.
+ */
+
+#ifndef BW_TIMING_RESOURCES_H
+#define BW_TIMING_RESOURCES_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace bw {
+namespace timing {
+
+/** A single fully pipelined-at-occupancy-granularity resource. */
+class Server
+{
+  public:
+    /**
+     * Reserve the server for @p occupancy cycles, no earlier than
+     * @p earliest. Returns the cycle at which service starts.
+     */
+    Cycles
+    acquire(Cycles earliest, Cycles occupancy)
+    {
+        Cycles start = std::max(earliest, nextFree_);
+        nextFree_ = start + occupancy;
+        busy_ += occupancy;
+        return start;
+    }
+
+    Cycles nextFree() const { return nextFree_; }
+
+    /** Total cycles of occupancy accumulated. */
+    Cycles busyCycles() const { return busy_; }
+
+    void
+    reset()
+    {
+        nextFree_ = 0;
+        busy_ = 0;
+    }
+
+  private:
+    Cycles nextFree_ = 0;
+    Cycles busy_ = 0;
+};
+
+/** A bank of identical servers with static index-based assignment. */
+class ServerArray
+{
+  public:
+    explicit ServerArray(size_t n = 0) : servers_(n) {}
+
+    Server &operator[](size_t i) { return servers_[i]; }
+    size_t size() const { return servers_.size(); }
+
+    Cycles
+    totalBusyCycles() const
+    {
+        Cycles sum = 0;
+        for (const auto &s : servers_)
+            sum += s.busyCycles();
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : servers_)
+            s.reset();
+    }
+
+  private:
+    std::vector<Server> servers_;
+};
+
+} // namespace timing
+} // namespace bw
+
+#endif // BW_TIMING_RESOURCES_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Results of a timing-simulator run: end-to-end cycles, per-component
+ * occupancy, utilization, and per-iteration completion times from which
+ * steady-state per-timestep latency is derived.
+ */
+
+#ifndef BW_TIMING_RESULT_H
+#define BW_TIMING_RESULT_H
+
+#include <vector>
+
+#include "arch/npu_config.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace bw {
+namespace timing {
+
+/** Outcome of NpuTiming::run(). */
+struct TimingResult
+{
+    /** Completion cycle of the last write of the whole run. */
+    Cycles totalCycles = 0;
+
+    /** Primitive arithmetic ops dispatched (padded, per the program). */
+    OpCount dispatchedOps = 0;
+    /** Of which, ops dispatched into the MVM. */
+    OpCount mvmOps = 0;
+
+    /** Engine-cycles of MVM tile-engine occupancy (summed over engines). */
+    Cycles mvmBusyCycles = 0;
+    /** Unit-cycles of MFU function-unit occupancy. */
+    Cycles mfuBusyCycles = 0;
+
+    uint64_t instructionsDispatched = 0;
+    uint64_t chainsExecuted = 0;
+    uint64_t nativeTileOps = 0; //!< native-tile dot operations executed
+
+    /** Completion cycle of each iteration's last write. */
+    std::vector<Cycles> iterationEnd;
+
+    /** Cycle each NetQ output vector was produced. */
+    std::vector<Cycles> outputTimes;
+
+    /** Component-level counters. */
+    StatGroup stats{"npu"};
+
+    /** Wall-clock latency at the configured clock. */
+    double latencyMs(const NpuConfig &cfg) const
+    {
+        return cyclesToMs(totalCycles, cfg.clockMhz);
+    }
+
+    /**
+     * Effective TFLOPS for a caller-supplied op count (use the *model's*
+     * unpadded op count, as the paper does).
+     */
+    double
+    tflops(const NpuConfig &cfg, OpCount model_ops) const
+    {
+        return effectiveTflops(model_ops, totalCycles, cfg.clockMhz);
+    }
+
+    /** Fraction of peak reached for a caller-supplied op count. */
+    double
+    utilization(const NpuConfig &cfg, OpCount model_ops) const
+    {
+        double peak = cfg.peakTflops();
+        return peak > 0.0 ? tflops(cfg, model_ops) / peak : 0.0;
+    }
+
+    /** MVM tile-engine occupancy fraction over the whole run. */
+    double
+    mvmOccupancy(const NpuConfig &cfg) const
+    {
+        if (totalCycles == 0)
+            return 0.0;
+        return static_cast<double>(mvmBusyCycles) /
+               (static_cast<double>(totalCycles) * cfg.tileEngines);
+    }
+
+    /**
+     * Steady-state cycles per iteration: the mean inter-completion gap
+     * after skipping pipeline-fill iterations. Falls back to the mean
+     * over all iterations for short runs.
+     */
+    Cycles
+    steadyStateIterationCycles() const
+    {
+        if (iterationEnd.size() < 2)
+            return iterationEnd.empty() ? totalCycles : iterationEnd[0];
+        size_t skip = std::min<size_t>(iterationEnd.size() / 4,
+                                       iterationEnd.size() - 2);
+        Cycles span = iterationEnd.back() - iterationEnd[skip];
+        return span / (iterationEnd.size() - 1 - skip);
+    }
+};
+
+} // namespace timing
+} // namespace bw
+
+#endif // BW_TIMING_RESULT_H

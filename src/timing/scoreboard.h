@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Data-readiness tracking (RAW hazards) over the architectural storage
+ * spaces. The BW ISA has no hardware dependency checking across chains —
+ * software schedules chains so producers precede consumers — but the
+ * *timing* of a consumer chain still stalls until the producer's write
+ * lands. The scoreboard records, per storage entry, the cycle at which
+ * its most recent value becomes readable.
+ */
+
+#ifndef BW_TIMING_SCOREBOARD_H
+#define BW_TIMING_SCOREBOARD_H
+
+#include <array>
+#include <unordered_map>
+
+#include "arch/mem_id.h"
+#include "common/units.h"
+
+namespace bw {
+namespace timing {
+
+/** Per-entry ready cycles for every MemId space. Entries default to 0
+ *  (pinned weights and preloaded state are ready at the start). */
+class Scoreboard
+{
+  public:
+    /** Latest ready time over entries [addr, addr+count) of @p m. */
+    Cycles
+    readyAt(MemId m, uint32_t addr, uint32_t count) const
+    {
+        const auto &space = spaces_[static_cast<size_t>(m)];
+        Cycles t = 0;
+        for (uint32_t i = 0; i < count; ++i) {
+            auto it = space.find(addr + i);
+            if (it != space.end())
+                t = std::max(t, it->second);
+        }
+        return t;
+    }
+
+    /** Mark entries [addr, addr+count) of @p m ready at cycle @p t. */
+    void
+    setReady(MemId m, uint32_t addr, uint32_t count, Cycles t)
+    {
+        auto &space = spaces_[static_cast<size_t>(m)];
+        for (uint32_t i = 0; i < count; ++i)
+            space[addr + i] = t;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : spaces_)
+            s.clear();
+    }
+
+  private:
+    std::array<std::unordered_map<uint32_t, Cycles>,
+               static_cast<size_t>(MemId::NumMemIds)>
+        spaces_;
+};
+
+} // namespace timing
+} // namespace bw
+
+#endif // BW_TIMING_SCOREBOARD_H

@@ -1,0 +1,69 @@
+#include "workloads/deepbench.h"
+
+#include "common/logging.h"
+
+namespace bw {
+
+const char *
+rnnKindName(RnnKind k)
+{
+    return k == RnnKind::Lstm ? "LSTM" : "GRU";
+}
+
+std::string
+RnnLayerSpec::label() const
+{
+    return std::string(rnnKindName(kind)) + " h=" + std::to_string(hidden) +
+           " t=" + std::to_string(timeSteps);
+}
+
+OpCount
+RnnLayerSpec::opsPerStep() const
+{
+    unsigned x = inputDim ? inputDim : hidden;
+    unsigned gates = kind == RnnKind::Lstm ? 4 : 3;
+    return 2ull * gates * hidden * (static_cast<uint64_t>(hidden) + x);
+}
+
+uint64_t
+RnnLayerSpec::weightCount() const
+{
+    unsigned x = inputDim ? inputDim : hidden;
+    unsigned gates = kind == RnnKind::Lstm ? 4 : 3;
+    return static_cast<uint64_t>(gates) * hidden *
+           (static_cast<uint64_t>(hidden) + x);
+}
+
+std::vector<RnnLayerSpec>
+deepBenchSuite()
+{
+    // Table V row order.
+    return {
+        {RnnKind::Gru, 2816, 750, 2816},
+        {RnnKind::Gru, 2560, 375, 2560},
+        {RnnKind::Gru, 2048, 375, 2048},
+        {RnnKind::Gru, 1536, 375, 1536},
+        {RnnKind::Gru, 1024, 1500, 1024},
+        {RnnKind::Gru, 512, 1, 512},
+        {RnnKind::Lstm, 2048, 25, 2048},
+        {RnnKind::Lstm, 1536, 50, 1536},
+        {RnnKind::Lstm, 1024, 25, 1024},
+        {RnnKind::Lstm, 512, 25, 512},
+        {RnnKind::Lstm, 256, 150, 256},
+    };
+}
+
+std::vector<RnnLayerSpec>
+batchScalingSuite()
+{
+    // Fig. 8 uses the larger layers where batching is meaningful.
+    return {
+        {RnnKind::Gru, 2816, 750, 2816},
+        {RnnKind::Gru, 2048, 375, 2048},
+        {RnnKind::Gru, 1024, 1500, 1024},
+        {RnnKind::Lstm, 2048, 25, 2048},
+        {RnnKind::Lstm, 1024, 25, 1024},
+    };
+}
+
+} // namespace bw

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The DeepBench GRU/LSTM inference suite evaluated in Section VII
+ * (Table V, Figs. 7-8): eleven RNN layers identified by cell kind,
+ * hidden dimension and timestep count, plus the two Table I kernels.
+ */
+
+#ifndef BW_WORKLOADS_DEEPBENCH_H
+#define BW_WORKLOADS_DEEPBENCH_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace bw {
+
+/** RNN cell kind. */
+enum class RnnKind : uint8_t
+{
+    Lstm = 0,
+    Gru
+};
+
+const char *rnnKindName(RnnKind k);
+
+/** One DeepBench RNN inference layer. */
+struct RnnLayerSpec
+{
+    RnnKind kind = RnnKind::Lstm;
+    unsigned hidden = 0;
+    unsigned timeSteps = 1;
+    /** Input dimension (DeepBench uses input = hidden). */
+    unsigned inputDim = 0;
+
+    std::string label() const;
+
+    /** Arithmetic ops per timestep (matmul-only, paper convention):
+     *  8*2*h*(h+x)/2 ... LSTM: 4 input + 4 recurrent matrices; GRU: 3+3. */
+    OpCount opsPerStep() const;
+
+    /** Total ops over all timesteps. */
+    OpCount totalOps() const { return opsPerStep() * timeSteps; }
+
+    /** Weight elements. */
+    uint64_t weightCount() const;
+};
+
+/** The eleven Table V benchmarks, in the paper's row order. */
+std::vector<RnnLayerSpec> deepBenchSuite();
+
+/** The subset used for the batch-scaling study (Fig. 8). */
+std::vector<RnnLayerSpec> batchScalingSuite();
+
+} // namespace bw
+
+#endif // BW_WORKLOADS_DEEPBENCH_H

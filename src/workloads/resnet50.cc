@@ -1,0 +1,111 @@
+#include "workloads/resnet50.h"
+
+#include <cstdio>
+
+namespace bw {
+
+namespace {
+
+ConvSpec
+conv(const char *name, unsigned in_hw, unsigned in_c, unsigned out_c,
+     unsigned k, unsigned stride, bool relu = true)
+{
+    ConvSpec s;
+    s.name = name;
+    s.inH = in_hw;
+    s.inW = in_hw;
+    s.inC = in_c;
+    s.outC = out_c;
+    s.kH = k;
+    s.kW = k;
+    s.stride = stride;
+    s.pad = k / 2;
+    s.relu = relu;
+    return s;
+}
+
+/** Append one bottleneck block: 1x1 reduce, 3x3, 1x1 expand
+ *  (+ projection shortcut on the first block of a stage). */
+void
+bottleneck(std::vector<ConvSpec> &out, const char *stage, int block,
+           unsigned in_hw, unsigned in_c, unsigned mid_c, unsigned out_c,
+           unsigned stride)
+{
+    char name[64];
+    auto push = [&](const char *suffix, ConvSpec s) {
+        std::snprintf(name, sizeof(name), "%s_b%d_%s", stage, block,
+                      suffix);
+        s.name = name;
+        out.push_back(s);
+    };
+    push("1x1a", conv("", in_hw, in_c, mid_c, 1, stride));
+    unsigned hw = (in_hw - 1) / stride + 1;
+    push("3x3", conv("", hw, mid_c, mid_c, 3, 1));
+    // Expand conv feeds the residual add; ReLU applies after the add.
+    ConvSpec expand = conv("", hw, mid_c, out_c, 1, 1, false);
+    expand.residualAdd = true;
+    push("1x1b", expand);
+    if (block == 1) {
+        // Projection shortcut on the stage's first block.
+        push("proj", conv("", in_hw, in_c, out_c, 1, stride, false));
+    }
+}
+
+} // namespace
+
+std::vector<ConvSpec>
+resnet50Convs()
+{
+    std::vector<ConvSpec> out;
+    // conv1: 224x224x3 -> 112x112x64, 7x7 stride 2.
+    out.push_back(conv("conv1", 224, 3, 64, 7, 2));
+    // 3x3 max pool stride 2 -> 56x56 (handled off the MVM datapath).
+    for (int b = 1; b <= 3; ++b)
+        bottleneck(out, "conv2", b, 56, b == 1 ? 64 : 256, 64, 256, 1);
+    for (int b = 1; b <= 4; ++b)
+        bottleneck(out, "conv3", b, b == 1 ? 56 : 28, b == 1 ? 256 : 512,
+                   128, 512, b == 1 ? 2 : 1);
+    for (int b = 1; b <= 6; ++b)
+        bottleneck(out, "conv4", b, b == 1 ? 28 : 14, b == 1 ? 512 : 1024,
+                   256, 1024, b == 1 ? 2 : 1);
+    for (int b = 1; b <= 3; ++b)
+        bottleneck(out, "conv5", b, b == 1 ? 14 : 7, b == 1 ? 1024 : 2048,
+                   512, 2048, b == 1 ? 2 : 1);
+    return out;
+}
+
+OpCount
+resnet50TotalOps()
+{
+    OpCount ops = 0;
+    for (const auto &s : resnet50Convs())
+        ops += s.macOps();
+    return ops;
+}
+
+uint64_t
+resnet50WeightCount()
+{
+    uint64_t w = 0;
+    for (const auto &s : resnet50Convs())
+        w += s.weightCount();
+    return w;
+}
+
+ConvSpec
+tableOneCnn3x3()
+{
+    ConvSpec s = conv("cnn_28x28x128_k3", 28, 128, 128, 3, 1);
+    s.relu = false; // Table I analyses the conv + bias kernel
+    return s;
+}
+
+ConvSpec
+tableOneCnn1x1()
+{
+    ConvSpec s = conv("cnn_56x56x64_k1", 56, 64, 256, 1, 1);
+    s.relu = false;
+    return s;
+}
+
+} // namespace bw

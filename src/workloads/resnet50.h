@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ResNet-50 convolutional layer table for the image featurizer of
+ * Section VII-C (Table VI). The paper's production featurizer is
+ * ResNet-50 with the final dense layer replaced by CPU-side
+ * scenario-specific classifiers, so the accelerated portion is the
+ * convolutional trunk reproduced here (bottleneck blocks, including
+ * the stride-2 projection shortcuts). Pooling layers run outside the
+ * MVM datapath and are listed for completeness.
+ */
+
+#ifndef BW_WORKLOADS_RESNET50_H
+#define BW_WORKLOADS_RESNET50_H
+
+#include <vector>
+
+#include "graph/conv.h"
+
+namespace bw {
+
+/** All convolution layers of the ResNet-50 featurizer, in order. */
+std::vector<ConvSpec> resnet50Convs();
+
+/** Total MAC ops of the featurizer's conv trunk. */
+OpCount resnet50TotalOps();
+
+/** Total weight elements of the conv trunk. */
+uint64_t resnet50WeightCount();
+
+/** The two representative ResNet-50 layers of Table I. */
+ConvSpec tableOneCnn3x3(); //!< In 28x28x128, K 128x3x3 (same-pad)
+ConvSpec tableOneCnn1x1(); //!< In 56x56x64, K 256x1x1
+
+} // namespace bw
+
+#endif // BW_WORKLOADS_RESNET50_H

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Block floating point tests: format parsing, quantization error bounds
+ * across mantissa widths (the paper's 2-5 bit range), exact integer dot
+ * products, and the Section VI claim that narrow BFP preserves dot-
+ * product accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bfp/bfp.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace bw {
+namespace {
+
+TEST(BfpFormat, ParseAndPrint)
+{
+    BfpFormat f = BfpFormat::parse("1s.5e.2m");
+    EXPECT_EQ(f.signBits, 1);
+    EXPECT_EQ(f.expBits, 5);
+    EXPECT_EQ(f.mantBits, 2);
+    EXPECT_EQ(f.toString(), "1s.5e.2m");
+    EXPECT_EQ(f, bfp152());
+    EXPECT_EQ(BfpFormat::parse("1s.5e.5m"), bfp155());
+}
+
+TEST(BfpFormat, ParseRejectsMalformed)
+{
+    EXPECT_THROW(BfpFormat::parse("garbage"), Error);
+    EXPECT_THROW(BfpFormat::parse("2s.5e.2m"), Error); // sign must be 1
+    EXPECT_THROW(BfpFormat::parse("1s.9e.2m"), Error);
+    EXPECT_THROW(BfpFormat::parse("1s.5e.0m"), Error);
+}
+
+TEST(BfpFormat, DerivedFields)
+{
+    BfpFormat f = bfp152();
+    EXPECT_EQ(f.elemBits(), 3);
+    EXPECT_EQ(f.maxMant(), 3);
+    EXPECT_EQ(f.bias(), 15);
+    EXPECT_EQ(f.minExp(), -15);
+    EXPECT_EQ(f.maxExp(), 16);
+}
+
+TEST(BfpBlock, ZeroBlock)
+{
+    FVec v(128, 0.0f);
+    BfpBlock b(v, bfp152());
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_EQ(b.dequant(i), 0.0f);
+}
+
+TEST(BfpBlock, PowersOfTwoExact)
+{
+    // Values that are the block max times a power of two within the
+    // mantissa range are exactly representable.
+    FVec v = {1.0f, 0.5f, -1.0f, 0.0f};
+    BfpBlock b(v, BfpFormat{1, 5, 4});
+    EXPECT_FLOAT_EQ(b.dequant(0), 1.0f);
+    EXPECT_FLOAT_EQ(b.dequant(1), 0.5f);
+    EXPECT_FLOAT_EQ(b.dequant(2), -1.0f);
+    EXPECT_FLOAT_EQ(b.dequant(3), 0.0f);
+}
+
+TEST(BfpBlock, SharedExponentFollowsMax)
+{
+    FVec v = {8.0f, 0.25f};
+    BfpBlock b(v, bfp152());
+    EXPECT_EQ(b.exponent(), 3); // floor(log2(8))
+    // 0.25 quantizes against the shared scale 2^(3-1)=4: q=round(1/16)=0.
+    EXPECT_EQ(b.dequant(1), 0.0f);
+}
+
+/** Quantization error must be bounded by half an LSB of the shared
+ *  scale, for every mantissa width in the paper's 2..5 bit range. */
+class BfpErrorBound : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BfpErrorBound, MaxAbsErrorWithinHalfLsb)
+{
+    int mant = GetParam();
+    BfpFormat fmt{1, 5, mant};
+    Rng rng(100 + mant);
+    for (int trial = 0; trial < 50; ++trial) {
+        FVec v(128);
+        fillUniform(v, rng, -2.0f, 2.0f);
+        BfpBlock b(v, fmt);
+        double lsb = b.scale();
+        for (size_t i = 0; i < v.size(); ++i) {
+            EXPECT_LE(std::fabs(b.dequant(i) - v[i]), lsb / 2 + 1e-9)
+                << "mant=" << mant << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MantissaWidths, BfpErrorBound,
+                         ::testing::Values(2, 3, 4, 5, 7));
+
+TEST(BfpBlock, RelativeErrorShrinksWithMantissa)
+{
+    Rng rng(42);
+    FVec v(400);
+    fillUniform(v, rng, -1.0f, 1.0f);
+    double prev = 1e9;
+    for (int mant : {2, 3, 4, 5, 6, 7}) {
+        auto q = bfpRoundTrip(v, BfpFormat{1, 5, mant});
+        QuantError e = measureQuantError(v, q);
+        EXPECT_LT(e.relRmse, prev);
+        prev = e.relRmse;
+    }
+    // 7-bit mantissa is already quite accurate.
+    auto q = bfpRoundTrip(v, BfpFormat{1, 5, 7});
+    EXPECT_LT(measureQuantError(v, q).relRmse, 0.01);
+}
+
+TEST(BfpBlock, DotMatchesDequantizedDot)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        FVec a(64), b(64);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        BfpBlock qa(a, bfp155()), qb(b, bfp155());
+        // The integer-MAC dot must equal the dot of dequantized values.
+        double expect = 0;
+        for (size_t i = 0; i < a.size(); ++i)
+            expect += static_cast<double>(qa.dequant(i)) * qb.dequant(i);
+        EXPECT_NEAR(BfpBlock::dot(qa, qb), expect, 1e-6);
+    }
+}
+
+TEST(BfpBlock, DotLengthMismatchThrows)
+{
+    FVec a(4, 1.0f), b(8, 1.0f);
+    BfpBlock qa(a, bfp152()), qb(b, bfp152());
+    EXPECT_THROW(BfpBlock::dot(qa, qb), Error);
+}
+
+TEST(BfpBlock, DotAccuracyVsFloat)
+{
+    // Section VI: narrow BFP dot products track full precision within
+    // a few percent for realistic activations/weights.
+    Rng rng(21);
+    for (int mant : {3, 5}) {
+        double worst = 0;
+        for (int trial = 0; trial < 50; ++trial) {
+            FVec a(400), b(400);
+            fillUniform(a, rng, -0.1f, 0.1f);
+            fillUniform(b, rng, -1.0f, 1.0f);
+            double exact = 0;
+            for (size_t i = 0; i < a.size(); ++i)
+                exact += static_cast<double>(a[i]) * b[i];
+            BfpBlock qa(a, BfpFormat{1, 5, mant});
+            BfpBlock qb(b, BfpFormat{1, 5, mant});
+            double got = BfpBlock::dot(qa, qb);
+            // Normalize by the magnitude scale of the operands.
+            double norm = 0.1 * 1.0 * std::sqrt(400.0);
+            worst = std::max(worst, std::fabs(got - exact) / norm);
+        }
+        EXPECT_LT(worst, mant >= 5 ? 0.02 : 0.12) << "mant=" << mant;
+    }
+}
+
+TEST(BfpBlock, SaturatesAtExponentCeiling)
+{
+    // Exponent clamps at +16; enormous values should not crash and
+    // should keep ordering.
+    FVec v = {1e30f, -1e30f, 1e29f};
+    BfpBlock b(v, bfp152());
+    EXPECT_GT(b.dequant(0), 0.0f);
+    EXPECT_LT(b.dequant(1), 0.0f);
+    EXPECT_EQ(b.exponent(), bfp152().maxExp());
+}
+
+TEST(QuantError, Metrics)
+{
+    FVec ref = {1.0f, 2.0f};
+    FVec q = {1.5f, 2.0f};
+    QuantError e = measureQuantError(ref, q);
+    EXPECT_FLOAT_EQ(e.maxAbs, 0.5);
+    EXPECT_NEAR(e.rmse, std::sqrt(0.25 / 2), 1e-9);
+    EXPECT_GT(e.relRmse, 0.0);
+}
+
+} // namespace
+} // namespace bw

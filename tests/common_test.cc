@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit helpers, units, text tables,
+ * stats, logging and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace bw {
+namespace {
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0);
+    EXPECT_EQ(ceilDiv(1, 4), 1);
+    EXPECT_EQ(ceilDiv(4, 4), 1);
+    EXPECT_EQ(ceilDiv(5, 4), 2);
+    EXPECT_EQ(ceilDiv(2816u, 400u), 8u);
+}
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 8), 0);
+    EXPECT_EQ(alignUp(1, 8), 8);
+    EXPECT_EQ(alignUp(8, 8), 8);
+    EXPECT_EQ(alignUp(9, 8), 16);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(400), 9u);  // dot reduction tree depth, BW_S10
+    EXPECT_EQ(ceilLog2(2000), 11u);
+    EXPECT_EQ(ceilLog2(2800), 12u);
+}
+
+TEST(Bits, BitExtractInsert)
+{
+    EXPECT_EQ(bits(0xABCD, 15, 12), 0xAu);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDu);
+    EXPECT_EQ(insertBits(0, 7, 4, 0xF), 0xF0u);
+    EXPECT_EQ(insertBits(0xFF, 7, 4, 0x0), 0x0Fu);
+}
+
+TEST(Units, CyclesToTime)
+{
+    // 250 MHz: 1 cycle = 4ns.
+    EXPECT_DOUBLE_EQ(cyclesToUs(250, 250.0), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToMs(250000, 250.0), 1.0);
+    EXPECT_EQ(msToCycles(1.0, 250.0), 250000u);
+}
+
+TEST(Units, Tflops)
+{
+    // BW_S10: 192,000 ops/cycle @ 250 MHz = 48 TFLOPS.
+    EXPECT_DOUBLE_EQ(peakTflops(192000, 250.0), 48.0);
+    // Half utilization.
+    EXPECT_DOUBLE_EQ(effectiveTflops(96000 * 100, 100, 250.0), 24.0);
+    EXPECT_DOUBLE_EQ(effectiveTflops(1000, 0, 250.0), 0.0);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(BW_FATAL("user error %d", 42), Error);
+    try {
+        BW_FATAL("user error %d", 42);
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("user error 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    BW_ASSERT(1 + 1 == 2);
+    BW_ASSERT(true, "with message %d", 1);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRule();
+    t.addRow({"b", "22222"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("| Name "), std::string::npos);
+    EXPECT_NE(s.find("| alpha "), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+    // Every line has equal length.
+    size_t first_len = s.find('\n');
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t nl = s.find('\n', pos);
+        EXPECT_EQ(nl - pos, first_len);
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, RowArityChecked)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), Error);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtI(1234567), "1,234,567");
+    EXPECT_EQ(fmtI(7), "7");
+    EXPECT_EQ(fmtPct(0.748, 1), "74.8%");
+}
+
+TEST(Stats, CountersAndDistributions)
+{
+    StatGroup g("mvm");
+    g.inc("tiles");
+    g.inc("tiles", 4);
+    EXPECT_EQ(g.counter("tiles"), 5u);
+    EXPECT_EQ(g.counter("missing"), 0u);
+
+    g.sample("latency", 10.0);
+    g.sample("latency", 20.0);
+    EXPECT_EQ(g.dist("latency").count(), 2u);
+    EXPECT_DOUBLE_EQ(g.dist("latency").mean(), 15.0);
+    EXPECT_DOUBLE_EQ(g.dist("latency").min(), 10.0);
+    EXPECT_DOUBLE_EQ(g.dist("latency").max(), 20.0);
+    EXPECT_DOUBLE_EQ(g.dist("latency").variance(), 25.0);
+
+    std::string dump = g.dump();
+    EXPECT_NE(dump.find("mvm.tiles = 5"), std::string::npos);
+
+    g.reset();
+    EXPECT_EQ(g.counter("tiles"), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.integer(0, 1000000), b.integer(0, 1000000));
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, ExponentialPositive)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.exponential(2.0);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.05); // mean = 1/rate
+}
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Critical-path methodology tests: the UDM/SDM values of Table I, the
+ * SDM column of Table V, and structural properties of the analysis
+ * (monotonicity in resources, scaling with dimension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "critpath/conv_critpath.h"
+#include "critpath/critpath.h"
+#include "graph/builders.h"
+#include "workloads/paper_data.h"
+#include "workloads/resnet50.h"
+
+namespace bw {
+namespace {
+
+constexpr uint64_t kBwS10Macs = 96000;
+
+CritPathResult
+lstmCritPath(unsigned h)
+{
+    Rng rng(1);
+    GirGraph g = makeLstm(randomLstmWeights(h, h, rng));
+    return analyzeCritPath(g, kBwS10Macs);
+}
+
+CritPathResult
+gruCritPath(unsigned h)
+{
+    Rng rng(1);
+    GirGraph g = makeGru(randomGruWeights(h, h, rng));
+    return analyzeCritPath(g, kBwS10Macs);
+}
+
+TEST(CritPath, TableOneLstm2000)
+{
+    CritPathResult r = lstmCritPath(2000);
+    // Table I: 64M ops, UDM 19 cycles, SDM 352 cycles.
+    EXPECT_EQ(r.matmulOpsPerStep, 64'000'000u);
+    EXPECT_EQ(r.udmCycles, 19u);
+    EXPECT_NEAR(static_cast<double>(r.sdmCycles), 352.0, 2.0);
+}
+
+TEST(CritPath, TableOneGru2800)
+{
+    CritPathResult r = gruCritPath(2800);
+    // Table I: 94M ops, UDM 31, SDM 520. The paper's 31 is the depth
+    // through h~ (dot 13 -> add -> sigm -> r*h -> dot 29 -> add ->
+    // tanh); our graph also counts the output interpolation
+    // h' = h~ + z(h - h~), adding 4 cycles (see EXPERIMENTS.md).
+    EXPECT_EQ(r.matmulOpsPerStep, 94'080'000u);
+    EXPECT_EQ(r.udmCycles, 35u);
+    EXPECT_NEAR(static_cast<double>(r.sdmCycles), 520.0, 8.0);
+}
+
+TEST(CritPath, TableOneCnn3x3)
+{
+    CritPathResult r = analyzeConvCritPath(tableOneCnn3x3(), kBwS10Macs);
+    // Table I: 231M ops, UDM 13, SDM 1204.
+    EXPECT_NEAR(static_cast<double>(r.opsPerStep) / 1e6, 231.0, 1.0);
+    EXPECT_EQ(r.udmCycles, 13u);
+    EXPECT_NEAR(static_cast<double>(r.sdmCycles), 1204.0, 15.0);
+    // Data: weights + input activations ~ 247KB at 1 byte/element.
+    EXPECT_NEAR(static_cast<double>(r.dataBytes) / 1024.0, 247.0, 5.0);
+}
+
+TEST(CritPath, TableOneCnn1x1)
+{
+    CritPathResult r = analyzeConvCritPath(tableOneCnn1x1(), kBwS10Macs);
+    // Table I: 103M ops, SDM 549. (The paper lists UDM 13 for this row
+    // as well; a 64-length dot product's tree depth gives 8 — see
+    // EXPERIMENTS.md for the discrepancy discussion.)
+    EXPECT_NEAR(static_cast<double>(r.opsPerStep) / 1e6, 103.0, 1.0);
+    EXPECT_EQ(r.udmCycles, 8u);
+    EXPECT_NEAR(static_cast<double>(r.sdmCycles), 549.0, 15.0);
+}
+
+TEST(CritPath, TableFiveSdmColumn)
+{
+    // The SDM latencies of Table V follow from per-step SDM cycles
+    // times the timestep count at 250 MHz.
+    for (const auto &row : paper::tableFive()) {
+        Rng rng(1);
+        CritPathResult r;
+        if (row.layer.kind == RnnKind::Lstm) {
+            r = analyzeCritPath(
+                makeLstm(randomLstmWeights(row.layer.hidden,
+                                           row.layer.hidden, rng)),
+                kBwS10Macs);
+        } else {
+            r = analyzeCritPath(
+                makeGru(randomGruWeights(row.layer.hidden,
+                                         row.layer.hidden, rng)),
+                kBwS10Macs);
+        }
+        double ms = cyclesToMs(sdmTotal(r, row.layer.timeSteps), 250.0);
+        EXPECT_NEAR(ms, row.sdmMs, row.sdmMs * 0.10 + 0.0002)
+            << row.layer.label();
+    }
+}
+
+TEST(CritPath, UdmIndependentOfResources)
+{
+    CritPathResult a = lstmCritPath(1024);
+    Rng rng(1);
+    GirGraph g = makeLstm(randomLstmWeights(1024, 1024, rng));
+    CritPathResult b = analyzeCritPath(g, 1);
+    EXPECT_EQ(a.udmCycles, b.udmCycles);
+    EXPECT_GT(b.sdmCycles, a.sdmCycles);
+}
+
+TEST(CritPath, SdmMonotoneInMacs)
+{
+    Rng rng(1);
+    GirGraph g = makeGru(randomGruWeights(1024, 1024, rng));
+    Cycles prev = ~0ull;
+    for (uint64_t macs : {1000u, 10000u, 96000u, 1000000u}) {
+        CritPathResult r = analyzeCritPath(g, macs);
+        EXPECT_LT(r.sdmCycles, prev);
+        prev = r.sdmCycles;
+        EXPECT_GE(r.sdmCycles, r.udmCycles);
+    }
+}
+
+TEST(CritPath, UdmGrowsLogarithmically)
+{
+    // Doubling the LSTM dimension adds exactly one reduction-tree
+    // stage to the UDM depth (Fig. 2's latency-vs-N behaviour).
+    EXPECT_EQ(lstmCritPath(1024).udmCycles + 1,
+              lstmCritPath(2048).udmCycles);
+    EXPECT_EQ(lstmCritPath(512).udmCycles + 2,
+              lstmCritPath(2048).udmCycles);
+}
+
+TEST(CritPath, LstmDataFootprint)
+{
+    // Table I: 32MB for the 2000-d LSTM at one byte per weight.
+    CritPathResult r = lstmCritPath(2000);
+    EXPECT_NEAR(static_cast<double>(r.dataBytes) / 1e6, 32.0, 0.1);
+}
+
+TEST(CritPath, AsapDepthsRespectDependencies)
+{
+    Rng rng(2);
+    GirGraph g = makeGru(randomGruWeights(256, 256, rng));
+    auto depth = asapDepths(g);
+    for (NodeId id = 0; id < g.size(); ++id) {
+        for (NodeId in : g.node(id).inputs)
+            EXPECT_GE(depth[id], depth[in]) << "node " << id;
+    }
+}
+
+TEST(CritPath, ConvOpsFormula)
+{
+    ConvSpec s = tableOneCnn3x3();
+    // 28x28 positions x 128 out x (3*3*128) patch x 2 ops.
+    EXPECT_EQ(s.macOps(), 2ull * 28 * 28 * 128 * 9 * 128);
+    EXPECT_EQ(s.outH(), 28u);
+    EXPECT_EQ(s.positions(), 784u);
+}
+
+} // namespace
+} // namespace bw

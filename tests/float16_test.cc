@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bit-exactness tests for the software binary16 type: round-trip
+ * identity, round-to-nearest-even, denormals, infinities and NaN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bfp/float16.h"
+#include "common/rng.h"
+
+namespace bw {
+namespace {
+
+TEST(Float16, ExactSmallIntegers)
+{
+    for (int i = -2048; i <= 2048; ++i) {
+        // All integers with |i| <= 2048 are exactly representable.
+        EXPECT_EQ(Half(static_cast<float>(i)).toFloat(),
+                  static_cast<float>(i))
+            << "i=" << i;
+    }
+}
+
+TEST(Float16, KnownBitPatterns)
+{
+    EXPECT_EQ(Half(1.0f).bits(), 0x3C00);
+    EXPECT_EQ(Half(-1.0f).bits(), 0xBC00);
+    EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Half(2.0f).bits(), 0x4000);
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7BFF); // half max
+    EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+}
+
+TEST(Float16, OverflowToInfinity)
+{
+    EXPECT_TRUE(Half(65536.0f).isInf());
+    EXPECT_TRUE(Half(1e30f).isInf());
+    EXPECT_TRUE(Half(-1e30f).isInf());
+    EXPECT_EQ(Half(1e30f).bits(), 0x7C00);
+    EXPECT_EQ(Half(-1e30f).bits(), 0xFC00);
+}
+
+TEST(Float16, NanPropagates)
+{
+    Half h(std::nanf(""));
+    EXPECT_TRUE(h.isNan());
+    EXPECT_TRUE(std::isnan(h.toFloat()));
+}
+
+TEST(Float16, Denormals)
+{
+    // Smallest positive denormal: 2^-24.
+    float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Half(tiny).bits(), 0x0001);
+    EXPECT_EQ(Half(tiny).toFloat(), tiny);
+    // Largest denormal: (1023/1024) * 2^-14.
+    float big_denorm = std::ldexp(1023.0f / 1024.0f, -14);
+    EXPECT_EQ(Half(big_denorm).bits(), 0x03FF);
+    EXPECT_EQ(Half(big_denorm).toFloat(), big_denorm);
+    // Underflow to zero.
+    EXPECT_EQ(Half(std::ldexp(1.0f, -26)).bits(), 0x0000);
+}
+
+TEST(Float16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+    // must round to even mantissa (1.0).
+    float midpoint = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(Half(midpoint).bits(), 0x3C00);
+    // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds up to even.
+    float mid2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(Half(mid2).bits(), 0x3C02);
+    // Just above the midpoint rounds up.
+    EXPECT_EQ(Half(std::nextafterf(midpoint, 2.0f)).bits(), 0x3C01);
+}
+
+TEST(Float16, AllBitPatternsRoundTrip)
+{
+    // Every finite half value must survive half -> float -> half.
+    for (uint32_t b = 0; b <= 0xFFFF; ++b) {
+        Half h = Half::fromBits(static_cast<uint16_t>(b));
+        if (h.isNan())
+            continue;
+        Half back(h.toFloat());
+        EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+    }
+}
+
+TEST(Float16, RoundingIsMonotonic)
+{
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        float a = rng.uniformF(-100.0f, 100.0f);
+        float b = rng.uniformF(-100.0f, 100.0f);
+        if (a > b)
+            std::swap(a, b);
+        EXPECT_LE(roundToHalf(a), roundToHalf(b));
+    }
+}
+
+TEST(Float16, RelativeErrorBounded)
+{
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) {
+        float v = rng.uniformF(-1000.0f, 1000.0f);
+        if (std::fabs(v) < 1e-3f)
+            continue;
+        float r = roundToHalf(v);
+        // Half has 11 significand bits: relative error <= 2^-11.
+        EXPECT_LE(std::fabs(r - v) / std::fabs(v),
+                  std::ldexp(1.0f, -11) + 1e-7f)
+            << v;
+    }
+}
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Randomized compiler-equivalence testing: generate random recurrent
+ * GIR graphs, compile them for a small NPU, and check the functional
+ * simulator's outputs against the GirInterpreter oracle over several
+ * timesteps, across seeds and configurations (TEST_P sweep).
+ *
+ * Graphs are built to stay numerically tame (weights are small, every
+ * state producer passes through a saturating activation) so float16 /
+ * high-mantissa-BFP error stays within a tight bound and any real
+ * compiler bug (wrong operand, wrong address, wrong chain order) shows
+ * up as a gross mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/lowering.h"
+#include "func/machine.h"
+#include "refmodel/gir_interp.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+namespace {
+
+/** Random graph over dims that exercise padding and thin tiles. */
+GirGraph
+randomGraph(Rng &rng, unsigned input_dim, unsigned state_dim)
+{
+    GirGraph g("fuzz");
+    NodeId x = g.input(input_dim, "x");
+    NodeId h = g.state(state_dim, "h");
+
+    auto small_mat = [&](unsigned rows, unsigned cols) {
+        FMat m(rows, cols);
+        float lim = 1.0f / std::sqrt(static_cast<float>(cols));
+        for (auto &v : m.data())
+            v = rng.uniformF(-lim, lim);
+        return m;
+    };
+
+    // Seed pool: projections of the input and state into state_dim.
+    std::vector<NodeId> pool;
+    pool.push_back(g.matmul(small_mat(state_dim, input_dim), x, "Wx"));
+    pool.push_back(g.matmul(small_mat(state_dim, state_dim), h, "Wh"));
+    pool.push_back(g.constVec(
+        [&] {
+            FVec v(state_dim);
+            for (auto &e : v)
+                e = rng.uniformF(-0.2f, 0.2f);
+            return v;
+        }(),
+        "c"));
+    pool.push_back(h);
+
+    // Random combinational ops over the pool.
+    int ops = static_cast<int>(rng.integer(4, 12));
+    for (int i = 0; i < ops; ++i) {
+        NodeId a = pool[static_cast<size_t>(
+            rng.integer(0, static_cast<int64_t>(pool.size()) - 1))];
+        NodeId b = pool[static_cast<size_t>(
+            rng.integer(0, static_cast<int64_t>(pool.size()) - 1))];
+        NodeId n;
+        switch (rng.integer(0, 7)) {
+          case 0: n = g.add(a, b); break;
+          case 1: n = g.sub(a, b); break;
+          case 2: n = g.mul(g.sigmoid(a), b); break;
+          case 3: n = g.max(a, b); break;
+          case 4: n = g.relu(a); break;
+          case 5: n = g.sigmoid(a); break;
+          case 6: n = g.tanh(a); break;
+          default:
+            n = g.matmul(small_mat(state_dim, state_dim), g.tanh(a));
+            break;
+        }
+        pool.push_back(n);
+    }
+
+    // The next state: saturate so iterated steps stay bounded.
+    NodeId next = g.tanh(pool.back(), "h_next");
+    g.bindState(h, next);
+    g.output(next, "y");
+    g.check();
+    return g;
+}
+
+struct FuzzCase
+{
+    uint64_t seed;
+    unsigned inputDim;
+    unsigned stateDim;
+    bool pipeline;
+};
+
+class CompilerFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(CompilerFuzz, MatchesInterpreterOracle)
+{
+    FuzzCase fc = GetParam();
+    Rng rng(fc.seed);
+
+    NpuConfig cfg;
+    cfg.name = "fuzz8";
+    cfg.nativeDim = 8;
+    cfg.lanes = 2;
+    cfg.tileEngines = 2;
+    cfg.mrfSize = 512;
+    cfg.mrfIndexSpace = 2048;
+    cfg.initialVrfSize = 256;
+    cfg.addSubVrfSize = 256;
+    cfg.multiplyVrfSize = 256;
+    cfg.precision = BfpFormat{1, 5, 9}; // near-lossless dot products
+
+    GirGraph g = randomGraph(rng, fc.inputDim, fc.stateDim);
+    CompiledModel m =
+        compileGir(g, cfg, {.pipelineInputProjections = fc.pipeline});
+
+    FuncMachine machine(cfg);
+    m.install(machine);
+    GirInterpreter oracle(g);
+
+    std::vector<FVec> xs;
+    for (int t = 0; t < 5; ++t) {
+        FVec x(fc.inputDim);
+        fillUniform(x, rng, -0.5f, 0.5f);
+        xs.push_back(x);
+    }
+    auto got = m.runSequence(machine, xs);
+    for (size_t t = 0; t < xs.size(); ++t) {
+        FVec want = oracle.step(xs[t]);
+        ASSERT_EQ(got[t].size(), want.size()) << "seed " << fc.seed;
+        EXPECT_LT(maxAbsDiff(got[t], want), 0.02)
+            << "seed " << fc.seed << " step " << t << "\nprogram:\n"
+            << m.step.toString();
+    }
+}
+
+std::vector<FuzzCase>
+fuzzCases()
+{
+    std::vector<FuzzCase> cases;
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        // Dims chosen to hit aligned, padded and thin-tile layouts.
+        unsigned in = seed % 3 == 0 ? 12 : (seed % 3 == 1 ? 16 : 24);
+        unsigned st = seed % 2 == 0 ? 16 : 20;
+        cases.push_back({seed, in, st, seed % 2 == 0});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompilerFuzz,
+                         ::testing::ValuesIn(fuzzCases()));
+
+TEST(CompilerFuzz, TimingAcceptsAllFuzzPrograms)
+{
+    // Every fuzzed program must also be runnable on the timing
+    // simulator without validation or invariant failures.
+    NpuConfig cfg;
+    cfg.name = "fuzz8";
+    cfg.nativeDim = 8;
+    cfg.lanes = 2;
+    cfg.tileEngines = 2;
+    cfg.mrfSize = 512;
+    cfg.mrfIndexSpace = 2048;
+    cfg.initialVrfSize = 256;
+    cfg.addSubVrfSize = 256;
+    cfg.multiplyVrfSize = 256;
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(seed);
+        GirGraph g = randomGraph(rng, 16, 16);
+        CompiledModel m = compileGir(g, cfg);
+        timing::NpuTiming sim(cfg);
+        sim.setTileBeats(m.tileBeats);
+        auto res = sim.run(m.prologue, m.step, 8);
+        EXPECT_GT(res.totalCycles, 0u) << seed;
+        EXPECT_LE(res.mvmOccupancy(cfg), 1.0) << seed;
+    }
+}
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * GIR tests: construction, dimension checking, topological order,
+ * op accounting, state bindings, and the LSTM/GRU/MLP builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.h"
+#include "graph/gir.h"
+
+namespace bw {
+namespace {
+
+TEST(Gir, BasicConstruction)
+{
+    GirGraph g("t");
+    NodeId x = g.input(4, "x");
+    NodeId w = g.matmul(FMat(3, 4), x, "W");
+    NodeId b = g.constVec(FVec(3, 0.1f), "b");
+    NodeId y = g.add(w, b, "y");
+    g.output(y);
+    g.check();
+    EXPECT_EQ(g.node(w).dim, 3u);
+    EXPECT_EQ(g.nodesOf(GirOp::Input).size(), 1u);
+    EXPECT_EQ(g.nodesOf(GirOp::MatMul).size(), 1u);
+}
+
+TEST(Gir, DimensionMismatchThrows)
+{
+    GirGraph g;
+    NodeId x = g.input(4);
+    EXPECT_THROW(g.matmul(FMat(3, 5), x), Error); // 5 != 4
+    NodeId a = g.input(4);
+    NodeId b = g.input(3);
+    EXPECT_THROW(g.add(a, b), Error);
+    EXPECT_THROW(g.mul(a, b), Error);
+}
+
+TEST(Gir, StateBindings)
+{
+    GirGraph g;
+    NodeId h = g.state(4, "h");
+    NodeId y = g.tanh(h);
+    g.bindState(h, y);
+    EXPECT_EQ(g.stateBindings().size(), 1u);
+    // Double binding is an error.
+    EXPECT_THROW(g.bindState(h, y), Error);
+    // Binding a non-state is an error.
+    EXPECT_THROW(g.bindState(y, h), Error);
+    // Dimension mismatch is an error.
+    NodeId h2 = g.state(8, "h2");
+    EXPECT_THROW(g.bindState(h2, y), Error);
+}
+
+TEST(Gir, ConsumersComputed)
+{
+    GirGraph g;
+    NodeId x = g.input(4);
+    NodeId t = g.tanh(x);
+    NodeId s = g.sigmoid(x);
+    NodeId m = g.mul(t, s);
+    (void)m;
+    auto cons = g.consumers();
+    EXPECT_EQ(cons[x].size(), 2u);
+    EXPECT_EQ(cons[t].size(), 1u);
+}
+
+TEST(Gir, OpsAccounting)
+{
+    GirGraph g;
+    NodeId x = g.input(10);
+    NodeId w = g.matmul(FMat(20, 10), x);
+    NodeId y = g.relu(w);
+    g.output(y);
+    EXPECT_EQ(g.matmulOpsPerStep(), 2ull * 20 * 10);
+    EXPECT_EQ(g.opsPerStep(), 2ull * 20 * 10 + 20);
+    EXPECT_EQ(g.weightBytes(8), 200u);
+}
+
+TEST(Builders, LstmStructure)
+{
+    Rng rng(1);
+    LstmWeights w = randomLstmWeights(64, 32, rng);
+    EXPECT_EQ(w.Wf.rows(), 64u);
+    EXPECT_EQ(w.Wf.cols(), 32u);
+    EXPECT_EQ(w.Uf.cols(), 64u);
+
+    GirGraph g = makeLstm(w);
+    EXPECT_EQ(g.nodesOf(GirOp::MatMul).size(), 8u);
+    EXPECT_EQ(g.nodesOf(GirOp::State).size(), 2u);
+    EXPECT_EQ(g.stateBindings().size(), 2u);
+    EXPECT_EQ(g.nodesOf(GirOp::Output).size(), 1u);
+    // 8 gates' matmul ops.
+    EXPECT_EQ(g.matmulOpsPerStep(),
+              2ull * 4 * (64 * 32) + 2ull * 4 * (64 * 64));
+}
+
+TEST(Builders, GruStructure)
+{
+    Rng rng(1);
+    GirGraph g = makeGru(randomGruWeights(64, 64, rng));
+    EXPECT_EQ(g.nodesOf(GirOp::MatMul).size(), 6u);
+    EXPECT_EQ(g.nodesOf(GirOp::State).size(), 1u);
+    EXPECT_EQ(g.matmulOpsPerStep(), 2ull * 6 * 64 * 64);
+}
+
+TEST(Builders, MlpStructure)
+{
+    Rng rng(1);
+    MlpWeights w = randomMlpWeights({16, 32, 8}, rng);
+    ASSERT_EQ(w.weights.size(), 2u);
+    EXPECT_EQ(w.weights[0].rows(), 32u);
+    EXPECT_EQ(w.weights[1].rows(), 8u);
+
+    GirGraph g = makeMlp(w);
+    EXPECT_EQ(g.nodesOf(GirOp::MatMul).size(), 2u);
+    EXPECT_EQ(g.nodesOf(GirOp::Relu).size(), 1u); // no relu after last
+    EXPECT_TRUE(g.stateBindings().empty());
+}
+
+TEST(Builders, DeterministicWeights)
+{
+    Rng a(9), b(9);
+    LstmWeights wa = randomLstmWeights(16, 16, a);
+    LstmWeights wb = randomLstmWeights(16, 16, b);
+    EXPECT_EQ(wa.Wf.data(), wb.Wf.data());
+    EXPECT_EQ(wa.bc, wb.bc);
+}
+
+TEST(Gir, TopoOrderValid)
+{
+    Rng rng(1);
+    GirGraph g = makeLstm(randomLstmWeights(32, 32, rng));
+    auto order = g.topoOrder();
+    EXPECT_EQ(order.size(), g.size());
+    std::vector<bool> seen(g.size(), false);
+    for (NodeId id : order) {
+        for (NodeId in : g.node(id).inputs)
+            EXPECT_TRUE(seen[in]);
+        seen[id] = true;
+    }
+}
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Binary encoding and textual assembler tests: round trips, corrupt
+ * image rejection, symbolic constants and error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/encoding.h"
+
+namespace bw {
+namespace {
+
+Program
+sampleProgram()
+{
+    ProgramBuilder b;
+    b.tile(5, 5);
+    b.vRd(MemId::NetQ).vWr(MemId::InitialVrf, 0);
+    b.vRd(MemId::InitialVrf, 0)
+        .mvMul(0)
+        .vvAdd(3)
+        .vSigm()
+        .vvMul(7)
+        .vWr(MemId::AddSubVrf, 10)
+        .endChain();
+    b.mRd(MemId::Dram, 100).mWr(MemId::MatrixRf, 25);
+    b.sWr(ScalarReg::Iterations, 12);
+    b.vRd(MemId::Dram, 5)
+        .vvBSubA(1)
+        .vvMax(2)
+        .vRelu()
+        .vWr(MemId::Dram, 9)
+        .vWr(MemId::NetQ);
+    return b.build();
+}
+
+TEST(Encoding, RoundTrip)
+{
+    Program p = sampleProgram();
+    auto image = encodeProgram(p);
+    EXPECT_EQ(image.size(), encodedSize(p.size()));
+    Program q = decodeProgram(image);
+    ASSERT_EQ(q.size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(q[i], p[i]) << "instruction " << i;
+}
+
+TEST(Encoding, EmptyProgram)
+{
+    Program p;
+    Program q = decodeProgram(encodeProgram(p));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Encoding, RejectsBadMagic)
+{
+    auto image = encodeProgram(sampleProgram());
+    image[0] = 'X';
+    EXPECT_THROW(decodeProgram(image), Error);
+}
+
+TEST(Encoding, RejectsTruncation)
+{
+    auto image = encodeProgram(sampleProgram());
+    image.pop_back();
+    EXPECT_THROW(decodeProgram(image), Error);
+}
+
+TEST(Encoding, RejectsBadOpcode)
+{
+    auto image = encodeProgram(sampleProgram());
+    image[16] = 0xFF; // first instruction's opcode byte
+    EXPECT_THROW(decodeProgram(image), Error);
+}
+
+TEST(Encoding, RejectsBadVersion)
+{
+    auto image = encodeProgram(sampleProgram());
+    image[8] = 99;
+    EXPECT_THROW(decodeProgram(image), Error);
+}
+
+TEST(Assembler, RoundTripThroughText)
+{
+    Program p = sampleProgram();
+    std::string text = disassemble(p);
+    Program q = assemble(text);
+    ASSERT_EQ(q.size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(q[i], p[i]) << "instruction " << i << ": "
+                              << p[i].toString();
+}
+
+TEST(Assembler, SymbolsAndComments)
+{
+    const char *src = R"(
+        # The paper's xWf chain, with symbolic registers.
+        .def ivrf_xt 4
+        .def mrf_Wf 0
+        .def asvrf_bf 2
+        s_wr rows, 5        ; mega-SIMD rows
+        s_wr cols, 5
+        v_rd ivrf, ivrf_xt  // chain input
+        mv_mul mrf_Wf
+        vv_add asvrf_bf
+        v_wr asvrf, 10
+        end_chain
+    )";
+    Program p = assemble(src);
+    ASSERT_EQ(p.size(), 7u);
+    EXPECT_EQ(p[2], Instruction::vRd(MemId::InitialVrf, 4));
+    EXPECT_EQ(p[3], Instruction::mvMul(0));
+    EXPECT_EQ(p[4], Instruction::vvAdd(2));
+    auto chains = p.chains();
+    EXPECT_EQ(chains.back().rows, 5u);
+}
+
+TEST(Assembler, SymbolReferencingSymbol)
+{
+    Program p = assemble(".def a 3\n.def b a\nv_rd ivrf, b\n"
+                         "v_wr ivrf, 9\n");
+    EXPECT_EQ(p[0].addr, 3u);
+}
+
+TEST(Assembler, Diagnostics)
+{
+    EXPECT_THROW(assemble("frobnicate 1"), Error);
+    EXPECT_THROW(assemble("v_rd"), Error);            // missing operands
+    EXPECT_THROW(assemble("v_rd ivrf"), Error);       // missing index
+    EXPECT_THROW(assemble("v_rd ivrf, nope"), Error); // unknown symbol
+    EXPECT_THROW(assemble("v_rd ivrf, -1"), Error);   // negative index
+    EXPECT_THROW(assemble("s_wr rows"), Error);       // missing value
+    EXPECT_THROW(assemble("s_wr bogus, 1"), Error);   // unknown register
+    EXPECT_THROW(assemble("v_sigm 3"), Error);        // spurious operand
+    EXPECT_THROW(assemble(".def onlyname"), Error);
+    try {
+        assemble("v_rd ivrf, 1\nbadop\n");
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Assembler, NetqHasNoIndex)
+{
+    Program p = assemble("v_rd netq\nv_wr netq\n");
+    EXPECT_EQ(p[0].mem, MemId::NetQ);
+    EXPECT_EQ(p[1].mem, MemId::NetQ);
+}
+
+} // namespace
+} // namespace bw

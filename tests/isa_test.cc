@@ -1,0 +1,303 @@
+/**
+ * @file
+ * ISA tests: Table II opcode metadata, chain extraction rules, the
+ * program builder, MFU budgeting, and configuration-level validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "arch/npu_config.h"
+#include "isa/analysis.h"
+#include "isa/builder.h"
+#include "isa/validate.h"
+
+namespace bw {
+namespace {
+
+TEST(Opcode, TableTwoMetadata)
+{
+    // Chains must begin with v_rd or m_rd: the only out-without-in ops.
+    int generators = 0;
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        const OpcodeInfo &info = opcodeInfo(static_cast<Opcode>(i));
+        if (info.in == ChainType::None && info.out != ChainType::None)
+            ++generators;
+    }
+    EXPECT_EQ(generators, 2);
+
+    EXPECT_STREQ(opcodeName(Opcode::MvMul), "mv_mul");
+    EXPECT_STREQ(opcodeName(Opcode::VvASubB), "vv_a_sub_b");
+    EXPECT_EQ(opcodeInfo(Opcode::MvMul).in, ChainType::Vector);
+    EXPECT_EQ(opcodeInfo(Opcode::MvMul).out, ChainType::Vector);
+    EXPECT_EQ(opcodeInfo(Opcode::MRd).out, ChainType::Matrix);
+    EXPECT_EQ(opcodeInfo(Opcode::SWr).unit, UnitClass::Control);
+    EXPECT_TRUE(opcodeInfo(Opcode::SWr).hasValue);
+    EXPECT_TRUE(opcodeInfo(Opcode::VRd).hasMemOperand);
+    EXPECT_FALSE(opcodeInfo(Opcode::VSigm).hasIndex);
+}
+
+TEST(Opcode, ParseRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(parseOpcode(opcodeName(op)), op);
+    }
+    EXPECT_THROW(parseOpcode("v_bogus"), Error);
+}
+
+TEST(Opcode, UnitClassification)
+{
+    EXPECT_TRUE(isMfuOp(Opcode::VvAdd));
+    EXPECT_TRUE(isMfuOp(Opcode::VvMul));
+    EXPECT_TRUE(isMfuOp(Opcode::VTanh));
+    EXPECT_FALSE(isMfuOp(Opcode::MvMul));
+    EXPECT_FALSE(isMfuOp(Opcode::VRd));
+    EXPECT_TRUE(isActivationOp(Opcode::VRelu));
+    EXPECT_FALSE(isActivationOp(Opcode::VvMax));
+}
+
+TEST(Instruction, ToString)
+{
+    EXPECT_EQ(Instruction::vRd(MemId::InitialVrf, 12).toString(),
+              "v_rd ivrf, 12");
+    EXPECT_EQ(Instruction::vRd(MemId::NetQ).toString(), "v_rd netq");
+    EXPECT_EQ(Instruction::mvMul(5).toString(), "mv_mul 5");
+    EXPECT_EQ(Instruction::vvAdd(3).toString(), "vv_add 3");
+    EXPECT_EQ(Instruction::vSigm().toString(), "v_sigm");
+    EXPECT_EQ(Instruction::sWr(ScalarReg::Rows, 4).toString(),
+              "s_wr rows, 4");
+}
+
+TEST(Chains, PaperLstmChainStructure)
+{
+    // The f-gate chain from the paper's LSTM kernel.
+    ProgramBuilder b;
+    b.tile(5, 5);
+    b.vRd(MemId::InitialVrf, 0)
+        .mvMul(0)
+        .vvAdd(0)
+        .vSigm()
+        .vvMul(0)
+        .vWr(MemId::AddSubVrf, 5);
+    Program p = b.build();
+    auto chains = p.chains();
+    ASSERT_EQ(chains.size(), 3u); // two s_wr + the vector chain
+    const Chain &c = chains[2];
+    EXPECT_EQ(c.kind, Chain::Kind::Vector);
+    EXPECT_TRUE(c.hasMvMul);
+    EXPECT_EQ(c.rows, 5u);
+    EXPECT_EQ(c.cols, 5u);
+    EXPECT_EQ(c.count, 6u);
+}
+
+TEST(Chains, MulticastWrites)
+{
+    ProgramBuilder b;
+    b.vRd(MemId::InitialVrf, 0)
+        .vTanh()
+        .vWr(MemId::InitialVrf, 1)
+        .vWr(MemId::MultiplyVrf, 2)
+        .vWr(MemId::NetQ);
+    auto chains = b.build().chains();
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].count, 5u);
+}
+
+TEST(Chains, MatrixChainExactlyTwo)
+{
+    ProgramBuilder b;
+    b.mRd(MemId::Dram, 0).mWr(MemId::MatrixRf, 0);
+    auto chains = b.build().chains();
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].kind, Chain::Kind::Matrix);
+
+    // m_rd not followed by m_wr is malformed.
+    ProgramBuilder bad;
+    bad.mRd(MemId::Dram, 0).vRd(MemId::InitialVrf, 0);
+    EXPECT_THROW(bad.build(), Error);
+}
+
+TEST(Chains, IterationsCaptured)
+{
+    ProgramBuilder b;
+    b.sWr(ScalarReg::Rows, 2)
+        .sWr(ScalarReg::Iterations, 100)
+        .vRd(MemId::InitialVrf, 0)
+        .vRelu()
+        .vWr(MemId::InitialVrf, 200);
+    auto chains = b.build().chains();
+    EXPECT_EQ(chains.back().iters, 100u);
+    EXPECT_EQ(chains.back().rows, 2u);
+}
+
+TEST(Chains, MalformedPrograms)
+{
+    {
+        // Pointwise op with no open chain.
+        Program p;
+        p.push(Instruction::vvAdd(0));
+        EXPECT_THROW(p.chains(), Error);
+    }
+    {
+        // Chain never sinks.
+        Program p;
+        p.push(Instruction::vRd(MemId::InitialVrf, 0));
+        p.push(Instruction::vTanh());
+        EXPECT_THROW(p.chains(), Error);
+    }
+    {
+        // mv_mul not at the head of the pipe.
+        Program p;
+        p.push(Instruction::vRd(MemId::InitialVrf, 0));
+        p.push(Instruction::vTanh());
+        p.push(Instruction::mvMul(0));
+        p.push(Instruction::vWr(MemId::InitialVrf, 1));
+        EXPECT_THROW(p.chains(), Error);
+    }
+    {
+        // end_chain with nothing open.
+        Program p;
+        p.push(Instruction::endChain());
+        EXPECT_THROW(p.chains(), Error);
+    }
+    {
+        // s_wr with non-positive value.
+        Program p;
+        p.push(Instruction::sWr(ScalarReg::Rows, 0));
+        EXPECT_THROW(p.chains(), Error);
+    }
+    {
+        // v_rd inside an open chain.
+        Program p;
+        p.push(Instruction::vRd(MemId::InitialVrf, 0));
+        p.push(Instruction::vRd(MemId::InitialVrf, 1));
+        EXPECT_THROW(p.chains(), Error);
+    }
+}
+
+TEST(MfusRequired, SegmentsByUnitReuse)
+{
+    using O = Opcode;
+    EXPECT_EQ(mfusRequired({}), 0u);
+    EXPECT_EQ(mfusRequired({O::VvAdd}), 1u);
+    // add, sigm, mul all fit one MFU's three units.
+    EXPECT_EQ(mfusRequired({O::VvAdd, O::VSigm, O::VvMul}), 1u);
+    // The paper's c-gate: add, tanh, mul, add -> two MFUs.
+    EXPECT_EQ(mfusRequired({O::VvAdd, O::VTanh, O::VvMul, O::VvAdd}), 2u);
+    // Two consecutive adds need two add/sub units.
+    EXPECT_EQ(mfusRequired({O::VvAdd, O::VvAdd}), 2u);
+    // Three activations in a row need three MFUs.
+    EXPECT_EQ(mfusRequired({O::VTanh, O::VSigm, O::VRelu}), 3u);
+    // vv_max shares the add/sub unit.
+    EXPECT_EQ(mfusRequired({O::VvMax, O::VvASubB}), 2u);
+}
+
+TEST(Validate, AcceptsPaperStyleChain)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    ProgramBuilder b;
+    b.tile(5, 5);
+    b.vRd(MemId::InitialVrf, 0)
+        .mvMul(0)
+        .vvAdd(0)
+        .vTanh()
+        .vvMul(0)
+        .vvAdd(5)
+        .vWr(MemId::MultiplyVrf, 0)
+        .vWr(MemId::InitialVrf, 5);
+    EXPECT_NO_THROW(checkProgram(b.build(), cfg));
+}
+
+TEST(Validate, RejectsTooManyMfuSegments)
+{
+    NpuConfig cfg = NpuConfig::bwS10(); // 2 MFUs
+    ProgramBuilder b;
+    b.vRd(MemId::InitialVrf, 0)
+        .vTanh()
+        .vSigm()
+        .vRelu() // 3 activation units -> 3 MFUs
+        .vWr(MemId::InitialVrf, 1);
+    auto diags = validateProgram(b.build(), cfg);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_NE(diags[0].find("MFU"), std::string::npos);
+}
+
+TEST(Validate, RejectsIllegalMemorySpaces)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    {
+        // m_rd from a VRF is illegal (NetQ or DRAM only).
+        Program p;
+        p.push(Instruction::mRd(MemId::InitialVrf, 0));
+        p.push(Instruction::mWr(MemId::MatrixRf, 0));
+        EXPECT_FALSE(validateProgram(p, cfg).empty());
+    }
+    {
+        // m_wr to NetQ is illegal (MatrixRf or DRAM only).
+        Program p;
+        p.push(Instruction::mRd(MemId::Dram, 0));
+        p.push(Instruction::mWr(MemId::NetQ, 0));
+        EXPECT_FALSE(validateProgram(p, cfg).empty());
+    }
+}
+
+TEST(Validate, RejectsOutOfRangeFootprints)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    {
+        ProgramBuilder b;
+        b.vRd(MemId::InitialVrf, cfg.initialVrfSize) // one past the end
+            .vWr(MemId::InitialVrf, 0);
+        EXPECT_FALSE(validateProgram(b.build(), cfg).empty());
+    }
+    {
+        // Mega-SIMD footprint: rows*cols tiles must fit the MRF index
+        // space.
+        ProgramBuilder b;
+        b.tile(100, 100); // 10,000 tiles
+        b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 0);
+        EXPECT_FALSE(validateProgram(b.build(), cfg).empty());
+    }
+    {
+        // Iterated footprint scales with the iteration count.
+        ProgramBuilder b;
+        b.sWr(ScalarReg::Iterations, 1000);
+        b.vRd(MemId::InitialVrf, 0).vRelu().vWr(MemId::InitialVrf, 0);
+        EXPECT_FALSE(validateProgram(b.build(), cfg).empty());
+    }
+}
+
+TEST(Analysis, MegaSimdOpExpansion)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    // A 7x7-tile mv_mul (the largest GRU's recurrent matrix) dispatches
+    // 2 * 2800 * 2800 = 15.68M ops from one instruction — "over 7M".
+    Instruction mv = Instruction::mvMul(0);
+    OpCount ops = instructionOps(mv, 7, 7, cfg);
+    EXPECT_EQ(ops, 2ull * 2800 * 2800);
+    EXPECT_GT(ops, 7'000'000u);
+
+    ProgramBuilder b;
+    b.tile(7, 7);
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 8);
+    ProgramStats s = analyzeProgram(b.build(), cfg);
+    EXPECT_EQ(s.maxOpsPerInstruction, ops);
+    EXPECT_EQ(s.vectorChains, 1u);
+    EXPECT_EQ(s.scalarWrites, 2u);
+    EXPECT_EQ(s.mvmOps, ops);
+}
+
+TEST(Analysis, IterationsMultiplyOps)
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    ProgramBuilder b;
+    b.sWr(ScalarReg::Iterations, 10);
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 10);
+    ProgramStats s = analyzeProgram(b.build(), cfg);
+    EXPECT_EQ(s.mvmOps, 10ull * 2 * 400 * 400);
+}
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Property tests over randomly generated (structurally valid) programs:
+ * assembler and binary-encoding round trips must be exact, chain
+ * extraction must partition the instruction stream, and the timing
+ * simulator must satisfy its conservation invariants on every program,
+ * across a sweep of machine configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/encoding.h"
+#include "isa/validate.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+namespace {
+
+/** Random structurally valid program for a small machine. */
+Program
+randomProgram(Rng &rng, unsigned max_chains = 12)
+{
+    ProgramBuilder b;
+    uint32_t rows = 1, cols = 1;
+    unsigned chains = 1 + static_cast<unsigned>(
+                              rng.integer(0, max_chains - 1));
+    for (unsigned c = 0; c < chains; ++c) {
+        if (rng.integer(0, 3) == 0) {
+            rows = static_cast<uint32_t>(rng.integer(1, 3));
+            cols = static_cast<uint32_t>(rng.integer(1, 3));
+            b.sWr(ScalarReg::Rows, rows);
+            b.sWr(ScalarReg::Cols, cols);
+        }
+        if (rng.integer(0, 5) == 0) {
+            // Matrix move chain.
+            b.mRd(MemId::Dram,
+                  static_cast<uint32_t>(rng.integer(0, 15)));
+            b.mWr(MemId::MatrixRf,
+                  static_cast<uint32_t>(rng.integer(0, 15)));
+            continue;
+        }
+        bool mvmul = rng.integer(0, 1) == 1;
+        b.vRd(MemId::InitialVrf,
+              static_cast<uint32_t>(rng.integer(0, 15)));
+        if (mvmul)
+            b.mvMul(static_cast<uint32_t>(rng.integer(0, 7)));
+        // Up to one op per MFU unit class, in a legal order for 2 MFUs.
+        int nops = static_cast<int>(rng.integer(0, 3));
+        bool used_add = false, used_mul = false, used_act = false;
+        for (int i = 0; i < nops; ++i) {
+            switch (rng.integer(0, 2)) {
+              case 0:
+                if (used_add)
+                    break;
+                used_add = true;
+                b.vvAdd(static_cast<uint32_t>(rng.integer(0, 15)));
+                break;
+              case 1:
+                if (used_mul)
+                    break;
+                used_mul = true;
+                b.vvMul(static_cast<uint32_t>(rng.integer(0, 15)));
+                break;
+              default:
+                if (used_act)
+                    break;
+                used_act = true;
+                b.vTanh();
+                break;
+            }
+        }
+        b.vWr(MemId::InitialVrf,
+              static_cast<uint32_t>(rng.integer(16, 31)));
+        if (rng.integer(0, 2) == 0)
+            b.vWr(MemId::AddSubVrf,
+                  static_cast<uint32_t>(rng.integer(0, 15)));
+        if (rng.integer(0, 4) == 0)
+            b.endChain();
+    }
+    return b.build();
+}
+
+NpuConfig
+fuzzMachine(unsigned native, unsigned lanes, unsigned engines)
+{
+    NpuConfig c;
+    c.name = "pf";
+    c.nativeDim = native;
+    c.lanes = lanes;
+    c.tileEngines = engines;
+    c.mrfSize = 64;
+    c.mrfIndexSpace = 256;
+    c.initialVrfSize = 64;
+    c.addSubVrfSize = 64;
+    c.multiplyVrfSize = 64;
+    return c;
+}
+
+TEST(ProgramFuzz, AssemblerRoundTripExact)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 50; ++trial) {
+        Program p = randomProgram(rng);
+        Program q = assemble(disassemble(p));
+        ASSERT_EQ(q.size(), p.size()) << "trial " << trial;
+        for (size_t i = 0; i < p.size(); ++i) {
+            // end_chain is elided by chain extraction but must survive
+            // the text round trip verbatim too.
+            EXPECT_EQ(q[i], p[i]) << "trial " << trial << " instr " << i;
+        }
+    }
+}
+
+TEST(ProgramFuzz, BinaryRoundTripExact)
+{
+    Rng rng(102);
+    for (int trial = 0; trial < 50; ++trial) {
+        Program p = randomProgram(rng);
+        Program q = decodeProgram(encodeProgram(p));
+        ASSERT_EQ(q.size(), p.size());
+        for (size_t i = 0; i < p.size(); ++i)
+            EXPECT_EQ(q[i], p[i]);
+    }
+}
+
+TEST(ProgramFuzz, ChainsPartitionTheProgram)
+{
+    Rng rng(103);
+    for (int trial = 0; trial < 50; ++trial) {
+        Program p = randomProgram(rng);
+        auto chains = p.chains();
+        // Every instruction belongs to exactly one chain, except
+        // end_chain markers which separate them.
+        std::vector<int> owner(p.size(), -1);
+        for (size_t c = 0; c < chains.size(); ++c) {
+            for (size_t i = chains[c].first; i < chains[c].end(); ++i) {
+                EXPECT_EQ(owner[i], -1);
+                owner[i] = static_cast<int>(c);
+            }
+        }
+        for (size_t i = 0; i < p.size(); ++i) {
+            if (p[i].op == Opcode::EndChain)
+                EXPECT_EQ(owner[i], -1);
+            else
+                EXPECT_NE(owner[i], -1) << p[i].toString();
+        }
+    }
+}
+
+struct MachineShape
+{
+    unsigned native, lanes, engines;
+};
+
+class TimingInvariants : public ::testing::TestWithParam<MachineShape>
+{
+};
+
+TEST_P(TimingInvariants, ConservationAcrossRandomPrograms)
+{
+    MachineShape ms = GetParam();
+    NpuConfig cfg = fuzzMachine(ms.native, ms.lanes, ms.engines);
+    Rng rng(ms.native * 131 + ms.lanes);
+    for (int trial = 0; trial < 10; ++trial) {
+        Program p = randomProgram(rng, 8);
+        timing::NpuTiming sim(cfg);
+        auto res = sim.run(p, 3);
+
+        // Conservation: the simulator executed exactly the program's
+        // chains and tile ops, three times.
+        auto chains = p.chains();
+        uint64_t vec_mat = 0, tiles = 0;
+        for (const Chain &c : chains) {
+            if (c.kind == Chain::Kind::Scalar)
+                continue;
+            ++vec_mat;
+            if (c.hasMvMul)
+                tiles += static_cast<uint64_t>(c.rows) * c.cols;
+        }
+        EXPECT_EQ(res.chainsExecuted, 3 * vec_mat);
+        EXPECT_EQ(res.nativeTileOps, 3 * tiles);
+        // end_chain markers are chain delimiters, not dispatched work.
+        uint64_t dispatched = 0;
+        for (const Instruction &inst : p.instructions()) {
+            if (inst.op != Opcode::EndChain)
+                ++dispatched;
+        }
+        EXPECT_EQ(res.instructionsDispatched, 3 * dispatched);
+
+        // Causality and bounds.
+        EXPECT_LE(res.mvmBusyCycles,
+                  static_cast<uint64_t>(res.totalCycles) *
+                      cfg.tileEngines);
+        EXPECT_LE(res.mvmOccupancy(cfg), 1.0);
+        for (size_t i = 1; i < res.iterationEnd.size(); ++i)
+            EXPECT_GE(res.iterationEnd[i], res.iterationEnd[i - 1]);
+
+        // Determinism.
+        timing::NpuTiming sim2(cfg);
+        EXPECT_EQ(sim2.run(p, 3).totalCycles, res.totalCycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TimingInvariants,
+    ::testing::Values(MachineShape{8, 2, 1}, MachineShape{8, 2, 2},
+                      MachineShape{16, 4, 2}, MachineShape{16, 8, 4},
+                      MachineShape{32, 8, 3}, MachineShape{64, 16, 6}));
+
+} // namespace
+} // namespace bw

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Serving-runtime tests: arrival generation, unbatched vs batched
+ * service disciplines (the Section VII-B3 latency/utilization trade),
+ * and the bidirectional multi-FPGA deployment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/multi_fpga.h"
+#include "runtime/serving.h"
+
+namespace bw {
+namespace {
+
+TEST(Arrivals, PoissonRateRoughlyHonored)
+{
+    Rng rng(1);
+    auto a = poissonArrivals(1000.0, 10.0, rng);
+    EXPECT_NEAR(static_cast<double>(a.size()), 10000.0, 500.0);
+    for (size_t i = 1; i < a.size(); ++i)
+        EXPECT_GT(a[i], a[i - 1]);
+    EXPECT_LT(a.back(), 10.0);
+}
+
+TEST(ServeUnbatched, LowLoadLatencyIsServicePlusNetwork)
+{
+    // 1 request per 100ms, service 2ms: no queueing.
+    std::vector<double> arrivals;
+    for (int i = 0; i < 50; ++i)
+        arrivals.push_back(i * 0.1);
+    ServeStats s = serveUnbatched(arrivals, 2.0, 0.1);
+    EXPECT_EQ(s.requests, 50u);
+    EXPECT_NEAR(s.meanLatencyMs, 2.1, 0.01);
+    EXPECT_NEAR(s.p99LatencyMs, 2.1, 0.01);
+}
+
+TEST(ServeUnbatched, OverloadQueues)
+{
+    // Requests every 1ms, service 2ms: the queue grows.
+    std::vector<double> arrivals;
+    for (int i = 0; i < 100; ++i)
+        arrivals.push_back(i * 0.001);
+    ServeStats s = serveUnbatched(arrivals, 2.0, 0.0);
+    EXPECT_GT(s.maxLatencyMs, 90.0);
+    EXPECT_NEAR(s.throughputRps, 500.0, 10.0); // 1/service
+}
+
+TEST(ServeBatched, FormsBatchesUnderLoad)
+{
+    // Requests every 0.25ms, batch up to 8 with a 2ms timeout.
+    std::vector<double> arrivals;
+    for (int i = 0; i < 400; ++i)
+        arrivals.push_back(i * 0.00025);
+    ServeStats s = serveBatched(arrivals, 8, 2.0, [](unsigned batch) {
+        return 1.0 + 0.1 * batch; // batch amortizes well
+    });
+    EXPECT_GT(s.meanBatch, 4.0);
+    EXPECT_EQ(s.requests, 400u);
+}
+
+TEST(ServeBatched, TimeoutAddsLatencyAtLowLoad)
+{
+    // Sparse arrivals: each request waits out the full timeout.
+    std::vector<double> arrivals;
+    for (int i = 0; i < 20; ++i)
+        arrivals.push_back(i * 0.5);
+    double timeout_ms = 5.0;
+    ServeStats s = serveBatched(arrivals, 16, timeout_ms,
+                                [](unsigned) { return 2.0; });
+    EXPECT_NEAR(s.meanBatch, 1.0, 0.01);
+    EXPECT_NEAR(s.meanLatencyMs, timeout_ms + 2.0, 0.01);
+
+    // The unbatched discipline serves the same trace 5ms sooner.
+    ServeStats u = serveUnbatched(arrivals, 2.0, 0.0);
+    EXPECT_LT(u.meanLatencyMs + 4.9, s.meanLatencyMs);
+}
+
+TEST(ServeBatched, FullBatchLaunchesEarly)
+{
+    // A burst of exactly max_batch launches without waiting out the
+    // timeout.
+    std::vector<double> arrivals(8, 0.0);
+    ServeStats s = serveBatched(arrivals, 8, 100.0,
+                                [](unsigned) { return 1.0; });
+    EXPECT_NEAR(s.meanLatencyMs, 1.0, 0.01);
+    EXPECT_NEAR(s.meanBatch, 8.0, 0.01);
+}
+
+TEST(MultiFpga, PinningCapacity)
+{
+    Rng rng(1);
+    NpuConfig cfg = NpuConfig::bwS10();
+    // GRU-2816 pins on one S10 (needs ~298 of 306 tile equivalents).
+    GirGraph fits = makeGru(randomGruWeights(2816, 2816, rng));
+    EXPECT_EQ(fpgasNeededForPinning(fits, cfg), 1u);
+    // An LSTM-4096 (8 x 4096^2 elements = ~839 tiles) needs three.
+    GirGraph big = makeLstm(randomLstmWeights(4096, 4096, rng));
+    EXPECT_EQ(fpgasNeededForPinning(big, cfg), 3u);
+}
+
+TEST(MultiFpga, BidirectionalGruParallelism)
+{
+    Rng rng(2);
+    NpuConfig cfg = NpuConfig::bwS10();
+    cfg.nativeDim = 100;
+    cfg.lanes = 20;
+    cfg.mrfSize = 128;
+    GruWeights fwd = randomGruWeights(400, 400, rng);
+    GruWeights bwd = randomGruWeights(400, 400, rng);
+
+    BidirServeResult r = serveBidirectionalGru(fwd, bwd, 20, cfg, 0.02);
+    double fwd_ms = cyclesToMs(r.forward.cycles, cfg.clockMhz);
+    double bwd_ms = cyclesToMs(r.backward.cycles, cfg.clockMhz);
+    // Two directions run in parallel: latency ~ the slower one, not
+    // the sum.
+    EXPECT_NEAR(r.latencyMs, std::max(fwd_ms, bwd_ms) + 0.02, 1e-9);
+    EXPECT_LT(r.latencyMs, fwd_ms + bwd_ms);
+}
+
+} // namespace
+} // namespace bw

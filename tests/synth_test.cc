@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Synthesis-specialization tests: the resource model against the three
+ * published design points of Table III, feasibility checks, and the
+ * configuration explorer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/resource_model.h"
+#include "workloads/paper_data.h"
+
+namespace bw {
+namespace {
+
+struct Point
+{
+    NpuConfig cfg;
+    FpgaDevice dev;
+    paper::TableThreeRow row;
+};
+
+std::vector<Point>
+tableThreePoints()
+{
+    auto rows = paper::tableThree();
+    return {
+        {NpuConfig::bwS5(), FpgaDevice::stratixVD5(), rows[0]},
+        {NpuConfig::bwA10(), FpgaDevice::arria10_1150(), rows[1]},
+        {NpuConfig::bwS10(), FpgaDevice::stratix10_280(), rows[2]},
+    };
+}
+
+TEST(ResourceModel, AlmsWithinFifteenPercentOfTableThree)
+{
+    for (const auto &p : tableThreePoints()) {
+        ResourceEstimate est = estimateResources(p.cfg, p.dev);
+        EXPECT_NEAR(static_cast<double>(est.alms),
+                    static_cast<double>(p.row.alms), p.row.alms * 0.15)
+            << p.row.instance;
+    }
+}
+
+TEST(ResourceModel, DspsWithinTenPercentOfTableThree)
+{
+    for (const auto &p : tableThreePoints()) {
+        ResourceEstimate est = estimateResources(p.cfg, p.dev);
+        EXPECT_NEAR(static_cast<double>(est.dsps),
+                    static_cast<double>(p.row.dsps), p.row.dsps * 0.10)
+            << p.row.instance;
+    }
+}
+
+TEST(ResourceModel, M20ksWithinTwentyFivePercentOfTableThree)
+{
+    for (const auto &p : tableThreePoints()) {
+        ResourceEstimate est = estimateResources(p.cfg, p.dev);
+        EXPECT_NEAR(static_cast<double>(est.m20ks),
+                    static_cast<double>(p.row.m20ks),
+                    p.row.m20ks * 0.25)
+            << p.row.instance;
+    }
+}
+
+TEST(ResourceModel, PublishedConfigsFitTheirDevices)
+{
+    for (const auto &p : tableThreePoints()) {
+        ResourceEstimate est = estimateResources(p.cfg, p.dev);
+        EXPECT_TRUE(est.fits) << p.row.instance;
+        EXPECT_DOUBLE_EQ(est.freqMhz, p.row.freqMhz) << p.row.instance;
+        EXPECT_NEAR(est.peakTflops, p.row.peakTflops,
+                    p.row.peakTflops * 0.03)
+            << p.row.instance;
+    }
+}
+
+TEST(ResourceModel, OversizedConfigDoesNotFit)
+{
+    NpuConfig c = NpuConfig::bwS10();
+    c.tileEngines = 24; // 4x the published design
+    ResourceEstimate est =
+        estimateResources(c, FpgaDevice::stratix10_280());
+    EXPECT_FALSE(est.fits);
+}
+
+TEST(ResourceModel, WiderMantissaCostsMoreLogic)
+{
+    NpuConfig narrow = NpuConfig::bwS10();
+    NpuConfig wide = NpuConfig::bwS10();
+    wide.precision = bfp155();
+    auto dev = FpgaDevice::stratix10_280();
+    EXPECT_GT(estimateResources(wide, dev).alms,
+              estimateResources(narrow, dev).alms);
+}
+
+TEST(ResourceModel, MrfDominatesM20k)
+{
+    NpuConfig small_mrf = NpuConfig::bwS10();
+    small_mrf.mrfSize = 100;
+    auto dev = FpgaDevice::stratix10_280();
+    EXPECT_LT(estimateResources(small_mrf, dev).m20ks,
+              estimateResources(NpuConfig::bwS10(), dev).m20ks);
+}
+
+TEST(Explorer, FindsFeasibleConfig)
+{
+    ExplorerResult r =
+        exploreConfig(2048, FpgaDevice::stratix10_280(), bfp152());
+    EXPECT_TRUE(r.estimate.fits);
+    EXPECT_GT(r.estimate.peakTflops, 10.0);
+    EXPECT_LT(r.paddingWaste, 0.30);
+    EXPECT_NO_THROW(r.config.validate());
+}
+
+TEST(Explorer, AlignedNativeDimMinimizesWaste)
+{
+    // A model dim that is an exact multiple of some native dim should
+    // explore to (near) zero padding waste.
+    ExplorerResult r =
+        exploreConfig(2048, FpgaDevice::stratix10_280(), bfp152());
+    EXPECT_LT(r.paddingWaste, 0.05);
+}
+
+TEST(Explorer, SmallDeviceYieldsSmallerConfig)
+{
+    ExplorerResult s5 = exploreConfig(1024, FpgaDevice::stratixVD5());
+    ExplorerResult s10 = exploreConfig(1024, FpgaDevice::stratix10_280());
+    EXPECT_LT(s5.config.macCount(), s10.config.macCount());
+    EXPECT_LT(s5.estimate.peakTflops, s10.estimate.peakTflops);
+}
+
+TEST(Devices, PublishedCapacities)
+{
+    EXPECT_EQ(FpgaDevice::stratix10_280().alms, 933120u);
+    EXPECT_EQ(FpgaDevice::arria10_1150().dsps, 1518u);
+    EXPECT_EQ(FpgaDevice::stratixVD5().m20ks, 2014u);
+}
+
+} // namespace
+} // namespace bw

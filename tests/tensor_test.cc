@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the host-side tensor types and reference kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace bw {
+namespace {
+
+TEST(FMat, Indexing)
+{
+    FMat m(2, 3);
+    m(0, 0) = 1.0f;
+    m(1, 2) = 5.0f;
+    EXPECT_EQ(m.at(0, 0), 1.0f);
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    auto row = m.row(1);
+    EXPECT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[2], 5.0f);
+}
+
+TEST(FMat, FromFlatData)
+{
+    FMat m(2, 2, {1, 2, 3, 4});
+    EXPECT_EQ(m(0, 1), 2.0f);
+    EXPECT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(FTensor4, NhwcIndexing)
+{
+    FTensor4 t(1, 2, 3, 4);
+    t.at(0, 1, 2, 3) = 9.0f;
+    EXPECT_EQ(t.at(0, 1, 2, 3), 9.0f);
+    EXPECT_EQ(t.size(), 24u);
+    // Channel is the fastest-varying dimension.
+    t.at(0, 0, 0, 0) = 1.0f;
+    t.at(0, 0, 0, 1) = 2.0f;
+    EXPECT_EQ(t.data()[0], 1.0f);
+    EXPECT_EQ(t.data()[1], 2.0f);
+}
+
+TEST(GemvRef, MatchesManual)
+{
+    FMat a(2, 3, {1, 2, 3, 4, 5, 6});
+    FVec x = {1, 0, -1};
+    FVec y = gemvRef(a, x);
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_FLOAT_EQ(y[0], 1 - 3);
+    EXPECT_FLOAT_EQ(y[1], 4 - 6);
+}
+
+TEST(GemvRef, DimensionChecked)
+{
+    FMat a(2, 3);
+    FVec x(4);
+    EXPECT_DEATH(gemvRef(a, x), "gemv");
+}
+
+TEST(ElementwiseRefs, AddMul)
+{
+    FVec a = {1, 2}, b = {3, 4};
+    EXPECT_EQ(addRef(a, b), (FVec{4, 6}));
+    EXPECT_EQ(mulRef(a, b), (FVec{3, 8}));
+}
+
+TEST(PadTo, Vector)
+{
+    FVec v = {1, 2};
+    FVec p = padTo(v, 5);
+    EXPECT_EQ(p, (FVec{1, 2, 0, 0, 0}));
+}
+
+TEST(PadTo, Matrix)
+{
+    FMat m(1, 2, {7, 8});
+    FMat p = padTo(m, 2, 3);
+    EXPECT_EQ(p(0, 0), 7.0f);
+    EXPECT_EQ(p(0, 1), 8.0f);
+    EXPECT_EQ(p(0, 2), 0.0f);
+    EXPECT_EQ(p(1, 0), 0.0f);
+}
+
+TEST(Fill, XavierBounded)
+{
+    Rng rng(1);
+    FMat m(64, 64);
+    fillXavier(m, rng);
+    float limit = std::sqrt(6.0f / 128);
+    bool any_nonzero = false;
+    for (float v : m.data()) {
+        EXPECT_LE(std::fabs(v), limit);
+        any_nonzero = any_nonzero || v != 0.0f;
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(MaxAbsDiff, Basic)
+{
+    FVec a = {1, 2, 3}, b = {1, 2.5f, 2};
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 1.0);
+}
+
+} // namespace
+} // namespace bw

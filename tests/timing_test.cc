@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Timing-simulator tests: resource/scoreboard primitives, causality and
+ * conservation invariants, dependency stalls, pipelining across
+ * iterations, batch-size invariance and mega-SIMD iteration timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+namespace timing {
+namespace {
+
+TEST(Server, AcquireSemantics)
+{
+    Server s;
+    EXPECT_EQ(s.acquire(10, 5), 10u); // idle server starts on request
+    EXPECT_EQ(s.nextFree(), 15u);
+    EXPECT_EQ(s.acquire(0, 5), 15u); // busy server queues
+    EXPECT_EQ(s.busyCycles(), 10u);
+    s.reset();
+    EXPECT_EQ(s.nextFree(), 0u);
+}
+
+TEST(ServerArray, TotalsAndReset)
+{
+    ServerArray a(3);
+    a[0].acquire(0, 10);
+    a[2].acquire(5, 10);
+    EXPECT_EQ(a.totalBusyCycles(), 20u);
+    a.reset();
+    EXPECT_EQ(a.totalBusyCycles(), 0u);
+}
+
+TEST(Scoreboard, ReadyTracking)
+{
+    Scoreboard sb;
+    EXPECT_EQ(sb.readyAt(MemId::InitialVrf, 5, 3), 0u);
+    sb.setReady(MemId::InitialVrf, 6, 1, 100);
+    EXPECT_EQ(sb.readyAt(MemId::InitialVrf, 5, 3), 100u);
+    EXPECT_EQ(sb.readyAt(MemId::InitialVrf, 7, 1), 0u);
+    EXPECT_EQ(sb.readyAt(MemId::AddSubVrf, 6, 1), 0u);
+}
+
+/** Small config for structural tests. */
+NpuConfig
+smallConfig()
+{
+    NpuConfig c = NpuConfig::bwS10();
+    c.name = "small";
+    c.nativeDim = 40;
+    c.lanes = 10;
+    c.tileEngines = 2;
+    c.mrfSize = 64;
+    c.mrfIndexSpace = 256;
+    c.initialVrfSize = 128;
+    c.addSubVrfSize = 128;
+    c.multiplyVrfSize = 128;
+    return c;
+}
+
+TEST(NpuTiming, SingleChainHasPipelineLatency)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+    ProgramBuilder b;
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 1);
+    auto res = sim.run(b.build(), 1);
+    // A single matrix-vector chain takes tens of cycles of pipeline
+    // latency — far more than its 4 beats of occupancy.
+    EXPECT_GT(res.totalCycles, 50u);
+    EXPECT_LT(res.totalCycles, 2000u);
+    EXPECT_EQ(res.chainsExecuted, 1u);
+    EXPECT_EQ(res.nativeTileOps, 1u);
+    EXPECT_EQ(res.mvmOps, 2ull * 40 * 40);
+}
+
+TEST(NpuTiming, DependentChainsSerialize)
+{
+    NpuConfig cfg = smallConfig();
+    // Remove the chain-configuration floor so the data dependence is
+    // the only serializer under test.
+    cfg.timing.chainInterval = 1;
+    NpuTiming sim(cfg);
+
+    // Independent chains (disjoint addresses).
+    ProgramBuilder ind;
+    ind.vRd(MemId::InitialVrf, 0).vRelu().vWr(MemId::InitialVrf, 1);
+    ind.vRd(MemId::InitialVrf, 2).vRelu().vWr(MemId::InitialVrf, 3);
+    Cycles independent = sim.run(ind.build(), 1).totalCycles;
+
+    // Dependent: the second chain reads the first one's output.
+    ProgramBuilder dep;
+    dep.vRd(MemId::InitialVrf, 0).vRelu().vWr(MemId::InitialVrf, 1);
+    dep.vRd(MemId::InitialVrf, 1).vRelu().vWr(MemId::InitialVrf, 2);
+    Cycles dependent = sim.run(dep.build(), 1).totalCycles;
+
+    EXPECT_GT(dependent, independent);
+}
+
+TEST(NpuTiming, MvmOccupancyScalesWithTiles)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+
+    ProgramBuilder small;
+    small.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 2);
+    auto r1 = sim.run(small.build(), 1);
+
+    ProgramBuilder big;
+    big.tile(4, 4);
+    big.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 8);
+    auto r16 = sim.run(big.build(), 1);
+
+    EXPECT_EQ(r16.nativeTileOps, 16u);
+    EXPECT_EQ(r16.mvmBusyCycles, 16u * cfg.nativeVectorBeats());
+    EXPECT_GT(r16.totalCycles, r1.totalCycles);
+}
+
+TEST(NpuTiming, IterationsPipelineAtOneConfiguration)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+
+    // 64 positions through one configured chain...
+    ProgramBuilder iter;
+    iter.sWr(ScalarReg::Iterations, 64);
+    iter.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 64);
+    Cycles iterated = sim.run(iter.build(), 1).totalCycles;
+
+    // ...versus 64 separately configured chains.
+    ProgramBuilder sep;
+    for (int i = 0; i < 64; ++i) {
+        sep.vRd(MemId::InitialVrf, i)
+            .mvMul(0)
+            .vWr(MemId::InitialVrf, 64 + i);
+    }
+    Cycles separate = sim.run(sep.build(), 1).totalCycles;
+
+    // The iterated form skips 63 chain-configuration intervals.
+    EXPECT_LT(iterated + 63 * cfg.timing.chainInterval / 2, separate);
+}
+
+TEST(NpuTiming, BackToBackIterationsOverlap)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+    ProgramBuilder b;
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 1);
+    Program p = b.build();
+
+    Cycles one = sim.run(p, 1).totalCycles;
+    auto res = sim.run(p, 10);
+    // Ten iterations cost far less than ten single runs: the pipeline
+    // overlaps successive timesteps.
+    EXPECT_LT(res.totalCycles, 10 * one);
+    EXPECT_EQ(res.iterationEnd.size(), 10u);
+    for (size_t i = 1; i < res.iterationEnd.size(); ++i)
+        EXPECT_GE(res.iterationEnd[i], res.iterationEnd[i - 1]);
+    EXPECT_GT(res.steadyStateIterationCycles(), 0u);
+    EXPECT_LE(res.steadyStateIterationCycles(), one);
+}
+
+TEST(NpuTiming, InputArrivalsDelayService)
+{
+    NpuConfig cfg = smallConfig();
+    ProgramBuilder b;
+    b.vRd(MemId::NetQ).vWr(MemId::InitialVrf, 0);
+    Program p = b.build();
+
+    NpuTiming sim(cfg);
+    Cycles buffered = sim.run(p, 1).totalCycles;
+
+    NpuTiming sim2(cfg);
+    sim2.setInputArrivals({10000});
+    Cycles late = sim2.run(p, 1).totalCycles;
+    EXPECT_GE(late, 10000u);
+    EXPECT_GT(late, buffered);
+}
+
+TEST(NpuTiming, ThinTilesCostFewerBeats)
+{
+    NpuConfig cfg = smallConfig();
+    ProgramBuilder b;
+    b.tile(2, 2);
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 4);
+    Program p = b.build();
+
+    NpuTiming full(cfg);
+    auto rf = full.run(p, 8);
+
+    NpuTiming thin(cfg);
+    // Column tile 1 of both rows is a thin tail (1 beat instead of 4).
+    thin.setTileBeats({{1, 1}, {3, 1}});
+    auto rt = thin.run(p, 8);
+
+    EXPECT_LT(rt.mvmBusyCycles, rf.mvmBusyCycles);
+    EXPECT_LE(rt.totalCycles, rf.totalCycles);
+}
+
+TEST(NpuTiming, MatrixChainUsesDramBandwidth)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+    ProgramBuilder b;
+    b.tile(4, 4);
+    b.mRd(MemId::Dram, 0).mWr(MemId::MatrixRf, 0);
+    auto res = sim.run(b.build(), 1);
+    EXPECT_GT(res.stats.counter("dram_busy_cycles"), 0u);
+    EXPECT_EQ(res.stats.counter("matrix_tiles_moved"), 16u);
+}
+
+TEST(NpuTiming, WeightLoadBlocksDependentMvMul)
+{
+    NpuConfig cfg = smallConfig();
+
+    ProgramBuilder pinned;
+    pinned.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 1);
+    NpuTiming sim1(cfg);
+    Cycles without_load = sim1.run(pinned.build(), 1).totalCycles;
+
+    ProgramBuilder loaded;
+    loaded.mRd(MemId::Dram, 0).mWr(MemId::MatrixRf, 0);
+    loaded.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 1);
+    NpuTiming sim2(cfg);
+    Cycles with_load = sim2.run(loaded.build(), 1).totalCycles;
+
+    EXPECT_GT(with_load, without_load);
+}
+
+TEST(NpuTiming, PrologueRunsOnce)
+{
+    NpuConfig cfg = smallConfig();
+    ProgramBuilder pro;
+    pro.vRd(MemId::InitialVrf, 0).vRelu().vWr(MemId::AddSubVrf, 0);
+    ProgramBuilder step;
+    step.vRd(MemId::InitialVrf, 1).vvAdd(0).vWr(MemId::InitialVrf, 2);
+
+    NpuTiming sim(cfg);
+    auto res = sim.run(pro.build(), step.build(), 5);
+    EXPECT_EQ(res.chainsExecuted, 6u); // 1 prologue + 5 iterations
+    EXPECT_EQ(res.iterationEnd.size(), 5u);
+}
+
+TEST(NpuTiming, OutputTimesRecorded)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+    ProgramBuilder b;
+    b.sWr(ScalarReg::Rows, 2);
+    b.vRd(MemId::InitialVrf, 0).vRelu().vWr(MemId::NetQ);
+    auto res = sim.run(b.build(), 3);
+    EXPECT_EQ(res.outputTimes.size(), 6u); // 2 vectors x 3 iterations
+    for (Cycles t : res.outputTimes)
+        EXPECT_LE(t, res.totalCycles);
+}
+
+TEST(NpuTiming, UtilizationBounded)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+    ProgramBuilder b;
+    b.tile(2, 2);
+    b.vRd(MemId::InitialVrf, 0).mvMul(0).vWr(MemId::InitialVrf, 4);
+    auto res = sim.run(b.build(), 50);
+    double occ = res.mvmOccupancy(cfg);
+    EXPECT_GT(occ, 0.0);
+    EXPECT_LE(occ, 1.0);
+    EXPECT_LE(res.utilization(cfg, res.mvmOps), 1.0);
+}
+
+} // namespace
+} // namespace timing
+} // namespace bw

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Workload-definition tests: DeepBench layer op formulas, the embedded
+ * paper dataset's internal consistency, and Table I kernel specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/deepbench.h"
+#include "workloads/paper_data.h"
+#include "workloads/resnet50.h"
+
+namespace bw {
+namespace {
+
+TEST(DeepBench, SuiteMatchesTableFiveRows)
+{
+    auto suite = deepBenchSuite();
+    ASSERT_EQ(suite.size(), 11u);
+    auto rows = paper::tableFive();
+    ASSERT_EQ(rows.size(), suite.size());
+    for (size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(suite[i].kind, rows[i].layer.kind);
+        EXPECT_EQ(suite[i].hidden, rows[i].layer.hidden);
+        EXPECT_EQ(suite[i].timeSteps, rows[i].layer.timeSteps);
+    }
+}
+
+TEST(DeepBench, OpsPerStepFormulas)
+{
+    // Table I: LSTM 2000x2000 = 64M ops/step, GRU 2800x2800 = 94M.
+    RnnLayerSpec lstm{RnnKind::Lstm, 2000, 1, 2000};
+    EXPECT_EQ(lstm.opsPerStep(), 64'000'000u);
+    RnnLayerSpec gru{RnnKind::Gru, 2800, 1, 2800};
+    EXPECT_EQ(gru.opsPerStep(), 94'080'000u);
+    EXPECT_EQ(gru.totalOps(), gru.opsPerStep());
+    EXPECT_EQ(lstm.weightCount(), 32'000'000u);
+}
+
+TEST(DeepBench, LabelsReadable)
+{
+    RnnLayerSpec l{RnnKind::Gru, 2816, 750, 2816};
+    EXPECT_EQ(l.label(), "GRU h=2816 t=750");
+}
+
+TEST(PaperData, TableFiveInternallyConsistent)
+{
+    // Published TFLOPS must equal total ops / published latency within
+    // rounding, for the BW column.
+    for (const auto &row : paper::tableFive()) {
+        if (row.layer.hidden < 1000)
+            continue; // small rows round coarsely in the paper
+        double ops = static_cast<double>(row.layer.totalOps());
+        double tflops = ops / (row.bwMs * 1e9);
+        EXPECT_NEAR(tflops, row.bwTflops, row.bwTflops * 0.05)
+            << row.layer.label();
+        // And utilization = tflops / 48.
+        EXPECT_NEAR(row.bwUtilPct, 100.0 * row.bwTflops / 48.0, 1.0)
+            << row.layer.label();
+    }
+}
+
+TEST(PaperData, TableThreeDerivedPeaks)
+{
+    for (const auto &row : paper::tableThree()) {
+        double peak = 2.0 * row.mvTiles * row.lanes * row.nativeDim *
+                      row.freqMhz / 1e6;
+        EXPECT_NEAR(peak, row.peakTflops, row.peakTflops * 0.03)
+            << row.instance;
+    }
+}
+
+TEST(PaperData, PowerEfficiencyClaim)
+{
+    // 35.9 TFLOPS at 125W ~ 287 GFLOPS/W (Section VII-B4).
+    double gflops_per_watt = 35.92 * 1e3 / paper::bwS10PowerWatts();
+    EXPECT_NEAR(gflops_per_watt, paper::bwS10GflopsPerWatt(), 1.0);
+}
+
+TEST(TableOneKernels, Dimensions)
+{
+    ConvSpec a = tableOneCnn3x3();
+    EXPECT_EQ(a.inC, 128u);
+    EXPECT_EQ(a.patchLen(), 1152u);
+    EXPECT_NEAR(static_cast<double>(a.macOps()) / 1e6, 231.2, 0.5);
+
+    ConvSpec b = tableOneCnn1x1();
+    EXPECT_EQ(b.patchLen(), 64u);
+    EXPECT_NEAR(static_cast<double>(b.macOps()) / 1e6, 102.8, 0.5);
+}
+
+TEST(BatchScalingSuite, SubsetOfDeepBench)
+{
+    auto sub = batchScalingSuite();
+    EXPECT_GE(sub.size(), 3u);
+    for (const auto &layer : sub)
+        EXPECT_GE(layer.hidden, 1024u);
+}
+
+} // namespace
+} // namespace bw
