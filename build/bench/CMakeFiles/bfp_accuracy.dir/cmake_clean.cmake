@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfp_accuracy.dir/bfp_accuracy.cc.o"
+  "CMakeFiles/bfp_accuracy.dir/bfp_accuracy.cc.o.d"
+  "bfp_accuracy"
+  "bfp_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

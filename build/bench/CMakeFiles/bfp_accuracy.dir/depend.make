@@ -1,0 +1,2 @@
+# Empty dependencies file for bfp_accuracy.
+# This may be replaced when dependencies are built.

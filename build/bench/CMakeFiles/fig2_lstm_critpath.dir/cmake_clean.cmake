@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lstm_critpath.dir/fig2_lstm_critpath.cc.o"
+  "CMakeFiles/fig2_lstm_critpath.dir/fig2_lstm_critpath.cc.o.d"
+  "fig2_lstm_critpath"
+  "fig2_lstm_critpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lstm_critpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

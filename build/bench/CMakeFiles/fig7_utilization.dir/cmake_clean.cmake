@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_utilization.dir/fig7_utilization.cc.o"
+  "CMakeFiles/fig7_utilization.dir/fig7_utilization.cc.o.d"
+  "fig7_utilization"
+  "fig7_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

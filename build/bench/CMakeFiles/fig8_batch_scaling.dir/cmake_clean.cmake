@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_batch_scaling.dir/fig8_batch_scaling.cc.o"
+  "CMakeFiles/fig8_batch_scaling.dir/fig8_batch_scaling.cc.o.d"
+  "fig8_batch_scaling"
+  "fig8_batch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_batch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

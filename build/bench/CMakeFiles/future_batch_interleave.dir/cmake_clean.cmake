@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_batch_interleave.dir/future_batch_interleave.cc.o"
+  "CMakeFiles/future_batch_interleave.dir/future_batch_interleave.cc.o.d"
+  "future_batch_interleave"
+  "future_batch_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_batch_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for future_batch_interleave.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_expansion.dir/hdd_expansion.cc.o"
+  "CMakeFiles/hdd_expansion.dir/hdd_expansion.cc.o.d"
+  "hdd_expansion"
+  "hdd_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_critpath.dir/table1_critpath.cc.o"
+  "CMakeFiles/table1_critpath.dir/table1_critpath.cc.o.d"
+  "table1_critpath"
+  "table1_critpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_critpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_synthesis.dir/table3_synthesis.cc.o"
+  "CMakeFiles/table3_synthesis.dir/table3_synthesis.cc.o.d"
+  "table3_synthesis"
+  "table3_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

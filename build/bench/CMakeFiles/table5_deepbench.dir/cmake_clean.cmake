@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_deepbench.dir/table5_deepbench.cc.o"
+  "CMakeFiles/table5_deepbench.dir/table5_deepbench.cc.o.d"
+  "table5_deepbench"
+  "table5_deepbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_deepbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_resnet50.cc" "bench/CMakeFiles/table6_resnet50.dir/table6_resnet50.cc.o" "gcc" "bench/CMakeFiles/table6_resnet50.dir/table6_resnet50.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/critpath/CMakeFiles/bw_critpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/bw_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/bw_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/bw_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/bw_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bw_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfp/CMakeFiles/bw_bfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/refmodel/CMakeFiles/bw_refmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

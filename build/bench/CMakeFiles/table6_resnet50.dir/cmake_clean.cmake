@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_resnet50.dir/table6_resnet50.cc.o"
+  "CMakeFiles/table6_resnet50.dir/table6_resnet50.cc.o.d"
+  "table6_resnet50"
+  "table6_resnet50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_resnet50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidirectional_rnn.dir/bidirectional_rnn.cpp.o"
+  "CMakeFiles/bidirectional_rnn.dir/bidirectional_rnn.cpp.o.d"
+  "bidirectional_rnn"
+  "bidirectional_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidirectional_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

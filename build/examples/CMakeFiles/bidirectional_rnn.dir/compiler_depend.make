@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bidirectional_rnn.
+# This may be replaced when dependencies are built.

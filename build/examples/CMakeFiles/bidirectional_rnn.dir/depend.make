@@ -1,0 +1,2 @@
+# Empty dependencies file for bidirectional_rnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_tour.dir/isa_tour.cpp.o"
+  "CMakeFiles/isa_tour.dir/isa_tour.cpp.o.d"
+  "isa_tour"
+  "isa_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

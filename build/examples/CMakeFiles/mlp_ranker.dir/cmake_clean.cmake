@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_ranker.dir/mlp_ranker.cpp.o"
+  "CMakeFiles/mlp_ranker.dir/mlp_ranker.cpp.o.d"
+  "mlp_ranker"
+  "mlp_ranker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_ranker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlp_ranker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet50_featurizer.dir/resnet50_featurizer.cpp.o"
+  "CMakeFiles/resnet50_featurizer.dir/resnet50_featurizer.cpp.o.d"
+  "resnet50_featurizer"
+  "resnet50_featurizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet50_featurizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

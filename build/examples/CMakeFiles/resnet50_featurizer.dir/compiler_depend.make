@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for resnet50_featurizer.
+# This may be replaced when dependencies are built.

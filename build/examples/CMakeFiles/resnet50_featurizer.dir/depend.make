@@ -1,0 +1,2 @@
+# Empty dependencies file for resnet50_featurizer.
+# This may be replaced when dependencies are built.

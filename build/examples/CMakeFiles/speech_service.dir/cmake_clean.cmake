@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_service.dir/speech_service.cpp.o"
+  "CMakeFiles/speech_service.dir/speech_service.cpp.o.d"
+  "speech_service"
+  "speech_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

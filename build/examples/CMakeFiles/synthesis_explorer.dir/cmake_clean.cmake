@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_explorer.dir/synthesis_explorer.cpp.o"
+  "CMakeFiles/synthesis_explorer.dir/synthesis_explorer.cpp.o.d"
+  "synthesis_explorer"
+  "synthesis_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bfp")
+subdirs("tensor")
+subdirs("arch")
+subdirs("isa")
+subdirs("func")
+subdirs("timing")
+subdirs("critpath")
+subdirs("graph")
+subdirs("compiler")
+subdirs("refmodel")
+subdirs("baseline")
+subdirs("synth")
+subdirs("workloads")
+subdirs("runtime")

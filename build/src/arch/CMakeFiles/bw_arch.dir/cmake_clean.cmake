@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_arch.dir/mem_id.cc.o"
+  "CMakeFiles/bw_arch.dir/mem_id.cc.o.d"
+  "CMakeFiles/bw_arch.dir/npu_config.cc.o"
+  "CMakeFiles/bw_arch.dir/npu_config.cc.o.d"
+  "libbw_arch.a"
+  "libbw_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_baseline.dir/gpu_model.cc.o"
+  "CMakeFiles/bw_baseline.dir/gpu_model.cc.o.d"
+  "libbw_baseline.a"
+  "libbw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

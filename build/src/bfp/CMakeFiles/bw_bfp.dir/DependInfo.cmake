@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfp/bfp.cc" "src/bfp/CMakeFiles/bw_bfp.dir/bfp.cc.o" "gcc" "src/bfp/CMakeFiles/bw_bfp.dir/bfp.cc.o.d"
+  "/root/repo/src/bfp/float16.cc" "src/bfp/CMakeFiles/bw_bfp.dir/float16.cc.o" "gcc" "src/bfp/CMakeFiles/bw_bfp.dir/float16.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_bfp.dir/bfp.cc.o"
+  "CMakeFiles/bw_bfp.dir/bfp.cc.o.d"
+  "CMakeFiles/bw_bfp.dir/float16.cc.o"
+  "CMakeFiles/bw_bfp.dir/float16.cc.o.d"
+  "libbw_bfp.a"
+  "libbw_bfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_bfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

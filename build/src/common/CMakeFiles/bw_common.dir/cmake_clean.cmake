@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_common.dir/logging.cc.o"
+  "CMakeFiles/bw_common.dir/logging.cc.o.d"
+  "CMakeFiles/bw_common.dir/stats.cc.o"
+  "CMakeFiles/bw_common.dir/stats.cc.o.d"
+  "CMakeFiles/bw_common.dir/table.cc.o"
+  "CMakeFiles/bw_common.dir/table.cc.o.d"
+  "libbw_common.a"
+  "libbw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

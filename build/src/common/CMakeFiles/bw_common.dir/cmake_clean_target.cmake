@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbw_common.a"
+)

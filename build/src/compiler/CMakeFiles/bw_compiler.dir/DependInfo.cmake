@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/conv_lowering.cc" "src/compiler/CMakeFiles/bw_compiler.dir/conv_lowering.cc.o" "gcc" "src/compiler/CMakeFiles/bw_compiler.dir/conv_lowering.cc.o.d"
+  "/root/repo/src/compiler/lowering.cc" "src/compiler/CMakeFiles/bw_compiler.dir/lowering.cc.o" "gcc" "src/compiler/CMakeFiles/bw_compiler.dir/lowering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bw_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/bw_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/refmodel/CMakeFiles/bw_refmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfp/CMakeFiles/bw_bfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

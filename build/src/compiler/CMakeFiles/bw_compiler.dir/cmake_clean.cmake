@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_compiler.dir/conv_lowering.cc.o"
+  "CMakeFiles/bw_compiler.dir/conv_lowering.cc.o.d"
+  "CMakeFiles/bw_compiler.dir/lowering.cc.o"
+  "CMakeFiles/bw_compiler.dir/lowering.cc.o.d"
+  "libbw_compiler.a"
+  "libbw_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

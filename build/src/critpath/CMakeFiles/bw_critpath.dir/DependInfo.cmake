@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/critpath/conv_critpath.cc" "src/critpath/CMakeFiles/bw_critpath.dir/conv_critpath.cc.o" "gcc" "src/critpath/CMakeFiles/bw_critpath.dir/conv_critpath.cc.o.d"
+  "/root/repo/src/critpath/critpath.cc" "src/critpath/CMakeFiles/bw_critpath.dir/critpath.cc.o" "gcc" "src/critpath/CMakeFiles/bw_critpath.dir/critpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bw_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

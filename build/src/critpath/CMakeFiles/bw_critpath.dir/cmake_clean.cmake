@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_critpath.dir/conv_critpath.cc.o"
+  "CMakeFiles/bw_critpath.dir/conv_critpath.cc.o.d"
+  "CMakeFiles/bw_critpath.dir/critpath.cc.o"
+  "CMakeFiles/bw_critpath.dir/critpath.cc.o.d"
+  "libbw_critpath.a"
+  "libbw_critpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_critpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_func.dir/machine.cc.o"
+  "CMakeFiles/bw_func.dir/machine.cc.o.d"
+  "CMakeFiles/bw_func.dir/regfile.cc.o"
+  "CMakeFiles/bw_func.dir/regfile.cc.o.d"
+  "libbw_func.a"
+  "libbw_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builders.cc" "src/graph/CMakeFiles/bw_graph.dir/builders.cc.o" "gcc" "src/graph/CMakeFiles/bw_graph.dir/builders.cc.o.d"
+  "/root/repo/src/graph/gir.cc" "src/graph/CMakeFiles/bw_graph.dir/gir.cc.o" "gcc" "src/graph/CMakeFiles/bw_graph.dir/gir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bw_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_graph.dir/builders.cc.o"
+  "CMakeFiles/bw_graph.dir/builders.cc.o.d"
+  "CMakeFiles/bw_graph.dir/gir.cc.o"
+  "CMakeFiles/bw_graph.dir/gir.cc.o.d"
+  "libbw_graph.a"
+  "libbw_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

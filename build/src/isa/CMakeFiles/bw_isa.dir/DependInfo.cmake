@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/analysis.cc" "src/isa/CMakeFiles/bw_isa.dir/analysis.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/analysis.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/bw_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/isa/CMakeFiles/bw_isa.dir/builder.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/builder.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/bw_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/isa/CMakeFiles/bw_isa.dir/instruction.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/isa/CMakeFiles/bw_isa.dir/opcode.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/bw_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/validate.cc" "src/isa/CMakeFiles/bw_isa.dir/validate.cc.o" "gcc" "src/isa/CMakeFiles/bw_isa.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfp/CMakeFiles/bw_bfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_isa.dir/analysis.cc.o"
+  "CMakeFiles/bw_isa.dir/analysis.cc.o.d"
+  "CMakeFiles/bw_isa.dir/assembler.cc.o"
+  "CMakeFiles/bw_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/bw_isa.dir/builder.cc.o"
+  "CMakeFiles/bw_isa.dir/builder.cc.o.d"
+  "CMakeFiles/bw_isa.dir/encoding.cc.o"
+  "CMakeFiles/bw_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/bw_isa.dir/instruction.cc.o"
+  "CMakeFiles/bw_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/bw_isa.dir/opcode.cc.o"
+  "CMakeFiles/bw_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/bw_isa.dir/program.cc.o"
+  "CMakeFiles/bw_isa.dir/program.cc.o.d"
+  "CMakeFiles/bw_isa.dir/validate.cc.o"
+  "CMakeFiles/bw_isa.dir/validate.cc.o.d"
+  "libbw_isa.a"
+  "libbw_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refmodel/conv_ref.cc" "src/refmodel/CMakeFiles/bw_refmodel.dir/conv_ref.cc.o" "gcc" "src/refmodel/CMakeFiles/bw_refmodel.dir/conv_ref.cc.o.d"
+  "/root/repo/src/refmodel/gir_interp.cc" "src/refmodel/CMakeFiles/bw_refmodel.dir/gir_interp.cc.o" "gcc" "src/refmodel/CMakeFiles/bw_refmodel.dir/gir_interp.cc.o.d"
+  "/root/repo/src/refmodel/rnn_ref.cc" "src/refmodel/CMakeFiles/bw_refmodel.dir/rnn_ref.cc.o" "gcc" "src/refmodel/CMakeFiles/bw_refmodel.dir/rnn_ref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bw_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

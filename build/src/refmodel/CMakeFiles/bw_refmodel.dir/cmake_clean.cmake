@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_refmodel.dir/conv_ref.cc.o"
+  "CMakeFiles/bw_refmodel.dir/conv_ref.cc.o.d"
+  "CMakeFiles/bw_refmodel.dir/gir_interp.cc.o"
+  "CMakeFiles/bw_refmodel.dir/gir_interp.cc.o.d"
+  "CMakeFiles/bw_refmodel.dir/rnn_ref.cc.o"
+  "CMakeFiles/bw_refmodel.dir/rnn_ref.cc.o.d"
+  "libbw_refmodel.a"
+  "libbw_refmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_refmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_runtime.dir/multi_fpga.cc.o"
+  "CMakeFiles/bw_runtime.dir/multi_fpga.cc.o.d"
+  "CMakeFiles/bw_runtime.dir/serving.cc.o"
+  "CMakeFiles/bw_runtime.dir/serving.cc.o.d"
+  "libbw_runtime.a"
+  "libbw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/device.cc" "src/synth/CMakeFiles/bw_synth.dir/device.cc.o" "gcc" "src/synth/CMakeFiles/bw_synth.dir/device.cc.o.d"
+  "/root/repo/src/synth/resource_model.cc" "src/synth/CMakeFiles/bw_synth.dir/resource_model.cc.o" "gcc" "src/synth/CMakeFiles/bw_synth.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfp/CMakeFiles/bw_bfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

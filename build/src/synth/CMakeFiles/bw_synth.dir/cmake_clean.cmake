@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_synth.dir/device.cc.o"
+  "CMakeFiles/bw_synth.dir/device.cc.o.d"
+  "CMakeFiles/bw_synth.dir/resource_model.cc.o"
+  "CMakeFiles/bw_synth.dir/resource_model.cc.o.d"
+  "libbw_synth.a"
+  "libbw_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

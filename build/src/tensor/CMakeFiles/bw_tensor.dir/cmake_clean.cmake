@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_tensor.dir/tensor.cc.o"
+  "CMakeFiles/bw_tensor.dir/tensor.cc.o.d"
+  "libbw_tensor.a"
+  "libbw_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

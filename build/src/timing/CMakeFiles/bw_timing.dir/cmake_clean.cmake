@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_timing.dir/npu_timing.cc.o"
+  "CMakeFiles/bw_timing.dir/npu_timing.cc.o.d"
+  "libbw_timing.a"
+  "libbw_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/deepbench.cc" "src/workloads/CMakeFiles/bw_workloads.dir/deepbench.cc.o" "gcc" "src/workloads/CMakeFiles/bw_workloads.dir/deepbench.cc.o.d"
+  "/root/repo/src/workloads/paper_data.cc" "src/workloads/CMakeFiles/bw_workloads.dir/paper_data.cc.o" "gcc" "src/workloads/CMakeFiles/bw_workloads.dir/paper_data.cc.o.d"
+  "/root/repo/src/workloads/resnet50.cc" "src/workloads/CMakeFiles/bw_workloads.dir/resnet50.cc.o" "gcc" "src/workloads/CMakeFiles/bw_workloads.dir/resnet50.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bw_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_workloads.dir/deepbench.cc.o"
+  "CMakeFiles/bw_workloads.dir/deepbench.cc.o.d"
+  "CMakeFiles/bw_workloads.dir/paper_data.cc.o"
+  "CMakeFiles/bw_workloads.dir/paper_data.cc.o.d"
+  "CMakeFiles/bw_workloads.dir/resnet50.cc.o"
+  "CMakeFiles/bw_workloads.dir/resnet50.cc.o.d"
+  "libbw_workloads.a"
+  "libbw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

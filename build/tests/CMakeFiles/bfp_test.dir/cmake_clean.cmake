@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfp_test.dir/bfp_test.cc.o"
+  "CMakeFiles/bfp_test.dir/bfp_test.cc.o.d"
+  "bfp_test"
+  "bfp_test.pdb"
+  "bfp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepbench_test.dir/deepbench_test.cc.o"
+  "CMakeFiles/deepbench_test.dir/deepbench_test.cc.o.d"
+  "deepbench_test"
+  "deepbench_test.pdb"
+  "deepbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float16_test.dir/float16_test.cc.o"
+  "CMakeFiles/float16_test.dir/float16_test.cc.o.d"
+  "float16_test"
+  "float16_test.pdb"
+  "float16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_compiler_test.dir/fuzz_compiler_test.cc.o"
+  "CMakeFiles/fuzz_compiler_test.dir/fuzz_compiler_test.cc.o.d"
+  "fuzz_compiler_test"
+  "fuzz_compiler_test.pdb"
+  "fuzz_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

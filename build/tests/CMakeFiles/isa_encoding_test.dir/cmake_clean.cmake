@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_encoding_test.dir/isa_encoding_test.cc.o"
+  "CMakeFiles/isa_encoding_test.dir/isa_encoding_test.cc.o.d"
+  "isa_encoding_test"
+  "isa_encoding_test.pdb"
+  "isa_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
