@@ -8,6 +8,7 @@
 #ifndef BW_BENCH_BENCH_UTIL_H
 #define BW_BENCH_BENCH_UTIL_H
 
+#include <cstdlib>
 #include <string>
 
 #include "bw/bw.h"
@@ -64,6 +65,31 @@ runBwRnn(const RnnLayerSpec &layer, const NpuConfig &cfg,
     out.tflops = effectiveTflops(layer.totalOps(), cycles, cfg.clockMhz);
     out.utilization = out.tflops / cfg.peakTflops();
     return out;
+}
+
+/** Machine-readable form of one layer result (for BENCH_*.json files). */
+inline Json
+toJson(const BwRnnResult &r)
+{
+    Json j = Json::object();
+    j.set("total_cycles", r.totalCycles);
+    j.set("per_step_cycles", r.perStepCycles);
+    j.set("latency_ms", r.latencyMs);
+    j.set("tflops", r.tflops);
+    j.set("utilization", r.utilization);
+    return j;
+}
+
+/**
+ * Destination of the repro-scorecard JSON artifact: the value of
+ * BW_SCORECARD_JSON when set, else BENCH_scorecard.json in the working
+ * directory.
+ */
+inline std::string
+scorecardJsonPath()
+{
+    const char *env = std::getenv("BW_SCORECARD_JSON");
+    return env ? env : "BENCH_scorecard.json";
 }
 
 /** "+3.1%" style delta between a measured and a published value. */

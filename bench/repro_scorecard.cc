@@ -21,6 +21,7 @@ struct Scorecard
 {
     TextTable table{{"Check", "measured", "paper", "delta", "band",
                      "status"}};
+    Json checks = Json::array();
     int failures = 0;
 
     void
@@ -37,6 +38,14 @@ struct Scorecard
         table.addRow({name, fmtF(measured, 2), fmtF(published, 2),
                       fmtF(delta, 1) + "%", "±" + fmtF(band_pct, 0) + "%",
                       ok ? "PASS" : "FAIL"});
+        Json c = Json::object();
+        c.set("check", name);
+        c.set("measured", measured);
+        c.set("paper", published);
+        c.set("delta_pct", delta);
+        c.set("band_pct", band_pct);
+        c.set("status", ok ? "PASS" : "FAIL");
+        checks.push(std::move(c));
     }
 
     void
@@ -45,6 +54,28 @@ struct Scorecard
     {
         table.addRow({name, fmtF(measured, 2), fmtF(published, 2), "-",
                       note, "WARN"});
+        Json c = Json::object();
+        c.set("check", name);
+        c.set("measured", measured);
+        c.set("paper", published);
+        c.set("note", note);
+        c.set("status", "WARN");
+        checks.push(std::move(c));
+    }
+
+    /** Write the BENCH_scorecard.json artifact (perf-trajectory feed). */
+    void
+    writeJson(const std::string &path)
+    {
+        Json doc = Json::object();
+        doc.set("benchmark", "repro_scorecard");
+        doc.set("paper",
+                "A Configurable Cloud-Scale DNN Processor for Real-Time "
+                "AI (ISCA 2018)");
+        doc.set("checks", std::move(checks));
+        doc.set("failures", failures);
+        doc.set("pass", failures == 0);
+        writeJsonFile(path, doc);
     }
 };
 
@@ -149,6 +180,10 @@ main()
     std::printf("Reproduction scorecard (see EXPERIMENTS.md for the "
                 "full per-cell record)\n\n%s\n",
                 sc.table.render().c_str());
+    std::string json_path = scorecardJsonPath();
+    sc.writeJson(json_path);
+    std::printf("Machine-readable scorecard written to %s\n",
+                json_path.c_str());
     if (sc.failures) {
         std::printf("%d check(s) outside their band.\n", sc.failures);
         return 1;

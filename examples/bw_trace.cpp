@@ -1,0 +1,107 @@
+/**
+ * @file
+ * bw_trace — compile a DeepBench RNN layer, run it on the timing
+ * simulator with the structured event trace attached, and write:
+ *
+ *   trace.json        Chrome trace-event JSON (open in Perfetto or
+ *                     chrome://tracing): one track per modeled resource,
+ *                     the run rendered as a pipeline waterfall.
+ *   (stdout)          stall-attribution report — where every cycle of
+ *                     the run went, the software analogue of the paper's
+ *                     UDM-vs-SDM decomposition — plus the TimingResult
+ *                     as JSON.
+ *
+ *   $ ./bw_trace [gru|lstm] [hidden] [steps] [trace.json]
+ *   $ ./bw_trace gru 1024 5 /tmp/gru.json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bw/bw.h"
+
+using namespace bw;
+
+int
+main(int argc, char **argv)
+{
+    RnnKind kind = RnnKind::Gru;
+    unsigned hidden = 1024;
+    unsigned steps = 5;
+    const char *out_path = "trace.json";
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "lstm") == 0) {
+            kind = RnnKind::Lstm;
+        } else if (std::strcmp(argv[1], "gru") != 0) {
+            std::fprintf(stderr,
+                         "bw_trace: unknown cell '%s'\n"
+                         "usage: bw_trace [gru|lstm] [hidden] [steps] "
+                         "[trace.json]\n", argv[1]);
+            return 2;
+        }
+    }
+    if (argc > 2)
+        hidden = static_cast<unsigned>(std::atoi(argv[2]));
+    if (argc > 3)
+        steps = static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 4)
+        out_path = argv[4];
+    if (hidden == 0 || steps == 0) {
+        std::fprintf(stderr,
+                     "bw_trace: hidden and steps must be positive "
+                     "(got hidden=%u steps=%u)\n", hidden, steps);
+        return 2;
+    }
+
+    NpuConfig cfg = NpuConfig::bwS10();
+    std::printf("bw_trace: %s h=%u, %u steps on %s\n\n",
+                rnnKindName(kind), hidden, steps, cfg.name.c_str());
+
+    Rng rng(1);
+    GirGraph g = kind == RnnKind::Lstm
+                     ? makeLstm(randomLstmWeights(hidden, hidden, rng))
+                     : makeGru(randomGruWeights(hidden, hidden, rng));
+    CompileOptions opts;
+    opts.pipelineInputProjections = kind == RnnKind::Gru;
+    CompiledModel model = compileGir(g, cfg, opts);
+
+    timing::NpuTiming sim(cfg);
+    sim.setTileBeats(model.tileBeats);
+
+    obs::EventTrace trace;
+    sim.setTraceSink(&trace);
+    auto res = sim.run(model.prologue, model.step, steps);
+    sim.setTraceSink(nullptr);
+
+    // --- trace.json: the run as a Perfetto-loadable waterfall. ---
+    obs::writeChromeTrace(out_path, trace, cfg.clockMhz);
+    uint64_t per_class[static_cast<size_t>(obs::ResClass::NumResClasses)] =
+        {};
+    for (const obs::TraceEvent &e : trace.events())
+        ++per_class[static_cast<size_t>(e.res)];
+    std::printf("%s: %s events on %llu chains",
+                out_path, fmtI(trace.emitted()).c_str(),
+                static_cast<unsigned long long>(trace.chains().size()));
+    if (trace.dropped())
+        std::printf(" (%s oldest dropped from the ring)",
+                    fmtI(trace.dropped()).c_str());
+    std::printf("\n  per resource class:");
+    for (size_t i = 0;
+         i < static_cast<size_t>(obs::ResClass::NumResClasses); ++i) {
+        if (per_class[i])
+            std::printf(" %s=%llu",
+                        obs::resClassName(static_cast<obs::ResClass>(i)),
+                        static_cast<unsigned long long>(per_class[i]));
+    }
+    std::printf("\n\n");
+
+    // --- Stall attribution: where the cycles went. ---
+    obs::StallReport report =
+        obs::buildStallReport(trace.chains(), res.totalCycles);
+    std::printf("%s\n", report.render().c_str());
+
+    // --- Machine-readable run summary. ---
+    std::printf("TimingResult:\n%s\n", res.toJson().dump(2).c_str());
+    return 0;
+}

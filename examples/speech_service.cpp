@@ -58,12 +58,13 @@ main(int argc, char **argv)
     ServeStats gpu_nobatch = serveBatched(arrivals, 1, 0.0, gpu_ms);
     ServeStats gpu_batch8 = serveBatched(arrivals, 8, 5.0, gpu_ms);
 
-    TextTable t({"Service", "mean ms", "p50 ms", "p99 ms", "max ms",
-                 "req/s", "mean batch"});
+    TextTable t({"Service", "mean ms", "p50 ms", "p95 ms", "p99 ms",
+                 "max ms", "req/s", "mean batch"});
     auto add = [&](const char *name, const ServeStats &s) {
         t.addRow({name, fmtF(s.meanLatencyMs, 2), fmtF(s.p50LatencyMs, 2),
-                  fmtF(s.p99LatencyMs, 2), fmtF(s.maxLatencyMs, 2),
-                  fmtF(s.throughputRps, 0), fmtF(s.meanBatch, 1)});
+                  fmtF(s.p95LatencyMs, 2), fmtF(s.p99LatencyMs, 2),
+                  fmtF(s.maxLatencyMs, 2), fmtF(s.throughputRps, 0),
+                  fmtF(s.meanBatch, 1)});
     };
     add("BW NPU (no batching)", bw_stats);
     add("Titan Xp (batch=1)", gpu_nobatch);

@@ -30,6 +30,7 @@
 #include "baseline/gpu_model.h"
 #include "bfp/bfp.h"
 #include "bfp/float16.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -48,6 +49,9 @@
 #include "isa/builder.h"
 #include "isa/encoding.h"
 #include "isa/validate.h"
+#include "obs/chrome_trace.h"
+#include "obs/stall.h"
+#include "obs/trace.h"
 #include "refmodel/conv_ref.h"
 #include "refmodel/rnn_ref.h"
 #include "runtime/multi_fpga.h"

@@ -19,4 +19,33 @@ StatGroup::dump() const
     return os.str();
 }
 
+Json
+Distribution::toJson() const
+{
+    Json j = Json::object();
+    j.set("count", count());
+    j.set("min", min());
+    j.set("max", max());
+    j.set("sum", sum());
+    j.set("mean", mean());
+    j.set("stddev", stddev());
+    return j;
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json counters = Json::object();
+    for (const auto &[k, v] : counters_)
+        counters.set(k, v);
+    Json dists = Json::object();
+    for (const auto &[k, d] : dists_)
+        dists.set(k, d.toJson());
+    Json j = Json::object();
+    j.set("name", name_);
+    j.set("counters", std::move(counters));
+    j.set("distributions", std::move(dists));
+    return j;
+}
+
 } // namespace bw

@@ -8,10 +8,13 @@
 #ifndef BW_COMMON_STATS_H
 #define BW_COMMON_STATS_H
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/json.h"
 
 namespace bw {
 
@@ -44,8 +47,17 @@ class Distribution
         if (count_ == 0)
             return 0.0;
         double m = mean();
-        return sumSq_ / count_ - m * m;
+        // The two-pass-free formula cancels catastrophically when the
+        // spread is tiny relative to the mean; the true variance is
+        // never negative, so clamp the rounding residue.
+        return std::max(0.0, sumSq_ / count_ - m * m);
     }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** {count,min,max,sum,mean,stddev} as a JSON object. */
+    Json toJson() const;
 
   private:
     uint64_t count_ = 0;
@@ -114,6 +126,9 @@ class StatGroup
 
     /** Render a "name.stat = value" report, one line per stat. */
     std::string dump() const;
+
+    /** {name, counters:{...}, distributions:{...}} as a JSON object. */
+    Json toJson() const;
 
     /** Reset all counters and distributions. */
     void

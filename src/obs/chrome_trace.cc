@@ -1,0 +1,119 @@
+#include "obs/chrome_trace.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace bw {
+namespace obs {
+
+namespace {
+
+/** Stable per-instance track id: class-major so the waterfall groups
+ *  all instances of one resource class together. */
+int
+trackId(const TraceEvent &e)
+{
+    return static_cast<int>(e.res) * 1000 + e.resIndex;
+}
+
+std::string
+trackName(const TraceEvent &e)
+{
+    std::string n = resClassName(e.res);
+    switch (e.res) {
+      case ResClass::ControlProcessor:
+      case ResClass::TopScheduler:
+      case ResClass::Dram:
+        return n; // single-instance tracks
+      case ResClass::Network:
+        return n + (e.resIndex == 0 ? ".in" : ".out");
+      case ResClass::VrfPort:
+        return n + "." + memIdMnemonic(e.mem) + "[" +
+               std::to_string(e.resIndex) + "]";
+      default:
+        return n + "[" + std::to_string(e.resIndex) + "]";
+    }
+}
+
+} // namespace
+
+Json
+chromeTraceJson(const EventTrace &trace, double clock_mhz)
+{
+    // cycles -> microseconds (or identity when no clock is given).
+    double scale = clock_mhz > 0 ? 1.0 / clock_mhz : 1.0;
+
+    Json events = Json::array();
+    std::map<int, std::string> tracks;
+    for (const TraceEvent &e : trace.events()) {
+        int tid = trackId(e);
+        tracks.emplace(tid, trackName(e));
+
+        Json args = Json::object();
+        args.set("chain", e.chain);
+        args.set("start_cycle", e.start);
+        args.set("end_cycle", e.end);
+        if (e.kind == EventKind::VrfRead || e.kind == EventKind::VrfWrite) {
+            args.set("mem", memIdMnemonic(e.mem));
+            args.set("addr", e.addr);
+        }
+
+        Json ev = Json::object();
+        ev.set("name", eventKindName(e.kind));
+        ev.set("cat", resClassName(e.res));
+        ev.set("ph", "X");
+        ev.set("ts", static_cast<double>(e.start) * scale);
+        ev.set("dur",
+               static_cast<double>(e.end > e.start ? e.end - e.start : 0) *
+                   scale);
+        ev.set("pid", 0);
+        ev.set("tid", tid);
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+
+    // Metadata: name and order the tracks.
+    for (const auto &[tid, name] : tracks) {
+        Json nm_args = Json::object();
+        nm_args.set("name", name);
+        Json nm = Json::object();
+        nm.set("name", "thread_name");
+        nm.set("ph", "M");
+        nm.set("pid", 0);
+        nm.set("tid", tid);
+        nm.set("args", std::move(nm_args));
+        events.push(std::move(nm));
+
+        Json idx_args = Json::object();
+        idx_args.set("sort_index", tid);
+        Json idx = Json::object();
+        idx.set("name", "thread_sort_index");
+        idx.set("ph", "M");
+        idx.set("pid", 0);
+        idx.set("tid", tid);
+        idx.set("args", std::move(idx_args));
+        events.push(std::move(idx));
+    }
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    Json meta = Json::object();
+    meta.set("tool", "bw_trace");
+    meta.set("clock_mhz", clock_mhz);
+    meta.set("events_emitted", trace.emitted());
+    meta.set("events_dropped", trace.dropped());
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+void
+writeChromeTrace(const std::string &path, const EventTrace &trace,
+                 double clock_mhz)
+{
+    writeJsonFile(path, chromeTraceJson(trace, clock_mhz));
+}
+
+} // namespace obs
+} // namespace bw

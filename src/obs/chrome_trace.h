@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of an EventTrace: one track (tid) per
+ * resource instance, so any simulator run opens in Perfetto or
+ * chrome://tracing as a pipeline waterfall — control processor and
+ * scheduler at the top, then tile engines, reduce units, MFUs, VRF
+ * ports, network queues and DRAM.
+ */
+
+#ifndef BW_OBS_CHROME_TRACE_H
+#define BW_OBS_CHROME_TRACE_H
+
+#include <string>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace bw {
+namespace obs {
+
+/**
+ * Render @p trace as a Chrome trace-event document. Timestamps are in
+ * microseconds at @p clock_mhz; pass 0 to keep raw cycles (the
+ * waterfall then reads in cycle units).
+ */
+Json chromeTraceJson(const EventTrace &trace, double clock_mhz);
+
+/** chromeTraceJson() written to @p path; throws bw::Error on I/O. */
+void writeChromeTrace(const std::string &path, const EventTrace &trace,
+                      double clock_mhz);
+
+} // namespace obs
+} // namespace bw
+
+#endif // BW_OBS_CHROME_TRACE_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stall attribution over retired-chain profiles: the software analogue
+ * of the paper's UDM-vs-SDM decomposition. Every cycle of the run's
+ * end-to-end span is attributed to exactly one reason — instruction
+ * delivery (dispatch/decode), data hazards per register file, input
+ * availability, structural hazards per resource class, or useful
+ * compute — so the attributed cycles always sum to the total.
+ */
+
+#ifndef BW_OBS_STALL_H
+#define BW_OBS_STALL_H
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/units.h"
+#include "obs/trace.h"
+
+namespace bw {
+namespace obs {
+
+/** One attributed reason with its share of the end-to-end cycles. */
+struct StallBucket
+{
+    std::string reason; //!< e.g. "structural:tile_engine", "data:ivrf"
+    Cycles cycles = 0;
+    double fraction = 0; //!< of the run's total cycles
+};
+
+/** Aggregated stall attribution for one run. */
+struct StallReport
+{
+    Cycles totalCycles = 0;
+    /** Sum over buckets; equals totalCycles by construction. */
+    Cycles attributedCycles = 0;
+    uint64_t chains = 0;
+    /** Buckets sorted by cycles, descending. */
+    std::vector<StallBucket> buckets;
+
+    /** Text report: "top stall reasons" table plus the worst chains. */
+    std::string render(size_t top_chains = 5) const;
+
+    Json toJson() const;
+
+    /** For the worst-chain section of render(). */
+    std::vector<ChainProfile> worstChains;
+};
+
+/**
+ * Attribute the run's [0, total_cycles) span across stall reasons.
+ *
+ * Chains retire in completion order; the span each chain adds to the
+ * end-to-end time (its completion minus the previous frontier) is split
+ * proportionally to that chain's measured wait breakdown — dispatch,
+ * decode, data hazard (per memory space), input wait, structural hazard
+ * (per resource class) — with the remainder counted as compute.
+ */
+StallReport buildStallReport(const std::vector<ChainProfile> &chains,
+                             Cycles total_cycles);
+
+} // namespace obs
+} // namespace bw
+
+#endif // BW_OBS_STALL_H

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bw {
+namespace obs {
+
+const char *
+resClassName(ResClass r)
+{
+    switch (r) {
+      case ResClass::ControlProcessor: return "control_processor";
+      case ResClass::TopScheduler: return "top_scheduler";
+      case ResClass::TileEngine: return "tile_engine";
+      case ResClass::ReduceUnit: return "reduce_unit";
+      case ResClass::MfuUnit: return "mfu_unit";
+      case ResClass::VrfPort: return "vrf_port";
+      case ResClass::Network: return "network";
+      case ResClass::Dram: return "dram";
+      default: BW_PANIC("bad ResClass %d", static_cast<int>(r));
+    }
+}
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Dispatch: return "dispatch";
+      case EventKind::Decode: return "decode";
+      case EventKind::TileStream: return "tile_stream";
+      case EventKind::Reduce: return "reduce";
+      case EventKind::MfuOp: return "mfu_op";
+      case EventKind::VrfRead: return "vrf_read";
+      case EventKind::VrfWrite: return "vrf_write";
+      case EventKind::NetIn: return "net_in";
+      case EventKind::NetOut: return "net_out";
+      case EventKind::DramRead: return "dram_read";
+      case EventKind::DramWrite: return "dram_write";
+      default: BW_PANIC("bad EventKind %d", static_cast<int>(k));
+    }
+}
+
+EventTrace::EventTrace(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity))
+{
+    ring_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void
+EventTrace::event(const TraceEvent &e)
+{
+    ++emitted_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(e);
+        return;
+    }
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+}
+
+void
+EventTrace::chainRetired(const ChainProfile &p)
+{
+    chains_.push_back(p);
+}
+
+std::vector<TraceEvent>
+EventTrace::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // head_ is the oldest entry once the ring has wrapped.
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+EventTrace::clear()
+{
+    ring_.clear();
+    chains_.clear();
+    head_ = 0;
+    emitted_ = 0;
+}
+
+void
+TextTraceSink::event(const TraceEvent &e)
+{
+    if (!verbose_)
+        return;
+    std::fprintf(out_, "trace event %-12s %s[%u] chain@%u [%llu,%llu)\n",
+                 eventKindName(e.kind), resClassName(e.res), e.resIndex,
+                 e.chain, static_cast<unsigned long long>(e.start),
+                 static_cast<unsigned long long>(e.end));
+}
+
+void
+TextTraceSink::chainRetired(const ChainProfile &p)
+{
+    std::fprintf(out_,
+                 "trace chain@%u %-28s dispatch=%llu decode=%llu "
+                 "done=%llu data_stall=%llu input_stall=%llu "
+                 "struct_stall=%llu\n",
+                 p.chain, p.label.c_str(),
+                 static_cast<unsigned long long>(p.dispatchDone),
+                 static_cast<unsigned long long>(p.decodeDone),
+                 static_cast<unsigned long long>(p.done),
+                 static_cast<unsigned long long>(p.dataStall),
+                 static_cast<unsigned long long>(p.inputStall),
+                 static_cast<unsigned long long>(p.structStall));
+}
+
+} // namespace obs
+} // namespace bw

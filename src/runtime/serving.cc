@@ -41,16 +41,9 @@ serveUnbatched(const std::vector<double> &arrivals_s, double service_ms,
         latencies.push_back((done + net_s / 2 - a) * 1e3);
     }
 
-    stats.requests = latencies.size();
     std::vector<double> sorted = latencies;
     std::sort(sorted.begin(), sorted.end());
-    double sum = 0;
-    for (double l : sorted)
-        sum += l;
-    stats.meanLatencyMs = sum / sorted.size();
-    stats.p50LatencyMs = sorted[sorted.size() / 2];
-    stats.p99LatencyMs = sorted[sorted.size() * 99 / 100];
-    stats.maxLatencyMs = sorted.back();
+    fillLatencyStats(stats, sorted);
     double span = device_free_s - arrivals_s.front();
     stats.throughputRps = span > 0 ? sorted.size() / span : 0;
     return stats;

@@ -15,6 +15,7 @@
 #define BW_RUNTIME_SERVING_H
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "baseline/gpu_model.h"
@@ -28,11 +29,45 @@ struct ServeStats
     uint64_t requests = 0;
     double meanLatencyMs = 0;
     double p50LatencyMs = 0;
+    double p95LatencyMs = 0;
     double p99LatencyMs = 0;
     double maxLatencyMs = 0;
     double throughputRps = 0; //!< completed requests per second
     double meanBatch = 1.0;   //!< average formed batch size (GPU)
 };
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample set: the
+ * smallest value such that at least @p pct percent of the samples are
+ * <= it. Zero for an empty set.
+ */
+inline double
+percentileSorted(const std::vector<double> &sorted, double pct)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t rank = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+    rank = std::clamp<size_t>(rank, 1, sorted.size());
+    return sorted[rank - 1];
+}
+
+/** Fill the latency summary fields from an ascending-sorted sample set. */
+inline void
+fillLatencyStats(ServeStats &stats, const std::vector<double> &sorted)
+{
+    stats.requests = sorted.size();
+    if (sorted.empty())
+        return;
+    double sum = 0;
+    for (double l : sorted)
+        sum += l;
+    stats.meanLatencyMs = sum / static_cast<double>(sorted.size());
+    stats.p50LatencyMs = percentileSorted(sorted, 50);
+    stats.p95LatencyMs = percentileSorted(sorted, 95);
+    stats.p99LatencyMs = percentileSorted(sorted, 99);
+    stats.maxLatencyMs = sorted.back();
+}
 
 /** Poisson request arrivals at @p rate_rps for @p duration_s seconds. */
 std::vector<double> poissonArrivals(double rate_rps, double duration_s,
@@ -90,16 +125,9 @@ serveBatched(const std::vector<double> &arrivals_s, unsigned max_batch,
         i = j;
     }
     stats.meanBatch = batches ? stats.meanBatch / batches : 1.0;
-    stats.requests = latencies.size();
 
     std::sort(latencies.begin(), latencies.end());
-    double sum = 0;
-    for (double l : latencies)
-        sum += l;
-    stats.meanLatencyMs = sum / latencies.size();
-    stats.p50LatencyMs = latencies[latencies.size() / 2];
-    stats.p99LatencyMs = latencies[latencies.size() * 99 / 100];
-    stats.maxLatencyMs = latencies.back();
+    fillLatencyStats(stats, latencies);
     double span = device_free_s - arrivals_s.front();
     stats.throughputRps = span > 0 ? latencies.size() / span : 0;
     return stats;

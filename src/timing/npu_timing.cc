@@ -28,6 +28,12 @@ mfuClassIndex(Opcode op)
 
 } // namespace
 
+/** Observability state for the chain currently in flight. */
+struct NpuTiming::ChainCtx
+{
+    obs::ChainProfile prof;
+};
+
 NpuTiming::NpuTiming(const NpuConfig &cfg)
     : cfg_(cfg), beats_(cfg.nativeVectorBeats()), tp_(cfg.timing),
       engines_(cfg.tileEngines), reduceUnits_(cfg.tileEngines),
@@ -36,12 +42,78 @@ NpuTiming::NpuTiming(const NpuConfig &cfg)
       mulvrfWrite_(cfg.tileEngines)
 {
     cfg_.validate();
-    // Per-chain timing trace to stderr (debugging aid).
-    trace_ = std::getenv("BW_TIMING_TRACE") != nullptr;
+    // Per-chain timing trace to stderr (debugging aid);
+    // BW_TIMING_TRACE=events additionally prints every busy interval.
+    if (const char *env = std::getenv("BW_TIMING_TRACE")) {
+        envSink_ = std::make_unique<obs::TextTraceSink>(
+            stderr, std::string(env) == "events");
+        sink_ = envSink_.get();
+    }
     dotLatency_ = tp_.mvmMulLatency +
                   ceilLog2(std::max(2u, cfg_.lanes)) *
                       tp_.accumTreeStageLatency +
                   1;
+}
+
+void
+NpuTiming::setTraceSink(obs::TraceSink *sink)
+{
+    sink_ = sink ? sink : envSink_.get();
+}
+
+void
+NpuTiming::emit(obs::EventKind kind, obs::ResClass res, uint16_t res_index,
+                Cycles start, Cycles end, MemId mem, uint32_t addr)
+{
+    if (!sink_)
+        return;
+    obs::TraceEvent e;
+    e.start = start;
+    e.end = end;
+    e.kind = kind;
+    e.res = res;
+    e.resIndex = res_index;
+    e.chain = ctx_ ? ctx_->prof.chain : 0;
+    e.mem = mem;
+    e.addr = addr;
+    sink_->event(e);
+}
+
+void
+NpuTiming::noteDataStall(Cycles earliest, Cycles dep, MemId mem,
+                         uint32_t addr)
+{
+    if (!ctx_ || dep <= earliest)
+        return;
+    Cycles w = dep - earliest;
+    ctx_->prof.dataStall += w;
+    if (w > ctx_->prof.worstDataStall) {
+        ctx_->prof.worstDataStall = w;
+        ctx_->prof.dataStallMem = mem;
+        ctx_->prof.dataStallAddr = addr;
+    }
+}
+
+void
+NpuTiming::noteInputStall(Cycles earliest, Cycles arrival)
+{
+    if (!ctx_ || arrival <= earliest)
+        return;
+    ctx_->prof.inputStall += arrival - earliest;
+}
+
+void
+NpuTiming::noteStructStall(Cycles requested, Cycles granted,
+                           obs::ResClass res)
+{
+    if (!ctx_ || granted <= requested)
+        return;
+    Cycles w = granted - requested;
+    ctx_->prof.structStall += w;
+    if (w > ctx_->prof.worstStructStall) {
+        ctx_->prof.worstStructStall = w;
+        ctx_->prof.structRes = res;
+    }
 }
 
 void
@@ -97,6 +169,7 @@ NpuTiming::readBlock(const Instruction &inst, uint32_t offset,
       case MemId::AddSubVrf:
       case MemId::MultiplyVrf: {
         Cycles dep = board_.readyAt(inst.mem, inst.addr + offset, 1);
+        noteDataStall(earliest, dep, inst.mem, inst.addr + offset);
         if (for_mvm) {
             // MVM input streaming reads the replicated per-tile-engine
             // input VRFs (Fig. 5): every dot-product unit has a
@@ -108,19 +181,31 @@ NpuTiming::readBlock(const Instruction &inst, uint32_t offset,
         }
         Cycles s = readPort(inst.mem).acquire(std::max(earliest, dep),
                                               tp_.vectorUnitBeats);
+        noteStructStall(std::max(earliest, dep), s, obs::ResClass::VrfPort);
+        emit(obs::EventKind::VrfRead, obs::ResClass::VrfPort, 0, s,
+             s + tp_.vectorUnitBeats, inst.mem, inst.addr + offset);
         return s + tp_.vrfReadLatency;
       }
       case MemId::NetQ: {
         Cycles arr = nextInputArrival();
+        noteInputStall(earliest, arr);
         Cycles s = netIn_.acquire(std::max(earliest, arr), tp_.netBeats);
+        noteStructStall(std::max(earliest, arr), s,
+                        obs::ResClass::Network);
+        emit(obs::EventKind::NetIn, obs::ResClass::Network, 0, s,
+             s + tp_.netBeats);
         return s + tp_.netqLatency;
       }
       case MemId::Dram: {
         Cycles dep = board_.readyAt(MemId::Dram, inst.addr + offset, 1);
+        noteDataStall(earliest, dep, MemId::Dram, inst.addr + offset);
         Cycles occ = std::max<Cycles>(
             1, static_cast<uint64_t>(cfg_.nativeDim) * 2 /
                    tp_.dramBytesPerCycle);
         Cycles s = dram_.acquire(std::max(earliest, dep), occ);
+        noteStructStall(std::max(earliest, dep), s, obs::ResClass::Dram);
+        emit(obs::EventKind::DramRead, obs::ResClass::Dram, 0, s, s + occ,
+             MemId::Dram, inst.addr + offset);
         return s + tp_.dramLatency;
       }
       default:
@@ -195,14 +280,24 @@ NpuTiming::execMatrixChain(const Program &prog, const Chain &c,
         Cycles ready;
         if (rd.mem == MemId::NetQ) {
             Cycles arr = nextInputArrival();
+            noteInputStall(decode_done, arr);
             Cycles occ = static_cast<Cycles>(n) * tp_.netBeats;
             Cycles s = netIn_.acquire(std::max(decode_done, arr), occ);
+            noteStructStall(std::max(decode_done, arr), s,
+                            obs::ResClass::Network);
+            emit(obs::EventKind::NetIn, obs::ResClass::Network, 0, s,
+                 s + occ);
             ready = s + occ - 1 + tp_.netqLatency;
         } else { // Dram
             Cycles dep = board_.readyAt(MemId::Dram, rd.addr + t, 1);
+            noteDataStall(decode_done, dep, MemId::Dram, rd.addr + t);
             Cycles occ = std::max<Cycles>(
                 1, tile_bytes / tp_.dramBytesPerCycle);
             Cycles s = dram_.acquire(std::max(decode_done, dep), occ);
+            noteStructStall(std::max(decode_done, dep), s,
+                            obs::ResClass::Dram);
+            emit(obs::EventKind::DramRead, obs::ResClass::Dram, 0, s,
+                 s + occ, MemId::Dram, rd.addr + t);
             ready = s + occ - 1 + tp_.dramLatency;
         }
 
@@ -214,6 +309,9 @@ NpuTiming::execMatrixChain(const Program &prog, const Chain &c,
             Cycles occ = std::max<Cycles>(
                 1, tile_bytes / tp_.dramBytesPerCycle);
             Cycles s = dram_.acquire(ready, occ);
+            noteStructStall(ready, s, obs::ResClass::Dram);
+            emit(obs::EventKind::DramWrite, obs::ResClass::Dram, 0, s,
+                 s + occ, MemId::Dram, wr.addr + t);
             wr_done = s + occ - 1;
             board_.setReady(MemId::Dram, wr.addr + t, 1, wr_done);
         }
@@ -255,6 +353,7 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
         const Instruction &mv = prog[c.first + 1];
         Cycles mrf_ready = board_.readyAt(MemId::MatrixRf, mv.addr,
                                           c.rows * c.cols);
+        noteDataStall(decode_done, mrf_ready, MemId::MatrixRf, mv.addr);
 
         std::vector<Cycles> block_ready(in_width);
         for (uint32_t b = 0; b < in_width; ++b) {
@@ -288,6 +387,10 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
                 Cycles earliest =
                     std::max({block_ready[cc], sched, mrf_ready});
                 Cycles s = engines_[e].acquire(earliest, tb);
+                noteStructStall(earliest, s, obs::ResClass::TileEngine);
+                emit(obs::EventKind::TileStream,
+                     obs::ResClass::TileEngine, static_cast<uint16_t>(e),
+                     s, s + tb, MemId::MatrixRf, mv.addr + t);
                 Cycles partial = s + tb - 1 + dotLatency_;
                 row_partials[r] = std::max(row_partials[r], partial);
                 ++res.nativeTileOps;
@@ -301,6 +404,9 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
                           reduceUnits_.size();
             Cycles s = reduceUnits_[unit].acquire(row_partials[r],
                                                   tp_.vectorUnitBeats);
+            noteStructStall(row_partials[r], s, obs::ResClass::ReduceUnit);
+            emit(obs::EventKind::Reduce, obs::ResClass::ReduceUnit,
+                 static_cast<uint16_t>(unit), s, s + tp_.vectorUnitBeats);
             vec_ready[r] = s + reduce_lat + 1;
         }
     } else {
@@ -322,10 +428,17 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
                         c.strideOperands ? wr_off + r : r;
                     operand_ready =
                         board_.readyAt(op.mem, op.addr + off, 1);
+                    noteDataStall(t, operand_ready, op.mem,
+                                  op.addr + off);
                 }
                 Server &u = mfuUnits_[units[j]];
                 Cycles s = u.acquire(std::max(t, operand_ready),
                                      tp_.vectorUnitBeats);
+                noteStructStall(std::max(t, operand_ready), s,
+                                obs::ResClass::MfuUnit);
+                emit(obs::EventKind::MfuOp, obs::ResClass::MfuUnit,
+                     static_cast<uint16_t>(units[j]), s,
+                     s + tp_.vectorUnitBeats);
                 Cycles lat;
                 switch (mfuClassIndex(op.op)) {
                   case 0: lat = tp_.mfuAddLatency; break;
@@ -346,6 +459,9 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
             switch (w->mem) {
               case MemId::NetQ: {
                 Cycles s = netOut_.acquire(head, tp_.netBeats);
+                noteStructStall(head, s, obs::ResClass::Network);
+                emit(obs::EventKind::NetOut, obs::ResClass::Network, 1, s,
+                     s + tp_.netBeats);
                 done = s + tp_.netBeats - 1;
                 res.outputTimes.push_back(done);
                 break;
@@ -355,6 +471,9 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
                     1, static_cast<uint64_t>(cfg_.nativeDim) * 2 /
                            tp_.dramBytesPerCycle);
                 Cycles s = dram_.acquire(head, occ);
+                noteStructStall(head, s, obs::ResClass::Dram);
+                emit(obs::EventKind::DramWrite, obs::ResClass::Dram, 0, s,
+                     s + occ, MemId::Dram, w->addr + wr_off + r);
                 done = s + occ - 1 + tp_.dramLatency;
                 board_.setReady(MemId::Dram, w->addr + wr_off + r, 1,
                                 done);
@@ -366,6 +485,11 @@ NpuTiming::execVectorChain(const Program &prog, const Chain &c,
                               ports.size();
                 Cycles s = ports[port].acquire(head,
                                                tp_.vectorUnitBeats);
+                noteStructStall(head, s, obs::ResClass::VrfPort);
+                emit(obs::EventKind::VrfWrite, obs::ResClass::VrfPort,
+                     static_cast<uint16_t>(port), s,
+                     s + tp_.vectorUnitBeats, w->mem,
+                     w->addr + wr_off + r);
                 done = s + tp_.vectorUnitBeats - 1 + tp_.vrfWriteLatency;
                 board_.setReady(w->mem, w->addr + wr_off + r, 1, done);
                 break;
@@ -421,10 +545,13 @@ NpuTiming::run(const Program &prologue, const Program &step,
         for (const Chain &c : prog_chains) {
             // The control processor streams the chain's instructions at
             // one compound instruction per dispatchInterval cycles.
+            Cycles dispatch_start = 0;
             Cycles dispatch_done = 0;
             for (size_t k = 0; k < c.count; ++k) {
-                dispatch_done = nios_.acquire(0, tp_.dispatchInterval) +
-                                tp_.dispatchInterval;
+                Cycles s = nios_.acquire(0, tp_.dispatchInterval);
+                if (k == 0)
+                    dispatch_start = s;
+                dispatch_done = s + tp_.dispatchInterval;
             }
             res.instructionsDispatched += c.count;
 
@@ -436,6 +563,23 @@ NpuTiming::run(const Program &prologue, const Program &step,
                 tp_.topSchedLatency + tp_.decoderLatency;
             if (c.hasMvMul)
                 decode_done += tp_.l2SchedLatency;
+
+            ChainCtx ctx;
+            if (sink_) {
+                ctx.prof.chain = static_cast<uint32_t>(c.first);
+                ctx.prof.kind =
+                    c.kind == Chain::Kind::Matrix ? 'M' : 'V';
+                ctx.prof.label = prog[c.first].toString();
+                ctx.prof.dispatchStart = dispatch_start;
+                ctx.prof.dispatchDone = dispatch_done;
+                ctx.prof.decodeDone = decode_done;
+                ctx_ = &ctx;
+                emit(obs::EventKind::Dispatch,
+                     obs::ResClass::ControlProcessor, 0, dispatch_start,
+                     dispatch_done);
+                emit(obs::EventKind::Decode, obs::ResClass::TopScheduler,
+                     0, dispatch_done, decode_done);
+            }
 
             OpCount iter_mult =
                 c.kind == Chain::Kind::Vector ? c.iters : 1;
@@ -451,14 +595,10 @@ NpuTiming::run(const Program &prologue, const Program &step,
             Cycles done = c.kind == Chain::Kind::Matrix
                               ? execMatrixChain(prog, c, decode_done, res)
                               : execVectorChain(prog, c, decode_done, res);
-            if (trace_) {
-                std::fprintf(stderr,
-                             "trace chain@%zu %-28s dispatch=%llu "
-                             "decode=%llu done=%llu\n",
-                             c.first, prog[c.first].toString().c_str(),
-                             static_cast<unsigned long long>(dispatch_done),
-                             static_cast<unsigned long long>(decode_done),
-                             static_cast<unsigned long long>(done));
+            if (sink_) {
+                ctx.prof.done = done;
+                sink_->chainRetired(ctx.prof);
+                ctx_ = nullptr;
             }
             last = std::max(last, done);
             ++res.chainsExecuted;

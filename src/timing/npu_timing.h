@@ -25,11 +25,13 @@
 #define BW_TIMING_NPU_TIMING_H
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "arch/npu_config.h"
 #include "isa/program.h"
+#include "obs/trace.h"
 #include "timing/resources.h"
 #include "timing/result.h"
 #include "timing/scoreboard.h"
@@ -61,6 +63,16 @@ class NpuTiming
     void setTileBeats(std::unordered_map<uint32_t, unsigned> beats);
 
     /**
+     * Attach a structured trace sink (non-owning; nullptr detaches and
+     * falls back to the BW_TIMING_TRACE stderr sink, if enabled). The
+     * sink receives one obs::TraceEvent per resource busy interval and
+     * one obs::ChainProfile per retired chain. Tracing is purely
+     * observational: simulated cycle counts are identical with any sink
+     * attached or none.
+     */
+    void setTraceSink(obs::TraceSink *sink);
+
+    /**
      * Simulate @p iterations back-to-back executions of @p prog (an RNN
      * timestep program replayed T times, per the paper's control-
      * processor loop). State (resource timelines, scoreboard) is reset
@@ -78,6 +90,20 @@ class NpuTiming
 
   private:
     struct ChainCtx;
+
+    /** Emit one busy interval to the attached sink (no-op when none). */
+    void emit(obs::EventKind kind, obs::ResClass res, uint16_t res_index,
+              Cycles start, Cycles end, MemId mem = MemId::InitialVrf,
+              uint32_t addr = 0);
+
+    /** Record a scoreboard (RAW) wait on the current chain. */
+    void noteDataStall(Cycles earliest, Cycles dep, MemId mem,
+                       uint32_t addr);
+    /** Record a NetQ input-arrival wait on the current chain. */
+    void noteInputStall(Cycles earliest, Cycles arrival);
+    /** Record a busy-resource wait on the current chain. */
+    void noteStructStall(Cycles requested, Cycles granted,
+                         obs::ResClass res);
 
     void execScalar(const Chain &c);
     Cycles execMatrixChain(const Program &prog, const Chain &c,
@@ -137,7 +163,13 @@ class NpuTiming
     Scoreboard board_;
     std::deque<Cycles> inputArrivals_;
     std::unordered_map<uint32_t, unsigned> tileBeats_;
-    bool trace_ = false;
+
+    /** Active sink (null = tracing off, the zero-cost default). */
+    obs::TraceSink *sink_ = nullptr;
+    /** Stderr text sink owned when BW_TIMING_TRACE is set. */
+    std::unique_ptr<obs::TraceSink> envSink_;
+    /** Profile of the chain currently executing (valid while tracing). */
+    ChainCtx *ctx_ = nullptr;
 };
 
 } // namespace timing

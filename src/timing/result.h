@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/npu_config.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/units.h"
 
@@ -94,6 +95,30 @@ struct TimingResult
                                        iterationEnd.size() - 2);
         Cycles span = iterationEnd.back() - iterationEnd[skip];
         return span / (iterationEnd.size() - 1 - skip);
+    }
+
+    /** Machine-readable summary (counters, per-iteration ends, stats). */
+    Json
+    toJson() const
+    {
+        Json j = Json::object();
+        j.set("total_cycles", totalCycles);
+        j.set("dispatched_ops", dispatchedOps);
+        j.set("mvm_ops", mvmOps);
+        j.set("mvm_busy_cycles", mvmBusyCycles);
+        j.set("mfu_busy_cycles", mfuBusyCycles);
+        j.set("instructions_dispatched", instructionsDispatched);
+        j.set("chains_executed", chainsExecuted);
+        j.set("native_tile_ops", nativeTileOps);
+        j.set("steady_state_iteration_cycles",
+              steadyStateIterationCycles());
+        Json iters = Json::array();
+        for (Cycles c : iterationEnd)
+            iters.push(c);
+        j.set("iteration_end", std::move(iters));
+        j.set("output_count", static_cast<uint64_t>(outputTimes.size()));
+        j.set("stats", stats.toJson());
+        return j;
     }
 };
 

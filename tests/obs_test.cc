@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Observability-layer tests: JSON model round-trips, stats
+ * serialization, the event-trace ring, Chrome trace-event export
+ * (structural and golden), stall attribution conservation, and the
+ * guarantee that tracing never changes simulated timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "isa/builder.h"
+#include "obs/chrome_trace.h"
+#include "obs/stall.h"
+#include "obs/trace.h"
+#include "runtime/serving.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+namespace {
+
+using timing::NpuTiming;
+using timing::TimingResult;
+
+// --- JSON model. -------------------------------------------------------
+
+TEST(Json, DumpCompact)
+{
+    Json j = Json::object();
+    j.set("a", 1);
+    j.set("b", true);
+    j.set("c", Json::array().push("x").push(nullptr));
+    j.set("d", 2.5);
+    EXPECT_EQ(j.dump(), "{\"a\":1,\"b\":true,\"c\":[\"x\",null],"
+                        "\"d\":2.5}");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    Json j = Json::object();
+    j.set("counters", Json::object().set("cycles", int64_t{123456789}));
+    j.set("ratio", 0.748);
+    j.set("label", "GRU h=2816 \"big\"\n");
+    j.set("list", Json::array().push(1).push(2).push(3));
+    Json back = Json::parse(j.dump(2));
+    EXPECT_EQ(back, j);
+    EXPECT_EQ(back.find("counters")->find("cycles")->asInt(), 123456789);
+    EXPECT_DOUBLE_EQ(back.find("ratio")->asDouble(), 0.748);
+    EXPECT_EQ(back.find("label")->asString(), "GRU h=2816 \"big\"\n");
+}
+
+TEST(Json, ParseRejectsGarbage)
+{
+    EXPECT_THROW(Json::parse("{\"a\":}"), Error);
+    EXPECT_THROW(Json::parse("[1, 2"), Error);
+    EXPECT_THROW(Json::parse("{} trailing"), Error);
+}
+
+TEST(Json, NonFiniteDumpsAsNull)
+{
+    Json j = Json::array();
+    j.push(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(j.dump(), "[null]");
+}
+
+// --- Stats serialization and numerics. ---------------------------------
+
+TEST(Distribution, VarianceNeverNegative)
+{
+    // Catastrophic cancellation regime: tiny spread, huge mean. The
+    // naive sumSq/n - mean^2 goes (slightly) negative here.
+    Distribution d;
+    d.sample(1e9);
+    d.sample(1e9 + 1e-4);
+    d.sample(1e9 - 1e-4);
+    EXPECT_GE(d.variance(), 0.0);
+    EXPECT_GE(d.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+}
+
+TEST(Distribution, StddevMatchesSpread)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0); // classic textbook set
+}
+
+TEST(StatGroup, ToJsonRoundTrip)
+{
+    StatGroup g("npu");
+    g.inc("chains", 42);
+    g.set("cycles", 123456);
+    g.sample("latency", 1.0);
+    g.sample("latency", 3.0);
+
+    Json back = Json::parse(g.toJson().dump(2));
+    EXPECT_EQ(back.find("name")->asString(), "npu");
+    const Json *counters = back.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("chains")->asInt(), 42);
+    EXPECT_EQ(counters->find("cycles")->asInt(), 123456);
+    const Json *lat = back.find("distributions")->find("latency");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asInt(), 2);
+    EXPECT_DOUBLE_EQ(lat->find("mean")->asDouble(), 2.0);
+    EXPECT_EQ(back, g.toJson());
+}
+
+// --- Event-trace ring. -------------------------------------------------
+
+obs::TraceEvent
+eventAt(Cycles start, Cycles end)
+{
+    obs::TraceEvent e;
+    e.start = start;
+    e.end = end;
+    e.kind = obs::EventKind::MfuOp;
+    e.res = obs::ResClass::MfuUnit;
+    return e;
+}
+
+TEST(EventTrace, RingKeepsMostRecent)
+{
+    obs::EventTrace t(4);
+    for (Cycles i = 0; i < 10; ++i)
+        t.event(eventAt(i, i + 1));
+    EXPECT_EQ(t.emitted(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // Oldest-first, and only the most recent four survive.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(evs[i].start, 6 + i);
+    t.clear();
+    EXPECT_EQ(t.emitted(), 0u);
+    EXPECT_TRUE(t.events().empty());
+}
+
+// --- Simulator integration. --------------------------------------------
+
+/** Small config mirroring timing_test's structural fixture. */
+NpuConfig
+smallConfig()
+{
+    NpuConfig c = NpuConfig::bwS10();
+    c.name = "small";
+    c.nativeDim = 40;
+    c.lanes = 10;
+    c.tileEngines = 2;
+    c.mrfSize = 64;
+    c.mrfIndexSpace = 256;
+    c.initialVrfSize = 128;
+    c.addSubVrfSize = 128;
+    c.multiplyVrfSize = 128;
+    return c;
+}
+
+/** Two dependent MVM+MFU chains exercising most resource classes. */
+Program
+testProgram()
+{
+    ProgramBuilder b;
+    b.tile(2, 2);
+    b.vRd(MemId::InitialVrf, 0)
+        .mvMul(0)
+        .vvAdd(0)
+        .vTanh()
+        .vWr(MemId::InitialVrf, 8);
+    b.vRd(MemId::InitialVrf, 8)
+        .vvMul(4)
+        .vWr(MemId::AddSubVrf, 16);
+    return b.build();
+}
+
+TEST(NpuTimingTrace, EventOrderingAndCoverage)
+{
+    NpuTiming sim(smallConfig());
+    obs::EventTrace trace;
+    sim.setTraceSink(&trace);
+    auto res = sim.run(testProgram(), 2);
+
+    ASSERT_EQ(trace.chains().size(), 4u); // 2 chains x 2 iterations
+    auto evs = trace.events();
+    ASSERT_FALSE(evs.empty());
+    EXPECT_EQ(trace.dropped(), 0u);
+
+    bool seen[static_cast<size_t>(obs::ResClass::NumResClasses)] = {};
+    for (const obs::TraceEvent &e : evs) {
+        EXPECT_LE(e.start, e.end);
+        EXPECT_LE(e.end, res.totalCycles + 64); // within the run's span
+        seen[static_cast<size_t>(e.res)] = true;
+    }
+    EXPECT_TRUE(seen[static_cast<size_t>(obs::ResClass::ControlProcessor)]);
+    EXPECT_TRUE(seen[static_cast<size_t>(obs::ResClass::TopScheduler)]);
+    EXPECT_TRUE(seen[static_cast<size_t>(obs::ResClass::TileEngine)]);
+    EXPECT_TRUE(seen[static_cast<size_t>(obs::ResClass::ReduceUnit)]);
+    EXPECT_TRUE(seen[static_cast<size_t>(obs::ResClass::MfuUnit)]);
+    EXPECT_TRUE(seen[static_cast<size_t>(obs::ResClass::VrfPort)]);
+
+    // Profiles arrive in dispatch order — the two vector chains (first
+    // instructions at indices 2 and 7, after the two s_wr's) per
+    // iteration — and each chain's milestones are causally ordered.
+    std::vector<uint32_t> ids;
+    Cycles prev_dispatch = 0;
+    for (const obs::ChainProfile &p : trace.chains()) {
+        ids.push_back(p.chain);
+        EXPECT_LE(p.dispatchStart, p.dispatchDone);
+        EXPECT_LE(p.dispatchDone, p.decodeDone);
+        EXPECT_LE(p.decodeDone, p.done);
+        EXPECT_GE(p.dispatchDone, prev_dispatch);
+        prev_dispatch = p.dispatchDone;
+    }
+    EXPECT_EQ(ids, (std::vector<uint32_t>{2, 7, 2, 7}));
+
+    // The dependent second chain must observe a RAW stall on ivrf[8..].
+    const obs::ChainProfile &dep = trace.chains()[1];
+    EXPECT_GT(dep.dataStall, 0u);
+    EXPECT_EQ(dep.dataStallMem, MemId::InitialVrf);
+}
+
+TEST(NpuTimingTrace, CyclesIdenticalWithAndWithoutTracing)
+{
+    NpuConfig cfg = smallConfig();
+    Program prog = testProgram();
+
+    NpuTiming plain(cfg);
+    TimingResult off = plain.run(prog, 3);
+
+    NpuTiming traced(cfg);
+    obs::EventTrace trace;
+    traced.setTraceSink(&trace);
+    TimingResult on = traced.run(prog, 3);
+
+    EXPECT_EQ(on.totalCycles, off.totalCycles);
+    EXPECT_EQ(on.iterationEnd, off.iterationEnd);
+    EXPECT_EQ(on.mvmBusyCycles, off.mvmBusyCycles);
+    EXPECT_EQ(on.mfuBusyCycles, off.mfuBusyCycles);
+    EXPECT_EQ(on.stats.counters(), off.stats.counters());
+
+    // Detaching the sink must restore the zero-instrumentation path and
+    // still produce identical timing.
+    traced.setTraceSink(nullptr);
+    TimingResult detached = traced.run(prog, 3);
+    EXPECT_EQ(detached.totalCycles, off.totalCycles);
+}
+
+TEST(NpuTimingTrace, StallAttributionSumsToTotalCycles)
+{
+    NpuTiming sim(smallConfig());
+    obs::EventTrace trace;
+    sim.setTraceSink(&trace);
+    auto res = sim.run(testProgram(), 4);
+
+    obs::StallReport rep =
+        obs::buildStallReport(trace.chains(), res.totalCycles);
+    EXPECT_EQ(rep.totalCycles, res.totalCycles);
+    Cycles sum = 0;
+    for (const obs::StallBucket &b : rep.buckets)
+        sum += b.cycles;
+    EXPECT_EQ(sum, res.totalCycles); // exact, not just within 1%
+    EXPECT_EQ(rep.attributedCycles, res.totalCycles);
+    EXPECT_FALSE(rep.buckets.empty());
+    // The report renders without blowing up and names its total.
+    std::string text = rep.render();
+    EXPECT_NE(text.find("stall reason"), std::string::npos);
+}
+
+TEST(NpuTimingTrace, TimingResultToJson)
+{
+    NpuTiming sim(smallConfig());
+    auto res = sim.run(testProgram(), 2);
+    Json j = Json::parse(res.toJson().dump());
+    EXPECT_EQ(j.find("total_cycles")->asInt(),
+              static_cast<int64_t>(res.totalCycles));
+    EXPECT_EQ(j.find("chains_executed")->asInt(), 4);
+    EXPECT_EQ(j.find("iteration_end")->size(), 2u);
+    EXPECT_TRUE(j.find("stats")->contains("counters"));
+}
+
+// --- Chrome trace-event export. ----------------------------------------
+
+TEST(ChromeTrace, GoldenTinyTrace)
+{
+    obs::EventTrace t;
+    obs::TraceEvent e;
+    e.start = 10;
+    e.end = 14;
+    e.kind = obs::EventKind::TileStream;
+    e.res = obs::ResClass::TileEngine;
+    e.resIndex = 1;
+    e.chain = 3;
+    t.event(e);
+
+    // Raw-cycle timestamps (clock 0) keep the golden exact.
+    std::string json = obs::chromeTraceJson(t, 0.0).dump();
+    EXPECT_EQ(json,
+              "{\"traceEvents\":["
+              "{\"name\":\"tile_stream\",\"cat\":\"tile_engine\","
+              "\"ph\":\"X\",\"ts\":10.0,\"dur\":4.0,\"pid\":0,"
+              "\"tid\":2001,\"args\":{\"chain\":3,\"start_cycle\":10,"
+              "\"end_cycle\":14}},"
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":2001,\"args\":{\"name\":\"tile_engine[1]\"}},"
+              "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":2001,\"args\":{\"sort_index\":2001}}],"
+              "\"displayTimeUnit\":\"ms\","
+              "\"otherData\":{\"tool\":\"bw_trace\",\"clock_mhz\":0.0,"
+              "\"events_emitted\":1,\"events_dropped\":0}}");
+}
+
+TEST(ChromeTrace, SimRunExportsValidStructure)
+{
+    NpuConfig cfg = smallConfig();
+    NpuTiming sim(cfg);
+    obs::EventTrace trace;
+    sim.setTraceSink(&trace);
+    sim.run(testProgram(), 1);
+
+    Json doc = Json::parse(obs::chromeTraceJson(trace, cfg.clockMhz)
+                               .dump(2));
+    const Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GT(events->size(), 0u);
+    size_t complete = 0, metadata = 0;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json &ev = events->at(i);
+        const std::string &ph = ev.find("ph")->asString();
+        ASSERT_TRUE(ph == "X" || ph == "M");
+        EXPECT_TRUE(ev.contains("name"));
+        EXPECT_TRUE(ev.contains("tid"));
+        if (ph == "X") {
+            ++complete;
+            EXPECT_GE(ev.find("dur")->asDouble(), 0.0);
+            EXPECT_GE(ev.find("ts")->asDouble(), 0.0);
+        } else {
+            ++metadata;
+        }
+    }
+    EXPECT_GT(complete, 0u);
+    EXPECT_GT(metadata, 0u); // track names present
+}
+
+// --- Serving percentiles. ----------------------------------------------
+
+TEST(Serving, NearestRankPercentiles)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 50), 50.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 95), 95.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 99), 99.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 100), 100.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({}, 99), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({7.0}, 50), 7.0);
+}
+
+TEST(Serving, P95Populated)
+{
+    // Uncontended requests: every latency identical, so all percentiles
+    // equal service + network time.
+    std::vector<double> arrivals;
+    for (int i = 0; i < 50; ++i)
+        arrivals.push_back(i * 1.0);
+    ServeStats s = serveUnbatched(arrivals, 2.0, 0.1);
+    EXPECT_NEAR(s.p95LatencyMs, 2.1, 1e-9);
+    EXPECT_NEAR(s.p95LatencyMs, s.p50LatencyMs, 1e-9);
+    EXPECT_LE(s.p50LatencyMs, s.p95LatencyMs);
+    EXPECT_LE(s.p95LatencyMs, s.p99LatencyMs);
+
+    ServeStats b = serveBatched(arrivals, 4, 1.0,
+                                [](unsigned) { return 2.0; });
+    EXPECT_GT(b.p95LatencyMs, 0.0);
+    EXPECT_LE(b.p95LatencyMs, b.maxLatencyMs);
+}
+
+} // namespace
+} // namespace bw
