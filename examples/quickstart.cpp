@@ -1,8 +1,9 @@
 /**
  * @file
  * Quickstart: build an LSTM, compile it for the published BW_S10
- * configuration, check numerical fidelity on the functional simulator,
- * and measure serving latency on the cycle-level timing simulator.
+ * configuration into a bw::Session, check numerical fidelity on the
+ * functional simulator, and measure serving latency on the cycle-level
+ * timing simulator — all through the one Session handle.
  *
  *   $ ./quickstart
  */
@@ -36,8 +37,10 @@ main()
                 static_cast<double>(graph.matmulOpsPerStep()) / 1e6,
                 static_cast<double>(graph.weightBytes(8)) / 1e6);
 
-    // 3. Compile: graph -> instruction chains + MRF/VRF images.
-    CompiledModel model = compileGir(graph, cfg);
+    // 3. Compile into a Session: one handle for the functional
+    //    machine, the timing simulator, and the serving engine.
+    Session session = Session::compile(graph, cfg);
+    const CompiledModel &model = session.model();
     std::printf("Compiled: %zu instructions/step, %u MRF tile "
                 "equivalents of %u\n\n",
                 model.step.size(), model.mrfTilesUsed, cfg.mrfSize);
@@ -52,15 +55,13 @@ main()
     }
 
     // 4. Functional check: quantized NPU vs float reference.
-    FuncMachine machine(cfg);
-    model.install(machine);
     std::vector<FVec> xs;
     for (unsigned t = 0; t < steps; ++t) {
         FVec x(hidden);
         fillUniform(x, rng, -0.5f, 0.5f);
         xs.push_back(x);
     }
-    auto npu_out = model.runSequence(machine, xs);
+    auto npu_out = session.infer(xs);
     auto ref_out = lstmRefRun(weights, xs);
     QuantError err = measureQuantError(ref_out.back(), npu_out.back());
     std::printf("\nFunctional: after %u steps, max |h_npu - h_ref| = "
@@ -68,9 +69,7 @@ main()
                 steps, err.maxAbs, cfg.precision.toString().c_str());
 
     // 5. Performance: cycle-level serving latency at batch 1.
-    timing::NpuTiming sim(cfg);
-    sim.setTileBeats(model.tileBeats);
-    auto perf = sim.run(model.prologue, model.step, steps);
+    auto perf = session.time(steps);
     double ms = perf.latencyMs(cfg);
     OpCount ops = model.matmulOpsPerStep * steps;
     std::printf("Timing: %u steps in %s cycles = %.3f ms  "

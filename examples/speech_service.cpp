@@ -5,7 +5,13 @@
  * batching, versus the same model behind a GPU batching queue. Requests
  * arrive as a Poisson stream; the example reports the latency
  * distribution each discipline delivers and the batch sizes the GPU
- * needs to stay ahead of the offered load.
+ * needs to stay ahead of the offered load. The BW row is produced by
+ * the serving engine's deterministic virtual-time replay — the same
+ * admission/dispatch machinery the threaded engine runs — which
+ * matches the analytic serveUnbatched() model.
+ *
+ * Set BW_STATS_JSON=<path> to also write the full comparison as a
+ * machine-readable JSON document.
  *
  *   $ ./speech_service [rate_rps]
  */
@@ -28,15 +34,13 @@ main(int argc, char **argv)
                 "of simulated time\n\n",
                 layer.label().c_str(), rate);
 
-    // --- BW microservice: single-request service time from the timing
-    //     simulator. ---
+    // --- BW microservice: one Session wraps compile + timing; the
+    //     serving engine replays the arrival trace in virtual time. ---
     NpuConfig cfg = NpuConfig::bwS10();
     Rng rng(1);
-    CompiledModel model = compileGir(
+    Session session = Session::compile(
         makeGru(randomGruWeights(layer.hidden, layer.hidden, rng)), cfg);
-    timing::NpuTiming sim(cfg);
-    sim.setTileBeats(model.tileBeats);
-    auto perf = sim.run(model.prologue, model.step, layer.timeSteps);
+    auto perf = session.time(layer.timeSteps);
     double bw_service_ms = perf.latencyMs(cfg);
 
     // Datacenter network: the accelerator is a bump-in-the-wire NIC
@@ -46,8 +50,12 @@ main(int argc, char **argv)
     Rng arr_rng(7);
     auto arrivals = poissonArrivals(rate, 30.0, arr_rng);
 
-    ServeStats bw_stats =
-        serveUnbatched(arrivals, bw_service_ms, network_ms);
+    serve::EngineOptions bw_opts;
+    bw_opts.policy = serve::DispatchPolicy::Unbatched;
+    bw_opts.networkMs = network_ms;
+    bw_opts.queueDepth = arrivals.size(); // unbounded for the load curve
+    auto engine = session.serve(bw_opts);
+    ServeStats bw_stats = engine->replay(arrivals, layer.timeSteps);
 
     // --- GPU service: batching queue in front of the modeled Titan
     //     Xp. ---
@@ -79,5 +87,19 @@ main(int argc, char **argv)
                 bw_service_ms,
                 100.0 * perf.utilization(cfg, layer.totalOps()),
                 gpu_ms(1));
+
+    // Machine-readable stats alongside the table.
+    if (const char *path = std::getenv("BW_STATS_JSON")) {
+        Json doc = Json::object();
+        doc.set("workload", layer.label());
+        doc.set("rate_rps", rate);
+        doc.set("bw_service_ms", bw_service_ms);
+        doc.set("network_ms", network_ms);
+        doc.set("bw_unbatched", bw_stats.toJson());
+        doc.set("gpu_batch1", gpu_nobatch.toJson());
+        doc.set("gpu_batch8_5ms", gpu_batch8.toJson());
+        writeJsonFile(path, doc);
+        std::printf("\nStats JSON written to %s\n", path);
+    }
     return 0;
 }

@@ -2,24 +2,32 @@
  * @file
  * Umbrella header for the Brainwave NPU reproduction library.
  *
- * Typical quickstart:
+ * Typical quickstart — one Session wraps compile, functional serving,
+ * cycle-level timing, and the concurrent serving engine:
  *
  *   #include "bw/bw.h"
  *
  *   bw::NpuConfig cfg = bw::NpuConfig::bwS10();
  *   bw::Rng rng(42);
  *   bw::GirGraph g = bw::makeLstm(bw::randomLstmWeights(512, 512, rng));
- *   bw::CompiledModel m = bw::compileGir(g, cfg);
+ *   bw::Session s = bw::Session::compile(g, cfg);
  *
  *   // Functional serving (bit-accurate BFP/float16 arithmetic):
- *   bw::FuncMachine machine(cfg);
- *   m.install(machine);
- *   auto outputs = m.runSequence(machine, inputs);
+ *   auto outputs = s.infer(inputs);
  *
  *   // Performance (cycle-level microarchitecture model):
- *   bw::timing::NpuTiming sim(cfg);
- *   sim.setTileBeats(m.tileBeats);
- *   auto perf = sim.run(m.prologue, m.step, steps);
+ *   auto perf = s.time(steps);
+ *
+ *   // Concurrent serving (worker threads over accelerator replicas):
+ *   auto engine = s.serve({.replicas = 2, .queueDepth = 32});
+ *   auto fut = engine->submit(inputs);       // Expected<future<Response>>
+ *   engine->drain();
+ *
+ * The pieces remain individually reachable — s.model() is the
+ * CompiledModel, s.machine() the installed FuncMachine, s.timer() the
+ * NpuTiming instance — and the pre-Session entry points
+ * (CompiledModel::install/runSequence, NpuTiming::setTileBeats/run)
+ * keep working unchanged.
  */
 
 #ifndef BW_BW_H
@@ -34,6 +42,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "compiler/conv_lowering.h"
@@ -56,6 +65,8 @@
 #include "refmodel/rnn_ref.h"
 #include "runtime/multi_fpga.h"
 #include "runtime/serving.h"
+#include "serve/engine.h"
+#include "serve/session.h"
 #include "synth/resource_model.h"
 #include "tensor/tensor.h"
 #include "timing/npu_timing.h"

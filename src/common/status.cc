@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace bw {
+
+const char *
+statusCodeName(StatusCode c)
+{
+    switch (c) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::QueueFull: return "QUEUE_FULL";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      default: BW_PANIC("bad StatusCode %d", static_cast<int>(c));
+    }
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string s = statusCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+} // namespace bw

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Lightweight status/expected types for recoverable, caller-visible
+ * failures: input validation on the serving entry points and admission
+ * control in the serving engine (bw::serve). Unlike bw::Error (thrown),
+ * a Status is a value — cheap enough for per-request admission
+ * decisions on the hot path, and explicit enough that callers must
+ * consider the failure case.
+ */
+
+#ifndef BW_COMMON_STATUS_H
+#define BW_COMMON_STATUS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace bw {
+
+/** Why an operation could not be performed. */
+enum class StatusCode : uint8_t
+{
+    Ok = 0,
+    InvalidArgument,    //!< malformed input (wrong size, bad option)
+    FailedPrecondition, //!< valid input, but the object can't do this
+    QueueFull,          //!< admission control rejected the request
+    DeadlineExceeded,   //!< request expired before (or during) service
+    Cancelled,          //!< request abandoned by shutdown
+    Unavailable,        //!< engine is draining or stopped
+};
+
+const char *statusCodeName(StatusCode c);
+
+/** A status code plus a human-readable detail message. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status
+    invalidArgument(std::string m)
+    {
+        return Status(StatusCode::InvalidArgument, std::move(m));
+    }
+    static Status
+    failedPrecondition(std::string m)
+    {
+        return Status(StatusCode::FailedPrecondition, std::move(m));
+    }
+    static Status
+    queueFull(std::string m)
+    {
+        return Status(StatusCode::QueueFull, std::move(m));
+    }
+    static Status
+    deadlineExceeded(std::string m)
+    {
+        return Status(StatusCode::DeadlineExceeded, std::move(m));
+    }
+    static Status
+    cancelled(std::string m)
+    {
+        return Status(StatusCode::Cancelled, std::move(m));
+    }
+    static Status
+    unavailable(std::string m)
+    {
+        return Status(StatusCode::Unavailable, std::move(m));
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "INVALID_ARGUMENT: <message>". */
+    std::string toString() const;
+
+    /** Throw bw::Error when not ok (bridges to the throwing API). */
+    void
+    throwIfError() const
+    {
+        if (!ok())
+            throw Error(toString());
+    }
+
+    bool
+    operator==(const Status &o) const
+    {
+        return code_ == o.code_ && message_ == o.message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A value of type T or the Status explaining its absence. The minimal
+ * subset of std::expected (C++23) the serving layer needs.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : state_(std::move(value)) {}
+    Expected(Status status) : state_(std::move(status))
+    {
+        BW_ASSERT(!std::get<Status>(state_).ok(),
+                  "Expected<T> built from an OK status carries no value");
+    }
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The status: OK when a value is present. */
+    Status
+    status() const
+    {
+        return ok() ? Status() : std::get<Status>(state_);
+    }
+
+    const T &
+    value() const
+    {
+        BW_ASSERT(ok(), "Expected::value() on error: %s",
+                  std::get<Status>(state_).toString().c_str());
+        return std::get<T>(state_);
+    }
+
+    T &
+    value()
+    {
+        BW_ASSERT(ok(), "Expected::value() on error: %s",
+                  std::get<Status>(state_).toString().c_str());
+        return std::get<T>(state_);
+    }
+
+    /** Move the value out (call at most once). */
+    T
+    take()
+    {
+        BW_ASSERT(ok(), "Expected::take() on error: %s",
+                  std::get<Status>(state_).toString().c_str());
+        return std::move(std::get<T>(state_));
+    }
+
+  private:
+    std::variant<Status, T> state_;
+};
+
+} // namespace bw
+
+#endif // BW_COMMON_STATUS_H

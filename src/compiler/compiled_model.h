@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/npu_config.h"
+#include "common/status.h"
 #include "func/machine.h"
 #include "graph/gir.h"
 #include "isa/program.h"
@@ -89,6 +90,28 @@ struct CompiledModel
 
     /** Load weight tiles and constant preloads into a machine. */
     void install(FuncMachine &m) const;
+
+    /**
+     * Clear recurrent state between independent requests on an
+     * installed machine. A raw FuncMachine::resetDynamicState() also
+     * wipes the model's VRF preloads (biases, constants); this
+     * restores them, leaving the machine as install() left it.
+     */
+    void resetRequestState(FuncMachine &m) const;
+
+    // --- Input validation (shared with bw::serve admission control).
+    //     The run* entry points call these and throw bw::Error with
+    //     the status message on failure; callers that prefer a value
+    //     (the serving engine, services) call them directly. ---
+
+    /** Can @p elems elements be served as one runStep() input? */
+    Status validateStepInput(size_t elems) const;
+
+    /** Can @p xs be served as a runSequence() input sequence? */
+    Status validateSequenceInput(const std::vector<FVec> &xs) const;
+
+    /** Can @p xs be served as one runStepBatch() input set? */
+    Status validateBatchInput(const std::vector<FVec> &xs) const;
 
     /**
      * Convenience serving step: pad and push @p x, execute the step

@@ -743,15 +743,76 @@ CompiledModel::install(FuncMachine &m) const
         m.loadVrf(p.space, p.addr, p.data);
 }
 
+void
+CompiledModel::resetRequestState(FuncMachine &m) const
+{
+    m.resetDynamicState();
+    for (const VrfPreload &p : preloads)
+        m.loadVrf(p.space, p.addr, p.data);
+}
+
+Status
+CompiledModel::validateStepInput(size_t elems) const
+{
+    if (!prologue.empty()) {
+        return Status::failedPrecondition(detail::format(
+            "model %s was compiled with a software-pipelining prologue "
+            "(CompileOptions::pipelineInputProjections): each step "
+            "prefetches the *next* step's input, so single steps cannot "
+            "be served in isolation — serve the whole sequence with "
+            "runSequence(), or recompile with pipelining disabled",
+            name.c_str()));
+    }
+    if (elems != inputDim) {
+        return Status::invalidArgument(detail::format(
+            "input has %zu elements, model %s expects %u", elems,
+            name.c_str(), inputDim));
+    }
+    return Status();
+}
+
+Status
+CompiledModel::validateSequenceInput(const std::vector<FVec> &xs) const
+{
+    for (size_t t = 0; t < xs.size(); ++t) {
+        if (xs[t].size() != inputDim) {
+            return Status::invalidArgument(detail::format(
+                "step %zu input has %zu elements, model %s expects %u",
+                t, xs[t].size(), name.c_str(), inputDim));
+        }
+    }
+    return Status();
+}
+
+Status
+CompiledModel::validateBatchInput(const std::vector<FVec> &xs) const
+{
+    if (!prologue.empty()) {
+        return Status::failedPrecondition(detail::format(
+            "model %s was compiled with a software-pipelining prologue; "
+            "batched steps require an unpipelined model — recompile "
+            "with CompileOptions::pipelineInputProjections = false",
+            name.c_str()));
+    }
+    if (xs.size() != batchSize) {
+        return Status::invalidArgument(detail::format(
+            "%zu inputs for model %s compiled with batch size %u",
+            xs.size(), name.c_str(), batchSize));
+    }
+    for (size_t b = 0; b < xs.size(); ++b) {
+        if (xs[b].size() != inputDim) {
+            return Status::invalidArgument(detail::format(
+                "batch sample %zu has %zu elements, model %s expects %u",
+                b, xs[b].size(), name.c_str(), inputDim));
+        }
+    }
+    return Status();
+}
+
 FVec
 CompiledModel::runStep(FuncMachine &m, std::span<const float> x) const
 {
-    if (!prologue.empty()) {
-        BW_FATAL("model %s was compiled with a software-pipelining "
-                 "prologue; serve it with runSequence()", name.c_str());
-    }
-    BW_ASSERT(x.size() == inputDim, "runStep: input has %zu elements, "
-              "model expects %u", x.size(), inputDim);
+    validateStepInput(x.size()).throwIfError();
     FVec padded = padTo(x, static_cast<size_t>(inputVecsPerStep) *
                                cfg.nativeDim);
     m.pushInput(padded);
@@ -765,18 +826,12 @@ std::vector<FVec>
 CompiledModel::runStepBatch(FuncMachine &m,
                             const std::vector<FVec> &xs) const
 {
-    if (!prologue.empty())
-        BW_FATAL("runStepBatch supports unpipelined models only");
-    BW_ASSERT(xs.size() == batchSize,
-              "runStepBatch: %zu inputs for batch %u", xs.size(),
-              batchSize);
+    validateBatchInput(xs).throwIfError();
     size_t per_sample_in =
         static_cast<size_t>(inputVecsPerStep) / batchSize *
         cfg.nativeDim;
-    for (const FVec &x : xs) {
-        BW_ASSERT(x.size() == inputDim);
+    for (const FVec &x : xs)
         m.pushInput(padTo(x, per_sample_in));
-    }
     m.run(step);
     std::vector<FVec> outs;
     uint32_t per_sample_out = outputVecsPerStep / batchSize;
@@ -795,6 +850,7 @@ CompiledModel::runSequence(FuncMachine &m,
     std::vector<FVec> outs;
     if (xs.empty())
         return outs;
+    validateSequenceInput(xs).throwIfError();
     outs.reserve(xs.size());
     if (prologue.empty()) {
         for (const FVec &x : xs)
@@ -805,7 +861,6 @@ CompiledModel::runSequence(FuncMachine &m,
     size_t padded_len =
         static_cast<size_t>(inputVecsPerStep) * cfg.nativeDim;
     auto push = [&](std::span<const float> x) {
-        BW_ASSERT(x.size() == inputDim);
         m.pushInput(padTo(x, padded_len));
     };
 

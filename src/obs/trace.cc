@@ -19,6 +19,8 @@ resClassName(ResClass r)
       case ResClass::VrfPort: return "vrf_port";
       case ResClass::Network: return "network";
       case ResClass::Dram: return "dram";
+      case ResClass::ServeQueue: return "serve_queue";
+      case ResClass::ServeWorker: return "serve_worker";
       default: BW_PANIC("bad ResClass %d", static_cast<int>(r));
     }
 }
@@ -38,6 +40,8 @@ eventKindName(EventKind k)
       case EventKind::NetOut: return "net_out";
       case EventKind::DramRead: return "dram_read";
       case EventKind::DramWrite: return "dram_write";
+      case EventKind::QueueWait: return "queue_wait";
+      case EventKind::Service: return "service";
       default: BW_PANIC("bad EventKind %d", static_cast<int>(k));
     }
 }

@@ -39,6 +39,8 @@ enum class ResClass : uint8_t
     VrfPort,              //!< vector register-file read/write ports
     Network,              //!< network input/output queues
     Dram,                 //!< accelerator-local DRAM channel
+    ServeQueue,           //!< serving-engine request queue (bw::serve)
+    ServeWorker,          //!< serving-engine accelerator replica
     NumResClasses
 };
 
@@ -58,6 +60,8 @@ enum class EventKind : uint8_t
     NetOut,       //!< network output queue transfer
     DramRead,     //!< DRAM read burst
     DramWrite,    //!< DRAM write burst
+    QueueWait,    //!< request waiting in the serving-engine queue
+    Service,      //!< request in service on an engine worker
     NumEventKinds
 };
 

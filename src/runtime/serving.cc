@@ -6,6 +6,21 @@
 
 namespace bw {
 
+Json
+ServeStats::toJson() const
+{
+    Json j = Json::object();
+    j.set("requests", requests);
+    j.set("mean_latency_ms", meanLatencyMs);
+    j.set("p50_latency_ms", p50LatencyMs);
+    j.set("p95_latency_ms", p95LatencyMs);
+    j.set("p99_latency_ms", p99LatencyMs);
+    j.set("max_latency_ms", maxLatencyMs);
+    j.set("throughput_rps", throughputRps);
+    j.set("mean_batch", meanBatch);
+    return j;
+}
+
 std::vector<double>
 poissonArrivals(double rate_rps, double duration_s, Rng &rng)
 {

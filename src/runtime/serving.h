@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "baseline/gpu_model.h"
+#include "common/json.h"
 #include "common/rng.h"
 
 namespace bw {
@@ -34,6 +35,9 @@ struct ServeStats
     double maxLatencyMs = 0;
     double throughputRps = 0; //!< completed requests per second
     double meanBatch = 1.0;   //!< average formed batch size (GPU)
+
+    /** Machine-readable summary (the repo's toJson() convention). */
+    Json toJson() const;
 };
 
 /**

@@ -1,0 +1,709 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+namespace serve {
+
+namespace {
+
+/** Engine trace timestamps are microseconds since construction. */
+uint64_t
+toUs(double seconds)
+{
+    return seconds > 0
+               ? static_cast<uint64_t>(std::llround(seconds * 1e6))
+               : 0;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::atof(v) : fallback;
+}
+
+} // namespace
+
+const char *
+dispatchPolicyName(DispatchPolicy p)
+{
+    switch (p) {
+      case DispatchPolicy::Unbatched: return "unbatched";
+      case DispatchPolicy::Batched: return "batched";
+      default: BW_PANIC("bad DispatchPolicy %d", static_cast<int>(p));
+    }
+}
+
+EngineOptions
+EngineOptions::fromEnv(EngineOptions base)
+{
+    base.replicas = static_cast<unsigned>(
+        envDouble("BW_SERVE_REPLICAS", base.replicas));
+    base.queueDepth = static_cast<size_t>(
+        envDouble("BW_SERVE_QUEUE_DEPTH",
+                  static_cast<double>(base.queueDepth)));
+    base.maxBatch = static_cast<unsigned>(
+        envDouble("BW_SERVE_MAX_BATCH", base.maxBatch));
+    base.batchTimeoutMs =
+        envDouble("BW_SERVE_TIMEOUT_MS", base.batchTimeoutMs);
+    base.timeScale = envDouble("BW_SERVE_TIMESCALE", base.timeScale);
+    if (const char *p = std::getenv("BW_SERVE_POLICY")) {
+        std::string s(p);
+        if (s == "batched")
+            base.policy = DispatchPolicy::Batched;
+        else if (s == "unbatched")
+            base.policy = DispatchPolicy::Unbatched;
+        else if (!s.empty())
+            BW_WARN("BW_SERVE_POLICY=%s ignored (want unbatched|batched)",
+                    s.c_str());
+    }
+    return base;
+}
+
+// --- StatsCollector ---
+
+void
+StatsCollector::recordCompleted(const Response &r, double admit_s,
+                                double done_s)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    latenciesMs_.push_back(r.latencyMs);
+    queueWaitsMs_.push_back(r.queueMs);
+    serviceMs_.push_back(r.serviceMs);
+    ++completed_;
+    
+    if (r.batch > 0)
+        invBatchSum_ += 1.0 / r.batch;
+    if (!sawRequest_ || admit_s < firstAdmitS_)
+        firstAdmitS_ = admit_s;
+    if (!sawRequest_ || done_s > lastDoneS_)
+        lastDoneS_ = done_s;
+    sawRequest_ = true;
+}
+
+void
+StatsCollector::recordRejected()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++rejected_;
+}
+
+void
+StatsCollector::recordExpired()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++expired_;
+}
+
+void
+StatsCollector::recordCancelled()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++cancelled_;
+}
+
+ServeStats
+StatsCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServeStats s;
+    std::vector<double> sorted = latenciesMs_;
+    std::sort(sorted.begin(), sorted.end());
+    fillLatencyStats(s, sorted);
+    double span = lastDoneS_ - firstAdmitS_;
+    s.throughputRps =
+        span > 0 ? static_cast<double>(completed_) / span : 0.0;
+    s.meanBatch = invBatchSum_ > 0
+                      ? static_cast<double>(completed_) / invBatchSum_
+                      : 1.0;
+    return s;
+}
+
+uint64_t
+StatsCollector::completed() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return completed_;
+}
+
+uint64_t
+StatsCollector::rejected() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return rejected_;
+}
+
+uint64_t
+StatsCollector::expired() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return expired_;
+}
+
+uint64_t
+StatsCollector::cancelled() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return cancelled_;
+}
+
+Json
+StatsCollector::toJson() const
+{
+    Json j = snapshot().toJson();
+    std::lock_guard<std::mutex> lk(mu_);
+    j.set("rejected", rejected_);
+    j.set("expired", expired_);
+    j.set("cancelled", cancelled_);
+    std::vector<double> waits = queueWaitsMs_;
+    std::sort(waits.begin(), waits.end());
+    double sum = 0;
+    for (double w : waits)
+        sum += w;
+    j.set("mean_queue_ms",
+          waits.empty() ? 0.0 : sum / static_cast<double>(waits.size()));
+    j.set("p99_queue_ms", percentileSorted(waits, 99));
+    sum = 0;
+    for (double s : serviceMs_)
+        sum += s;
+    j.set("mean_service_ms",
+          serviceMs_.empty()
+              ? 0.0
+              : sum / static_cast<double>(serviceMs_.size()));
+    return j;
+}
+
+// --- Engine ---
+
+Engine::Engine(std::shared_ptr<const CompiledModel> model,
+               EngineOptions opts)
+    : model_(std::move(model)), opts_(std::move(opts)),
+      epoch_(std::chrono::steady_clock::now())
+{
+    opts_.replicas = std::max(1u, opts_.replicas);
+    opts_.queueDepth = std::max<size_t>(1, opts_.queueDepth);
+    opts_.maxBatch = std::max(1u, opts_.maxBatch);
+}
+
+Engine::Engine(const CompiledModel &model, EngineOptions opts)
+    : Engine(std::make_shared<CompiledModel>(model), std::move(opts))
+{
+}
+
+Engine::Engine(EngineOptions opts) : Engine(nullptr, std::move(opts)) {}
+
+Engine::~Engine()
+{
+    shutdown();
+}
+
+double
+Engine::nowS() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+Engine::emitTrace(obs::EventKind kind, obs::ResClass res,
+                  uint16_t res_index, RequestId id, double start_s,
+                  double end_s)
+{
+    obs::TraceEvent e;
+    e.start = toUs(start_s);
+    e.end = std::max(toUs(end_s), e.start);
+    e.kind = kind;
+    e.res = res;
+    e.resIndex = res_index;
+    e.chain = static_cast<uint32_t>(id);
+    std::lock_guard<std::mutex> lk(traceMu_);
+    trace_.event(e);
+}
+
+void
+Engine::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    startLocked();
+}
+
+void
+Engine::startLocked()
+{
+    if (started_ || stopping_)
+        return;
+    started_ = true;
+    workers_.reserve(opts_.replicas);
+    for (unsigned i = 0; i < opts_.replicas; ++i)
+        workers_.emplace_back(&Engine::workerLoop, this, i);
+}
+
+Expected<std::future<Response>>
+Engine::submit(std::vector<FVec> xs, double deadline_ms)
+{
+    if (!model_) {
+        return Status::failedPrecondition(
+            "functional request on a model-less engine (construct the "
+            "engine with a CompiledModel, or use submitTimed())");
+    }
+    Status valid = model_->validateSequenceInput(xs);
+    if (!valid.ok())
+        return valid;
+    Pending p;
+    p.xs = std::move(xs);
+    p.steps = static_cast<unsigned>(p.xs.size());
+    p.timed = false;
+    p.deadlineMs = deadline_ms > 0 ? deadline_ms : opts_.defaultDeadlineMs;
+    return enqueue(std::move(p));
+}
+
+Expected<std::future<Response>>
+Engine::submitTimed(unsigned steps, double deadline_ms)
+{
+    if (!model_ && opts_.serviceMsOverride <= 0) {
+        return Status::failedPrecondition(
+            "timed request needs a CompiledModel (for the timing "
+            "simulator) or EngineOptions::serviceMsOverride");
+    }
+    if (steps == 0)
+        return Status::invalidArgument("timed request with steps == 0");
+    Pending p;
+    p.steps = steps;
+    p.timed = true;
+    p.deadlineMs = deadline_ms > 0 ? deadline_ms : opts_.defaultDeadlineMs;
+    return enqueue(std::move(p));
+}
+
+Expected<std::future<Response>>
+Engine::enqueue(Pending p)
+{
+    std::future<Response> fut = p.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!accepting_) {
+            return Status::unavailable(
+                "engine is draining or shut down");
+        }
+        if (queue_.size() >= opts_.queueDepth) {
+            collector_.recordRejected();
+            return Status::queueFull(detail::format(
+                "queue at depth %zu; request rejected (admission "
+                "control)", opts_.queueDepth));
+        }
+        startLocked();
+        p.id = nextId_++;
+        p.admitS = nowS();
+        queue_.push_back(std::move(p));
+    }
+    workCv_.notify_one();
+    return fut;
+}
+
+void
+Engine::workerLoop(unsigned index)
+{
+    // Each worker is one accelerator replica: its own functional
+    // machine with the model's weights and preloads installed.
+    std::unique_ptr<FuncMachine> machine;
+    if (model_) {
+        machine = std::make_unique<FuncMachine>(model_->cfg);
+        model_->install(*machine);
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        workCv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        if (opts_.policy == DispatchPolicy::Batched) {
+            // Accumulate until the batch fills, the oldest queued
+            // request has waited out the timeout, or a flush (drain /
+            // shutdown) is requested.
+            while (!stopping_ && !draining_ && !queue_.empty() &&
+                   queue_.size() < opts_.maxBatch) {
+                double trigger_s =
+                    queue_.front().admitS + opts_.batchTimeoutMs / 1e3;
+                if (nowS() >= trigger_s)
+                    break;
+                auto tp = epoch_ +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(trigger_s));
+                workCv_.wait_until(lk, tp);
+            }
+            if (queue_.empty())
+                continue; // another replica took the batch
+        }
+
+        size_t take = opts_.policy == DispatchPolicy::Batched
+                          ? std::min<size_t>(queue_.size(), opts_.maxBatch)
+                          : 1;
+        std::vector<Pending> batch;
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        double dequeue_s = nowS();
+        inFlight_ += static_cast<unsigned>(take);
+        lk.unlock();
+
+        serveBatch(index, machine.get(), std::move(batch), dequeue_s);
+
+        lk.lock();
+        inFlight_ -= static_cast<unsigned>(take);
+        if (queue_.empty() && inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+void
+Engine::serveBatch(unsigned index, FuncMachine *machine,
+                   std::vector<Pending> batch, double dequeue_s)
+{
+    // On-dequeue deadline expiry: requests that waited out their
+    // deadline complete immediately, consuming no service.
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending &p : batch) {
+        double queue_ms = (dequeue_s - p.admitS) * 1e3;
+        if (p.deadlineMs > 0 && queue_ms > p.deadlineMs) {
+            Response r;
+            r.id = p.id;
+            r.status = Status::deadlineExceeded(detail::format(
+                "request waited %.3f ms in queue, deadline %.3f ms",
+                queue_ms, p.deadlineMs));
+            r.queueMs = queue_ms;
+            r.latencyMs = queue_ms + opts_.networkMs;
+            r.worker = index;
+            collector_.recordExpired();
+            emitTrace(obs::EventKind::QueueWait,
+                      obs::ResClass::ServeQueue, 0, p.id, p.admitS,
+                      dequeue_s);
+            p.promise.set_value(std::move(r));
+        } else {
+            live.push_back(std::move(p));
+        }
+    }
+    if (live.empty())
+        return;
+
+    if (opts_.serviceHook) {
+        for (const Pending &p : live)
+            opts_.serviceHook(p.id);
+    }
+
+    // Timed requests charge simulated service milliseconds.
+    double sim_ms = 0;
+    unsigned timed = 0;
+    for (const Pending &p : live) {
+        if (p.timed) {
+            ++timed;
+            sim_ms += serviceMsFor(p.steps);
+        }
+    }
+    if (timed > 0 && opts_.batchServiceMs)
+        sim_ms = opts_.batchServiceMs(timed);
+
+    // Functional requests run the real machine, sequentially within
+    // the batch (the replica is one accelerator).
+    std::vector<std::vector<FVec>> outputs(live.size());
+    std::vector<Status> statuses(live.size(), Status());
+    for (size_t i = 0; i < live.size(); ++i) {
+        if (live[i].timed || !machine)
+            continue;
+        try {
+            model_->resetRequestState(*machine);
+            outputs[i] = model_->runSequence(*machine, live[i].xs);
+        } catch (const Error &e) {
+            statuses[i] = Status::invalidArgument(e.what());
+        }
+    }
+    if (sim_ms > 0 && opts_.timeScale > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                sim_ms * opts_.timeScale));
+    }
+
+    double done_s = nowS();
+    double wall_ms = (done_s - dequeue_s) * 1e3;
+    for (size_t i = 0; i < live.size(); ++i) {
+        Pending &p = live[i];
+        Response r;
+        r.id = p.id;
+        r.status = statuses[i];
+        r.outputs = std::move(outputs[i]);
+        r.queueMs = (dequeue_s - p.admitS) * 1e3;
+        r.serviceMs = p.timed ? sim_ms : wall_ms;
+        r.latencyMs = r.queueMs + r.serviceMs + opts_.networkMs;
+        r.worker = index;
+        r.batch = static_cast<unsigned>(live.size());
+        emitTrace(obs::EventKind::QueueWait, obs::ResClass::ServeQueue,
+                  0, p.id, p.admitS, dequeue_s);
+        emitTrace(obs::EventKind::Service, obs::ResClass::ServeWorker,
+                  static_cast<uint16_t>(index), p.id, dequeue_s, done_s);
+        collector_.recordCompleted(r, p.admitS, done_s);
+        p.promise.set_value(std::move(r));
+    }
+}
+
+void
+Engine::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    accepting_ = false;
+    draining_ = true;
+    workCv_.notify_all(); // flush partially accumulated batches
+    idleCv_.wait(lk, [&] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+Engine::shutdown()
+{
+    std::deque<Pending> abandoned;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        accepting_ = false;
+        stopping_ = true;
+        abandoned.swap(queue_);
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+
+    double now_s = nowS();
+    for (Pending &p : abandoned) {
+        Response r;
+        r.id = p.id;
+        r.status = Status::cancelled("engine shut down before service");
+        r.queueMs = (now_s - p.admitS) * 1e3;
+        r.latencyMs = r.queueMs + opts_.networkMs;
+        collector_.recordCancelled();
+        p.promise.set_value(std::move(r));
+    }
+}
+
+size_t
+Engine::queueSize() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+}
+
+Json
+Engine::statsJson() const
+{
+    Json j = Json::object();
+    Json cfg = Json::object();
+    cfg.set("replicas", opts_.replicas);
+    cfg.set("queue_depth", static_cast<uint64_t>(opts_.queueDepth));
+    cfg.set("policy", dispatchPolicyName(opts_.policy));
+    cfg.set("max_batch", opts_.maxBatch);
+    cfg.set("batch_timeout_ms", opts_.batchTimeoutMs);
+    cfg.set("network_ms", opts_.networkMs);
+    cfg.set("time_scale", opts_.timeScale);
+    cfg.set("model", model_ ? model_->name : "");
+    j.set("engine", std::move(cfg));
+    j.set("stats", collector_.toJson());
+    return j;
+}
+
+double
+Engine::serviceMsFor(unsigned steps)
+{
+    if (opts_.serviceMsOverride > 0)
+        return opts_.serviceMsOverride;
+    if (!model_) {
+        BW_FATAL("serviceMsFor(%u): no model and no serviceMsOverride",
+                 steps);
+    }
+    std::lock_guard<std::mutex> lk(serviceMsMu_);
+    auto it = serviceMsCache_.find(steps);
+    if (it != serviceMsCache_.end())
+        return it->second;
+    timing::NpuTiming sim(model_->cfg);
+    sim.setTileBeats(model_->tileBeats);
+    double ms = sim.run(model_->prologue, model_->step, steps)
+                    .latencyMs(model_->cfg);
+    serviceMsCache_.emplace(steps, ms);
+    return ms;
+}
+
+// --- Deterministic virtual-time replay ---
+
+ServeStats
+Engine::replay(const std::vector<double> &arrivals_s, unsigned steps)
+{
+    for (size_t i = 1; i < arrivals_s.size(); ++i) {
+        BW_ASSERT(arrivals_s[i] >= arrivals_s[i - 1],
+                  "replay: arrivals must be ascending");
+    }
+    double service_ms = serviceMsFor(steps);
+    return opts_.policy == DispatchPolicy::Batched
+               ? replayBatched(arrivals_s, service_ms)
+               : replayUnbatched(arrivals_s, service_ms);
+}
+
+ServeStats
+Engine::replayUnbatched(const std::vector<double> &arrivals_s,
+                        double service_ms)
+{
+    ServeStats stats;
+    if (arrivals_s.empty())
+        return stats;
+
+    double service_s = service_ms / 1e3;
+    double net_s = opts_.networkMs / 1e3;
+    double deadline_ms = opts_.defaultDeadlineMs;
+    std::vector<double> free_s(opts_.replicas, 0.0);
+    // Service-start (dequeue) time of each admitted request, ascending
+    // (FIFO + earliest-free replica keeps starts nondecreasing); the
+    // queue occupancy seen by a new arrival is the admitted requests
+    // not yet dequeued.
+    std::vector<double> starts;
+    starts.reserve(arrivals_s.size());
+    std::vector<double> latencies;
+    latencies.reserve(arrivals_s.size());
+    double last_done = arrivals_s.front();
+
+    for (double a : arrivals_s) {
+        size_t dequeued = static_cast<size_t>(
+            std::upper_bound(starts.begin(), starts.end(), a) -
+            starts.begin());
+        if (starts.size() - dequeued >= opts_.queueDepth) {
+            collector_.recordRejected();
+            continue;
+        }
+        size_t r = static_cast<size_t>(
+            std::min_element(free_s.begin(), free_s.end()) -
+            free_s.begin());
+        double start = std::max(a + net_s / 2, free_s[r]);
+        starts.push_back(start);
+        if (deadline_ms > 0 && (start - a) * 1e3 > deadline_ms) {
+            collector_.recordExpired(); // expires at dequeue; no service
+            continue;
+        }
+        double done = start + service_s;
+        free_s[r] = done;
+        last_done = std::max(last_done, done);
+        latencies.push_back((done + net_s / 2 - a) * 1e3);
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    fillLatencyStats(stats, latencies);
+    double span = last_done - arrivals_s.front();
+    stats.throughputRps =
+        span > 0 ? static_cast<double>(latencies.size()) / span : 0;
+    return stats;
+}
+
+ServeStats
+Engine::replayBatched(const std::vector<double> &arrivals_s,
+                      double service_ms)
+{
+    ServeStats stats;
+    if (arrivals_s.empty())
+        return stats;
+
+    double net_ms = opts_.networkMs;
+    double deadline_ms = opts_.defaultDeadlineMs;
+    std::vector<double> free_s(opts_.replicas, 0.0);
+    std::vector<double> dequeues; // launch time per admitted request
+    std::vector<double> latencies;
+    latencies.reserve(arrivals_s.size());
+    double last_done = arrivals_s.front();
+    uint64_t batches = 0;
+    double batch_sum = 0;
+
+    auto waiting = [&](double at) {
+        // Admitted requests whose batch has not launched by @p at. The
+        // currently forming batch's members are counted by the caller.
+        return dequeues.size() -
+               static_cast<size_t>(
+                   std::upper_bound(dequeues.begin(), dequeues.end(),
+                                    at) -
+                   dequeues.begin());
+    };
+
+    size_t i = 0;
+    const size_t n = arrivals_s.size();
+    while (i < n) {
+        // Find the batch's oldest member (admission-checked).
+        while (i < n && waiting(arrivals_s[i]) >= opts_.queueDepth) {
+            collector_.recordRejected();
+            ++i;
+        }
+        if (i >= n)
+            break;
+        double oldest = arrivals_s[i];
+        double trigger = oldest + opts_.batchTimeoutMs / 1e3;
+        std::vector<double> members{oldest};
+        ++i;
+        // Accumulate: requests arriving before the trigger, up to the
+        // batch cap, each admission-checked against queue occupancy.
+        while (i < n && members.size() < opts_.maxBatch &&
+               arrivals_s[i] <= trigger) {
+            if (waiting(arrivals_s[i]) + members.size() >=
+                opts_.queueDepth) {
+                collector_.recordRejected();
+            } else {
+                members.push_back(arrivals_s[i]);
+            }
+            ++i;
+        }
+        bool full = members.size() == opts_.maxBatch;
+        double form = full ? members.back() : trigger;
+        size_t r = static_cast<size_t>(
+            std::min_element(free_s.begin(), free_s.end()) -
+            free_s.begin());
+        double launch = std::max(free_s[r], form);
+        for (size_t k = 0; k < members.size(); ++k)
+            dequeues.push_back(launch);
+
+        // On-dequeue deadline expiry.
+        std::vector<double> served;
+        served.reserve(members.size());
+        for (double a : members) {
+            if (deadline_ms > 0 && (launch - a) * 1e3 > deadline_ms)
+                collector_.recordExpired();
+            else
+                served.push_back(a);
+        }
+        if (served.empty())
+            continue;
+
+        unsigned b = static_cast<unsigned>(served.size());
+        double batch_ms = opts_.batchServiceMs ? opts_.batchServiceMs(b)
+                                               : service_ms * b;
+        double done = launch + batch_ms / 1e3;
+        free_s[r] = done;
+        last_done = std::max(last_done, done);
+        for (double a : served)
+            latencies.push_back((done - a) * 1e3 + net_ms);
+        batch_sum += b;
+        ++batches;
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    fillLatencyStats(stats, latencies);
+    double span = last_done - arrivals_s.front();
+    stats.throughputRps =
+        span > 0 ? static_cast<double>(latencies.size()) / span : 0;
+    stats.meanBatch = batches > 0 ? batch_sum / batches : 1.0;
+    return stats;
+}
+
+} // namespace serve
+} // namespace bw

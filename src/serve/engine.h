@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Concurrent serving engine (Sections II, VII-B3): the BW NPU as a
+ * hardware microservice behind live traffic.
+ *
+ * serve::Engine owns a pool of worker threads — one per simulated
+ * accelerator replica — fed from a bounded mutex+condvar request queue
+ * with admission control (reject-on-full with StatusCode::QueueFull
+ * rather than unbounded growth). The dispatch policy is pluggable:
+ * the BW discipline serves requests one at a time, FIFO, as they
+ * arrive; the GPU discipline accumulates a batch up to a size cap or a
+ * timeout before launching (the Section VII-B3 / Fig. 8 contrast).
+ * Requests carry optional deadlines checked at dequeue; expired
+ * requests complete with DEADLINE_EXCEEDED without consuming service.
+ *
+ * Two request flavors ground latency in the simulators rather than a
+ * scalar service time: functional requests run the real FuncMachine
+ * (bit-accurate arithmetic, outputs returned), and timed requests
+ * charge NpuTiming-derived service milliseconds for the model at the
+ * requested step count. Completed requests feed a thread-safe stats
+ * collector and emit obs trace events (queue wait vs. service, one
+ * track per worker) exportable as a Chrome trace.
+ *
+ * Engine::replay() is the deterministic virtual-time mode: it pushes a
+ * fixed arrival vector through the same admission/policy/deadline
+ * machinery with no threads, and reproduces the analytic
+ * serveUnbatched()/serveBatched() latencies exactly — tying the
+ * threaded engine to the paper-validated queueing model.
+ */
+
+#ifndef BW_SERVE_ENGINE_H
+#define BW_SERVE_ENGINE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/compiled_model.h"
+#include "obs/trace.h"
+#include "runtime/serving.h"
+
+namespace bw {
+namespace serve {
+
+using RequestId = uint64_t;
+
+/** How queued requests are grouped for service (Fig. 8). */
+enum class DispatchPolicy : uint8_t
+{
+    Unbatched = 0, //!< BW discipline: one request at a time, FIFO
+    Batched,       //!< GPU discipline: accumulate maxBatch or timeout
+};
+
+const char *dispatchPolicyName(DispatchPolicy p);
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    /** Worker threads == simulated accelerator replicas. */
+    unsigned replicas = 1;
+
+    /** Bounded queue depth; submissions beyond it are rejected with
+     *  QUEUE_FULL (admission control, not unbounded growth). */
+    size_t queueDepth = 64;
+
+    DispatchPolicy policy = DispatchPolicy::Unbatched;
+
+    /** Batched policy: launch when this many requests are queued... */
+    unsigned maxBatch = 8;
+    /** ...or when the oldest queued request has waited this long. */
+    double batchTimeoutMs = 2.0;
+
+    /** Datacenter network round trip added to each reported latency
+     *  (the bump-in-the-wire NIC neighbor of Section II-A). */
+    double networkMs = 0.0;
+
+    /** Deadline applied to requests submitted without one (0 = none);
+     *  checked when the request is dequeued for service. */
+    double defaultDeadlineMs = 0.0;
+
+    /** When > 0, timed requests charge this many milliseconds instead
+     *  of running the timing simulator (analytic-model equivalence). */
+    double serviceMsOverride = 0.0;
+
+    /**
+     * Wall-clock seconds a worker occupies itself per simulated second
+     * of timed service (1.0 = real time, 0.0 = instantaneous). Timed
+     * requests always *report* the unscaled simulated service time.
+     */
+    double timeScale = 1.0;
+
+    /** Simulated service time for a batch of timed requests (defaults
+     *  to the sum of per-request service times when unset). Also the
+     *  batch service model used by replay() under the Batched policy. */
+    std::function<double(unsigned batch)> batchServiceMs;
+
+    /** Test/fault-injection hook, invoked on the worker thread for
+     *  each request as its service begins. */
+    std::function<void(RequestId)> serviceHook;
+
+    /**
+     * Apply BW_SERVE_* environment overrides to @p base:
+     * BW_SERVE_REPLICAS, BW_SERVE_QUEUE_DEPTH, BW_SERVE_MAX_BATCH,
+     * BW_SERVE_TIMEOUT_MS, BW_SERVE_TIMESCALE, and BW_SERVE_POLICY
+     * ("unbatched" | "batched").
+     */
+    static EngineOptions fromEnv(EngineOptions base);
+    static EngineOptions fromEnv();
+};
+
+inline EngineOptions
+EngineOptions::fromEnv()
+{
+    return fromEnv(EngineOptions{});
+}
+
+/** Outcome of one request. */
+struct Response
+{
+    RequestId id = 0;
+    Status status;             //!< OK, DEADLINE_EXCEEDED, CANCELLED
+    std::vector<FVec> outputs; //!< functional requests: one per step
+    double queueMs = 0;        //!< admission -> dequeue
+    double serviceMs = 0;      //!< service span (simulated ms if timed)
+    double latencyMs = 0;      //!< admission -> done, plus networkMs
+    unsigned worker = 0;       //!< replica that served it
+    unsigned batch = 1;        //!< formed batch the request rode in
+};
+
+/**
+ * Thread-safe collector of per-request outcomes. Engine workers feed
+ * it; snapshot() and toJson() may be called concurrently at any time.
+ */
+class StatsCollector
+{
+  public:
+    /** @p admit_s / @p done_s are seconds on the engine's clock (used
+     *  for the throughput window). */
+    void recordCompleted(const Response &r, double admit_s, double done_s);
+    void recordRejected();
+    void recordExpired();
+    void recordCancelled();
+
+    /** Latency summary of completed requests so far. */
+    ServeStats snapshot() const;
+
+    uint64_t completed() const;
+    uint64_t rejected() const;
+    uint64_t expired() const;
+    uint64_t cancelled() const;
+
+    /** snapshot() plus rejection/expiry counters and queue-wait
+     *  percentiles, in the repo's toJson() convention. */
+    Json toJson() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<double> latenciesMs_;
+    std::vector<double> queueWaitsMs_;
+    std::vector<double> serviceMs_;
+    uint64_t completed_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t expired_ = 0;
+    uint64_t cancelled_ = 0;
+    /** Sum of 1/batch over completed requests: a batch of size b
+     *  contributes b samples of 1/b, so completed_/invBatchSum_ is the
+     *  mean over *batches* of the formed batch size. */
+    double invBatchSum_ = 0;
+    double firstAdmitS_ = 0;
+    double lastDoneS_ = 0;
+    bool sawRequest_ = false;
+};
+
+/** Multi-threaded serving engine over simulated accelerator replicas. */
+class Engine
+{
+  public:
+    /** Serve @p model (shared, not copied) with @p opts. */
+    Engine(std::shared_ptr<const CompiledModel> model, EngineOptions opts);
+
+    /** Convenience: copies @p model into shared ownership. */
+    Engine(const CompiledModel &model, EngineOptions opts);
+
+    /** Model-less engine: timed requests and replay() only, with
+     *  serviceMsOverride supplying the service time. */
+    explicit Engine(EngineOptions opts);
+
+    /** Shuts down (cancelling queued requests) if still running. */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    const EngineOptions &options() const { return opts_; }
+    const CompiledModel *model() const { return model_.get(); }
+
+    /**
+     * Spawn the worker pool (idempotent; the first submit() also
+     * starts it). Each worker builds and installs its own FuncMachine
+     * replica when the engine has a model.
+     */
+    void start();
+
+    /**
+     * Submit a functional inference over input sequence @p xs. Fails
+     * fast — without enqueueing — with QUEUE_FULL when the queue is at
+     * depth, UNAVAILABLE after drain()/shutdown(), INVALID_ARGUMENT on
+     * malformed input, or FAILED_PRECONDITION on a model-less engine.
+     * @p deadline_ms (0 = options().defaultDeadlineMs) is checked when
+     * the request is dequeued.
+     */
+    Expected<std::future<Response>> submit(std::vector<FVec> xs,
+                                           double deadline_ms = 0);
+
+    /** Submit a timed request: charges the NpuTiming-derived service
+     *  time for @p steps timesteps (or serviceMsOverride). */
+    Expected<std::future<Response>> submitTimed(unsigned steps,
+                                                double deadline_ms = 0);
+
+    /**
+     * Graceful drain: stop admitting, then block until every queued
+     * and in-flight request has completed. The worker pool stays up
+     * (shutdown() or the destructor joins it).
+     */
+    void drain();
+
+    /**
+     * Stop admitting, cancel still-queued requests (their futures
+     * complete with CANCELLED), finish in-flight service, and join the
+     * workers. Idempotent. Call drain() first for a graceful stop.
+     */
+    void shutdown();
+
+    /** Requests currently queued (racy snapshot). */
+    size_t queueSize() const;
+
+    /** Latency summary of completed requests so far (thread-safe). */
+    ServeStats stats() const { return collector_.snapshot(); }
+
+    const StatsCollector &collector() const { return collector_; }
+
+    /** stats + counters + engine configuration, machine-readable. */
+    Json statsJson() const;
+
+    /**
+     * Per-request trace events (QueueWait on the serve_queue track,
+     * Service on one serve_worker track per replica), timestamped in
+     * microseconds since engine construction. Export with
+     * obs::chromeTraceJson(trace, 1.0). Only safe to read once the
+     * engine is drained or shut down.
+     */
+    const obs::EventTrace &trace() const { return trace_; }
+
+    /**
+     * Deterministic virtual-time mode: replay @p arrivals_s (seconds,
+     * ascending) through the engine's admission control, dispatch
+     * policy, and deadline machinery with service times from the
+     * timing simulator at @p steps (or serviceMsOverride). No threads,
+     * bit-reproducible; under the Unbatched policy with one replica,
+     * no deadline and an unbounded queue this reproduces
+     * serveUnbatched() exactly, and under the Batched policy,
+     * serveBatched().
+     */
+    ServeStats replay(const std::vector<double> &arrivals_s,
+                      unsigned steps = 1);
+
+    /** Simulated single-request service time at @p steps timesteps:
+     *  serviceMsOverride when set, else an NpuTiming run (cached). */
+    double serviceMsFor(unsigned steps);
+
+  private:
+    struct Pending
+    {
+        RequestId id = 0;
+        std::vector<FVec> xs;  //!< empty for timed requests
+        unsigned steps = 1;
+        bool timed = false;
+        double deadlineMs = 0; //!< 0 = none
+        double admitS = 0;     //!< engine-clock seconds at admission
+        std::promise<Response> promise;
+    };
+
+    Expected<std::future<Response>> enqueue(Pending p);
+    void startLocked();
+    void workerLoop(unsigned index);
+    void serveBatch(unsigned index, FuncMachine *machine,
+                    std::vector<Pending> batch, double dequeue_s);
+    ServeStats replayUnbatched(const std::vector<double> &arrivals_s,
+                               double service_ms);
+    ServeStats replayBatched(const std::vector<double> &arrivals_s,
+                             double service_ms);
+
+    /** Seconds since engine construction (steady clock). */
+    double nowS() const;
+
+    void emitTrace(obs::EventKind kind, obs::ResClass res,
+                   uint16_t res_index, RequestId id, double start_s,
+                   double end_s);
+
+    std::shared_ptr<const CompiledModel> model_;
+    EngineOptions opts_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; //!< workers wait for requests
+    std::condition_variable idleCv_; //!< drain() waits for quiescence
+    std::deque<Pending> queue_;
+    bool accepting_ = true;
+    bool draining_ = false;
+    bool stopping_ = false;
+    bool started_ = false;
+    unsigned inFlight_ = 0;
+    RequestId nextId_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex serviceMsMu_;
+    std::unordered_map<unsigned, double> serviceMsCache_;
+
+    StatsCollector collector_;
+    std::mutex traceMu_;
+    obs::EventTrace trace_;
+};
+
+} // namespace serve
+} // namespace bw
+
+#endif // BW_SERVE_ENGINE_H

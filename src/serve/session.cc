@@ -1,0 +1,80 @@
+#include "serve/session.h"
+
+namespace bw {
+
+Session
+Session::compile(const GirGraph &graph, const NpuConfig &cfg,
+                 const CompileOptions &options)
+{
+    return Session(compileGir(graph, cfg, options));
+}
+
+Session::Session(CompiledModel model)
+    : model_(std::make_shared<CompiledModel>(std::move(model)))
+{
+}
+
+FuncMachine &
+Session::machine()
+{
+    if (!machine_) {
+        machine_ = std::make_unique<FuncMachine>(model_->cfg);
+        model_->install(*machine_);
+    }
+    return *machine_;
+}
+
+FVec
+Session::infer(std::span<const float> x)
+{
+    return model_->runStep(machine(), x);
+}
+
+std::vector<FVec>
+Session::infer(const std::vector<FVec> &xs)
+{
+    return model_->runSequence(machine(), xs);
+}
+
+std::vector<FVec>
+Session::inferBatch(const std::vector<FVec> &xs)
+{
+    return model_->runStepBatch(machine(), xs);
+}
+
+void
+Session::reset()
+{
+    if (machine_)
+        model_->resetRequestState(*machine_);
+}
+
+timing::NpuTiming &
+Session::timer()
+{
+    if (!sim_) {
+        sim_ = std::make_unique<timing::NpuTiming>(model_->cfg);
+        sim_->setTileBeats(model_->tileBeats);
+    }
+    return *sim_;
+}
+
+timing::TimingResult
+Session::time(unsigned steps)
+{
+    return timer().run(model_->prologue, model_->step, steps);
+}
+
+double
+Session::serviceMs(unsigned steps)
+{
+    return time(steps).latencyMs(model_->cfg);
+}
+
+std::unique_ptr<serve::Engine>
+Session::serve(serve::EngineOptions opts) const
+{
+    return std::make_unique<serve::Engine>(model_, std::move(opts));
+}
+
+} // namespace bw

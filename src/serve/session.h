@@ -1,0 +1,93 @@
+/**
+ * @file
+ * bw::Session — the one-object entry point to the library.
+ *
+ * The historical surface had three disconnected flows: FuncMachine +
+ * CompiledModel::install/runSequence for functional serving, then
+ * timing::NpuTiming + setTileBeats + run for performance, then the
+ * analytic ServeStats helpers for load curves. A Session wraps all
+ * three behind one handle:
+ *
+ *   bw::Session s = bw::Session::compile(graph, cfg);
+ *   auto ys = s.infer(xs);             // functional, bit-accurate
+ *   auto perf = s.time(steps);         // cycle-level timing
+ *   auto engine = s.serve(engineOpts); // concurrent serving engine
+ *
+ * The underlying objects stay reachable (model(), machine(), timer())
+ * for callers that need the full control surface, and the old entry
+ * points keep working — Session is a front door, not a wall.
+ */
+
+#ifndef BW_SERVE_SESSION_H
+#define BW_SERVE_SESSION_H
+
+#include <memory>
+
+#include "compiler/lowering.h"
+#include "serve/engine.h"
+#include "timing/npu_timing.h"
+
+namespace bw {
+
+/** A compiled model plus lazily created simulators to run it on. */
+class Session
+{
+  public:
+    /** Compile @p graph for @p cfg (throws bw::Error when the model
+     *  does not fit the configuration). */
+    static Session compile(const GirGraph &graph, const NpuConfig &cfg,
+                           const CompileOptions &options = {});
+
+    /** Adopt an already compiled model. */
+    explicit Session(CompiledModel model);
+
+    const CompiledModel &model() const { return *model_; }
+    const NpuConfig &config() const { return model_->cfg; }
+
+    // --- Functional serving (bit-accurate BFP/float16 arithmetic). ---
+
+    /** One unpipelined step (throws bw::Error on invalid input). */
+    FVec infer(std::span<const float> x);
+
+    /** A whole input sequence (handles pipelined models). */
+    std::vector<FVec> infer(const std::vector<FVec> &xs);
+
+    /** One batched step on a batch-compiled model. */
+    std::vector<FVec> inferBatch(const std::vector<FVec> &xs);
+
+    /** Clear recurrent state between independent requests (keeps the
+     *  installed weights). */
+    void reset();
+
+    /** The lazily created, installed functional machine. */
+    FuncMachine &machine();
+
+    // --- Performance (cycle-level microarchitecture model). ---
+
+    /** Simulate serving @p steps timesteps (prologue handled). */
+    timing::TimingResult time(unsigned steps = 1);
+
+    /** Wall-clock latency of one @p steps-step request (cached by the
+     *  serving engine's convention: one timing run per step count). */
+    double serviceMs(unsigned steps);
+
+    /** The lazily created timing simulator with the model's tile-beat
+     *  schedule applied — attach trace sinks here. */
+    timing::NpuTiming &timer();
+
+    // --- Serving (concurrent engine over accelerator replicas). ---
+
+    /** Build a serving engine over this session's model. The engine
+     *  shares the model; it may outlive the session. */
+    std::unique_ptr<serve::Engine>
+    serve(serve::EngineOptions opts = {}) const;
+
+  private:
+    std::shared_ptr<const CompiledModel> model_;
+    std::unique_ptr<FuncMachine> machine_;    //!< lazy, installed
+    std::unique_ptr<timing::NpuTiming> sim_;  //!< lazy, beats applied
+};
+
+} // namespace bw
+
+#endif // BW_SERVE_SESSION_H

@@ -87,6 +87,80 @@ TEST(ServeBatched, FullBatchLaunchesEarly)
     EXPECT_NEAR(s.meanBatch, 8.0, 0.01);
 }
 
+TEST(ServeBatched, BatchFillsExactlyAtTrigger)
+{
+    // The third request lands exactly on the timeout trigger: it still
+    // joins the batch, and the full batch launches on its arrival
+    // rather than waiting out the timer.
+    std::vector<double> arrivals{0.0, 0.001, 0.002};
+    ServeStats s = serveBatched(arrivals, 3, 2.0,
+                                [](unsigned) { return 1.0; });
+    EXPECT_EQ(s.requests, 3u);
+    EXPECT_NEAR(s.meanBatch, 3.0, 1e-9);
+    // Launch at t=2ms, done at 3ms: latencies 3, 2, 1 ms.
+    EXPECT_NEAR(s.maxLatencyMs, 3.0, 1e-9);
+    EXPECT_NEAR(s.meanLatencyMs, 2.0, 1e-9);
+}
+
+TEST(ServeBatched, ArrivalJustAfterTimeoutStartsNextBatch)
+{
+    // The second request arrives 1ms after the first batch's trigger:
+    // it must not ride along, and its own timeout clock starts at its
+    // arrival.
+    std::vector<double> arrivals{0.0, 0.003};
+    ServeStats s = serveBatched(arrivals, 8, 2.0,
+                                [](unsigned) { return 1.0; });
+    EXPECT_EQ(s.requests, 2u);
+    EXPECT_NEAR(s.meanBatch, 1.0, 1e-9);
+    // Both serve alone: trigger + service = 2 + 1 ms each.
+    EXPECT_NEAR(s.meanLatencyMs, 3.0, 1e-9);
+    EXPECT_NEAR(s.maxLatencyMs, 3.0, 1e-9);
+}
+
+TEST(ServeBatched, SingleRequestWaitsOutTheTimeout)
+{
+    std::vector<double> arrivals{0.0};
+    ServeStats s = serveBatched(arrivals, 16, 5.0,
+                                [](unsigned) { return 2.0; });
+    EXPECT_EQ(s.requests, 1u);
+    EXPECT_NEAR(s.meanBatch, 1.0, 1e-9);
+    EXPECT_NEAR(s.meanLatencyMs, 7.0, 1e-9);
+    EXPECT_NEAR(s.p99LatencyMs, 7.0, 1e-9);
+}
+
+TEST(ServeBatched, MaxBatchOneEqualsUnbatched)
+{
+    // With max_batch=1 and no timeout the batching queue degenerates
+    // to the BW discipline exactly.
+    Rng rng(3);
+    auto arrivals = poissonArrivals(400.0, 2.0, rng);
+    const double service_ms = 2.0;
+    ServeStats b = serveBatched(arrivals, 1, 0.0,
+                                [&](unsigned) { return service_ms; });
+    ServeStats u = serveUnbatched(arrivals, service_ms, 0.0);
+    ASSERT_EQ(b.requests, u.requests);
+    EXPECT_NEAR(b.meanLatencyMs, u.meanLatencyMs, 1e-9);
+    EXPECT_NEAR(b.p50LatencyMs, u.p50LatencyMs, 1e-9);
+    EXPECT_NEAR(b.p99LatencyMs, u.p99LatencyMs, 1e-9);
+    EXPECT_NEAR(b.maxLatencyMs, u.maxLatencyMs, 1e-9);
+    EXPECT_NEAR(b.throughputRps, u.throughputRps, 1e-9);
+    EXPECT_NEAR(b.meanBatch, 1.0, 1e-12);
+}
+
+TEST(ServeStats, ToJsonRoundTripsSummary)
+{
+    std::vector<double> arrivals{0.0, 0.1, 0.2};
+    ServeStats s = serveUnbatched(arrivals, 2.0, 0.1);
+    Json j = s.toJson();
+    EXPECT_EQ(j.find("requests")->asInt(), 3);
+    EXPECT_NEAR(j.find("mean_latency_ms")->asDouble(), s.meanLatencyMs,
+                1e-12);
+    EXPECT_NEAR(j.find("p99_latency_ms")->asDouble(), s.p99LatencyMs,
+                1e-12);
+    EXPECT_NEAR(j.find("throughput_rps")->asDouble(), s.throughputRps,
+                1e-12);
+}
+
 TEST(MultiFpga, PinningCapacity)
 {
     Rng rng(1);

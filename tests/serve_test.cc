@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Serving-engine tests: Status/Expected plumbing, entry-point input
+ * validation, the bw::Session facade, the concurrent engine (admission
+ * control, deadlines, drain/shutdown, thread-safety under concurrent
+ * submit), and the deterministic virtual-time replay's equivalence to
+ * the analytic serveUnbatched()/serveBatched() models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "compiler/lowering.h"
+#include "graph/builders.h"
+#include "runtime/serving.h"
+#include "serve/engine.h"
+#include "serve/session.h"
+
+namespace bw {
+namespace {
+
+/** Small test target: N=16, plenty of storage, high-precision BFP. */
+NpuConfig
+testConfig()
+{
+    NpuConfig c;
+    c.name = "test16";
+    c.nativeDim = 16;
+    c.lanes = 4;
+    c.tileEngines = 2;
+    c.mrfSize = 512;
+    c.mrfIndexSpace = 2048;
+    c.initialVrfSize = 256;
+    c.addSubVrfSize = 256;
+    c.multiplyVrfSize = 256;
+    c.precision = BfpFormat{1, 5, 7};
+    return c;
+}
+
+std::vector<FVec>
+randomInputs(unsigned steps, unsigned dim, Rng &rng)
+{
+    std::vector<FVec> xs(steps, FVec(dim));
+    for (FVec &x : xs)
+        fillUniform(x, rng, -0.5f, 0.5f);
+    return xs;
+}
+
+// --- Status / Expected ---
+
+TEST(Status, DefaultIsOkAndFactoriesCarryCodes)
+{
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.code(), StatusCode::Ok);
+    EXPECT_EQ(ok.toString(), "OK");
+
+    Status full = Status::queueFull("depth 4");
+    EXPECT_FALSE(full.ok());
+    EXPECT_EQ(full.code(), StatusCode::QueueFull);
+    EXPECT_EQ(full.message(), "depth 4");
+    EXPECT_EQ(full.toString(), "QUEUE_FULL: depth 4");
+    EXPECT_NO_THROW(ok.throwIfError());
+    EXPECT_THROW(full.throwIfError(), Error);
+}
+
+TEST(Status, ExpectedHoldsValueOrStatus)
+{
+    Expected<int> v(42);
+    EXPECT_TRUE(v.ok());
+    EXPECT_TRUE(static_cast<bool>(v));
+    EXPECT_EQ(v.value(), 42);
+    EXPECT_TRUE(v.status().ok());
+
+    Expected<int> e(Status::unavailable("stopped"));
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), StatusCode::Unavailable);
+
+    Expected<std::string> s(std::string("abc"));
+    EXPECT_EQ(s.take(), "abc");
+}
+
+// --- Entry-point input validation ---
+
+TEST(Validation, StepInputSizeChecked)
+{
+    Rng rng(3);
+    NpuConfig cfg = testConfig();
+    CompiledModel m =
+        compileGir(makeGru(randomGruWeights(32, 32, rng)), cfg,
+                   {.pipelineInputProjections = false});
+
+    Status bad = m.validateStepInput(7);
+    EXPECT_EQ(bad.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(bad.message().find("expects"), std::string::npos);
+    EXPECT_TRUE(m.validateStepInput(m.inputDim).ok());
+
+    FuncMachine machine(cfg);
+    m.install(machine);
+    FVec wrong(7, 0.0f);
+    EXPECT_THROW(m.runStep(machine, wrong), Error);
+}
+
+TEST(Validation, PipelinedModelRejectsSingleSteps)
+{
+    Rng rng(4);
+    NpuConfig cfg = testConfig();
+    CompiledModel m =
+        compileGir(makeGru(randomGruWeights(32, 32, rng)), cfg);
+    ASSERT_FALSE(m.prologue.empty()); // pipelining on by default
+
+    Status s = m.validateStepInput(m.inputDim);
+    EXPECT_EQ(s.code(), StatusCode::FailedPrecondition);
+    // The error tells the caller what to do instead.
+    EXPECT_NE(s.message().find("runSequence"), std::string::npos);
+    EXPECT_NE(s.message().find("pipelin"), std::string::npos);
+
+    Status b = m.validateBatchInput({FVec(m.inputDim, 0.0f)});
+    EXPECT_EQ(b.code(), StatusCode::FailedPrecondition);
+}
+
+TEST(Validation, SequenceInputSizeChecked)
+{
+    Rng rng(5);
+    NpuConfig cfg = testConfig();
+    CompiledModel m =
+        compileGir(makeGru(randomGruWeights(32, 32, rng)), cfg);
+
+    std::vector<FVec> xs = randomInputs(3, m.inputDim, rng);
+    xs[1].resize(m.inputDim + 1);
+    Status s = m.validateSequenceInput(xs);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("step 1"), std::string::npos);
+
+    FuncMachine machine(cfg);
+    m.install(machine);
+    EXPECT_THROW(m.runSequence(machine, xs), Error);
+}
+
+// --- bw::Session ---
+
+TEST(Session, InferMatchesDirectRunSequence)
+{
+    Rng rng(6);
+    NpuConfig cfg = testConfig();
+    GirGraph g = makeGru(randomGruWeights(32, 32, rng));
+
+    Session session = Session::compile(g, cfg);
+    std::vector<FVec> xs =
+        randomInputs(4, session.model().inputDim, rng);
+    auto via_session = session.infer(xs);
+
+    CompiledModel m = compileGir(g, cfg);
+    FuncMachine machine(cfg);
+    m.install(machine);
+    auto direct = m.runSequence(machine, xs);
+
+    ASSERT_EQ(via_session.size(), direct.size());
+    for (size_t t = 0; t < direct.size(); ++t) {
+        ASSERT_EQ(via_session[t].size(), direct[t].size());
+        for (size_t i = 0; i < direct[t].size(); ++i)
+            EXPECT_EQ(via_session[t][i], direct[t][i]);
+    }
+}
+
+TEST(Session, ResetRestoresInitialState)
+{
+    Rng rng(7);
+    Session session =
+        Session::compile(makeGru(randomGruWeights(32, 32, rng)),
+                         testConfig());
+    std::vector<FVec> xs =
+        randomInputs(3, session.model().inputDim, rng);
+    auto first = session.infer(xs);
+    session.reset();
+    auto second = session.infer(xs);
+    for (size_t i = 0; i < first.back().size(); ++i)
+        EXPECT_EQ(first.back()[i], second.back()[i]);
+}
+
+TEST(Session, ServiceMsMatchesTimingRun)
+{
+    Rng rng(8);
+    NpuConfig cfg = testConfig();
+    Session session =
+        Session::compile(makeGru(randomGruWeights(32, 32, rng)), cfg);
+    auto perf = session.time(5);
+    EXPECT_GT(perf.totalCycles, 0u);
+    EXPECT_DOUBLE_EQ(session.serviceMs(5), perf.latencyMs(cfg));
+}
+
+// --- Engine: threaded serving ---
+
+TEST(Engine, FunctionalSubmitMatchesSessionInfer)
+{
+    Rng rng(9);
+    Session session =
+        Session::compile(makeGru(randomGruWeights(32, 32, rng)),
+                         testConfig());
+    std::vector<FVec> xs =
+        randomInputs(4, session.model().inputDim, rng);
+    auto expected = session.infer(xs);
+
+    auto engine = session.serve({});
+    auto fut = engine->submit(xs);
+    ASSERT_TRUE(fut.ok()) << fut.status().toString();
+    serve::Response r = fut.take().get();
+    ASSERT_TRUE(r.status.ok()) << r.status.toString();
+    EXPECT_EQ(r.batch, 1u);
+    ASSERT_EQ(r.outputs.size(), expected.size());
+    for (size_t t = 0; t < expected.size(); ++t)
+        for (size_t i = 0; i < expected[t].size(); ++i)
+            EXPECT_EQ(r.outputs[t][i], expected[t][i]);
+    engine->drain();
+
+    // Queue wait and service both appear in the engine trace.
+    bool saw_wait = false, saw_service = false;
+    for (const obs::TraceEvent &e : engine->trace().events()) {
+        saw_wait |= e.kind == obs::EventKind::QueueWait &&
+                    e.res == obs::ResClass::ServeQueue;
+        saw_service |= e.kind == obs::EventKind::Service &&
+                       e.res == obs::ResClass::ServeWorker;
+    }
+    EXPECT_TRUE(saw_wait);
+    EXPECT_TRUE(saw_service);
+}
+
+TEST(Engine, ConcurrentSubmitStress)
+{
+    serve::EngineOptions opts;
+    opts.replicas = 4;
+    opts.queueDepth = 4096;
+    opts.serviceMsOverride = 0.01;
+    opts.timeScale = 0.0; // don't sleep: stress the queue, not the clock
+    serve::Engine engine(opts);
+    engine.start();
+
+    constexpr unsigned kThreads = 8, kPerThread = 50;
+    std::atomic<unsigned> ok_count{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                auto fut = engine.submitTimed(1);
+                ASSERT_TRUE(fut.ok()) << fut.status().toString();
+                serve::Response r = fut.take().get();
+                if (r.status.ok())
+                    ++ok_count;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    engine.drain();
+
+    EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+    EXPECT_EQ(engine.collector().completed(), kThreads * kPerThread);
+    EXPECT_EQ(engine.stats().requests, kThreads * kPerThread);
+    EXPECT_EQ(engine.collector().rejected(), 0u);
+}
+
+TEST(Engine, QueueFullRejectsAtDepth)
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<bool> in_service{false};
+
+    serve::EngineOptions opts;
+    opts.replicas = 1;
+    opts.queueDepth = 2;
+    opts.serviceMsOverride = 0.01;
+    opts.timeScale = 0.0;
+    opts.serviceHook = [&](serve::RequestId) {
+        in_service = true;
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return release; });
+    };
+    serve::Engine engine(opts);
+
+    // First request is dequeued and parks in the service hook...
+    auto gate = engine.submitTimed(1);
+    ASSERT_TRUE(gate.ok());
+    while (!in_service)
+        std::this_thread::yield();
+
+    // ...so the next two fill the queue to its depth...
+    auto q1 = engine.submitTimed(1);
+    auto q2 = engine.submitTimed(1);
+    ASSERT_TRUE(q1.ok());
+    ASSERT_TRUE(q2.ok());
+
+    // ...and the one after that is rejected without being enqueued.
+    auto rejected = engine.submitTimed(1);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::QueueFull);
+    EXPECT_EQ(engine.collector().rejected(), 1u);
+
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        release = true;
+    }
+    cv.notify_all();
+    engine.drain();
+    EXPECT_TRUE(gate.value().get().status.ok());
+    EXPECT_TRUE(q1.value().get().status.ok());
+    EXPECT_TRUE(q2.value().get().status.ok());
+    EXPECT_EQ(engine.collector().completed(), 3u);
+}
+
+TEST(Engine, DeadlineExpiresOnDequeue)
+{
+    serve::EngineOptions opts;
+    opts.replicas = 1;
+    opts.serviceMsOverride = 30.0; // real 30ms occupancy per request
+    serve::Engine engine(opts);
+
+    auto head = engine.submitTimed(1);
+    ASSERT_TRUE(head.ok());
+    auto doomed = engine.submitTimed(1, /*deadline_ms=*/5.0);
+    ASSERT_TRUE(doomed.ok());
+
+    serve::Response r = doomed.take().get();
+    EXPECT_EQ(r.status.code(), StatusCode::DeadlineExceeded);
+    EXPECT_GE(r.queueMs, 5.0); // waited out the head-of-line request
+    EXPECT_TRUE(r.outputs.empty());
+    EXPECT_TRUE(head.take().get().status.ok());
+    EXPECT_EQ(engine.collector().expired(), 1u);
+    EXPECT_EQ(engine.collector().completed(), 1u);
+}
+
+TEST(Engine, DrainCompletesEverythingThenRefusesWork)
+{
+    serve::EngineOptions opts;
+    opts.replicas = 2;
+    opts.serviceMsOverride = 2.0;
+    serve::Engine engine(opts);
+
+    std::vector<std::future<serve::Response>> futs;
+    for (int i = 0; i < 6; ++i) {
+        auto f = engine.submitTimed(1);
+        ASSERT_TRUE(f.ok());
+        futs.push_back(f.take());
+    }
+    engine.drain();
+    EXPECT_EQ(engine.queueSize(), 0u);
+    for (auto &f : futs) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_TRUE(f.get().status.ok());
+    }
+    EXPECT_EQ(engine.collector().completed(), 6u);
+
+    auto late = engine.submitTimed(1);
+    ASSERT_FALSE(late.ok());
+    EXPECT_EQ(late.status().code(), StatusCode::Unavailable);
+
+    engine.shutdown(); // drain-then-shutdown is a clean sequence
+    EXPECT_EQ(engine.collector().cancelled(), 0u);
+}
+
+TEST(Engine, ShutdownCancelsQueuedRequests)
+{
+    serve::EngineOptions opts;
+    opts.replicas = 1;
+    opts.serviceMsOverride = 50.0;
+    serve::Engine engine(opts);
+
+    auto a = engine.submitTimed(1);
+    auto b = engine.submitTimed(1);
+    auto c = engine.submitTimed(1);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    // Wait for the worker to pull the head request into service.
+    while (engine.queueSize() > 2)
+        std::this_thread::yield();
+
+    engine.shutdown();
+    EXPECT_TRUE(a.take().get().status.ok());
+    EXPECT_EQ(b.take().get().status.code(), StatusCode::Cancelled);
+    EXPECT_EQ(c.take().get().status.code(), StatusCode::Cancelled);
+    EXPECT_EQ(engine.collector().cancelled(), 2u);
+}
+
+TEST(Engine, OptionsFromEnvOverrides)
+{
+    ::setenv("BW_SERVE_REPLICAS", "3", 1);
+    ::setenv("BW_SERVE_QUEUE_DEPTH", "17", 1);
+    ::setenv("BW_SERVE_POLICY", "batched", 1);
+    ::setenv("BW_SERVE_MAX_BATCH", "5", 1);
+    ::setenv("BW_SERVE_TIMEOUT_MS", "7.5", 1);
+    serve::EngineOptions o = serve::EngineOptions::fromEnv();
+    EXPECT_EQ(o.replicas, 3u);
+    EXPECT_EQ(o.queueDepth, 17u);
+    EXPECT_EQ(o.policy, serve::DispatchPolicy::Batched);
+    EXPECT_EQ(o.maxBatch, 5u);
+    EXPECT_DOUBLE_EQ(o.batchTimeoutMs, 7.5);
+    ::unsetenv("BW_SERVE_REPLICAS");
+    ::unsetenv("BW_SERVE_QUEUE_DEPTH");
+    ::unsetenv("BW_SERVE_POLICY");
+    ::unsetenv("BW_SERVE_MAX_BATCH");
+    ::unsetenv("BW_SERVE_TIMEOUT_MS");
+}
+
+TEST(Engine, StatsCollectorMeanBatchAveragesOverBatches)
+{
+    serve::StatsCollector c;
+    serve::Response r;
+    r.status = Status();
+    r.latencyMs = 1.0;
+    r.batch = 2; // one batch of two...
+    c.recordCompleted(r, 0.0, 0.001);
+    c.recordCompleted(r, 0.0, 0.001);
+    r.batch = 1; // ...and one singleton: mean batch (2+1)/2
+    c.recordCompleted(r, 0.001, 0.002);
+    EXPECT_NEAR(c.snapshot().meanBatch, 1.5, 1e-12);
+
+    Json j = c.toJson();
+    EXPECT_TRUE(j.contains("rejected"));
+    EXPECT_TRUE(j.contains("expired"));
+    EXPECT_TRUE(j.contains("cancelled"));
+    EXPECT_TRUE(j.contains("mean_queue_ms"));
+    EXPECT_TRUE(j.contains("mean_service_ms"));
+}
+
+// --- Virtual-time replay vs the analytic serving models ---
+
+TEST(Replay, UnbatchedMatchesAnalyticModel)
+{
+    Rng rng(10);
+    auto arrivals = poissonArrivals(800.0, 5.0, rng);
+    const double service_ms = 1.0, network_ms = 0.1;
+
+    serve::EngineOptions opts;
+    opts.policy = serve::DispatchPolicy::Unbatched;
+    opts.replicas = 1;
+    opts.queueDepth = arrivals.size() + 1;
+    opts.serviceMsOverride = service_ms;
+    opts.networkMs = network_ms;
+    serve::Engine engine(opts);
+    ServeStats replayed = engine.replay(arrivals);
+    ServeStats analytic = serveUnbatched(arrivals, service_ms, network_ms);
+
+    ASSERT_EQ(replayed.requests, analytic.requests);
+    // Acceptance bar is 1%; the replay is in fact bit-identical.
+    EXPECT_NEAR(replayed.meanLatencyMs, analytic.meanLatencyMs,
+                0.01 * analytic.meanLatencyMs);
+    EXPECT_NEAR(replayed.p99LatencyMs, analytic.p99LatencyMs,
+                0.01 * analytic.p99LatencyMs);
+    EXPECT_DOUBLE_EQ(replayed.meanLatencyMs, analytic.meanLatencyMs);
+    EXPECT_DOUBLE_EQ(replayed.p99LatencyMs, analytic.p99LatencyMs);
+    EXPECT_DOUBLE_EQ(replayed.maxLatencyMs, analytic.maxLatencyMs);
+    EXPECT_DOUBLE_EQ(replayed.throughputRps, analytic.throughputRps);
+}
+
+TEST(Replay, BatchedMatchesAnalyticModel)
+{
+    Rng rng(11);
+    auto arrivals = poissonArrivals(1200.0, 3.0, rng);
+    auto batch_ms = [](unsigned b) { return 2.0 + 0.5 * b; };
+
+    serve::EngineOptions opts;
+    opts.policy = serve::DispatchPolicy::Batched;
+    opts.replicas = 1;
+    opts.maxBatch = 8;
+    opts.batchTimeoutMs = 2.0;
+    opts.queueDepth = arrivals.size() + 1;
+    opts.serviceMsOverride = 1.0; // unused: batchServiceMs wins
+    opts.batchServiceMs = batch_ms;
+    serve::Engine engine(opts);
+    ServeStats replayed = engine.replay(arrivals);
+    ServeStats analytic = serveBatched(arrivals, 8, 2.0, batch_ms);
+
+    ASSERT_EQ(replayed.requests, analytic.requests);
+    EXPECT_DOUBLE_EQ(replayed.meanLatencyMs, analytic.meanLatencyMs);
+    EXPECT_DOUBLE_EQ(replayed.p99LatencyMs, analytic.p99LatencyMs);
+    EXPECT_DOUBLE_EQ(replayed.maxLatencyMs, analytic.maxLatencyMs);
+    EXPECT_NEAR(replayed.meanBatch, analytic.meanBatch, 1e-12);
+}
+
+TEST(Replay, AdmissionControlRejectsUnderOverload)
+{
+    // Offered load 10x capacity with a short queue: most requests are
+    // turned away, the rest see bounded latency.
+    std::vector<double> arrivals;
+    for (int i = 0; i < 500; ++i)
+        arrivals.push_back(i * 0.0001); // every 0.1ms
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 1.0;
+    opts.queueDepth = 4;
+    serve::Engine engine(opts);
+    ServeStats s = engine.replay(arrivals);
+    EXPECT_GT(engine.collector().rejected(), 0u);
+    EXPECT_EQ(s.requests + engine.collector().rejected(),
+              arrivals.size());
+    // The queue bound caps head-of-line wait at depth * service.
+    EXPECT_LT(s.maxLatencyMs, (4 + 1) * 1.0 + 1.0);
+}
+
+TEST(Replay, DeadlinesExpireOnDequeue)
+{
+    std::vector<double> arrivals;
+    for (int i = 0; i < 100; ++i)
+        arrivals.push_back(i * 0.0005);
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 1.0;
+    opts.queueDepth = arrivals.size();
+    opts.defaultDeadlineMs = 2.0;
+    serve::Engine engine(opts);
+    ServeStats s = engine.replay(arrivals);
+    EXPECT_GT(engine.collector().expired(), 0u);
+    EXPECT_EQ(s.requests + engine.collector().expired(),
+              arrivals.size());
+}
+
+TEST(Replay, ExtraReplicasRelieveQueueing)
+{
+    Rng rng(12);
+    auto arrivals = poissonArrivals(1500.0, 2.0, rng);
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 1.0; // rho = 1.5 on one replica
+    opts.queueDepth = arrivals.size();
+
+    serve::Engine one(opts);
+    opts.replicas = 2;
+    serve::Engine two(opts);
+    ServeStats s1 = one.replay(arrivals);
+    ServeStats s2 = two.replay(arrivals);
+    EXPECT_LT(s2.meanLatencyMs, s1.meanLatencyMs);
+    EXPECT_NEAR(s2.requests, arrivals.size(), 0);
+}
+
+} // namespace
+} // namespace bw
