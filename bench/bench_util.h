@@ -92,6 +92,18 @@ scorecardJsonPath()
     return env ? env : "BENCH_scorecard.json";
 }
 
+/**
+ * Destination of a harness's machine-readable artifact: the value of
+ * BW_BENCH_JSON when set, else BENCH_<name>.json in the working
+ * directory.
+ */
+inline std::string
+benchJsonPath(const std::string &name)
+{
+    const char *env = std::getenv("BW_BENCH_JSON");
+    return env ? env : "BENCH_" + name + ".json";
+}
+
 /** "+3.1%" style delta between a measured and a published value. */
 inline std::string
 pctDelta(double measured, double published)

@@ -3,6 +3,8 @@
  * Regenerates Fig. 7: hardware utilization (fraction of peak TFLOPS)
  * across the DeepBench RNN inference experiments at batch 1, BW_S10 vs
  * Titan Xp, with an ASCII bar rendering and the paper's values inline.
+ * Also emits a machine-readable BENCH_fig7_utilization.json (path
+ * overridable via BW_BENCH_JSON).
  */
 
 #include <cstdio>
@@ -33,6 +35,7 @@ main()
     std::printf("Fig. 7: hardware utilization across DeepBench RNN "
                 "inference (batch 1)\n\n");
 
+    Json layers = Json::array();
     for (const auto &row : paper::tableFive()) {
         const RnnLayerSpec &layer = row.layer;
         BwRnnResult bw =
@@ -45,11 +48,27 @@ main()
         std::printf("  Titan %5.1f%% |%s  (paper %.1f%%)\n\n",
                     100.0 * perf.utilization,
                     bar(perf.utilization).c_str(), row.gpuUtilPct);
+
+        Json j = Json::object();
+        j.set("layer", layer.label());
+        j.set("bw", toJson(bw));
+        j.set("bw_util_paper_pct", row.bwUtilPct);
+        j.set("gpu_utilization", perf.utilization);
+        j.set("gpu_util_paper_pct", row.gpuUtilPct);
+        layers.push(j);
     }
 
     std::printf("Shape checks: BW utilization rises with hidden "
                 "dimension (up to ~75%% on the\nlargest GRU) and "
                 "exceeds the GPU's everywhere; the GPU stays under 4%% "
                 "at batch 1.\n");
+
+    Json doc = Json::object();
+    doc.set("harness", "fig7_utilization");
+    doc.set("config", "BW_S10");
+    doc.set("layers", layers);
+    std::string path = benchJsonPath("fig7_utilization");
+    writeJsonFile(path, doc);
+    std::printf("Bench JSON written to %s\n", path.c_str());
     return 0;
 }

@@ -5,7 +5,8 @@
  * (timing simulator), and Titan Xp latency/TFLOPS/utilization (GPU
  * model) — with the paper's published values inline. Also prints the
  * Table IV hardware-specification block and the Section VII-B4 power
- * efficiency estimate.
+ * efficiency estimate, and emits a machine-readable
+ * BENCH_table5_deepbench.json (path overridable via BW_BENCH_JSON).
  */
 
 #include <cstdio>
@@ -40,8 +41,11 @@ main()
                  "TFLOPS", "paper", "Util", "paper"});
 
     double best_tflops = 0;
+    Json layers = Json::array();
     for (const auto &row : paper::tableFive()) {
         const RnnLayerSpec &layer = row.layer;
+        Json jl = Json::object();
+        jl.set("layer", layer.label());
         // SDM row.
         {
             Rng rng(1);
@@ -59,6 +63,8 @@ main()
                 cyclesToMs(sdmTotal(cp, layer.timeSteps), cfg.clockMhz);
             t.addRow({layer.label(), "SDM", fmtF(ms, 4),
                       fmtF(row.sdmMs, 4), "-", "-", "-", "-"});
+            jl.set("sdm_latency_ms", ms);
+            jl.set("sdm_latency_paper_ms", row.sdmMs);
         }
         // BW row: simulate min(timeSteps, 60) steps and scale by the
         // steady state (full 750/1500-step runs agree; 60 keeps the
@@ -72,6 +78,9 @@ main()
                       fmtF(row.bwTflops, 2),
                       fmtPct(bw.utilization),
                       fmtF(row.bwUtilPct, 1) + "%"});
+            jl.set("bw", toJson(bw));
+            jl.set("bw_latency_paper_ms", row.bwMs);
+            jl.set("bw_tflops_paper", row.bwTflops);
         }
         // Titan Xp row.
         {
@@ -80,15 +89,32 @@ main()
                       fmtF(row.gpuMs, 2), fmtF(perf.tflops, 2),
                       fmtF(row.gpuTflops, 2), fmtPct(perf.utilization),
                       fmtF(row.gpuUtilPct, 1) + "%"});
+            jl.set("gpu_latency_ms", perf.latencyMs);
+            jl.set("gpu_latency_paper_ms", row.gpuMs);
+            jl.set("gpu_tflops", perf.tflops);
         }
         t.addRule();
+        layers.push(jl);
     }
     std::printf("%s\n", t.render().c_str());
 
+    double gflops_per_watt =
+        best_tflops * 1e3 / paper::bwS10PowerWatts();
     std::printf("Power efficiency (Section VII-B4): %.0f GFLOPS/W at "
                 "peak measured throughput\n(paper: %.0f GFLOPS/W from "
                 "35.92 TFLOPS at %.0f W)\n",
-                best_tflops * 1e3 / paper::bwS10PowerWatts(),
-                paper::bwS10GflopsPerWatt(), paper::bwS10PowerWatts());
+                gflops_per_watt, paper::bwS10GflopsPerWatt(),
+                paper::bwS10PowerWatts());
+
+    Json doc = Json::object();
+    doc.set("harness", "table5_deepbench");
+    doc.set("config", "BW_S10");
+    doc.set("layers", layers);
+    doc.set("best_tflops", best_tflops);
+    doc.set("gflops_per_watt", gflops_per_watt);
+    doc.set("gflops_per_watt_paper", paper::bwS10GflopsPerWatt());
+    std::string path = benchJsonPath("table5_deepbench");
+    writeJsonFile(path, doc);
+    std::printf("Bench JSON written to %s\n", path.c_str());
     return 0;
 }

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Prometheus text-exposition checker: validates a scraped /metrics
+ * document (file argument, or stdin when absent) against format 0.0.4
+ * syntax and the histogram invariants enforced by
+ * metrics::validatePrometheusText(). Exit 0 on a valid document, 1 on
+ * the first violation (printed to stderr). Used by the CI metrics
+ * smoke job to check what the live endpoint actually serves; the same
+ * validator runs in the unit tests without networking.
+ *
+ *   $ curl -s localhost:9100/metrics | ./promcheck
+ *   $ ./promcheck scrape.txt
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bw/bw.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string text;
+    if (argc > 1) {
+        std::ifstream in(argv[1], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "promcheck: cannot open %s\n", argv[1]);
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    } else {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+    }
+
+    bw::Status st = bw::metrics::validatePrometheusText(text);
+    if (!st.ok()) {
+        std::fprintf(stderr, "promcheck: INVALID: %s\n",
+                     st.message().c_str());
+        return 1;
+    }
+
+    // A scrape with no samples is syntactically fine but means the
+    // producer published nothing — treat it as a smoke-test failure.
+    size_t samples = 0;
+    std::istringstream lines(text);
+    for (std::string line; std::getline(lines, line);) {
+        if (!line.empty() && line[0] != '#')
+            ++samples;
+    }
+    if (samples == 0) {
+        std::fprintf(stderr, "promcheck: INVALID: no sample lines\n");
+        return 1;
+    }
+    std::printf("promcheck: OK (%zu sample lines)\n", samples);
+    return 0;
+}

@@ -12,12 +12,24 @@
  * BW_SERVE_POLICY, BW_SERVE_MAX_BATCH, BW_SERVE_TIMEOUT_MS and
  * BW_SERVE_TIMESCALE override the engine options; BW_STATS_JSON=<path>
  * writes the stats document; BW_SERVE_TRACE=<path> writes a
- * Perfetto-loadable Chrome trace of queue wait vs. service per worker.
+ * Perfetto-loadable Chrome trace of queue wait vs. service per worker,
+ * overlaid with sampled metric counter tracks.
+ *
+ * Live metrics: the engine and the timing simulator publish into a
+ * metrics::Registry. BW_METRICS_PORT=<port> serves it over HTTP
+ * (GET /metrics Prometheus text, /metrics.json; port 0 picks an
+ * ephemeral port, printed on stdout); BW_METRICS_PERIOD_MS sets the
+ * background sampler period (default 25 ms); BW_METRICS_LINGER_S keeps
+ * the endpoint up for that many seconds after the run so scrapers
+ * can't race the exit; BW_METRICS_JSON=<path> writes the JSON
+ * exposition; BW_BENCH_JSON=<path> overrides the machine-readable
+ * BENCH_serve_engine.json artifact.
  *
  *   $ ./serve_engine [clients] [requests_per_client]
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -42,11 +54,17 @@ main(int argc, char **argv)
         Session::compile(makeGru(randomGruWeights(hidden, hidden, rng)),
                          cfg);
 
+    // Live metrics: the engine, the timing simulator, and a background
+    // sampler all publish into one registry.
+    metrics::Registry registry;
+    session.timer().setMetricsRegistry(&registry);
+
     serve::EngineOptions opts;
     opts.replicas = 2;
     opts.queueDepth = 32;
     opts.networkMs = 0.05;
     opts = serve::EngineOptions::fromEnv(opts);
+    opts.metricsRegistry = &registry;
     auto engine = session.serve(opts);
 
     std::printf("Engine: %u replicas, queue depth %zu, %s dispatch, "
@@ -54,6 +72,24 @@ main(int argc, char **argv)
                 opts.replicas, opts.queueDepth,
                 serve::dispatchPolicyName(opts.policy),
                 session.model().name.c_str());
+
+    metrics::MetricsHttpServer http(registry);
+    if (const char *port_env = std::getenv("BW_METRICS_PORT")) {
+        Status st = http.start(
+            static_cast<uint16_t>(std::atoi(port_env)));
+        if (st.ok())
+            std::printf("Metrics endpoint: http://127.0.0.1:%u/metrics\n",
+                        http.port());
+        else
+            std::printf("Metrics endpoint unavailable: %s\n",
+                        st.message().c_str());
+    }
+
+    double period_ms = 25.0;
+    if (const char *p = std::getenv("BW_METRICS_PERIOD_MS"))
+        period_ms = std::atof(p);
+    metrics::Sampler sampler(registry, period_ms, engine->epoch());
+    sampler.start();
 
     // --- Concurrent clients submitting functional requests. ---
     std::vector<std::thread> threads;
@@ -79,6 +115,7 @@ main(int argc, char **argv)
     for (auto &t : threads)
         t.join();
     engine->drain();
+    sampler.stop();
 
     ServeStats s = engine->stats();
     TextTable t({"metric", "value"});
@@ -121,8 +158,46 @@ main(int argc, char **argv)
     }
     if (const char *path = std::getenv("BW_SERVE_TRACE")) {
         // Engine timestamps are microseconds; clock 1.0 keeps them so.
-        obs::writeChromeTrace(path, engine->trace(), 1.0);
+        // Sampled metrics overlay the waterfall as counter tracks.
+        Json trace_doc = obs::chromeTraceJson(engine->trace(), 1.0);
+        metrics::appendCounterEvents(trace_doc, sampler.samples());
+        writeJsonFile(path, trace_doc);
         std::printf("Chrome trace written to %s\n", path);
+    }
+    if (const char *path = std::getenv("BW_METRICS_JSON")) {
+        writeJsonFile(path, metrics::metricsJson(registry));
+        std::printf("Metrics JSON written to %s\n", path);
+    }
+
+    // Machine-readable artifact (BW_BENCH_JSON overrides the path).
+    {
+        const char *env = std::getenv("BW_BENCH_JSON");
+        std::string path = env ? env : "BENCH_serve_engine.json";
+        Json doc = Json::object();
+        doc.set("harness", "serve_engine");
+        doc.set("clients", clients);
+        doc.set("requests_per_client", per_client);
+        doc.set("completed", s.requests);
+        doc.set("rejected", rejected.load());
+        doc.set("mean_latency_ms", s.meanLatencyMs);
+        doc.set("p99_latency_ms", s.p99LatencyMs);
+        doc.set("throughput_rps", s.throughputRps);
+        doc.set("replay", replayed.toJson());
+        doc.set("analytic", analytic.toJson());
+        doc.set("metrics", metrics::metricsJson(registry));
+        writeJsonFile(path, doc);
+        std::printf("Bench JSON written to %s\n", path.c_str());
+    }
+
+    // Hold the endpoint open so external scrapers can't race our exit.
+    if (const char *linger = std::getenv("BW_METRICS_LINGER_S")) {
+        if (http.running()) {
+            double hold_s = std::atof(linger);
+            std::printf("Metrics endpoint lingering %.1f s...\n", hold_s);
+            std::fflush(stdout);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(hold_s));
+        }
     }
     return 0;
 }

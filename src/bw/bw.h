@@ -58,6 +58,10 @@
 #include "isa/builder.h"
 #include "isa/encoding.h"
 #include "isa/validate.h"
+#include "metrics/exposition.h"
+#include "metrics/http_server.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
 #include "obs/chrome_trace.h"
 #include "obs/stall.h"
 #include "obs/trace.h"

@@ -1,0 +1,437 @@
+#include "metrics/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bw {
+namespace metrics {
+
+namespace {
+
+/** Prometheus sample value: integers exact, doubles shortest-roundtrip
+ *  enough for monitoring (%.10g), non-finite in Prometheus spelling. */
+std::string
+fmtValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** Escape a label value per the text format (\\, \", \n). */
+std::string
+escapeLabelValue(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** {a="x",b="y"} rendered from @p labels plus an optional extra pair
+ *  (the histogram le); empty string when there are no labels at all. */
+std::string
+labelBlock(const Labels &labels, const char *extra_key = nullptr,
+           const std::string &extra_value = "")
+{
+    if (labels.empty() && !extra_key)
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + escapeLabelValue(v) + "\"";
+    }
+    if (extra_key) {
+        if (!first)
+            out += ",";
+        out += std::string(extra_key) + "=\"" +
+               escapeLabelValue(extra_value) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/** One-line help text: newlines would break the exposition. */
+std::string
+escapeHelp(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out += c == '\n' ? ' ' : c;
+    return out;
+}
+
+std::string
+labelsKey(const Labels &labels)
+{
+    std::string key;
+    for (const auto &[k, v] : labels)
+        key += k + "\x1f" + v + "\x1f";
+    return key;
+}
+
+} // namespace
+
+std::string
+prometheusText(const std::vector<MetricSnapshot> &snapshots)
+{
+    std::string out;
+    std::string current_family;
+    for (const MetricSnapshot &m : snapshots) {
+        if (m.name != current_family) {
+            current_family = m.name;
+            out += "# HELP " + m.name + " " + escapeHelp(m.help) + "\n";
+            out += "# TYPE " + m.name + " " +
+                   metricTypeName(m.type) + "\n";
+        }
+        if (m.type != MetricType::Histogram) {
+            out += m.name + labelBlock(m.labels) + " " +
+                   fmtValue(m.value) + "\n";
+            continue;
+        }
+        // Histogram: cumulative buckets, then +Inf, _sum, _count.
+        uint64_t cum = 0;
+        for (size_t i = 0; i < m.hist.bounds.size(); ++i) {
+            cum += m.hist.counts[i];
+            out += m.name + "_bucket" +
+                   labelBlock(m.labels, "le",
+                              fmtValue(m.hist.bounds[i])) +
+                   " " + std::to_string(cum) + "\n";
+        }
+        out += m.name + "_bucket" + labelBlock(m.labels, "le", "+Inf") +
+               " " + std::to_string(m.hist.count) + "\n";
+        out += m.name + "_sum" + labelBlock(m.labels) + " " +
+               fmtValue(m.hist.sum) + "\n";
+        out += m.name + "_count" + labelBlock(m.labels) + " " +
+               std::to_string(m.hist.count) + "\n";
+    }
+    return out;
+}
+
+std::string
+prometheusText(const Registry &registry)
+{
+    return prometheusText(registry.collect());
+}
+
+Json
+metricsJson(const std::vector<MetricSnapshot> &snapshots)
+{
+    Json doc = Json::object();
+    // collect() is family-major: group consecutive runs of one name.
+    for (size_t i = 0; i < snapshots.size();) {
+        const MetricSnapshot &head = snapshots[i];
+        Json instances = Json::array();
+        for (; i < snapshots.size() && snapshots[i].name == head.name;
+             ++i) {
+            const MetricSnapshot &m = snapshots[i];
+            Json entry = Json::object();
+            if (!m.labels.empty()) {
+                Json lbl = Json::object();
+                for (const auto &[k, v] : m.labels)
+                    lbl.set(k, v);
+                entry.set("labels", std::move(lbl));
+            }
+            if (m.type != MetricType::Histogram) {
+                entry.set("value", m.value);
+            } else {
+                entry.set("count", m.hist.count);
+                entry.set("sum", m.hist.sum);
+                entry.set("max", m.hist.maxValue);
+                entry.set("p50", m.hist.quantile(50));
+                entry.set("p95", m.hist.quantile(95));
+                entry.set("p99", m.hist.quantile(99));
+                Json buckets = Json::array();
+                uint64_t cum = 0;
+                for (size_t b = 0; b < m.hist.bounds.size(); ++b) {
+                    cum += m.hist.counts[b];
+                    if (m.hist.counts[b] == 0)
+                        continue; // sparse: only occupied buckets
+                    Json bj = Json::object();
+                    bj.set("le", m.hist.bounds[b]);
+                    bj.set("cumulative", cum);
+                    buckets.push(std::move(bj));
+                }
+                entry.set("buckets", std::move(buckets));
+            }
+            instances.push(std::move(entry));
+        }
+        Json f = Json::object();
+        f.set("type", metricTypeName(head.type));
+        f.set("help", head.help);
+        f.set("instances", std::move(instances));
+        doc.set(head.name, std::move(f));
+    }
+    return doc;
+}
+
+Json
+metricsJson(const Registry &registry)
+{
+    return metricsJson(registry.collect());
+}
+
+// --- Prometheus text-format checker ---
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    int line = 1;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    Status
+    fail(const std::string &why) const
+    {
+        return Status::invalidArgument(
+            bw::detail::format("line %d: %s", line, why.c_str()));
+    }
+};
+
+bool
+parseLabels(const std::string &body, size_t &i, Labels &labels,
+            std::string &err)
+{
+    // body[i] == '{' on entry; consumes through the closing '}'.
+    ++i;
+    while (i < body.size() && body[i] != '}') {
+        size_t k0 = i;
+        while (i < body.size() && body[i] != '=')
+            ++i;
+        std::string key = body.substr(k0, i - k0);
+        if (!validLabelName(key)) {
+            err = "invalid label name '" + key + "'";
+            return false;
+        }
+        if (i >= body.size() || body[i] != '=' || i + 1 >= body.size() ||
+            body[i + 1] != '"') {
+            err = "label '" + key + "' missing =\"value\"";
+            return false;
+        }
+        i += 2;
+        std::string value;
+        while (i < body.size() && body[i] != '"') {
+            if (body[i] == '\\' && i + 1 < body.size()) {
+                char n = body[i + 1];
+                value += n == 'n' ? '\n' : n;
+                i += 2;
+            } else {
+                value += body[i++];
+            }
+        }
+        if (i >= body.size()) {
+            err = "unterminated label value";
+            return false;
+        }
+        ++i; // closing quote
+        labels.emplace_back(std::move(key), std::move(value));
+        if (i < body.size() && body[i] == ',')
+            ++i;
+    }
+    if (i >= body.size()) {
+        err = "unterminated label block";
+        return false;
+    }
+    ++i; // '}'
+    return true;
+}
+
+bool
+parseValue(const std::string &s, double &out)
+{
+    if (s == "+Inf" || s == "Inf") {
+        out = HUGE_VAL;
+        return true;
+    }
+    if (s == "-Inf") {
+        out = -HUGE_VAL;
+        return true;
+    }
+    if (s == "NaN") {
+        out = NAN;
+        return true;
+    }
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end && *end == '\0' && end != s.c_str();
+}
+
+} // namespace
+
+Status
+validatePrometheusText(const std::string &text)
+{
+    Parser p(text);
+    std::map<std::string, std::string> family_type;
+    // Histogram bookkeeping, keyed by family + non-le labels.
+    struct HistState
+    {
+        double last_le = -HUGE_VAL;
+        double last_cum = -1;
+        bool saw_inf = false;
+        double inf_count = 0;
+        double count = -1; //!< the _count sample, when seen
+    };
+    std::map<std::string, HistState> hists;
+
+    std::istringstream in(text);
+    std::string raw;
+    for (; std::getline(in, raw); ++p.line) {
+        if (raw.empty())
+            continue;
+        if (raw[0] == '#') {
+            std::istringstream ls(raw);
+            std::string hash, kind, name;
+            ls >> hash >> kind >> name;
+            if (kind != "HELP" && kind != "TYPE")
+                continue; // other comments are permitted
+            if (!validMetricName(name))
+                return p.fail("bad metric name in '" + raw + "'");
+            if (kind == "TYPE") {
+                std::string type;
+                ls >> type;
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram" && type != "summary" &&
+                    type != "untyped") {
+                    return p.fail("unknown TYPE '" + type + "'");
+                }
+                if (family_type.count(name))
+                    return p.fail("duplicate TYPE for " + name);
+                family_type[name] = type;
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        size_t i = 0;
+        while (i < raw.size() && raw[i] != '{' && raw[i] != ' ')
+            ++i;
+        std::string name = raw.substr(0, i);
+        if (!validMetricName(name))
+            return p.fail("bad sample metric name '" + name + "'");
+        Labels labels;
+        if (i < raw.size() && raw[i] == '{') {
+            std::string err;
+            if (!parseLabels(raw, i, labels, err))
+                return p.fail(err);
+        }
+        if (i >= raw.size() || raw[i] != ' ')
+            return p.fail("missing value after '" + name + "'");
+        std::istringstream rest(raw.substr(i + 1));
+        std::string value_s, timestamp_s, extra;
+        rest >> value_s >> timestamp_s >> extra;
+        if (!extra.empty())
+            return p.fail("trailing garbage '" + extra + "'");
+        double value;
+        if (!parseValue(value_s, value))
+            return p.fail("bad sample value '" + value_s + "'");
+        if (!timestamp_s.empty()) {
+            double ts;
+            if (!parseValue(timestamp_s, ts))
+                return p.fail("bad timestamp '" + timestamp_s + "'");
+        }
+
+        // Resolve the family: histogram samples use suffixed names.
+        std::string family = name;
+        std::string suffix;
+        for (const char *s : {"_bucket", "_sum", "_count"}) {
+            std::string cand = name;
+            size_t n = std::string(s).size();
+            if (cand.size() > n &&
+                cand.compare(cand.size() - n, n, s) == 0) {
+                cand.resize(cand.size() - n);
+                auto it = family_type.find(cand);
+                if (it != family_type.end() &&
+                    (it->second == "histogram" ||
+                     it->second == "summary")) {
+                    family = cand;
+                    suffix = s;
+                    break;
+                }
+            }
+        }
+        auto ft = family_type.find(family);
+        if (ft == family_type.end())
+            return p.fail("sample '" + name + "' has no # TYPE");
+
+        if (ft->second != "histogram")
+            continue;
+        if (suffix.empty())
+            return p.fail("bare sample '" + name +
+                          "' in histogram family");
+        // Histogram invariants, per label set (excluding le).
+        Labels rest_labels;
+        double le = 0;
+        bool has_le = false;
+        for (const auto &[k, v] : labels) {
+            if (k == "le" && suffix == "_bucket") {
+                has_le = true;
+                if (!parseValue(v, le))
+                    return p.fail("bad le '" + v + "'");
+            } else {
+                rest_labels.emplace_back(k, v);
+            }
+        }
+        HistState &h = hists[family + "\x1e" + labelsKey(rest_labels)];
+        if (suffix == "_bucket") {
+            if (!has_le)
+                return p.fail(name + " bucket without le label");
+            if (le <= h.last_le)
+                return p.fail(family + " buckets out of le order");
+            if (value < h.last_cum)
+                return p.fail(family + " bucket counts not cumulative");
+            h.last_le = le;
+            h.last_cum = value;
+            if (std::isinf(le) && le > 0) {
+                h.saw_inf = true;
+                h.inf_count = value;
+            }
+        } else if (suffix == "_count") {
+            h.count = value;
+        }
+    }
+
+    for (const auto &[key, h] : hists) {
+        std::string family = key.substr(0, key.find('\x1e'));
+        if (!h.saw_inf) {
+            return Status::invalidArgument(
+                "histogram " + family + " has no le=\"+Inf\" bucket");
+        }
+        if (h.count >= 0 && h.count != h.inf_count) {
+            return Status::invalidArgument(
+                "histogram " + family +
+                " _count disagrees with its +Inf bucket");
+        }
+    }
+    return Status();
+}
+
+} // namespace metrics
+} // namespace bw

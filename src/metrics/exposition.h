@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Exposition of a metrics::Registry in two machine-readable formats:
+ * Prometheus text format 0.0.4 (what a scraper pulls from /metrics)
+ * and the repo's ordered Json convention (what BW_*_JSON artifacts and
+ * tests consume). Plus a small Prometheus-format checker used by the
+ * CI smoke job and the unit tests, so exposition validity is enforced
+ * both over the wire and without networking.
+ */
+
+#ifndef BW_METRICS_EXPOSITION_H
+#define BW_METRICS_EXPOSITION_H
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "metrics/metrics.h"
+
+namespace bw {
+namespace metrics {
+
+/**
+ * Render @p snapshots (from Registry::collect()) as Prometheus text
+ * exposition: one # HELP / # TYPE pair per family, histogram families
+ * as cumulative _bucket{le=...} series with a +Inf bucket plus _sum
+ * and _count.
+ */
+std::string prometheusText(const std::vector<MetricSnapshot> &snapshots);
+
+/** Registry::collect() rendered as Prometheus text. */
+std::string prometheusText(const Registry &registry);
+
+/**
+ * Render @p snapshots as an ordered Json object: one member per
+ * family, instances as {labels, value} (counter/gauge) or
+ * {labels, count, sum, max, buckets:[{le,count}...]} (histogram).
+ */
+Json metricsJson(const std::vector<MetricSnapshot> &snapshots);
+
+/** Registry::collect() rendered as Json. */
+Json metricsJson(const Registry &registry);
+
+/**
+ * Validate @p text as Prometheus text exposition. Checks line syntax
+ * (HELP/TYPE comments, sample lines, metric and label names, numeric
+ * values), that every sample's family has a preceding # TYPE, and the
+ * histogram invariants: each histogram has a le="+Inf" bucket, bucket
+ * counts are cumulative (non-decreasing in le order), and _count
+ * equals the +Inf bucket. Returns OK or an InvalidArgument status
+ * naming the first offending line.
+ */
+Status validatePrometheusText(const std::string &text);
+
+} // namespace metrics
+} // namespace bw
+
+#endif // BW_METRICS_EXPOSITION_H

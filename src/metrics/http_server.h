@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal embedded HTTP endpoint for live metrics scraping: a
+ * POSIX-socket listener serving GET /metrics (Prometheus text format
+ * 0.0.4), GET /metrics.json (the repo's ordered Json) and GET /healthz
+ * from a metrics::Registry. Opt-in: examples start it only when
+ * BW_METRICS_PORT is set. One accept thread handles connections
+ * serially — metrics responses are small and scrapes are rare, so no
+ * connection pool is warranted.
+ */
+
+#ifndef BW_METRICS_HTTP_SERVER_H
+#define BW_METRICS_HTTP_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "metrics/metrics.h"
+
+namespace bw {
+namespace metrics {
+
+/** Serves a Registry over HTTP until stop() or destruction. */
+class MetricsHttpServer
+{
+  public:
+    explicit MetricsHttpServer(const Registry &registry);
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind (port 0 picks an ephemeral port — see port()), listen, and
+     * spawn the accept thread. Returns Unavailable on platforms
+     * without POSIX sockets or when the bind/listen fails.
+     */
+    Status start(uint16_t port);
+
+    /** Close the listener and join the accept thread (idempotent). */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound port (resolves port-0 binds); 0 before start(). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Compute the HTTP response for @p request_line (e.g. "GET
+     * /metrics HTTP/1.1") — exposed so tests can exercise routing
+     * without sockets.
+     */
+    std::string respond(const std::string &request_line) const;
+
+  private:
+    void acceptLoop();
+
+    const Registry &registry_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+} // namespace metrics
+} // namespace bw
+
+#endif // BW_METRICS_HTTP_SERVER_H

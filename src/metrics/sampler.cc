@@ -1,0 +1,147 @@
+#include "metrics/sampler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bw {
+namespace metrics {
+
+Sampler::Sampler(const Registry &registry, double period_ms,
+                 std::chrono::steady_clock::time_point epoch)
+    : registry_(registry), periodMs_(std::max(1.0, period_ms)),
+      epoch_(epoch)
+{
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+void
+Sampler::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_)
+        return;
+    running_ = true;
+    stopping_ = false;
+    thread_ = std::thread(&Sampler::loop, this);
+}
+
+void
+Sampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!running_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        running_ = false;
+    }
+    sampleOnce(); // final state so the series covers the full run
+}
+
+void
+Sampler::sampleOnce()
+{
+    uint64_t t_us = static_cast<uint64_t>(std::max(
+        0.0, std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count()));
+    record(t_us);
+}
+
+void
+Sampler::record(uint64_t t_us)
+{
+    std::vector<Sample> batch;
+    for (const MetricSnapshot &m : registry_.collect()) {
+        if (m.type == MetricType::Histogram)
+            continue; // counter tracks show scalars; histograms don't fit
+        Sample s;
+        s.tUs = t_us;
+        s.name = m.name;
+        s.labels = m.labels;
+        s.value = m.value;
+        batch.push_back(std::move(s));
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Sample &s : batch)
+        samples_.push_back(std::move(s));
+}
+
+void
+Sampler::loop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopping_) {
+        lk.unlock();
+        sampleOnce();
+        lk.lock();
+        cv_.wait_for(lk,
+                     std::chrono::duration<double, std::milli>(periodMs_),
+                     [&] { return stopping_; });
+    }
+}
+
+std::vector<Sample>
+Sampler::samples() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return samples_;
+}
+
+Json
+counterTraceEvents(const std::vector<Sample> &samples)
+{
+    Json events = Json::array();
+    for (const Sample &s : samples) {
+        // One counter track per metric instance: fold the labels into
+        // the track name so replica-labeled series stay separate.
+        std::string name = s.name;
+        if (!s.labels.empty()) {
+            name += "[";
+            for (size_t i = 0; i < s.labels.size(); ++i) {
+                if (i)
+                    name += ",";
+                name += s.labels[i].first + "=" + s.labels[i].second;
+            }
+            name += "]";
+        }
+        Json args = Json::object();
+        args.set("value", s.value);
+        Json ev = Json::object();
+        ev.set("name", std::move(name));
+        ev.set("ph", "C");
+        ev.set("ts", static_cast<double>(s.tUs));
+        ev.set("pid", 0);
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+    return events;
+}
+
+void
+appendCounterEvents(Json &chrome_doc, const std::vector<Sample> &samples)
+{
+    const Json *existing = chrome_doc.find("traceEvents");
+    BW_ASSERT(existing,
+              "appendCounterEvents: document has no traceEvents array");
+    Json merged = Json::array();
+    for (size_t i = 0; i < existing->size(); ++i)
+        merged.push(existing->at(i));
+    Json counters = counterTraceEvents(samples);
+    for (size_t i = 0; i < counters.size(); ++i)
+        merged.push(counters.at(i));
+    chrome_doc.set("traceEvents", std::move(merged));
+}
+
+} // namespace metrics
+} // namespace bw

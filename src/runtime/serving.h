@@ -43,17 +43,44 @@ struct ServeStats
 /**
  * Nearest-rank percentile of an ascending-sorted sample set: the
  * smallest value such that at least @p pct percent of the samples are
- * <= it. Zero for an empty set.
+ * <= it. Zero for an empty set; the sole element for a single-element
+ * set at any pct. @p pct outside [0, 100] is clamped (pct <= 0 yields
+ * the minimum, pct >= 100 the maximum) — in particular a negative pct
+ * never indexes out of range.
  */
 inline double
 percentileSorted(const std::vector<double> &sorted, double pct)
 {
     if (sorted.empty())
         return 0.0;
+    pct = std::clamp(pct, 0.0, 100.0);
     size_t rank = static_cast<size_t>(
         std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
     rank = std::clamp<size_t>(rank, 1, sorted.size());
     return sorted[rank - 1];
+}
+
+/**
+ * The three tail quantiles every latency summary in the repo reports
+ * (ServeStats, serve::StatsCollector, the metrics histograms'
+ * validation tests), computed in one place from one sorted pass.
+ */
+struct LatencyQuantiles
+{
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+};
+
+/** Nearest-rank p50/p95/p99 of an ascending-sorted sample set. */
+inline LatencyQuantiles
+quantilesSorted(const std::vector<double> &sorted)
+{
+    LatencyQuantiles q;
+    q.p50 = percentileSorted(sorted, 50);
+    q.p95 = percentileSorted(sorted, 95);
+    q.p99 = percentileSorted(sorted, 99);
+    return q;
 }
 
 /** Fill the latency summary fields from an ascending-sorted sample set. */
@@ -67,9 +94,10 @@ fillLatencyStats(ServeStats &stats, const std::vector<double> &sorted)
     for (double l : sorted)
         sum += l;
     stats.meanLatencyMs = sum / static_cast<double>(sorted.size());
-    stats.p50LatencyMs = percentileSorted(sorted, 50);
-    stats.p95LatencyMs = percentileSorted(sorted, 95);
-    stats.p99LatencyMs = percentileSorted(sorted, 99);
+    LatencyQuantiles q = quantilesSorted(sorted);
+    stats.p50LatencyMs = q.p50;
+    stats.p95LatencyMs = q.p95;
+    stats.p99LatencyMs = q.p99;
     stats.maxLatencyMs = sorted.back();
 }
 

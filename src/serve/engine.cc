@@ -168,7 +168,10 @@ StatsCollector::toJson() const
         sum += w;
     j.set("mean_queue_ms",
           waits.empty() ? 0.0 : sum / static_cast<double>(waits.size()));
-    j.set("p99_queue_ms", percentileSorted(waits, 99));
+    LatencyQuantiles wq = quantilesSorted(waits);
+    j.set("p50_queue_ms", wq.p50);
+    j.set("p95_queue_ms", wq.p95);
+    j.set("p99_queue_ms", wq.p99);
     sum = 0;
     for (double s : serviceMs_)
         sum += s;
@@ -189,6 +192,52 @@ Engine::Engine(std::shared_ptr<const CompiledModel> model,
     opts_.replicas = std::max(1u, opts_.replicas);
     opts_.queueDepth = std::max<size_t>(1, opts_.queueDepth);
     opts_.maxBatch = std::max(1u, opts_.maxBatch);
+    if (opts_.metricsRegistry)
+        bindMetrics();
+}
+
+void
+Engine::bindMetrics()
+{
+    metrics::Registry &reg = *opts_.metricsRegistry;
+    live_ = std::make_unique<LiveMetrics>();
+    live_->queueDepth = &reg.gauge(
+        "bw_serve_queue_depth",
+        "Requests waiting in the engine's bounded admission queue");
+    live_->inflight = &reg.gauge(
+        "bw_serve_inflight",
+        "Requests currently in service across accelerator replicas");
+    live_->admitted = &reg.counter(
+        "bw_serve_admitted_total",
+        "Requests accepted into the queue since engine construction");
+    live_->completed = &reg.counter(
+        "bw_serve_completed_total",
+        "Requests that finished service successfully");
+    live_->rejected = &reg.counter(
+        "bw_serve_rejected_total",
+        "Submissions rejected by admission control (QUEUE_FULL)");
+    live_->expired = &reg.counter(
+        "bw_serve_deadline_expired_total",
+        "Requests whose deadline passed while queued (expired at "
+        "dequeue, no service consumed)");
+    live_->cancelled = &reg.counter(
+        "bw_serve_cancelled_total",
+        "Queued requests abandoned by shutdown()");
+    live_->replicaBusyUs.reserve(opts_.replicas);
+    for (unsigned i = 0; i < opts_.replicas; ++i) {
+        live_->replicaBusyUs.push_back(&reg.counter(
+            "bw_serve_replica_busy_us_total",
+            "Wall-clock microseconds each replica spent serving",
+            {{"replica", std::to_string(i)}}));
+    }
+    live_->latencyMs = &reg.histogram(
+        "bw_serve_latency_ms",
+        "End-to-end latency of completed requests, milliseconds "
+        "(admission to completion plus network)");
+    live_->queueWaitMs = &reg.histogram(
+        "bw_serve_queue_wait_ms",
+        "Queue wait of completed requests, milliseconds (admission to "
+        "dequeue)");
 }
 
 Engine::Engine(const CompiledModel &model, EngineOptions opts)
@@ -293,6 +342,8 @@ Engine::enqueue(Pending p)
         }
         if (queue_.size() >= opts_.queueDepth) {
             collector_.recordRejected();
+            if (live_)
+                live_->rejected->inc();
             return Status::queueFull(detail::format(
                 "queue at depth %zu; request rejected (admission "
                 "control)", opts_.queueDepth));
@@ -301,6 +352,10 @@ Engine::enqueue(Pending p)
         p.id = nextId_++;
         p.admitS = nowS();
         queue_.push_back(std::move(p));
+        if (live_) {
+            live_->admitted->inc();
+            live_->queueDepth->set(static_cast<double>(queue_.size()));
+        }
     }
     workCv_.notify_one();
     return fut;
@@ -357,12 +412,18 @@ Engine::workerLoop(unsigned index)
         }
         double dequeue_s = nowS();
         inFlight_ += static_cast<unsigned>(take);
+        if (live_) {
+            live_->queueDepth->set(static_cast<double>(queue_.size()));
+            live_->inflight->set(static_cast<double>(inFlight_));
+        }
         lk.unlock();
 
         serveBatch(index, machine.get(), std::move(batch), dequeue_s);
 
         lk.lock();
         inFlight_ -= static_cast<unsigned>(take);
+        if (live_)
+            live_->inflight->set(static_cast<double>(inFlight_));
         if (queue_.empty() && inFlight_ == 0)
             idleCv_.notify_all();
     }
@@ -388,6 +449,8 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
             r.latencyMs = queue_ms + opts_.networkMs;
             r.worker = index;
             collector_.recordExpired();
+            if (live_)
+                live_->expired->inc();
             emitTrace(obs::EventKind::QueueWait,
                       obs::ResClass::ServeQueue, 0, p.id, p.admitS,
                       dequeue_s);
@@ -438,6 +501,10 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
 
     double done_s = nowS();
     double wall_ms = (done_s - dequeue_s) * 1e3;
+    if (live_) {
+        live_->replicaBusyUs[index]->add(static_cast<uint64_t>(
+            std::llround((done_s - dequeue_s) * 1e6)));
+    }
     for (size_t i = 0; i < live.size(); ++i) {
         Pending &p = live[i];
         Response r;
@@ -454,6 +521,11 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
         emitTrace(obs::EventKind::Service, obs::ResClass::ServeWorker,
                   static_cast<uint16_t>(index), p.id, dequeue_s, done_s);
         collector_.recordCompleted(r, p.admitS, done_s);
+        if (live_) {
+            live_->completed->inc();
+            live_->latencyMs->record(r.latencyMs);
+            live_->queueWaitMs->record(r.queueMs);
+        }
         p.promise.set_value(std::move(r));
     }
 }
@@ -491,8 +563,12 @@ Engine::shutdown()
         r.queueMs = (now_s - p.admitS) * 1e3;
         r.latencyMs = r.queueMs + opts_.networkMs;
         collector_.recordCancelled();
+        if (live_)
+            live_->cancelled->inc();
         p.promise.set_value(std::move(r));
     }
+    if (live_)
+        live_->queueDepth->set(0);
 }
 
 size_t

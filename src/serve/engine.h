@@ -45,6 +45,7 @@
 
 #include "common/status.h"
 #include "compiler/compiled_model.h"
+#include "metrics/metrics.h"
 #include "obs/trace.h"
 #include "runtime/serving.h"
 
@@ -106,6 +107,19 @@ struct EngineOptions
     /** Test/fault-injection hook, invoked on the worker thread for
      *  each request as its service begins. */
     std::function<void(RequestId)> serviceHook;
+
+    /**
+     * Live-metrics registry (non-owning; must outlive the engine).
+     * When set, the engine publishes: bw_serve_queue_depth and
+     * bw_serve_inflight gauges; bw_serve_{admitted, completed,
+     * rejected, deadline_expired, cancelled}_total counters; a
+     * bw_serve_replica_busy_us_total{replica=...} counter per worker;
+     * and bw_serve_latency_ms / bw_serve_queue_wait_ms histograms over
+     * completed requests. Counters and histograms are per-thread
+     * sharded, so workers never contend on a shared atomic; enabling
+     * metrics does not change served-request outcomes (tested).
+     */
+    metrics::Registry *metricsRegistry = nullptr;
 
     /**
      * Apply BW_SERVE_* environment overrides to @p base:
@@ -277,6 +291,13 @@ class Engine
      *  serviceMsOverride when set, else an NpuTiming run (cached). */
     double serviceMsFor(unsigned steps);
 
+    /** Seconds since engine construction began (the clock trace event
+     *  and metrics-sampler timestamps are measured on). */
+    std::chrono::steady_clock::time_point epoch() const
+    {
+        return epoch_;
+    }
+
   private:
     struct Pending
     {
@@ -289,7 +310,24 @@ class Engine
         std::promise<Response> promise;
     };
 
+    /** Resolved handles into options().metricsRegistry (absent when no
+     *  registry is attached; all updates null-check through live_). */
+    struct LiveMetrics
+    {
+        metrics::Gauge *queueDepth = nullptr;
+        metrics::Gauge *inflight = nullptr;
+        metrics::Counter *admitted = nullptr;
+        metrics::Counter *completed = nullptr;
+        metrics::Counter *rejected = nullptr;
+        metrics::Counter *expired = nullptr;
+        metrics::Counter *cancelled = nullptr;
+        std::vector<metrics::Counter *> replicaBusyUs;
+        metrics::Histogram *latencyMs = nullptr;
+        metrics::Histogram *queueWaitMs = nullptr;
+    };
+
     Expected<std::future<Response>> enqueue(Pending p);
+    void bindMetrics();
     void startLocked();
     void workerLoop(unsigned index);
     void serveBatch(unsigned index, FuncMachine *machine,
@@ -328,6 +366,7 @@ class Engine
     StatsCollector collector_;
     std::mutex traceMu_;
     obs::EventTrace trace_;
+    std::unique_ptr<LiveMetrics> live_;
 };
 
 } // namespace serve

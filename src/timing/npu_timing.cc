@@ -62,6 +62,56 @@ NpuTiming::setTraceSink(obs::TraceSink *sink)
 }
 
 void
+NpuTiming::setMetricsRegistry(metrics::Registry *registry)
+{
+    metrics_ = registry;
+}
+
+void
+NpuTiming::publishMetrics(const TimingResult &res)
+{
+    metrics::Registry &reg = *metrics_;
+    double total = static_cast<double>(res.totalCycles);
+    auto util = [&](const char *resource, Cycles busy, size_t units) {
+        double u = total > 0 && units > 0
+                       ? static_cast<double>(busy) /
+                             (total * static_cast<double>(units))
+                       : 0.0;
+        reg.gauge("bw_npu_utilization",
+                  "Occupancy fraction of one NPU resource class over "
+                  "the most recent timing run",
+                  {{"resource", resource}})
+            .set(u);
+    };
+    util("control_processor", nios_.busyCycles(), 1);
+    util("mvm_tile_engines", engines_.totalBusyCycles(),
+         engines_.size());
+    util("reduce_units", reduceUnits_.totalBusyCycles(),
+         reduceUnits_.size());
+    util("mfu_units", mfuUnits_.totalBusyCycles(), mfuUnits_.size());
+    util("vrf_read_ports",
+         ivrfRead_.busyCycles() + asvrfRead_.busyCycles() +
+             mulvrfRead_.busyCycles(),
+         3);
+    util("vrf_write_ports",
+         ivrfWrite_.totalBusyCycles() + asvrfWrite_.totalBusyCycles() +
+             mulvrfWrite_.totalBusyCycles(),
+         ivrfWrite_.size() + asvrfWrite_.size() + mulvrfWrite_.size());
+    util("net_in", netIn_.busyCycles(), 1);
+    util("net_out", netOut_.busyCycles(), 1);
+    util("dram", dram_.busyCycles(), 1);
+
+    const char *help = "Cumulative timing-simulator totals";
+    reg.counter("bw_npu_runs_total", help).inc();
+    reg.counter("bw_npu_cycles_total", help).add(res.totalCycles);
+    reg.counter("bw_npu_chains_total", help).add(res.chainsExecuted);
+    reg.counter("bw_npu_instructions_total", help)
+        .add(res.instructionsDispatched);
+    reg.counter("bw_npu_native_tile_ops_total", help)
+        .add(res.nativeTileOps);
+}
+
+void
 NpuTiming::emit(obs::EventKind kind, obs::ResClass res, uint16_t res_index,
                 Cycles start, Cycles end, MemId mem, uint32_t addr)
 {
@@ -622,9 +672,18 @@ NpuTiming::run(const Program &prologue, const Program &step,
     res.stats.set("net_in_busy_cycles", netIn_.busyCycles());
     res.stats.set("net_out_busy_cycles", netOut_.busyCycles());
     res.stats.set("dram_busy_cycles", dram_.busyCycles());
+    res.stats.set("vrf_read_busy_cycles",
+                  ivrfRead_.busyCycles() + asvrfRead_.busyCycles() +
+                      mulvrfRead_.busyCycles());
+    res.stats.set("vrf_write_busy_cycles",
+                  ivrfWrite_.totalBusyCycles() +
+                      asvrfWrite_.totalBusyCycles() +
+                      mulvrfWrite_.totalBusyCycles());
     res.stats.set("instructions", res.instructionsDispatched);
     res.stats.set("chains", res.chainsExecuted);
     res.stats.set("native_tile_ops", res.nativeTileOps);
+    if (metrics_)
+        publishMetrics(res);
     return res;
 }
 

@@ -31,6 +31,7 @@
 
 #include "arch/npu_config.h"
 #include "isa/program.h"
+#include "metrics/metrics.h"
 #include "obs/trace.h"
 #include "timing/resources.h"
 #include "timing/result.h"
@@ -71,6 +72,20 @@ class NpuTiming
      * attached or none.
      */
     void setTraceSink(obs::TraceSink *sink);
+
+    /**
+     * Attach a live-metrics registry (non-owning; nullptr detaches).
+     * Each run() then publishes hardware performance counters derived
+     * from the per-resource occupancy timelines: one
+     * bw_npu_utilization{resource=...} gauge per resource class (MVM
+     * tile engines, MFUs, reduce units, VRF read/write ports, network
+     * queues, DRAM, control processor) plus cumulative
+     * bw_npu_{runs,cycles,chains,instructions,native_tile_ops}_total
+     * counters. Publication happens after simulation completes and is
+     * purely observational: simulated cycle counts are identical with
+     * a registry attached or not (tested).
+     */
+    void setMetricsRegistry(metrics::Registry *registry);
 
     /**
      * Simulate @p iterations back-to-back executions of @p prog (an RNN
@@ -164,8 +179,13 @@ class NpuTiming
     std::deque<Cycles> inputArrivals_;
     std::unordered_map<uint32_t, unsigned> tileBeats_;
 
+    /** Publish per-run hardware counters to the attached registry. */
+    void publishMetrics(const TimingResult &res);
+
     /** Active sink (null = tracing off, the zero-cost default). */
     obs::TraceSink *sink_ = nullptr;
+    /** Live-metrics registry (null = publishing off). */
+    metrics::Registry *metrics_ = nullptr;
     /** Stderr text sink owned when BW_TIMING_TRACE is set. */
     std::unique_ptr<obs::TraceSink> envSink_;
     /** Profile of the chain currently executing (valid while tracing). */
