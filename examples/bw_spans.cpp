@@ -1,0 +1,320 @@
+/**
+ * @file
+ * bw_spans — tail-latency forensics over a span-tree export.
+ *
+ * Loads a bw.spans/1 JSON document (serve_engine's BW_SPANS_JSON) and
+ * prints the report that aggregate stats cannot: which requests were
+ * slow and *where* their time went.
+ *
+ *   1. Slowest-N requests: per trace, the wall split across
+ *      queue_wait / dispatch / execute and the critical span (the
+ *      direct child that dominated; for execute-bound requests, the
+ *      dominant cycle bucket from the chain leaves).
+ *   2. p99-vs-p50 differential attribution: mean time per span kind in
+ *      the tail cohort (latency >= p99) vs the median cohort
+ *      (latency <= p50), i.e. "p99 requests spend 71% more in
+ *      queue_wait".
+ *
+ * Exit codes: 0 = report printed, 2 = usage / unreadable input,
+ * 3 = valid document but no complete request traces to analyze.
+ *
+ *   $ ./bw_spans spans.json [N]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bw/bw.h"
+
+using namespace bw;
+
+namespace {
+
+/** Flattened per-request attribution extracted from one span tree. */
+struct TraceSummary
+{
+    uint64_t trace = 0;
+    std::string outcome;
+    double durMs = 0;
+    double queueMs = 0;
+    double dispatchMs = 0;
+    double executeMs = 0;
+    uint64_t chains = 0;
+    // Cycle attribution summed over the chain leaves.
+    uint64_t dispatchCycles = 0;
+    uint64_t decodeCycles = 0;
+    uint64_t dataStall = 0;
+    uint64_t inputStall = 0;
+    uint64_t structStall = 0;
+    uint64_t computeCycles = 0;
+
+    uint64_t
+    totalCycles() const
+    {
+        return dispatchCycles + decodeCycles + dataStall + inputStall +
+               structStall + computeCycles;
+    }
+};
+
+double
+durMsOf(const Json &node)
+{
+    return static_cast<double>(node.find("dur_us")->asInt()) / 1e3;
+}
+
+uint64_t
+stallOf(const Json &chain, const char *key)
+{
+    const Json *stalls = chain.find("stalls");
+    if (!stalls)
+        return 0;
+    const Json *v = stalls->find(key);
+    return v ? static_cast<uint64_t>(v->asInt()) : 0;
+}
+
+TraceSummary
+summarize(uint64_t trace, const Json &root)
+{
+    TraceSummary s;
+    s.trace = trace;
+    s.durMs = durMsOf(root);
+    const Json *outcome = root.find("outcome");
+    s.outcome = outcome ? outcome->asString() : "ok";
+    const Json *children = root.find("children");
+    for (size_t i = 0; children && i < children->size(); ++i) {
+        const Json &c = children->at(i);
+        const std::string &name = c.find("name")->asString();
+        if (name == "queue_wait") {
+            s.queueMs = durMsOf(c);
+        } else if (name == "dispatch") {
+            s.dispatchMs = durMsOf(c);
+        } else if (name == "execute") {
+            s.executeMs = durMsOf(c);
+            const Json *chains = c.find("children");
+            for (size_t k = 0; chains && k < chains->size(); ++k) {
+                const Json &ch = chains->at(k);
+                ++s.chains;
+                s.dispatchCycles += stallOf(ch, "dispatch");
+                s.decodeCycles += stallOf(ch, "decode");
+                s.dataStall += stallOf(ch, "data");
+                s.inputStall += stallOf(ch, "input");
+                s.structStall += stallOf(ch, "struct");
+                s.computeCycles += stallOf(ch, "compute");
+            }
+        }
+    }
+    return s;
+}
+
+/** Name of the span where this request's time went. */
+std::string
+criticalSpan(const TraceSummary &s)
+{
+    if (s.outcome != "ok")
+        return "queue_wait"; // never reached service
+    std::string name = "queue_wait";
+    double best = s.queueMs;
+    if (s.dispatchMs > best) {
+        best = s.dispatchMs;
+        name = "dispatch";
+    }
+    if (s.executeMs > best) {
+        best = s.executeMs;
+        name = "execute";
+    }
+    if (name == "execute" && s.totalCycles() > 0) {
+        // Execute-bound: name the dominant cycle bucket of its chains.
+        const std::pair<const char *, uint64_t> buckets[] = {
+            {"dispatch", s.dispatchCycles}, {"decode", s.decodeCycles},
+            {"data", s.dataStall},          {"input", s.inputStall},
+            {"struct", s.structStall},      {"compute", s.computeCycles},
+        };
+        const auto *top = &buckets[0];
+        for (const auto &b : buckets) {
+            if (b.second > top->second)
+                top = &b;
+        }
+        name += std::string(" (") + top->first + ")";
+    }
+    return name;
+}
+
+double
+meanOf(const std::vector<const TraceSummary *> &set,
+       double (*get)(const TraceSummary &))
+{
+    if (set.empty())
+        return 0;
+    double sum = 0;
+    for (const TraceSummary *s : set)
+        sum += get(*s);
+    return sum / static_cast<double>(set.size());
+}
+
+std::string
+deltaPct(double base, double tail)
+{
+    if (base <= 0)
+        return tail > 0 ? "n/a" : "+0.0%";
+    double d = (tail - base) / base * 100.0;
+    return (d >= 0 ? "+" : "") + fmtF(d, 1) + "%";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: bw_spans <spans.json> [N]\n");
+        return 2;
+    }
+    size_t top_n = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 10;
+    if (top_n == 0)
+        top_n = 10;
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "bw_spans: cannot read %s\n", argv[1]);
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Json doc;
+    try {
+        doc = Json::parse(buf.str());
+    } catch (const Error &e) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", argv[1], e.what());
+        return 2;
+    }
+    Status valid = obs::validateSpanTreeJson(doc);
+    if (!valid.ok()) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", argv[1],
+                     valid.toString().c_str());
+        return 2;
+    }
+
+    const Json *traces = doc.find("traces");
+    std::vector<TraceSummary> all;
+    all.reserve(traces->size());
+    for (size_t i = 0; i < traces->size(); ++i) {
+        const Json &tr = traces->at(i);
+        all.push_back(summarize(
+            static_cast<uint64_t>(tr.find("trace")->asInt()),
+            *tr.find("root")));
+    }
+    if (all.empty()) {
+        std::fprintf(stderr,
+                     "bw_spans: %s holds no complete request traces\n",
+                     argv[1]);
+        return 3;
+    }
+
+    const Json *dropped = doc.find("dropped");
+    std::printf("bw_spans: %zu traces from %s", all.size(), argv[1]);
+    if (dropped && dropped->asInt() > 0)
+        std::printf(" (%lld spans lost to ring overwrite)",
+                    static_cast<long long>(dropped->asInt()));
+    std::printf("\n\n");
+
+    // --- 1. Slowest-N requests. ---
+    std::vector<const TraceSummary *> by_lat;
+    by_lat.reserve(all.size());
+    for (const TraceSummary &s : all)
+        by_lat.push_back(&s);
+    std::sort(by_lat.begin(), by_lat.end(),
+              [](const TraceSummary *a, const TraceSummary *b) {
+                  return a->durMs != b->durMs ? a->durMs > b->durMs
+                                              : a->trace < b->trace;
+              });
+
+    size_t n = std::min(top_n, by_lat.size());
+    TextTable slow({"trace", "total ms", "queue ms", "dispatch ms",
+                    "execute ms", "chains", "outcome", "critical span"});
+    for (size_t i = 0; i < n; ++i) {
+        const TraceSummary &s = *by_lat[i];
+        slow.addRow({std::to_string(s.trace), fmtF(s.durMs, 3),
+                     fmtF(s.queueMs, 3), fmtF(s.dispatchMs, 3),
+                     fmtF(s.executeMs, 3), fmtI(s.chains), s.outcome,
+                     criticalSpan(s)});
+    }
+    std::printf("Slowest %zu of %zu requests:\n%s\n", n, all.size(),
+                slow.render().c_str());
+
+    // --- 2. p99-vs-p50 differential attribution. ---
+    std::vector<double> lat;
+    lat.reserve(all.size());
+    for (const TraceSummary &s : all)
+        lat.push_back(s.durMs);
+    std::sort(lat.begin(), lat.end());
+    double p50 = percentileSorted(lat, 50);
+    double p99 = percentileSorted(lat, 99);
+
+    std::vector<const TraceSummary *> median_set, tail_set;
+    for (const TraceSummary &s : all) {
+        if (s.durMs <= p50)
+            median_set.push_back(&s);
+        if (s.durMs >= p99)
+            tail_set.push_back(&s);
+    }
+
+    struct Row
+    {
+        const char *name;
+        const char *unit;
+        double (*get)(const TraceSummary &);
+    };
+    const Row rows[] = {
+        {"queue_wait", "ms", [](const TraceSummary &s) { return s.queueMs; }},
+        {"dispatch", "ms",
+         [](const TraceSummary &s) { return s.dispatchMs; }},
+        {"execute", "ms",
+         [](const TraceSummary &s) { return s.executeMs; }},
+        {"chain dispatch", "cycles",
+         [](const TraceSummary &s) {
+             return static_cast<double>(s.dispatchCycles);
+         }},
+        {"chain decode", "cycles",
+         [](const TraceSummary &s) {
+             return static_cast<double>(s.decodeCycles);
+         }},
+        {"chain data stall", "cycles",
+         [](const TraceSummary &s) {
+             return static_cast<double>(s.dataStall);
+         }},
+        {"chain input stall", "cycles",
+         [](const TraceSummary &s) {
+             return static_cast<double>(s.inputStall);
+         }},
+        {"chain struct stall", "cycles",
+         [](const TraceSummary &s) {
+             return static_cast<double>(s.structStall);
+         }},
+        {"chain compute", "cycles",
+         [](const TraceSummary &s) {
+             return static_cast<double>(s.computeCycles);
+         }},
+    };
+
+    TextTable diff({"span", "unit", "p50 cohort mean", "p99 cohort mean",
+                    "delta"});
+    for (const Row &r : rows) {
+        double base = meanOf(median_set, r.get);
+        double tail = meanOf(tail_set, r.get);
+        if (base == 0 && tail == 0)
+            continue; // nothing attributed to this bucket at all
+        diff.addRow({r.name, r.unit, fmtF(base, 3), fmtF(tail, 3),
+                     deltaPct(base, tail)});
+    }
+    std::printf("p99 vs p50 attribution (%zu tail / %zu median "
+                "requests; p50 %.3f ms, p99 %.3f ms):\n%s",
+                tail_set.size(), median_set.size(), p50, p99,
+                diff.render().c_str());
+    return 0;
+}

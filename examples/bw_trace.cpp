@@ -11,21 +11,87 @@
  *                     UDM-vs-SDM decomposition — plus the TimingResult
  *                     as JSON.
  *
+ * Merge mode combines a Chrome event trace (serve_engine's
+ * BW_SERVE_TRACE) with a span-tree export (BW_SPANS_JSON) into a single
+ * Perfetto-loadable file, so the per-request span overlay and the
+ * resource waterfall share one timeline:
+ *
  *   $ ./bw_trace [gru|lstm] [hidden] [steps] [trace.json]
  *   $ ./bw_trace gru 1024 5 /tmp/gru.json
+ *   $ ./bw_trace merge <event_trace.json> <spans.json> <out.json>
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "bw/bw.h"
 
 using namespace bw;
 
+namespace {
+
+/** Parse a JSON file, exiting with code 2 on any failure. */
+Json
+loadJsonOrDie(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bw_trace: cannot read %s\n", path);
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return Json::parse(buf.str());
+    } catch (const Error &e) {
+        std::fprintf(stderr, "bw_trace: %s: %s\n", path, e.what());
+        std::exit(2);
+    }
+}
+
+int
+mergeMain(int argc, char **argv)
+{
+    if (argc != 5) {
+        std::fprintf(stderr,
+                     "usage: bw_trace merge <event_trace.json> "
+                     "<spans.json> <out.json>\n");
+        return 2;
+    }
+    Json trace_doc = loadJsonOrDie(argv[2]);
+    Json span_doc = loadJsonOrDie(argv[3]);
+    if (!trace_doc.find("traceEvents")) {
+        std::fprintf(stderr,
+                     "bw_trace: %s is not a Chrome trace document "
+                     "(no traceEvents)\n", argv[2]);
+        return 2;
+    }
+    size_t before = trace_doc.find("traceEvents")->size();
+    Status st = obs::appendSpanTreeDocEvents(trace_doc, span_doc);
+    if (!st.ok()) {
+        std::fprintf(stderr, "bw_trace: %s: %s\n", argv[3],
+                     st.toString().c_str());
+        return 2;
+    }
+    size_t after = trace_doc.find("traceEvents")->size();
+    writeJsonFile(argv[4], trace_doc);
+    std::printf("bw_trace: merged %zu span events from %s into %zu "
+                "trace events -> %s\n",
+                after - before, argv[3], before, argv[4]);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+        return mergeMain(argc, argv);
+
     RnnKind kind = RnnKind::Gru;
     unsigned hidden = 1024;
     unsigned steps = 5;
@@ -37,7 +103,9 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "bw_trace: unknown cell '%s'\n"
                          "usage: bw_trace [gru|lstm] [hidden] [steps] "
-                         "[trace.json]\n", argv[1]);
+                         "[trace.json]\n"
+                         "       bw_trace merge <event_trace.json> "
+                         "<spans.json> <out.json>\n", argv[1]);
             return 2;
         }
     }

@@ -25,13 +25,23 @@
  * exposition; BW_BENCH_JSON=<path> overrides the machine-readable
  * BENCH_serve_engine.json artifact.
  *
+ * Span tracing: every request is head-sampled at admission
+ * (BW_SPAN_SAMPLE traces 1 in N; default every request) and records a
+ * request/queue_wait/dispatch/execute/chain[i] span tree.
+ * BW_SPANS_JSON=<path> writes the span-tree export (analyze with
+ * bw_spans; merge into the Perfetto timeline with bw_trace merge), and
+ * sampled trace ids appear as latency-histogram exemplars in
+ * /metrics.json.
+ *
  *   $ ./serve_engine [clients] [requests_per_client]
+ *   $ ./serve_engine --help
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -42,6 +52,19 @@ using namespace bw;
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                     std::strcmp(argv[1], "-h") == 0)) {
+        std::printf(
+            "usage: serve_engine [clients] [requests_per_client]\n"
+            "\n"
+            "Drive the concurrent serving engine with multi-threaded\n"
+            "clients, then replay a fixed Poisson schedule in virtual\n"
+            "time against the analytic model.\n"
+            "\n"
+            "Environment variables (shared across all bw binaries):\n%s",
+            renderEnvVarHelp().c_str());
+        return 0;
+    }
     unsigned clients = argc > 1 ? std::atoi(argv[1]) : 4;
     unsigned per_client = argc > 2 ? std::atoi(argv[2]) : 16;
 
@@ -59,12 +82,17 @@ main(int argc, char **argv)
     metrics::Registry registry;
     session.timer().setMetricsRegistry(&registry);
 
+    // Span tracing: head-sampled per request (BW_SPAN_SAMPLE), span
+    // trees exported via BW_SPANS_JSON, exemplars into /metrics.json.
+    obs::SpanTracer spans(obs::SpanTracerOptions::fromEnv());
+
     serve::EngineOptions opts;
     opts.replicas = 2;
     opts.queueDepth = 32;
     opts.networkMs = 0.05;
     opts = serve::EngineOptions::fromEnv(opts);
     opts.metricsRegistry = &registry;
+    opts.spanTracer = &spans;
     auto engine = session.serve(opts);
 
     std::printf("Engine: %u replicas, queue depth %zu, %s dispatch, "
@@ -156,11 +184,21 @@ main(int argc, char **argv)
         writeJsonFile(path, doc);
         std::printf("\nStats JSON written to %s\n", path);
     }
+    if (const char *path = std::getenv("BW_SPANS_JSON")) {
+        Json span_doc = obs::spanTreeJson(spans);
+        writeJsonFile(path, span_doc);
+        std::printf("Span trees (%lld traces) written to %s\n",
+                    static_cast<long long>(
+                        span_doc.find("traces")->size()),
+                    path);
+    }
     if (const char *path = std::getenv("BW_SERVE_TRACE")) {
         // Engine timestamps are microseconds; clock 1.0 keeps them so.
-        // Sampled metrics overlay the waterfall as counter tracks.
+        // Sampled metrics overlay the waterfall as counter tracks, and
+        // sampled requests as async span events.
         Json trace_doc = obs::chromeTraceJson(engine->trace(), 1.0);
         metrics::appendCounterEvents(trace_doc, sampler.samples());
+        obs::appendSpanEvents(trace_doc, spans.collect());
         writeJsonFile(path, trace_doc);
         std::printf("Chrome trace written to %s\n", path);
     }

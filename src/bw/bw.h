@@ -38,6 +38,7 @@
 #include "baseline/gpu_model.h"
 #include "bfp/bfp.h"
 #include "bfp/float16.h"
+#include "common/env_doc.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -63,6 +64,7 @@
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
 #include "obs/chrome_trace.h"
+#include "obs/span.h"
 #include "obs/stall.h"
 #include "obs/trace.h"
 #include "refmodel/conv_ref.h"

@@ -1,0 +1,109 @@
+#include "common/env_doc.h"
+
+#include <sstream>
+
+namespace bw {
+
+const std::vector<EnvVarDoc> &
+envVarDocs()
+{
+    static const std::vector<EnvVarDoc> docs = {
+        {"BW_TIMING_TRACE",
+         "Stream a one-line-per-chain text trace from timing::NpuTiming "
+         "to stderr (dispatch/decode/done cycles plus the chain's stall "
+         "breakdown). Set to 'events' to additionally print every "
+         "resource busy interval. A sink attached with setTraceSink() "
+         "takes precedence."},
+        {"BW_SCORECARD_JSON",
+         "Output path for repro_scorecard's machine-readable artifact "
+         "(default BENCH_scorecard.json in the working directory)."},
+        {"BW_SERVE_REPLICAS",
+         "Override serve::EngineOptions::replicas wherever "
+         "EngineOptions::fromEnv() is used (the serve_engine example)."},
+        {"BW_SERVE_QUEUE_DEPTH",
+         "Override serve::EngineOptions::queueDepth (bounded admission "
+         "queue; submissions beyond it are rejected QUEUE_FULL)."},
+        {"BW_SERVE_POLICY",
+         "Dispatch policy: 'unbatched' (BW discipline, FIFO one at a "
+         "time) or 'batched' (GPU discipline, accumulate maxBatch or "
+         "timeout)."},
+        {"BW_SERVE_MAX_BATCH",
+         "Override serve::EngineOptions::maxBatch (batched policy batch "
+         "size cap)."},
+        {"BW_SERVE_TIMEOUT_MS",
+         "Override serve::EngineOptions::batchTimeoutMs (batched policy "
+         "accumulation timeout)."},
+        {"BW_SERVE_TIMESCALE",
+         "Wall-clock seconds a worker really sleeps per simulated "
+         "second of timed service (1.0 = real time, 0 = instantaneous; "
+         "reported service times are always unscaled)."},
+        {"BW_STATS_JSON",
+         "Output path for the machine-readable serving-stats document "
+         "written by speech_service and serve_engine alongside their "
+         "tables."},
+        {"BW_SERVE_TRACE",
+         "Output path for serve_engine's Chrome trace (queue wait vs. "
+         "service per worker, overlaid with sampled metric counter "
+         "tracks and, when span tracing is on, per-request span "
+         "events)."},
+        {"BW_SPAN_SAMPLE",
+         "Span-tracing head sampling: trace 1 in every N admitted "
+         "requests (default 1 = every request, 0 = none). The decision "
+         "is a pure function of the deterministic request sequence "
+         "number."},
+        {"BW_SPANS_JSON",
+         "Output path for serve_engine's span-tree JSON export "
+         "(schema bw.spans/1): one tree per sampled request — request / "
+         "queue_wait / dispatch / execute / chain[i] with per-chain "
+         "stall breakdowns. Feed it to the bw_spans analyzer or merge "
+         "into a Perfetto trace with bw_trace merge."},
+        {"BW_METRICS_PORT",
+         "Serve serve_engine's metrics registry over HTTP (/metrics "
+         "Prometheus text, /metrics.json, /healthz). Port 0 binds an "
+         "ephemeral port, printed on stdout."},
+        {"BW_METRICS_PERIOD_MS",
+         "Background metrics sampler period in serve_engine (default "
+         "25 ms)."},
+        {"BW_METRICS_LINGER_S",
+         "Keep serve_engine's metrics endpoint alive that many seconds "
+         "after the run, so external scrapers can't race process "
+         "exit."},
+        {"BW_METRICS_JSON",
+         "Output path for serve_engine's JSON metrics exposition "
+         "(includes per-bucket latency exemplars naming slowest trace "
+         "ids when span tracing is on)."},
+        {"BW_BENCH_JSON",
+         "Override the output path of a harness's machine-readable "
+         "artifact (BENCH_fig7_utilization.json, "
+         "BENCH_table5_deepbench.json, BENCH_serve_engine.json)."},
+    };
+    return docs;
+}
+
+std::string
+renderEnvVarHelp(unsigned width)
+{
+    std::ostringstream out;
+    const std::string indent = "      ";
+    for (const EnvVarDoc &d : envVarDocs()) {
+        out << "  " << d.name << "\n";
+        // Greedy word wrap of the description under the name.
+        std::istringstream words(d.help);
+        std::string word, line = indent;
+        while (words >> word) {
+            if (line.size() > indent.size() &&
+                line.size() + 1 + word.size() > width) {
+                out << line << "\n";
+                line = indent;
+            }
+            if (line.size() > indent.size())
+                line += " ";
+            line += word;
+        }
+        if (line.size() > indent.size())
+            out << line << "\n";
+    }
+    return out.str();
+}
+
+} // namespace bw

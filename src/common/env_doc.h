@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The single source of truth for every BW_* environment variable the
+ * library and its example binaries honor. The README's "Environment
+ * variables" table and `serve_engine --help` both render from this
+ * list, so a new variable is documented in one place.
+ */
+
+#ifndef BW_COMMON_ENV_DOC_H
+#define BW_COMMON_ENV_DOC_H
+
+#include <string>
+#include <vector>
+
+namespace bw {
+
+/** One documented environment variable. */
+struct EnvVarDoc
+{
+    const char *name; //!< e.g. "BW_SERVE_REPLICAS"
+    const char *help; //!< one-sentence effect description
+};
+
+/** All documented BW_* variables, in documentation order. */
+const std::vector<EnvVarDoc> &envVarDocs();
+
+/**
+ * Render the table as indented wrapped text for a --help screen:
+ * variable name, newline, wrapped description at @p width columns.
+ */
+std::string renderEnvVarHelp(unsigned width = 78);
+
+} // namespace bw
+
+#endif // BW_COMMON_ENV_DOC_H

@@ -174,9 +174,26 @@ metricsJson(const std::vector<MetricSnapshot> &snapshots)
                     Json bj = Json::object();
                     bj.set("le", m.hist.bounds[b]);
                     bj.set("cumulative", cum);
+                    // Slowest traced request that landed in this
+                    // bucket (span tracing): the tail-forensics hook
+                    // from the live exposition back to a span tree.
+                    if (b < m.hist.exemplars.size() &&
+                        m.hist.exemplars[b].traceId != 0) {
+                        Json ex = Json::object();
+                        ex.set("value", m.hist.exemplars[b].value);
+                        ex.set("trace", m.hist.exemplars[b].traceId);
+                        bj.set("exemplar", std::move(ex));
+                    }
                     buckets.push(std::move(bj));
                 }
                 entry.set("buckets", std::move(buckets));
+                if (!m.hist.exemplars.empty() &&
+                    m.hist.exemplars.back().traceId != 0) {
+                    Json ex = Json::object();
+                    ex.set("value", m.hist.exemplars.back().value);
+                    ex.set("trace", m.hist.exemplars.back().traceId);
+                    entry.set("overflow_exemplar", std::move(ex));
+                }
             }
             instances.push(std::move(entry));
         }

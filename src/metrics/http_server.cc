@@ -1,5 +1,6 @@
 #include "metrics/http_server.h"
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 
@@ -32,6 +33,36 @@ httpResponse(int code, const char *reason, const std::string &type,
         << body;
     return out.str();
 }
+
+#if BW_HAVE_POSIX_SOCKETS
+
+/**
+ * Write the whole buffer, looping over short writes and retrying
+ * EINTR. A /metrics.json payload easily exceeds one socket buffer, so
+ * a single send() would silently truncate the response under load.
+ */
+bool
+sendAll(int fd, const std::string &data)
+{
+#ifdef MSG_NOSIGNAL
+    const int flags = MSG_NOSIGNAL; // EPIPE instead of SIGPIPE
+#else
+    const int flags = 0;
+#endif
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t w = ::send(fd, data.data() + off, data.size() - off,
+                           flags);
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w <= 0)
+            return false; // peer gone; nothing useful to do
+        off += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+#endif // BW_HAVE_POSIX_SOCKETS
 
 } // namespace
 
@@ -134,15 +165,7 @@ MetricsHttpServer::acceptLoop()
             size_t eol = line.find("\r\n");
             if (eol != std::string::npos)
                 line.resize(eol);
-            std::string resp = respond(line);
-            size_t off = 0;
-            while (off < resp.size()) {
-                ssize_t w = ::send(conn, resp.data() + off,
-                                   resp.size() - off, 0);
-                if (w <= 0)
-                    break;
-                off += static_cast<size_t>(w);
-            }
+            sendAll(conn, respond(line));
         }
         ::close(conn);
     }

@@ -53,6 +53,8 @@ Histogram::Histogram(HistogramOptions opts) : opts_(opts)
     for (auto &s : shards_) {
         s.counts =
             std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+        s.exemplars =
+            std::vector<detail::ExemplarCell>(bounds_.size() + 1);
     }
 }
 
@@ -78,15 +80,44 @@ Histogram::record(double v)
     detail::atomicMax(s.maxValue, v);
 }
 
+void
+Histogram::recordExemplar(double v, uint64_t trace_id)
+{
+    Shard &s = shards_[detail::shardSlot()];
+    size_t b = bucketIndex(v);
+    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAdd(s.sum, v);
+    detail::atomicMax(s.maxValue, v);
+    if (trace_id == 0)
+        return;
+    detail::ExemplarCell &cell = s.exemplars[b];
+    if (cell.trace.load(std::memory_order_relaxed) == 0 ||
+        v >= cell.value.load(std::memory_order_relaxed)) {
+        cell.value.store(v, std::memory_order_relaxed);
+        cell.trace.store(trace_id, std::memory_order_relaxed);
+    }
+}
+
 HistogramSnapshot
 Histogram::snapshot() const
 {
     HistogramSnapshot out;
     out.bounds = bounds_;
     out.counts.assign(bounds_.size() + 1, 0);
+    out.exemplars.assign(bounds_.size() + 1, Exemplar{});
     for (const Shard &s : shards_) {
         for (size_t i = 0; i < s.counts.size(); ++i)
             out.counts[i] += s.counts[i].load(std::memory_order_relaxed);
+        for (size_t i = 0; i < s.exemplars.size(); ++i) {
+            uint64_t trace =
+                s.exemplars[i].trace.load(std::memory_order_relaxed);
+            double value =
+                s.exemplars[i].value.load(std::memory_order_relaxed);
+            if (trace != 0 && (out.exemplars[i].traceId == 0 ||
+                               value > out.exemplars[i].value)) {
+                out.exemplars[i] = {value, trace};
+            }
+        }
         out.sum += s.sum.load(std::memory_order_relaxed);
         out.maxValue = std::max(
             out.maxValue, s.maxValue.load(std::memory_order_relaxed));

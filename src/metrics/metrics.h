@@ -89,7 +89,22 @@ atomicMax(std::atomic<double> &a, double v)
     }
 }
 
+/** A per-bucket exemplar cell: lock-free, max-value-wins. */
+struct ExemplarCell
+{
+    std::atomic<double> value{0.0};
+    std::atomic<uint64_t> trace{0};
+};
+
 } // namespace detail
+
+/** One histogram exemplar: the largest sample its bucket has seen and
+ *  the span-tracing trace id of the request that produced it. */
+struct Exemplar
+{
+    double value = 0;
+    uint64_t traceId = 0; //!< 0 = the bucket has no exemplar
+};
 
 /**
  * Monotonic counter, sharded per thread: add() touches only the calling
@@ -160,6 +175,9 @@ struct HistogramSnapshot
      *  the +Inf (overflow) bucket. */
     std::vector<double> bounds;
     std::vector<uint64_t> counts;
+    /** Parallel to counts: the slowest exemplar recorded per bucket
+     *  (traceId 0 where none; exported into /metrics.json). */
+    std::vector<Exemplar> exemplars;
     uint64_t count = 0;
     double sum = 0;
     double maxValue = 0; //!< largest sample observed (0 when empty)
@@ -190,6 +208,17 @@ class Histogram
     /** Record one sample (values <= 0 land in the underflow bucket). */
     void record(double v);
 
+    /**
+     * As record(v), additionally offering (v, @p trace_id) as the
+     * bucket's exemplar — kept when v is the largest exemplar the
+     * bucket has seen, so each bucket remembers its slowest traced
+     * request. Wait-free; the cell update is a benign racy max (two
+     * racing writers may briefly pair one's value with the other's
+     * id — exemplars are forensic hints, not accounting). trace_id 0
+     * degenerates to record(v).
+     */
+    void recordExemplar(double v, uint64_t trace_id);
+
     /** Merged view of all shards. */
     HistogramSnapshot snapshot() const;
 
@@ -206,6 +235,7 @@ class Histogram
     struct alignas(64) Shard
     {
         std::vector<std::atomic<uint64_t>> counts;
+        std::vector<detail::ExemplarCell> exemplars;
         std::atomic<double> sum{0.0};
         std::atomic<double> maxValue{0.0};
     };

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Request-scoped span tracing: follow one inference from Session/Engine
+ * admission to retired instruction chains.
+ *
+ * The event trace (obs/trace.h) answers "what did the simulated
+ * hardware do" and the metrics registry answers "what are the
+ * distributions" — neither can explain why request #4711 took 9 ms when
+ * p50 is 2 ms. A SpanTracer assigns each admitted request a trace id
+ * and records a span tree:
+ *
+ *   request                       admission -> completion
+ *   +-- queue_wait                admission -> dequeue
+ *   +-- dispatch                  dequeue -> service start
+ *   +-- execute (replica r)       service start -> completion
+ *       +-- chain[i]              per retired chain, from the timing
+ *                                 simulator's ChainProfile, each leaf
+ *                                 carrying the chain's stall breakdown
+ *
+ * Context propagates explicitly: a TraceContext rides on the queued
+ * request (no thread-local magic), so spans survive the hop from the
+ * submitting thread to the worker that serves the request. Head
+ * sampling (SpanTracerOptions::sampleEvery, env BW_SPAN_SAMPLE) decides
+ * at admission whether a request is traced at all; the decision is a
+ * pure function of the deterministic request sequence number, so
+ * virtual-time replays reproduce byte-identical exports.
+ *
+ * Recording is wait-free on the hot path: spans land in per-thread ring
+ * buffers (the same sharding discipline as the metrics registry) that
+ * are merged and sorted at export time. Like the engine's event trace,
+ * collect()/exports are safe once the producers have quiesced (engine
+ * drained or shut down).
+ *
+ * Three exports: Chrome/Perfetto async ("ph":"b"/"e") events that
+ * overlay the event-trace timeline, ordered JSON span trees (validated
+ * by validateSpanTreeJson), and — via the serving engine — histogram
+ * exemplars: the slowest trace id per latency bucket in /metrics.json.
+ */
+
+#ifndef BW_OBS_SPAN_H
+#define BW_OBS_SPAN_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "obs/trace.h"
+
+namespace bw {
+namespace obs {
+
+using TraceId = uint64_t;
+using SpanId = uint32_t;
+
+/** Node kinds of the canonical request span tree. */
+enum class SpanKind : uint8_t
+{
+    Request = 0, //!< whole request: admission -> completion
+    QueueWait,   //!< admission -> dequeue
+    Dispatch,    //!< dequeue -> service start (batch admin, expiry)
+    Execute,     //!< service on one accelerator replica
+    Chain,       //!< one retired instruction chain within execute
+    NumSpanKinds
+};
+
+const char *spanKindName(SpanKind k);
+
+/** How the request span ended. */
+enum class SpanOutcome : uint8_t
+{
+    Ok = 0,
+    DeadlineExpired, //!< waited out its deadline in the queue
+    Cancelled,       //!< abandoned by shutdown()
+};
+
+const char *spanOutcomeName(SpanOutcome o);
+
+/**
+ * Trace context carried on a queued request. Propagated explicitly —
+ * the submitting thread stamps it at admission, the worker thread reads
+ * it at service — never through thread-local state.
+ */
+struct TraceContext
+{
+    TraceId trace = 0; //!< 0 = not sampled (tracing off for this request)
+
+    bool sampled() const { return trace != 0; }
+};
+
+/**
+ * One recorded span. Flat and POD-sized so the hot path can write it
+ * into a preallocated ring slot without allocating; trees are
+ * reassembled from (trace, parent) at export.
+ */
+struct SpanRecord
+{
+    TraceId trace = 0;
+    SpanId id = 0;     //!< 1-based, unique within the trace
+    SpanId parent = 0; //!< 0 = root
+    SpanKind kind = SpanKind::Request;
+    SpanOutcome outcome = SpanOutcome::Ok; //!< request spans only
+    char chainKind = 0;                    //!< 'M'/'V' on chain spans
+    uint32_t index = 0;   //!< replica (execute) / chain ordinal (chain)
+    uint32_t chainId = 0; //!< chain spans: first-instruction index
+    /** Execute spans: chain profiles available for the request's step
+     *  count (larger than the recorded children when truncated). */
+    uint32_t chainCount = 0;
+    uint64_t startUs = 0; //!< microseconds on the owning clock
+    uint64_t endUs = 0;
+
+    // Chain spans: the cycle-domain interval and stall breakdown from
+    // the timing simulator's ChainProfile (obs/trace.h).
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+    Cycles dispatchCycles = 0; //!< control-processor streaming
+    Cycles decodeCycles = 0;   //!< schedule + hierarchical decode
+    Cycles dataStallCycles = 0;
+    Cycles inputStallCycles = 0;
+    Cycles structStallCycles = 0;
+    Cycles computeCycles = 0; //!< remainder: useful work
+};
+
+/** SpanTracer configuration. */
+struct SpanTracerOptions
+{
+    /** Ring capacity per shard (per recording thread slot); the oldest
+     *  spans of a shard are overwritten once its ring is full. */
+    size_t shardCapacity = 1u << 14;
+
+    /**
+     * Head sampling: trace 1 in every @p sampleEvery admitted requests
+     * (1 = every request, 0 = none). Decided at admission from the
+     * request's deterministic sequence number, so the same arrival
+     * schedule always samples the same requests.
+     */
+    unsigned sampleEvery = 1;
+
+    /** Cap on chain child spans recorded under one execute span (the
+     *  execute span's chainCount still reports the full total). */
+    unsigned maxChainSpans = 256;
+
+    /** Apply BW_SPAN_SAMPLE (sampleEvery) on top of @p base. */
+    static SpanTracerOptions fromEnv(SpanTracerOptions base);
+    static SpanTracerOptions fromEnv();
+};
+
+/**
+ * Wait-free span recorder. record() claims a slot in the calling
+ * thread's ring shard with one relaxed fetch_add and writes the POD
+ * record in place — no locks, no allocation, engine workers never
+ * contend. collect() merges the shards; call it only after producers
+ * have quiesced (the same read discipline as Engine::trace()).
+ */
+class SpanTracer
+{
+  public:
+    explicit SpanTracer(SpanTracerOptions opts = {});
+
+    const SpanTracerOptions &options() const { return opts_; }
+
+    /**
+     * Head-sampling decision for the request with deterministic
+     * sequence number @p seq (1-based). Returns a context whose trace
+     * id equals @p seq when sampled, 0 otherwise.
+     */
+    TraceContext admit(uint64_t seq) const;
+
+    /** Record one span (wait-free; see class comment). */
+    void record(const SpanRecord &s);
+
+    /** Merged spans, sorted by (trace, id). Safe after quiescence. */
+    std::vector<SpanRecord> collect() const;
+
+    /** Total spans offered to record() (including overwritten). */
+    uint64_t recorded() const;
+    /** Spans lost to ring overwrite. */
+    uint64_t dropped() const;
+
+    /** Drop all recorded spans (e.g. between a live run and a
+     *  deterministic replay sharing one tracer). */
+    void clear();
+
+  private:
+    static constexpr size_t kShards = 16;
+
+    struct alignas(64) Shard
+    {
+        std::vector<SpanRecord> ring;
+        std::atomic<uint64_t> count{0};
+    };
+
+    SpanTracerOptions opts_;
+    std::array<Shard, kShards> shards_;
+};
+
+/**
+ * Boundary timestamps of one served request, microseconds on the
+ * engine's clock. Each boundary is converted from seconds exactly once
+ * and shared between adjacent spans, so the direct children of the
+ * request span partition it exactly: queue_wait + dispatch + execute
+ * == request, to the microsecond, by construction.
+ */
+struct RequestSpans
+{
+    TraceId trace = 0;
+    uint64_t admitUs = 0;
+    uint64_t dequeueUs = 0;
+    uint64_t serviceUs = 0; //!< service start (== doneUs when expired)
+    uint64_t doneUs = 0;
+    uint32_t replica = 0;
+    /** Chain profiles available for the request's step count (recorded
+     *  on the execute span; children may be fewer when truncated). */
+    uint32_t chainCount = 0;
+    SpanOutcome outcome = SpanOutcome::Ok;
+};
+
+/**
+ * Record the canonical request tree. An Ok request records request +
+ * queue_wait + dispatch + execute; an expired/cancelled request records
+ * request + queue_wait only (it never reached service). Returns the
+ * execute span id (0 when no execute span was recorded) for
+ * recordChainSpans().
+ */
+SpanId recordRequestTree(SpanTracer &tracer, const RequestSpans &rs);
+
+/**
+ * Attach chain leaf spans under execute span @p execute of @p trace,
+ * one per ChainProfile (capped at the tracer's maxChainSpans). Chain
+ * cycle intervals are mapped proportionally into the execute span's
+ * [serviceUs, doneUs] window; the cycle-exact interval and the stall
+ * breakdown ride along as attributes.
+ */
+void recordChainSpans(SpanTracer &tracer, TraceId trace, SpanId execute,
+                      uint64_t service_us, uint64_t done_us,
+                      const std::vector<ChainProfile> &chains,
+                      Cycles total_cycles);
+
+/**
+ * Ordered span-tree JSON document: {schema: "bw.spans/1", spans,
+ * dropped, traces: [{trace, root: {name, id, start_us, end_us, dur_us,
+ * ..., children: [...]}}]}. Traces ascend by id, children by (start,
+ * id); spans whose parent was lost to ring overwrite are dropped with
+ * their trace marked incomplete. Deterministic for deterministic input.
+ */
+Json spanTreeJson(const std::vector<SpanRecord> &spans,
+                  uint64_t dropped = 0);
+
+/** spanTreeJson(tracer.collect(), tracer.dropped()). */
+Json spanTreeJson(const SpanTracer &tracer);
+
+/**
+ * Validate a spanTreeJson() document against the bw.spans/1 schema:
+ * required members and types, request-named roots, ids unique within a
+ * trace, end >= start, dur consistent, every child interval inside its
+ * parent. Returns OK or InvalidArgument naming the first violation.
+ */
+Status validateSpanTreeJson(const Json &doc);
+
+/**
+ * Append the spans as Chrome async events ("ph":"b"/"e", cat
+ * "bw.span", id = trace id) to @p chrome_doc's traceEvents — the
+ * request waterfall then overlays the event-trace/counter timeline in
+ * Perfetto. @p chrome_doc may be a chromeTraceJson() document or any
+ * object with (or without) a traceEvents array.
+ */
+void appendSpanEvents(Json &chrome_doc,
+                      const std::vector<SpanRecord> &spans);
+
+/**
+ * As appendSpanEvents, but sourced from a spanTreeJson() document (the
+ * on-disk export) — validates it first. Used by `bw_trace merge` to
+ * fold a span export and an event-trace export into one
+ * Perfetto-loadable file.
+ */
+Status appendSpanTreeDocEvents(Json &chrome_doc, const Json &span_doc);
+
+} // namespace obs
+} // namespace bw
+
+#endif // BW_OBS_SPAN_H

@@ -192,6 +192,9 @@ Engine::Engine(std::shared_ptr<const CompiledModel> model,
     opts_.replicas = std::max(1u, opts_.replicas);
     opts_.queueDepth = std::max<size_t>(1, opts_.queueDepth);
     opts_.maxBatch = std::max(1u, opts_.maxBatch);
+    // Written once here so serviceProfileFor() can hand out a shared
+    // read-only profile from any worker without synchronization.
+    overrideProfile_.ms = opts_.serviceMsOverride;
     if (opts_.metricsRegistry)
         bindMetrics();
 }
@@ -351,6 +354,8 @@ Engine::enqueue(Pending p)
         startLocked();
         p.id = nextId_++;
         p.admitS = nowS();
+        if (opts_.spanTracer)
+            p.ctx = opts_.spanTracer->admit(p.id);
         queue_.push_back(std::move(p));
         if (live_) {
             live_->admitted->inc();
@@ -454,6 +459,13 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
             emitTrace(obs::EventKind::QueueWait,
                       obs::ResClass::ServeQueue, 0, p.id, p.admitS,
                       dequeue_s);
+            if (p.ctx.sampled()) {
+                uint64_t admit_us = toUs(p.admitS);
+                uint64_t dq_us = std::max(toUs(dequeue_s), admit_us);
+                recordSpans(p.ctx, p.steps, admit_us, dq_us, dq_us,
+                            dq_us, index,
+                            obs::SpanOutcome::DeadlineExpired);
+            }
             p.promise.set_value(std::move(r));
         } else {
             live.push_back(std::move(p));
@@ -466,6 +478,10 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
         for (const Pending &p : live)
             opts_.serviceHook(p.id);
     }
+
+    // Dispatch ends and service begins here: deadline expiry and the
+    // service hook above are batch admin charged to the dispatch span.
+    double service_start_s = nowS();
 
     // Timed requests charge simulated service milliseconds.
     double sim_ms = 0;
@@ -520,10 +536,25 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
                   0, p.id, p.admitS, dequeue_s);
         emitTrace(obs::EventKind::Service, obs::ResClass::ServeWorker,
                   static_cast<uint16_t>(index), p.id, dequeue_s, done_s);
+        if (p.ctx.sampled()) {
+            uint64_t admit_us = toUs(p.admitS);
+            uint64_t dq_us = std::max(toUs(dequeue_s), admit_us);
+            uint64_t svc_us = std::max(toUs(service_start_s), dq_us);
+            uint64_t dn_us = std::max(toUs(done_s), svc_us);
+            recordSpans(p.ctx, p.steps, admit_us, dq_us, svc_us, dn_us,
+                        index, obs::SpanOutcome::Ok);
+        }
         collector_.recordCompleted(r, p.admitS, done_s);
         if (live_) {
             live_->completed->inc();
-            live_->latencyMs->record(r.latencyMs);
+            // Sampled requests attach their trace id as a bucket
+            // exemplar: /metrics.json then names a slowest trace per
+            // latency bucket for tail forensics.
+            if (p.ctx.sampled())
+                live_->latencyMs->recordExemplar(r.latencyMs,
+                                                 p.ctx.trace);
+            else
+                live_->latencyMs->record(r.latencyMs);
             live_->queueWaitMs->record(r.queueMs);
         }
         p.promise.set_value(std::move(r));
@@ -599,22 +630,71 @@ Engine::statsJson() const
 double
 Engine::serviceMsFor(unsigned steps)
 {
+    return serviceProfileFor(steps).ms;
+}
+
+const Engine::ServiceProfile &
+Engine::serviceProfileFor(unsigned steps)
+{
     if (opts_.serviceMsOverride > 0)
-        return opts_.serviceMsOverride;
+        return overrideProfile_;
     if (!model_) {
         BW_FATAL("serviceMsFor(%u): no model and no serviceMsOverride",
                  steps);
     }
+    // References into the cache stay valid after unlock: entries are
+    // never erased and unordered_map references survive rehash.
     std::lock_guard<std::mutex> lk(serviceMsMu_);
-    auto it = serviceMsCache_.find(steps);
-    if (it != serviceMsCache_.end())
+    auto it = serviceCache_.find(steps);
+    if (it != serviceCache_.end())
         return it->second;
     timing::NpuTiming sim(model_->cfg);
     sim.setTileBeats(model_->tileBeats);
-    double ms = sim.run(model_->prologue, model_->step, steps)
-                    .latencyMs(model_->cfg);
-    serviceMsCache_.emplace(steps, ms);
-    return ms;
+    ServiceProfile prof;
+    if (opts_.spanTracer) {
+        auto chains = std::make_shared<std::vector<obs::ChainProfile>>();
+        auto res = sim.runProfiled(model_->prologue, model_->step, steps,
+                                   chains.get());
+        prof.ms = res.latencyMs(model_->cfg);
+        prof.totalCycles = res.totalCycles;
+        prof.chains = std::move(chains);
+    } else {
+        auto res = sim.run(model_->prologue, model_->step, steps);
+        prof.ms = res.latencyMs(model_->cfg);
+        prof.totalCycles = res.totalCycles;
+    }
+    return serviceCache_.emplace(steps, std::move(prof)).first->second;
+}
+
+void
+Engine::recordSpans(const obs::TraceContext &ctx, unsigned steps,
+                    uint64_t admit_us, uint64_t dequeue_us,
+                    uint64_t service_us, uint64_t done_us,
+                    unsigned replica, obs::SpanOutcome outcome)
+{
+    obs::SpanTracer *tracer = opts_.spanTracer;
+    if (!tracer || !ctx.sampled())
+        return;
+    obs::RequestSpans rs;
+    rs.trace = ctx.trace;
+    rs.admitUs = admit_us;
+    rs.dequeueUs = dequeue_us;
+    rs.serviceUs = service_us;
+    rs.doneUs = done_us;
+    rs.replica = replica;
+    rs.outcome = outcome;
+    const ServiceProfile *prof = nullptr;
+    if (outcome == obs::SpanOutcome::Ok && model_ &&
+        opts_.serviceMsOverride <= 0) {
+        prof = &serviceProfileFor(steps);
+        if (prof->chains)
+            rs.chainCount = static_cast<uint32_t>(prof->chains->size());
+    }
+    obs::SpanId exec = obs::recordRequestTree(*tracer, rs);
+    if (exec != 0 && prof && prof->chains && !prof->chains->empty()) {
+        obs::recordChainSpans(*tracer, rs.trace, exec, service_us,
+                              done_us, *prof->chains, prof->totalCycles);
+    }
 }
 
 // --- Deterministic virtual-time replay ---
@@ -627,19 +707,25 @@ Engine::replay(const std::vector<double> &arrivals_s, unsigned steps)
                   "replay: arrivals must be ascending");
     }
     double service_ms = serviceMsFor(steps);
+    // Each replay restarts the tracer and its replay-local sequence
+    // counter, so two replays of one schedule export byte-identically.
+    if (opts_.spanTracer)
+        opts_.spanTracer->clear();
     return opts_.policy == DispatchPolicy::Batched
-               ? replayBatched(arrivals_s, service_ms)
-               : replayUnbatched(arrivals_s, service_ms);
+               ? replayBatched(arrivals_s, service_ms, steps)
+               : replayUnbatched(arrivals_s, service_ms, steps);
 }
 
 ServeStats
 Engine::replayUnbatched(const std::vector<double> &arrivals_s,
-                        double service_ms)
+                        double service_ms, unsigned steps)
 {
     ServeStats stats;
     if (arrivals_s.empty())
         return stats;
 
+    obs::SpanTracer *tracer = opts_.spanTracer;
+    uint64_t seq = 0; // replay-local deterministic sequence counter
     double service_s = service_ms / 1e3;
     double net_s = opts_.networkMs / 1e3;
     double deadline_ms = opts_.defaultDeadlineMs;
@@ -667,14 +753,27 @@ Engine::replayUnbatched(const std::vector<double> &arrivals_s,
             free_s.begin());
         double start = std::max(a + net_s / 2, free_s[r]);
         starts.push_back(start);
+        ++seq; // rejected arrivals never consumed a sequence number
+        obs::TraceContext ctx =
+            tracer ? tracer->admit(seq) : obs::TraceContext{};
+        uint64_t admit_us = toUs(a);
+        uint64_t start_us = std::max(toUs(start), admit_us);
         if (deadline_ms > 0 && (start - a) * 1e3 > deadline_ms) {
             collector_.recordExpired(); // expires at dequeue; no service
+            recordSpans(ctx, steps, admit_us, start_us, start_us,
+                        start_us, static_cast<unsigned>(r),
+                        obs::SpanOutcome::DeadlineExpired);
             continue;
         }
         double done = start + service_s;
         free_s[r] = done;
         last_done = std::max(last_done, done);
         latencies.push_back((done + net_s / 2 - a) * 1e3);
+        // Virtual time dequeues straight into service: the dispatch
+        // span is zero-width at the service start.
+        recordSpans(ctx, steps, admit_us, start_us, start_us,
+                    std::max(toUs(done), start_us),
+                    static_cast<unsigned>(r), obs::SpanOutcome::Ok);
     }
 
     std::sort(latencies.begin(), latencies.end());
@@ -687,12 +786,14 @@ Engine::replayUnbatched(const std::vector<double> &arrivals_s,
 
 ServeStats
 Engine::replayBatched(const std::vector<double> &arrivals_s,
-                      double service_ms)
+                      double service_ms, unsigned steps)
 {
     ServeStats stats;
     if (arrivals_s.empty())
         return stats;
 
+    obs::SpanTracer *tracer = opts_.spanTracer;
+    uint64_t seq = 0; // replay-local deterministic sequence counter
     double net_ms = opts_.networkMs;
     double deadline_ms = opts_.defaultDeadlineMs;
     std::vector<double> free_s(opts_.replicas, 0.0);
@@ -726,6 +827,10 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
         double oldest = arrivals_s[i];
         double trigger = oldest + opts_.batchTimeoutMs / 1e3;
         std::vector<double> members{oldest};
+        std::vector<obs::TraceContext> mctx;
+        ++seq; // rejected arrivals never consumed a sequence number
+        mctx.push_back(tracer ? tracer->admit(seq)
+                              : obs::TraceContext{});
         ++i;
         // Accumulate: requests arriving before the trigger, up to the
         // batch cap, each admission-checked against queue occupancy.
@@ -736,6 +841,9 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
                 collector_.recordRejected();
             } else {
                 members.push_back(arrivals_s[i]);
+                ++seq;
+                mctx.push_back(tracer ? tracer->admit(seq)
+                                      : obs::TraceContext{});
             }
             ++i;
         }
@@ -750,12 +858,22 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
 
         // On-dequeue deadline expiry.
         std::vector<double> served;
+        std::vector<obs::TraceContext> sctx;
         served.reserve(members.size());
-        for (double a : members) {
-            if (deadline_ms > 0 && (launch - a) * 1e3 > deadline_ms)
+        for (size_t k = 0; k < members.size(); ++k) {
+            double a = members[k];
+            uint64_t admit_us = toUs(a);
+            uint64_t launch_us = std::max(toUs(launch), admit_us);
+            if (deadline_ms > 0 && (launch - a) * 1e3 > deadline_ms) {
                 collector_.recordExpired();
-            else
+                recordSpans(mctx[k], steps, admit_us, launch_us,
+                            launch_us, launch_us,
+                            static_cast<unsigned>(r),
+                            obs::SpanOutcome::DeadlineExpired);
+            } else {
                 served.push_back(a);
+                sctx.push_back(mctx[k]);
+            }
         }
         if (served.empty())
             continue;
@@ -766,8 +884,15 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
         double done = launch + batch_ms / 1e3;
         free_s[r] = done;
         last_done = std::max(last_done, done);
-        for (double a : served)
+        for (size_t k = 0; k < served.size(); ++k) {
+            double a = served[k];
             latencies.push_back((done - a) * 1e3 + net_ms);
+            uint64_t admit_us = toUs(a);
+            uint64_t launch_us = std::max(toUs(launch), admit_us);
+            recordSpans(sctx[k], steps, admit_us, launch_us, launch_us,
+                        std::max(toUs(done), launch_us),
+                        static_cast<unsigned>(r), obs::SpanOutcome::Ok);
+        }
         batch_sum += b;
         ++batches;
     }

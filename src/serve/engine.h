@@ -46,6 +46,7 @@
 #include "common/status.h"
 #include "compiler/compiled_model.h"
 #include "metrics/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "runtime/serving.h"
 
@@ -120,6 +121,21 @@ struct EngineOptions
      * metrics does not change served-request outcomes (tested).
      */
     metrics::Registry *metricsRegistry = nullptr;
+
+    /**
+     * Span tracer (non-owning; must outlive the engine). When set, the
+     * engine head-samples at admission (the tracer's sampleEvery /
+     * BW_SPAN_SAMPLE over the deterministic request id), carries the
+     * TraceContext on the queued request, and records the canonical
+     * span tree per sampled request — request / queue_wait / dispatch /
+     * execute plus chain[i] leaves from the timing simulator's retired-
+     * chain profiles at the request's step count. Completed sampled
+     * requests also attach their trace id as a latency-histogram
+     * exemplar when a metricsRegistry is bound. Recording is wait-free;
+     * enabling it does not change request outcomes or simulated cycle
+     * counts (tested).
+     */
+    obs::SpanTracer *spanTracer = nullptr;
 
     /**
      * Apply BW_SERVE_* environment overrides to @p base:
@@ -282,7 +298,10 @@ class Engine
      * bit-reproducible; under the Unbatched policy with one replica,
      * no deadline and an unbounded queue this reproduces
      * serveUnbatched() exactly, and under the Batched policy,
-     * serveBatched().
+     * serveBatched(). With a spanTracer attached the replay clears the
+     * tracer and records span trees on the virtual clock with ids from
+     * a replay-local counter, so two replays of the same schedule
+     * export byte-identical span-tree JSON (tested).
      */
     ServeStats replay(const std::vector<double> &arrivals_s,
                       unsigned steps = 1);
@@ -307,6 +326,9 @@ class Engine
         bool timed = false;
         double deadlineMs = 0; //!< 0 = none
         double admitS = 0;     //!< engine-clock seconds at admission
+        /** Span-tracing context, stamped at admission and carried to
+         *  the serving worker (explicit propagation, no TLS). */
+        obs::TraceContext ctx;
         std::promise<Response> promise;
     };
 
@@ -333,9 +355,9 @@ class Engine
     void serveBatch(unsigned index, FuncMachine *machine,
                     std::vector<Pending> batch, double dequeue_s);
     ServeStats replayUnbatched(const std::vector<double> &arrivals_s,
-                               double service_ms);
+                               double service_ms, unsigned steps);
     ServeStats replayBatched(const std::vector<double> &arrivals_s,
-                             double service_ms);
+                             double service_ms, unsigned steps);
 
     /** Seconds since engine construction (steady clock). */
     double nowS() const;
@@ -360,8 +382,31 @@ class Engine
     RequestId nextId_ = 1;
     std::vector<std::thread> workers_;
 
+    /** Cached timing-simulator output for one step count: the service
+     *  milliseconds plus (when a span tracer is attached) the retired-
+     *  chain profiles that become chain[i] leaf spans. */
+    struct ServiceProfile
+    {
+        double ms = 0;
+        Cycles totalCycles = 0;
+        std::shared_ptr<const std::vector<obs::ChainProfile>> chains;
+    };
+
+    /** serviceMsFor() plus the chain profiles (cached per step count). */
+    const ServiceProfile &serviceProfileFor(unsigned steps);
+
+    /** Record the span tree of one sampled request (threaded and
+     *  replay paths share it); boundaries are microseconds on the
+     *  engine's clock, each converted exactly once so the children
+     *  partition the request span to the microsecond. */
+    void recordSpans(const obs::TraceContext &ctx, unsigned steps,
+                     uint64_t admit_us, uint64_t dequeue_us,
+                     uint64_t service_us, uint64_t done_us,
+                     unsigned replica, obs::SpanOutcome outcome);
+
     std::mutex serviceMsMu_;
-    std::unordered_map<unsigned, double> serviceMsCache_;
+    std::unordered_map<unsigned, ServiceProfile> serviceCache_;
+    ServiceProfile overrideProfile_; //!< serviceMsOverride, no chains
 
     StatsCollector collector_;
     std::mutex traceMu_;

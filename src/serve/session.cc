@@ -65,6 +65,14 @@ Session::time(unsigned steps)
     return timer().run(model_->prologue, model_->step, steps);
 }
 
+timing::TimingResult
+Session::timeProfiled(unsigned steps,
+                      std::vector<obs::ChainProfile> *chains)
+{
+    return timer().runProfiled(model_->prologue, model_->step, steps,
+                               chains);
+}
+
 double
 Session::serviceMs(unsigned steps)
 {

@@ -67,6 +67,12 @@ class Session
     /** Simulate serving @p steps timesteps (prologue handled). */
     timing::TimingResult time(unsigned steps = 1);
 
+    /** As time(steps), additionally collecting the retired-chain
+     *  profiles (the span-tracing / stall-attribution feed) into
+     *  @p chains. */
+    timing::TimingResult timeProfiled(
+        unsigned steps, std::vector<obs::ChainProfile> *chains);
+
     /** Wall-clock latency of one @p steps-step request (cached by the
      *  serving engine's convention: one timing run per step count). */
     double serviceMs(unsigned steps);

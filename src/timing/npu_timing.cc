@@ -558,6 +558,63 @@ NpuTiming::run(const Program &prog, unsigned iterations)
     return run(Program(), prog, iterations);
 }
 
+namespace {
+
+/** Forwards to an inner sink while collecting retired-chain profiles. */
+class ChainCollector : public obs::TraceSink
+{
+  public:
+    ChainCollector(obs::TraceSink *inner,
+                   std::vector<obs::ChainProfile> *out)
+        : inner_(inner), out_(out)
+    {
+    }
+
+    void
+    event(const obs::TraceEvent &e) override
+    {
+        if (inner_)
+            inner_->event(e);
+    }
+
+    void
+    chainRetired(const obs::ChainProfile &p) override
+    {
+        if (out_)
+            out_->push_back(p);
+        if (inner_)
+            inner_->chainRetired(p);
+    }
+
+  private:
+    obs::TraceSink *inner_;
+    std::vector<obs::ChainProfile> *out_;
+};
+
+} // namespace
+
+TimingResult
+NpuTiming::runProfiled(const Program &prologue, const Program &step,
+                       unsigned iterations,
+                       std::vector<obs::ChainProfile> *chains)
+{
+    // Swap in a forwarding collector for the duration of the run; the
+    // previously attached sink (or the BW_TIMING_TRACE stderr sink)
+    // keeps receiving everything.
+    obs::TraceSink *saved = sink_;
+    ChainCollector collector(saved, chains);
+    sink_ = &collector;
+    TimingResult res;
+    try {
+        res = run(prologue, step, iterations);
+    } catch (...) {
+        sink_ = saved;
+        throw;
+    }
+    sink_ = saved;
+    return res;
+}
+
 TimingResult
 NpuTiming::run(const Program &prologue, const Program &step,
                unsigned iterations)

@@ -103,6 +103,17 @@ class NpuTiming
     TimingResult run(const Program &prologue, const Program &step,
                      unsigned iterations);
 
+    /**
+     * As run(prologue, step, iterations), additionally appending the
+     * retired-chain profiles to @p chains in retirement order (the
+     * per-request span-tracing feed). Any attached trace sink still
+     * sees every event; purely observational — simulated cycle counts
+     * are identical to run() (tested).
+     */
+    TimingResult runProfiled(const Program &prologue, const Program &step,
+                             unsigned iterations,
+                             std::vector<obs::ChainProfile> *chains);
+
   private:
     struct ChainCtx;
 

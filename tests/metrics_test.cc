@@ -165,6 +165,77 @@ TEST(Histogram, EmptyAndSingleSampleQuantiles)
     EXPECT_LE(q50 - 3.0, s.bucketWidthBelow(q50));
 }
 
+// --- Histogram exemplars (span-tracing trace ids per bucket) ---
+
+TEST(HistogramExemplar, BucketPlacementAndMaxWins)
+{
+    HistogramOptions opts;
+    opts.lowest = 1.0;
+    opts.highest = 1000.0;
+    opts.bucketsPerDecade = 1; // bounds 1, 10, 100, 1000
+    Histogram h(opts);
+
+    h.recordExemplar(5.0, 41);  // bucket 1
+    h.recordExemplar(7.0, 42);  // same bucket, larger: wins
+    h.recordExemplar(6.0, 43);  // smaller: ignored
+    h.recordExemplar(0.5, 44);  // underflow bucket
+    h.recordExemplar(50.0, 0);  // trace 0: counts, no exemplar
+
+    HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 5u); // recordExemplar still records the sample
+    ASSERT_EQ(s.exemplars.size(), s.counts.size());
+    EXPECT_EQ(s.exemplars[0].traceId, 44u);
+    EXPECT_DOUBLE_EQ(s.exemplars[0].value, 0.5);
+    EXPECT_EQ(s.exemplars[1].traceId, 42u);
+    EXPECT_DOUBLE_EQ(s.exemplars[1].value, 7.0);
+    EXPECT_EQ(s.exemplars[2].traceId, 0u); // trace 0 left no exemplar
+}
+
+TEST(HistogramExemplar, ShardMergeKeepsSlowestAcrossThreads)
+{
+    Histogram h;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // All samples land in one bucket; thread t's slowest is
+            // 5.0 + t with trace id 100 + t.
+            for (int i = 0; i < 50; ++i)
+                h.recordExemplar(5.0 + t, 100 + t);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    HistogramSnapshot s = h.snapshot();
+    size_t b = h.bucketIndex(5.0 + kThreads - 1);
+    EXPECT_EQ(s.exemplars[b].traceId, 100u + kThreads - 1);
+    EXPECT_DOUBLE_EQ(s.exemplars[b].value, 5.0 + kThreads - 1);
+}
+
+TEST(HistogramExemplar, JsonExpositionEmitsExemplarsAndOverflow)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("bw_lat_ms", "latency");
+    h.recordExemplar(2.5, 7);
+    h.recordExemplar(1e9, 9); // overflow bucket
+
+    Json doc = metricsJson(reg);
+    std::string s = doc.dump(2);
+    EXPECT_NE(s.find("\"exemplar\""), std::string::npos);
+    EXPECT_NE(s.find("\"trace\": 7"), std::string::npos);
+    // The +Inf bucket's exemplar is a separate key so every bucket
+    // object keeps a numeric "le".
+    EXPECT_NE(s.find("\"overflow_exemplar\""), std::string::npos);
+    EXPECT_NE(s.find("\"trace\": 9"), std::string::npos);
+
+    // A histogram with no exemplars emits neither key.
+    Registry plain;
+    plain.histogram("bw_plain_ms", "latency").record(2.5);
+    std::string p = metricsJson(plain).dump(2);
+    EXPECT_EQ(p.find("exemplar"), std::string::npos);
+}
+
 // --- percentileSorted hardening (shared quantile helper) ---
 
 TEST(PercentileSorted, EmptySingleAndClamping)
@@ -190,6 +261,41 @@ TEST(PercentileSorted, NearestRankAndQuantilesStruct)
     EXPECT_DOUBLE_EQ(q.p50, 50.0);
     EXPECT_DOUBLE_EQ(q.p95, 95.0);
     EXPECT_DOUBLE_EQ(q.p99, 99.0);
+}
+
+TEST(PercentileSorted, AllEqualSamplesCollapseEveryQuantile)
+{
+    // The degenerate tail the bw_spans differential-attribution report
+    // hits when a run is perfectly uniform: every percentile is the
+    // common value and the p50/p99 cohorts coincide.
+    std::vector<double> v(64, 3.25);
+    for (double pct : {0.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentileSorted(v, pct), 3.25);
+    LatencyQuantiles q = quantilesSorted(v);
+    EXPECT_DOUBLE_EQ(q.p50, q.p99);
+}
+
+TEST(HistogramExemplar, SingleOccupiedBucketQuantilesAndExemplar)
+{
+    // Every sample (and therefore every exemplar) in one bucket: all
+    // quantile estimates collapse to that bucket's upper bound, and
+    // the lone exemplar pairs the bucket's largest value with the
+    // trace that produced it.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.recordExemplar(5.0 + 0.0001 * i, 1000 + i);
+
+    HistogramSnapshot s = h.snapshot();
+    size_t occupied = 0;
+    for (uint64_t c : s.counts)
+        occupied += c > 0;
+    ASSERT_EQ(occupied, 1u);
+    double q50 = s.quantile(50), q99 = s.quantile(99);
+    EXPECT_EQ(q50, q99);
+    EXPECT_GE(q50, 5.0);
+    size_t b = h.bucketIndex(5.0);
+    EXPECT_EQ(s.exemplars[b].traceId, 1099u);
+    EXPECT_DOUBLE_EQ(s.exemplars[b].value, 5.0 + 0.0001 * 99);
 }
 
 // --- Registry ---

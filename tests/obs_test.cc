@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "isa/builder.h"
 #include "obs/chrome_trace.h"
+#include "obs/span.h"
 #include "obs/stall.h"
 #include "obs/trace.h"
 #include "runtime/serving.h"
@@ -342,6 +345,405 @@ TEST(ChromeTrace, SimRunExportsValidStructure)
     }
     EXPECT_GT(complete, 0u);
     EXPECT_GT(metadata, 0u); // track names present
+}
+
+// --- Span tracing. -----------------------------------------------------
+
+/** Canonical Ok-request boundaries reused across the span tests. */
+obs::RequestSpans
+okRequest(obs::TraceId trace)
+{
+    obs::RequestSpans rs;
+    rs.trace = trace;
+    rs.admitUs = 100;
+    rs.dequeueUs = 250;
+    rs.serviceUs = 300;
+    rs.doneUs = 900;
+    rs.replica = 2;
+    rs.chainCount = 2;
+    return rs;
+}
+
+/** Two adjacent chain profiles covering [0, 100) cycles. */
+std::vector<obs::ChainProfile>
+twoChains()
+{
+    obs::ChainProfile a;
+    a.chain = 2;
+    a.kind = 'V';
+    a.dispatchStart = 0;
+    a.dispatchDone = 10;
+    a.decodeDone = 20;
+    a.done = 50;
+    a.dataStall = 5;
+    obs::ChainProfile b;
+    b.chain = 7;
+    b.kind = 'M';
+    b.dispatchStart = 50;
+    b.dispatchDone = 55;
+    b.decodeDone = 60;
+    b.done = 100;
+    b.structStall = 10;
+    return {a, b};
+}
+
+TEST(SpanTracer, HeadSamplingIsAPureFunctionOfSequence)
+{
+    obs::SpanTracer every{{}};
+    EXPECT_EQ(every.admit(1).trace, 1u);
+    EXPECT_EQ(every.admit(42).trace, 42u);
+    EXPECT_TRUE(every.admit(42).sampled());
+
+    obs::SpanTracerOptions third;
+    third.sampleEvery = 3;
+    obs::SpanTracer t3(third);
+    EXPECT_TRUE(t3.admit(1).sampled());
+    EXPECT_FALSE(t3.admit(2).sampled());
+    EXPECT_FALSE(t3.admit(3).sampled());
+    EXPECT_TRUE(t3.admit(4).sampled());
+    EXPECT_TRUE(t3.admit(7).sampled());
+
+    obs::SpanTracerOptions off;
+    off.sampleEvery = 0;
+    obs::SpanTracer none(off);
+    EXPECT_FALSE(none.admit(1).sampled());
+    EXPECT_FALSE(none.admit(1000).sampled());
+}
+
+TEST(SpanTracer, OptionsFromEnvReadsSampleEvery)
+{
+    ::setenv("BW_SPAN_SAMPLE", "5", 1);
+    obs::SpanTracerOptions o = obs::SpanTracerOptions::fromEnv();
+    EXPECT_EQ(o.sampleEvery, 5u);
+    ::unsetenv("BW_SPAN_SAMPLE");
+    EXPECT_EQ(obs::SpanTracerOptions::fromEnv().sampleEvery, 1u);
+}
+
+TEST(SpanTracer, CollectSortsByTraceThenIdAndClearResets)
+{
+    obs::SpanTracer tracer{{}};
+    obs::SpanRecord s;
+    s.trace = 2;
+    s.id = 1;
+    tracer.record(s);
+    s.trace = 1;
+    s.id = 2;
+    tracer.record(s);
+    s.trace = 1;
+    s.id = 1;
+    tracer.record(s);
+
+    auto spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].trace, 1u);
+    EXPECT_EQ(spans[0].id, 1u);
+    EXPECT_EQ(spans[1].trace, 1u);
+    EXPECT_EQ(spans[1].id, 2u);
+    EXPECT_EQ(spans[2].trace, 2u);
+    EXPECT_EQ(tracer.recorded(), 3u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+
+    tracer.clear();
+    EXPECT_TRUE(tracer.collect().empty());
+    EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(SpanTracer, RingOverwriteCountsDropped)
+{
+    obs::SpanTracerOptions opts;
+    opts.shardCapacity = 4;
+    obs::SpanTracer tracer(opts);
+    obs::SpanRecord s;
+    s.trace = 1;
+    for (uint32_t i = 1; i <= 10; ++i) {
+        s.id = i;
+        tracer.record(s); // single thread -> single shard
+    }
+    EXPECT_EQ(tracer.recorded(), 10u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    EXPECT_EQ(tracer.collect().size(), 4u);
+}
+
+TEST(SpanRequestTree, OkTreePartitionsRequestExactly)
+{
+    obs::SpanTracer tracer{{}};
+    obs::SpanId exec = recordRequestTree(tracer, okRequest(9));
+    EXPECT_EQ(exec, 4u);
+
+    auto spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 4u);
+    const obs::SpanRecord &req = spans[0], &q = spans[1], &d = spans[2],
+                          &e = spans[3];
+    EXPECT_EQ(req.kind, obs::SpanKind::Request);
+    EXPECT_EQ(q.kind, obs::SpanKind::QueueWait);
+    EXPECT_EQ(d.kind, obs::SpanKind::Dispatch);
+    EXPECT_EQ(e.kind, obs::SpanKind::Execute);
+    EXPECT_EQ(e.index, 2u); // replica
+    // Shared boundaries: children partition the request to the
+    // microsecond, so durations sum exactly (the +-0 criterion).
+    EXPECT_EQ(q.startUs, req.startUs);
+    EXPECT_EQ(q.endUs, d.startUs);
+    EXPECT_EQ(d.endUs, e.startUs);
+    EXPECT_EQ(e.endUs, req.endUs);
+    EXPECT_EQ((q.endUs - q.startUs) + (d.endUs - d.startUs) +
+                  (e.endUs - e.startUs),
+              req.endUs - req.startUs);
+}
+
+TEST(SpanRequestTree, ExpiredRequestRecordsQueueWaitOnly)
+{
+    obs::SpanTracer tracer{{}};
+    obs::RequestSpans rs;
+    rs.trace = 3;
+    rs.admitUs = 10;
+    rs.dequeueUs = 40;
+    rs.serviceUs = 40;
+    rs.doneUs = 40;
+    rs.outcome = obs::SpanOutcome::DeadlineExpired;
+    EXPECT_EQ(recordRequestTree(tracer, rs), 0u);
+
+    auto spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].kind, obs::SpanKind::Request);
+    EXPECT_EQ(spans[0].outcome, obs::SpanOutcome::DeadlineExpired);
+    EXPECT_EQ(spans[1].kind, obs::SpanKind::QueueWait);
+
+    // An unsampled request records nothing at all.
+    recordRequestTree(tracer, obs::RequestSpans{});
+    EXPECT_EQ(tracer.collect().size(), 2u);
+}
+
+TEST(SpanChainSpans, CyclesMapProportionallyIntoExecuteWindow)
+{
+    obs::SpanTracer tracer{{}};
+    obs::SpanId exec = recordRequestTree(tracer, okRequest(1));
+    recordChainSpans(tracer, 1, exec, 300, 900, twoChains(), 100);
+
+    auto spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 6u);
+    const obs::SpanRecord &c0 = spans[4], &c1 = spans[5];
+    EXPECT_EQ(c0.kind, obs::SpanKind::Chain);
+    EXPECT_EQ(c0.parent, exec);
+    EXPECT_EQ(c0.chainKind, 'V');
+    EXPECT_EQ(c0.chainId, 2u);
+    // [0,50) and [50,100) of 100 cycles over window [300,900]:
+    // integer-exact halves, adjacent chains share the boundary.
+    EXPECT_EQ(c0.startUs, 300u);
+    EXPECT_EQ(c0.endUs, 600u);
+    EXPECT_EQ(c1.startUs, 600u);
+    EXPECT_EQ(c1.endUs, 900u);
+    // Cycle-domain attributes ride along unscaled.
+    EXPECT_EQ(c0.dispatchCycles, 10u);
+    EXPECT_EQ(c0.decodeCycles, 10u);
+    EXPECT_EQ(c0.dataStallCycles, 5u);
+    EXPECT_EQ(c0.computeCycles, 25u); // done-decodeDone minus stalls
+    EXPECT_EQ(c1.structStallCycles, 10u);
+    EXPECT_EQ(c1.computeCycles, 30u);
+}
+
+TEST(SpanChainSpans, MaxChainSpansCapsChildren)
+{
+    obs::SpanTracerOptions opts;
+    opts.maxChainSpans = 1;
+    obs::SpanTracer tracer(opts);
+    obs::RequestSpans rs = okRequest(1);
+    obs::SpanId exec = recordRequestTree(tracer, rs);
+    recordChainSpans(tracer, 1, exec, 300, 900, twoChains(), 100);
+    EXPECT_EQ(tracer.collect().size(), 5u); // 4 tree + 1 capped chain
+
+    Json doc = obs::spanTreeJson(tracer);
+    const Json *children =
+        doc.find("traces")->at(0).find("root")->find("children");
+    ASSERT_EQ(children->size(), 3u);
+    const Json &execute = children->at(2);
+    EXPECT_EQ(execute.find("chains")->asInt(), 2); // full total
+    EXPECT_NE(execute.find("chains_truncated"), nullptr);
+    ASSERT_NE(execute.find("children"), nullptr);
+    EXPECT_EQ(execute.find("children")->size(), 1u);
+}
+
+TEST(SpanTreeJson, ExportValidatesAndOrders)
+{
+    obs::SpanTracer tracer{{}};
+    // Record trace 5 before trace 2: export must ascend by trace id.
+    obs::SpanId e5 = recordRequestTree(tracer, okRequest(5));
+    recordChainSpans(tracer, 5, e5, 300, 900, twoChains(), 100);
+    recordRequestTree(tracer, okRequest(2));
+
+    Json doc = obs::spanTreeJson(tracer);
+    Status st = obs::validateSpanTreeJson(doc);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    EXPECT_EQ(doc.find("schema")->asString(), "bw.spans/1");
+    EXPECT_EQ(doc.find("spans")->asInt(), 10); // 4 + 2 chains + 4
+    EXPECT_EQ(doc.find("dropped")->asInt(), 0);
+
+    const Json *traces = doc.find("traces");
+    ASSERT_EQ(traces->size(), 2u);
+    EXPECT_EQ(traces->at(0).find("trace")->asInt(), 2);
+    EXPECT_EQ(traces->at(1).find("trace")->asInt(), 5);
+
+    const Json *root = traces->at(1).find("root");
+    EXPECT_EQ(root->find("name")->asString(), "request");
+    EXPECT_EQ(root->find("outcome")->asString(), "ok");
+    const Json *children = root->find("children");
+    ASSERT_EQ(children->size(), 3u);
+    EXPECT_EQ(children->at(0).find("name")->asString(), "queue_wait");
+    EXPECT_EQ(children->at(1).find("name")->asString(), "dispatch");
+    EXPECT_EQ(children->at(2).find("name")->asString(), "execute");
+    const Json *chains = children->at(2).find("children");
+    ASSERT_EQ(chains->size(), 2u);
+    EXPECT_EQ(chains->at(0).find("name")->asString(), "chain[0]");
+    EXPECT_EQ(chains->at(0).find("stalls")->find("data")->asInt(), 5);
+
+    // Identical input renders byte-identical JSON.
+    EXPECT_EQ(doc.dump(), obs::spanTreeJson(tracer).dump());
+}
+
+TEST(SpanTreeJson, ValidatorRejectsViolations)
+{
+    EXPECT_FALSE(obs::validateSpanTreeJson(Json::parse("[]")).ok());
+    EXPECT_FALSE(
+        obs::validateSpanTreeJson(Json::parse("{\"schema\":\"x\"}")).ok());
+
+    auto mk = [](const char *root_body) {
+        return Json::parse(std::string("{\"schema\":\"bw.spans/1\","
+                                       "\"traces\":[{\"trace\":1,"
+                                       "\"root\":") +
+                           root_body + "}]}");
+    };
+    // Root not named request.
+    EXPECT_FALSE(obs::validateSpanTreeJson(
+                     mk("{\"name\":\"queue_wait\",\"id\":1,"
+                        "\"start_us\":0,\"end_us\":1,\"dur_us\":1}"))
+                     .ok());
+    // dur inconsistent with start/end.
+    EXPECT_FALSE(obs::validateSpanTreeJson(
+                     mk("{\"name\":\"request\",\"id\":1,"
+                        "\"start_us\":0,\"end_us\":5,\"dur_us\":4}"))
+                     .ok());
+    // Child escapes its parent interval.
+    Status escape = obs::validateSpanTreeJson(
+        mk("{\"name\":\"request\",\"id\":1,\"start_us\":10,"
+           "\"end_us\":20,\"dur_us\":10,\"children\":["
+           "{\"name\":\"queue_wait\",\"id\":2,\"start_us\":5,"
+           "\"end_us\":15,\"dur_us\":10}]}"));
+    EXPECT_FALSE(escape.ok());
+    EXPECT_NE(escape.message().find("escapes"), std::string::npos);
+    // Duplicate ids within a trace.
+    EXPECT_FALSE(obs::validateSpanTreeJson(
+                     mk("{\"name\":\"request\",\"id\":1,\"start_us\":0,"
+                        "\"end_us\":9,\"dur_us\":9,\"children\":["
+                        "{\"name\":\"queue_wait\",\"id\":1,"
+                        "\"start_us\":0,\"end_us\":1,\"dur_us\":1}]}"))
+                     .ok());
+    // The canonical empty export passes.
+    EXPECT_TRUE(obs::validateSpanTreeJson(
+                    Json::parse("{\"schema\":\"bw.spans/1\","
+                                "\"traces\":[]}"))
+                    .ok());
+}
+
+TEST(SpanTreeJson, LostRootDropsTraceAndCountsIncomplete)
+{
+    obs::SpanTracer tracer{{}};
+    // An orphaned child whose request root was overwritten.
+    obs::SpanRecord s;
+    s.trace = 1;
+    s.id = 2;
+    s.parent = 1;
+    s.kind = obs::SpanKind::QueueWait;
+    tracer.record(s);
+    recordRequestTree(tracer, okRequest(7)); // plus one intact trace
+
+    Json doc = obs::spanTreeJson(tracer);
+    EXPECT_TRUE(obs::validateSpanTreeJson(doc).ok());
+    ASSERT_EQ(doc.find("traces")->size(), 1u);
+    EXPECT_EQ(doc.find("traces")->at(0).find("trace")->asInt(), 7);
+    EXPECT_EQ(doc.find("incomplete_traces")->asInt(), 1);
+}
+
+TEST(SpanChromeEvents, AsyncPairsOverlayTimeline)
+{
+    obs::SpanTracer tracer{{}};
+    obs::SpanId exec = recordRequestTree(tracer, okRequest(6));
+    recordChainSpans(tracer, 6, exec, 300, 900, twoChains(), 100);
+
+    Json doc = Json::object(); // no traceEvents yet: created on demand
+    obs::appendSpanEvents(doc, tracer.collect());
+    const Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->size(), 12u); // 6 spans x (b + e)
+
+    size_t begins = 0, ends = 0;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json &ev = events->at(i);
+        EXPECT_EQ(ev.find("cat")->asString(), "bw.span");
+        EXPECT_EQ(ev.find("id")->asString(), "6");
+        const std::string &ph = ev.find("ph")->asString();
+        if (ph == "b") {
+            ++begins;
+            EXPECT_TRUE(ev.contains("args"));
+        } else {
+            ASSERT_EQ(ph, "e");
+            ++ends;
+        }
+    }
+    EXPECT_EQ(begins, 6u);
+    EXPECT_EQ(ends, 6u);
+}
+
+TEST(SpanChromeEvents, DocDrivenMergeMatchesRecordDrivenOverlay)
+{
+    obs::SpanTracer tracer{{}};
+    obs::SpanId exec = recordRequestTree(tracer, okRequest(4));
+    recordChainSpans(tracer, 4, exec, 300, 900, twoChains(), 100);
+    Json span_doc = obs::spanTreeJson(tracer);
+
+    Json merged = Json::object();
+    merged.set("traceEvents", Json::array());
+    Status st = obs::appendSpanTreeDocEvents(merged, span_doc);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    // Same span set -> same number of b/e pairs as the record overlay.
+    Json direct = Json::object();
+    obs::appendSpanEvents(direct, tracer.collect());
+    EXPECT_EQ(merged.find("traceEvents")->size(),
+              direct.find("traceEvents")->size());
+
+    // A rejected document leaves the target untouched.
+    Json before = merged;
+    EXPECT_FALSE(
+        obs::appendSpanTreeDocEvents(merged, Json::parse("{}")).ok());
+    EXPECT_EQ(merged.dump(), before.dump());
+}
+
+TEST(NpuTimingTrace, RunProfiledMatchesRunAndFeedsChains)
+{
+    NpuConfig cfg = smallConfig();
+    Program prog = testProgram();
+
+    NpuTiming plain(cfg);
+    TimingResult off = plain.run(Program{}, prog, 2);
+
+    NpuTiming profiled(cfg);
+    std::vector<obs::ChainProfile> chains;
+    TimingResult on = profiled.runProfiled(Program{}, prog, 2, &chains);
+
+    // Purely observational: bit-identical cycle counts.
+    EXPECT_EQ(on.totalCycles, off.totalCycles);
+    EXPECT_EQ(on.mvmBusyCycles, off.mvmBusyCycles);
+    EXPECT_EQ(on.stats.counters(), off.stats.counters());
+    ASSERT_EQ(chains.size(), 4u); // 2 chains x 2 iterations
+    for (const obs::ChainProfile &p : chains)
+        EXPECT_LE(p.dispatchStart, p.done);
+
+    // An attached sink still sees every event through the forwarder.
+    obs::EventTrace trace;
+    profiled.setTraceSink(&trace);
+    std::vector<obs::ChainProfile> chains2;
+    profiled.runProfiled(Program{}, prog, 2, &chains2);
+    EXPECT_EQ(chains2.size(), 4u);
+    EXPECT_GT(trace.events().size(), 0u);
+    EXPECT_EQ(trace.chains().size(), 4u);
 }
 
 // --- Serving percentiles. ----------------------------------------------

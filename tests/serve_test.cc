@@ -18,6 +18,9 @@
 #include "common/status.h"
 #include "compiler/lowering.h"
 #include "graph/builders.h"
+#include "metrics/exposition.h"
+#include "metrics/metrics.h"
+#include "obs/span.h"
 #include "runtime/serving.h"
 #include "serve/engine.h"
 #include "serve/session.h"
@@ -516,6 +519,188 @@ TEST(Replay, DeadlinesExpireOnDequeue)
     EXPECT_GT(engine.collector().expired(), 0u);
     EXPECT_EQ(s.requests + engine.collector().expired(),
               arrivals.size());
+}
+
+// --- Request-scoped span tracing through the engine ---
+
+TEST(EngineSpans, FunctionalSubmitRecordsTreeWithChainLeaves)
+{
+    Rng rng(13);
+    Session session =
+        Session::compile(makeGru(randomGruWeights(32, 32, rng)),
+                         testConfig());
+    obs::SpanTracer tracer;
+    serve::EngineOptions opts;
+    opts.spanTracer = &tracer;
+    auto engine = session.serve(opts);
+
+    std::vector<FVec> xs =
+        randomInputs(3, session.model().inputDim, rng);
+    auto fut = engine->submit(xs);
+    ASSERT_TRUE(fut.ok());
+    ASSERT_TRUE(fut.take().get().status.ok());
+    engine->drain();
+
+    Json doc = obs::spanTreeJson(tracer);
+    Status st = obs::validateSpanTreeJson(doc);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    const Json *traces = doc.find("traces");
+    ASSERT_EQ(traces->size(), 1u);
+    const Json *root = traces->at(0).find("root");
+    EXPECT_EQ(root->find("name")->asString(), "request");
+    EXPECT_EQ(root->find("outcome")->asString(), "ok");
+    const Json *children = root->find("children");
+    ASSERT_EQ(children->size(), 3u);
+    // The execute span carries chain leaves from the timing simulator.
+    const Json &execute = children->at(2);
+    ASSERT_EQ(execute.find("name")->asString(), "execute");
+    ASSERT_NE(execute.find("children"), nullptr);
+    EXPECT_GT(execute.find("children")->size(), 0u);
+    EXPECT_GT(execute.find("chains")->asInt(), 0);
+    const Json &chain0 = execute.find("children")->at(0);
+    EXPECT_EQ(chain0.find("name")->asString(), "chain[0]");
+    EXPECT_NE(chain0.find("stalls"), nullptr);
+}
+
+TEST(EngineSpans, TracedServiceTimesMatchUntraced)
+{
+    // The profiled timing run feeding chain spans must not change the
+    // simulated service time: cycle counts are bit-identical with the
+    // tracer attached or detached.
+    Rng rng(14);
+    Session session =
+        Session::compile(makeGru(randomGruWeights(32, 32, rng)),
+                         testConfig());
+    obs::SpanTracer tracer;
+    serve::EngineOptions traced_opts;
+    traced_opts.spanTracer = &tracer;
+    auto traced = session.serve(traced_opts);
+    auto plain = session.serve({});
+    EXPECT_DOUBLE_EQ(traced->serviceMsFor(4), plain->serviceMsFor(4));
+    EXPECT_DOUBLE_EQ(traced->serviceMsFor(1), plain->serviceMsFor(1));
+    traced->shutdown();
+    plain->shutdown();
+}
+
+TEST(EngineSpans, ReplayExportsByteIdenticalSpanTrees)
+{
+    Rng rng(15);
+    auto arrivals = poissonArrivals(700.0, 4.0, rng);
+    obs::SpanTracer tracer;
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 1.0;
+    opts.queueDepth = arrivals.size();
+    opts.spanTracer = &tracer;
+    serve::Engine engine(opts);
+
+    engine.replay(arrivals);
+    std::string first = obs::spanTreeJson(tracer).dump();
+    engine.replay(arrivals);
+    std::string second = obs::spanTreeJson(tracer).dump();
+    EXPECT_EQ(first, second); // replay clears + renumbers per run
+
+    Json doc = Json::parse(second);
+    Status st = obs::validateSpanTreeJson(doc);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    EXPECT_EQ(doc.find("traces")->size(), arrivals.size());
+}
+
+TEST(EngineSpans, ReplayRequestDurationEqualsSumOfChildren)
+{
+    // The +-0 acceptance criterion: on the virtual clock every request
+    // span is partitioned exactly by its direct children.
+    Rng rng(16);
+    auto arrivals = poissonArrivals(900.0, 3.0, rng);
+    obs::SpanTracer tracer;
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 1.0;
+    opts.queueDepth = arrivals.size();
+    opts.spanTracer = &tracer;
+    serve::Engine engine(opts);
+    engine.replay(arrivals);
+
+    Json doc = obs::spanTreeJson(tracer);
+    const Json *traces = doc.find("traces");
+    ASSERT_GT(traces->size(), 0u);
+    for (size_t i = 0; i < traces->size(); ++i) {
+        const Json *root = traces->at(i).find("root");
+        const Json *children = root->find("children");
+        ASSERT_NE(children, nullptr);
+        int64_t sum = 0;
+        for (size_t c = 0; c < children->size(); ++c)
+            sum += children->at(c).find("dur_us")->asInt();
+        EXPECT_EQ(sum, root->find("dur_us")->asInt())
+            << "trace " << traces->at(i).find("trace")->asInt();
+    }
+}
+
+TEST(EngineSpans, ReplayHeadSamplingTracesOneInTwo)
+{
+    std::vector<double> arrivals;
+    for (int i = 0; i < 10; ++i)
+        arrivals.push_back(i * 0.01);
+    obs::SpanTracerOptions topts;
+    topts.sampleEvery = 2;
+    obs::SpanTracer tracer(topts);
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 1.0;
+    opts.queueDepth = arrivals.size();
+    opts.spanTracer = &tracer;
+    serve::Engine engine(opts);
+    engine.replay(arrivals);
+
+    Json doc = obs::spanTreeJson(tracer);
+    const Json *traces = doc.find("traces");
+    ASSERT_EQ(traces->size(), 5u); // sequence numbers 1,3,5,7,9
+    for (size_t i = 0; i < traces->size(); ++i)
+        EXPECT_EQ(traces->at(i).find("trace")->asInt() % 2, 1);
+}
+
+TEST(EngineSpans, ModelLessTimedRequestsHaveNoChainChildren)
+{
+    std::vector<double> arrivals = {0.0, 0.001};
+    obs::SpanTracer tracer;
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 0.5; // no model: nothing to profile
+    opts.queueDepth = arrivals.size();
+    opts.spanTracer = &tracer;
+    serve::Engine engine(opts);
+    engine.replay(arrivals);
+
+    Json doc = obs::spanTreeJson(tracer);
+    EXPECT_TRUE(obs::validateSpanTreeJson(doc).ok());
+    const Json *traces = doc.find("traces");
+    ASSERT_EQ(traces->size(), 2u);
+    for (size_t i = 0; i < traces->size(); ++i) {
+        const Json *children = traces->at(i).find("root")->find("children");
+        ASSERT_EQ(children->size(), 3u);
+        const Json &execute = children->at(2);
+        ASSERT_EQ(execute.find("name")->asString(), "execute");
+        EXPECT_EQ(execute.find("children"), nullptr);
+    }
+}
+
+TEST(EngineSpans, LatencyExemplarsCarrySampledTraceIds)
+{
+    metrics::Registry registry;
+    obs::SpanTracer tracer;
+    serve::EngineOptions opts;
+    opts.serviceMsOverride = 0.2;
+    opts.timeScale = 0.0;
+    opts.metricsRegistry = &registry;
+    opts.spanTracer = &tracer;
+    serve::Engine engine(opts);
+    engine.start();
+    for (int i = 0; i < 4; ++i) {
+        auto fut = engine.submitTimed(1);
+        ASSERT_TRUE(fut.ok());
+        fut.take().get();
+    }
+    engine.drain();
+
+    std::string json = metrics::metricsJson(registry).dump(2);
+    EXPECT_NE(json.find("\"exemplar\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace\""), std::string::npos);
 }
 
 TEST(Replay, ExtraReplicasRelieveQueueing)
