@@ -1,0 +1,292 @@
+/**
+ * @file
+ * bench_compare — regression gate over the machine-readable BENCH_*
+ * JSON artifacts.
+ *
+ * Compares a freshly generated bench document against the committed
+ * baseline (bench/baselines/) leaf by leaf: integers, strings and
+ * booleans must match exactly (cycle counts are the whole point of the
+ * gate — a one-cycle drift is a regression, not noise), doubles within
+ * a stated relative tolerance (default 1e-6, for cross-platform
+ * floating-point variation in derived quantities like TFLOPS). Keys
+ * present on one side only are schema drift and fail the gate.
+ *
+ * Wall-clock-dependent subtrees (threaded-engine latencies, scraped
+ * metrics) are excluded with --ignore <dot.path>; the path matches a
+ * node and its whole subtree, with array indices as numeric segments
+ * and '*' matching any one segment.
+ *
+ * Exit codes: 0 = within tolerance, 1 = regression (differences
+ * printed), 2 = usage or unreadable input.
+ *
+ *   $ ./bench_compare baselines/BENCH_fig7_utilization.json \
+ *         BENCH_fig7_utilization.json --tol 1e-6 [--ignore layers.0.x]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bw/bw.h"
+
+using namespace bw;
+
+namespace {
+
+struct Diff
+{
+    std::string path;
+    std::string what;
+};
+
+bool
+loadJson(const char *path, Json *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        *out = Json::parse(buf.str());
+    } catch (const Error &e) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path, e.what());
+        return false;
+    }
+    return true;
+}
+
+/** Split a dot-path into segments. */
+std::vector<std::string>
+splitPath(const std::string &p)
+{
+    std::vector<std::string> segs;
+    std::string cur;
+    for (char c : p) {
+        if (c == '.') {
+            segs.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    segs.push_back(cur);
+    return segs;
+}
+
+/** Whether @p path (already split) falls under ignore pattern @p pat:
+ *  the pattern matches a prefix of the path, '*' matching any one
+ *  segment — so an ignored node excludes its whole subtree. */
+bool
+matches(const std::vector<std::string> &pat,
+        const std::vector<std::string> &path)
+{
+    if (pat.size() > path.size())
+        return false;
+    for (size_t i = 0; i < pat.size(); ++i) {
+        if (pat[i] != "*" && pat[i] != path[i])
+            return false;
+    }
+    return true;
+}
+
+const char *
+typeName(Json::Type t)
+{
+    switch (t) {
+      case Json::Type::Null: return "null";
+      case Json::Type::Bool: return "bool";
+      case Json::Type::Int: return "int";
+      case Json::Type::Double: return "double";
+      case Json::Type::String: return "string";
+      case Json::Type::Array: return "array";
+      case Json::Type::Object: return "object";
+      default: return "?";
+    }
+}
+
+struct Comparer
+{
+    double tol = 1e-6;
+    std::vector<std::vector<std::string>> ignores;
+    std::vector<Diff> diffs;
+    uint64_t leavesCompared = 0;
+
+    bool
+    ignored(const std::vector<std::string> &path) const
+    {
+        for (const auto &pat : ignores) {
+            if (matches(pat, path))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    fail(const std::vector<std::string> &path, std::string what)
+    {
+        std::string p;
+        for (size_t i = 0; i < path.size(); ++i)
+            p += (i ? "." : "") + path[i];
+        diffs.push_back({p.empty() ? "(root)" : p, std::move(what)});
+    }
+
+    void
+    compare(const Json &base, const Json &fresh,
+            std::vector<std::string> &path)
+    {
+        if (ignored(path))
+            return;
+        // Int-vs-double mismatches compare numerically (a baseline
+        // 2.0 may parse as int 2); everything else must agree on type.
+        if (base.type() != fresh.type() &&
+            !(base.isNumber() && fresh.isNumber())) {
+            fail(path, detail::format("type %s != baseline %s",
+                                      typeName(fresh.type()),
+                                      typeName(base.type())));
+            return;
+        }
+        switch (base.type()) {
+          case Json::Type::Object: {
+            for (size_t i = 0; i < base.size(); ++i) {
+                const auto &kv = base.member(i);
+                path.push_back(kv.first);
+                if (const Json *v = fresh.find(kv.first))
+                    compare(kv.second, *v, path);
+                else if (!ignored(path))
+                    fail(path, "missing from fresh document");
+                path.pop_back();
+            }
+            for (size_t i = 0; i < fresh.size(); ++i) {
+                const auto &kv = fresh.member(i);
+                if (!base.find(kv.first)) {
+                    path.push_back(kv.first);
+                    if (!ignored(path))
+                        fail(path, "not present in baseline");
+                    path.pop_back();
+                }
+            }
+            break;
+          }
+          case Json::Type::Array: {
+            if (base.size() != fresh.size()) {
+                fail(path, detail::format(
+                               "array size %zu != baseline %zu",
+                               fresh.size(), base.size()));
+                return;
+            }
+            for (size_t i = 0; i < base.size(); ++i) {
+                path.push_back(std::to_string(i));
+                compare(base.at(i), fresh.at(i), path);
+                path.pop_back();
+            }
+            break;
+          }
+          case Json::Type::Double: {
+            ++leavesCompared;
+            double a = base.asDouble(), b = fresh.asDouble();
+            double scale = std::max(std::abs(a), std::abs(b));
+            if (std::abs(a - b) > tol * std::max(scale, 1e-12)) {
+                fail(path, detail::format(
+                               "%.9g != baseline %.9g (rel tol %g)", b,
+                               a, tol));
+            }
+            break;
+          }
+          case Json::Type::Int: {
+            ++leavesCompared;
+            if (fresh.type() == Json::Type::Double) {
+                // Numeric cross-type: fall back to tolerance.
+                double a = base.asDouble(), b = fresh.asDouble();
+                double scale = std::max(std::abs(a), std::abs(b));
+                if (std::abs(a - b) > tol * std::max(scale, 1e-12))
+                    fail(path, detail::format("%.9g != baseline %.9g",
+                                              b, a));
+            } else if (base.asInt() != fresh.asInt()) {
+                fail(path,
+                     detail::format(
+                         "%lld != baseline %lld (exact)",
+                         static_cast<long long>(fresh.asInt()),
+                         static_cast<long long>(base.asInt())));
+            }
+            break;
+          }
+          case Json::Type::String: {
+            ++leavesCompared;
+            if (base.asString() != fresh.asString())
+                fail(path, "\"" + fresh.asString() +
+                               "\" != baseline \"" + base.asString() +
+                               "\"");
+            break;
+          }
+          case Json::Type::Bool: {
+            ++leavesCompared;
+            if (base.asBool() != fresh.asBool())
+                fail(path, "bool differs from baseline");
+            break;
+          }
+          case Json::Type::Null:
+            ++leavesCompared;
+            break;
+        }
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(
+            stderr,
+            "usage: bench_compare <baseline.json> <fresh.json>\n"
+            "                     [--tol <rel>] [--ignore <dot.path>]...\n");
+        return 2;
+    }
+    Comparer cmp;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+            cmp.tol = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--ignore") == 0 && i + 1 < argc) {
+            cmp.ignores.push_back(splitPath(argv[++i]));
+        } else {
+            std::fprintf(stderr, "bench_compare: unknown arg %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    Json base, fresh;
+    if (!loadJson(argv[1], &base) || !loadJson(argv[2], &fresh))
+        return 2;
+
+    std::vector<std::string> path;
+    cmp.compare(base, fresh, path);
+
+    if (cmp.diffs.empty()) {
+        std::printf("bench_compare: %s matches baseline %s "
+                    "(%llu leaves, rel tol %g, %zu ignored paths)\n",
+                    argv[2], argv[1],
+                    static_cast<unsigned long long>(cmp.leavesCompared),
+                    cmp.tol, cmp.ignores.size());
+        return 0;
+    }
+    std::printf("bench_compare: %zu difference(s) vs baseline %s:\n",
+                cmp.diffs.size(), argv[1]);
+    TextTable t({"path", "difference"});
+    size_t shown = std::min<size_t>(cmp.diffs.size(), 50);
+    for (size_t i = 0; i < shown; ++i)
+        t.addRow({cmp.diffs[i].path, cmp.diffs[i].what});
+    std::printf("%s", t.render().c_str());
+    if (shown < cmp.diffs.size())
+        std::printf("... and %zu more\n", cmp.diffs.size() - shown);
+    return 1;
+}

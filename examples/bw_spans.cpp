@@ -15,16 +15,33 @@
  *      (latency <= p50), i.e. "p99 requests spend 71% more in
  *      queue_wait".
  *
+ * The `flight` mode analyzes a bw.flight/1 export instead
+ * (serve_engine's BW_FLIGHT_JSON): the tail-promoted anomaly table —
+ * every deadline expiry, reject, error and cancellation plus the
+ * slowest-K completions per window — with per-class counts and the
+ * queue/service split of each promoted record. These are precisely the
+ * requests head sampling was likely to drop; each carries a full
+ * reconstructed span tree in the embedded bw.spans/1 document.
+ *
+ * The `validate` mode dispatches on the document's schema tag
+ * (bw.spans/1, bw.flight/1 or bw.slo/1) and runs the matching
+ * structural validator — the CI schema gate for every observability
+ * export.
+ *
  * Exit codes: 0 = report printed, 2 = usage / unreadable input,
  * 3 = valid document but no complete request traces to analyze.
  *
  *   $ ./bw_spans spans.json [N]
+ *   $ ./bw_spans flight flight.json [N]
+ *   $ ./bw_spans validate <export.json>
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -165,14 +182,169 @@ deltaPct(double base, double tail)
     return (d >= 0 ? "+" : "") + fmtF(d, 1) + "%";
 }
 
+/** Load + parse a JSON file, or exit-2 with a diagnostic. */
+bool
+loadJson(const char *path, Json *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bw_spans: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        *out = Json::parse(buf.str());
+    } catch (const Error &e) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", path, e.what());
+        return false;
+    }
+    return true;
+}
+
+/** The `flight` mode: promoted-anomaly table over a bw.flight/1 doc. */
+int
+flightReport(const char *path, size_t top_n)
+{
+    Json doc;
+    if (!loadJson(path, &doc))
+        return 2;
+    Status valid = obs::validateFlightJson(doc);
+    if (!valid.ok()) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", path,
+                     valid.toString().c_str());
+        return 2;
+    }
+
+    const Json *promoted = doc.find("promoted");
+    std::printf("bw_spans flight: %zu promoted of %lld recorded "
+                "(window %.0f ms, slowest-K %lld, %lld dropped)\n\n",
+                promoted->size(),
+                static_cast<long long>(doc.find("recorded")->asInt()),
+                static_cast<double>(doc.find("window_us")->asInt()) / 1e3,
+                static_cast<long long>(doc.find("slowest_k")->asInt()),
+                static_cast<long long>(doc.find("dropped")->asInt()));
+    if (promoted->size() == 0) {
+        std::printf("No promoted records: every request completed "
+                    "inside the window's slowest-K threshold.\n");
+        return 3;
+    }
+
+    // Per-class counts: how the anomaly budget splits.
+    std::map<std::string, uint64_t> by_class;
+    for (size_t i = 0; i < promoted->size(); ++i)
+        ++by_class[promoted->at(i).find("class")->asString()];
+    TextTable classes({"class", "promoted"});
+    for (const auto &kv : by_class)
+        classes.addRow({kv.first, fmtI(kv.second)});
+    std::printf("Promotions by class:\n%s\n", classes.render().c_str());
+
+    // The promoted records, slowest first, up to N.
+    std::vector<const Json *> rows;
+    rows.reserve(promoted->size());
+    for (size_t i = 0; i < promoted->size(); ++i)
+        rows.push_back(&promoted->at(i));
+    std::sort(rows.begin(), rows.end(), [](const Json *a, const Json *b) {
+        int64_t la = a->find("latency_us")->asInt();
+        int64_t lb = b->find("latency_us")->asInt();
+        if (la != lb)
+            return la > lb;
+        return a->find("seq")->asInt() < b->find("seq")->asInt();
+    });
+    size_t n = std::min(top_n, rows.size());
+    TextTable t({"seq", "id", "class", "queue ms", "service ms",
+                 "latency ms", "replica", "head-sampled"});
+    for (size_t i = 0; i < n; ++i) {
+        const Json &r = *rows[i];
+        double queue_ms =
+            static_cast<double>(r.find("dequeue_us")->asInt() -
+                                r.find("admit_us")->asInt()) / 1e3;
+        double service_ms =
+            static_cast<double>(r.find("done_us")->asInt() -
+                                r.find("service_us")->asInt()) / 1e3;
+        const Json *sampled = r.find("sampled");
+        t.addRow({std::to_string(r.find("seq")->asInt()),
+                  std::to_string(r.find("id")->asInt()),
+                  r.find("class")->asString(), fmtF(queue_ms, 3),
+                  fmtF(service_ms, 3),
+                  fmtF(static_cast<double>(
+                           r.find("latency_us")->asInt()) / 1e3, 3),
+                  std::to_string(r.find("replica")->asInt()),
+                  sampled && sampled->asBool() ? "yes" : "no"});
+    }
+    std::printf("Slowest %zu promoted records:\n%s\n", n,
+                t.render().c_str());
+    std::printf("Each promoted seq has a full span tree in the embedded "
+                "spans document (%lld traces); requests head sampling "
+                "dropped are still fully attributable here.\n",
+                static_cast<long long>(
+                    doc.find("spans")->find("traces")->size()));
+    return 0;
+}
+
+/** The `validate` mode: schema-dispatch to the matching validator. */
+int
+validateDoc(const char *path)
+{
+    Json doc;
+    if (!loadJson(path, &doc))
+        return 2;
+    const Json *schema = doc.find("schema");
+    std::string tag =
+        schema && schema->type() == Json::Type::String
+            ? schema->asString()
+            : "";
+    Status st;
+    if (tag == "bw.spans/1")
+        st = obs::validateSpanTreeJson(doc);
+    else if (tag == "bw.flight/1")
+        st = obs::validateFlightJson(doc);
+    else if (tag == "bw.slo/1")
+        st = serve::validateSloJson(doc);
+    else {
+        std::fprintf(stderr,
+                     "bw_spans: %s: unknown schema tag '%s' (want "
+                     "bw.spans/1, bw.flight/1 or bw.slo/1)\n",
+                     path, tag.c_str());
+        return 2;
+    }
+    if (!st.ok()) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", path,
+                     st.toString().c_str());
+        return 2;
+    }
+    std::printf("bw_spans: %s valid (%s)\n", path, tag.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: bw_spans <spans.json> [N]\n");
+        std::fprintf(stderr, "usage: bw_spans <spans.json> [N]\n"
+                             "       bw_spans flight <flight.json> [N]\n"
+                             "       bw_spans validate <export.json>\n");
         return 2;
+    }
+    if (std::strcmp(argv[1], "validate") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: bw_spans validate <export.json>\n");
+            return 2;
+        }
+        return validateDoc(argv[2]);
+    }
+    if (std::strcmp(argv[1], "flight") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: bw_spans flight <flight.json> [N]\n");
+            return 2;
+        }
+        size_t fn =
+            argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 10;
+        return flightReport(argv[2], fn == 0 ? 10 : fn);
     }
     size_t top_n = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 10;
     if (top_n == 0)

@@ -33,6 +33,18 @@
  * sampled trace ids appear as latency-histogram exemplars in
  * /metrics.json.
  *
+ * Flight recorder + SLO: every submission attempt lands in the
+ * tail-sampling flight recorder (BW_FLIGHT_WINDOW_MS /
+ * BW_FLIGHT_SLOWEST_K / BW_FLIGHT_RING tune promotion); anomalies plus
+ * the slowest-K per window export via BW_FLIGHT_JSON=<path> with full
+ * reconstructed span trees (analyze with bw_spans flight). An SLO
+ * burn-rate monitor (BW_SLO_* tune objectives and windows) classifies
+ * requests by deadline and serves /slo.json; BW_SLO_JSON=<path> writes
+ * the same document. With BW_METRICS_PORT set, Engine::exposeDebug
+ * also mounts /debug/queue, /debug/replicas, /debug/config,
+ * /debug/errors and /debug/flight, and /healthz turns 503
+ * {"draining":true} once the engine drains.
+ *
  *   $ ./serve_engine [clients] [requests_per_client]
  *   $ ./serve_engine --help
  */
@@ -86,6 +98,15 @@ main(int argc, char **argv)
     // trees exported via BW_SPANS_JSON, exemplars into /metrics.json.
     obs::SpanTracer spans(obs::SpanTracerOptions::fromEnv());
 
+    // Tail sampling: every request lands in the flight recorder; only
+    // anomalies and the slowest-K per window are promoted to export.
+    obs::FlightRecorder flight(obs::FlightRecorderOptions::fromEnv());
+
+    // SLO burn-rate monitor: per-deadline-class latency/availability
+    // SLIs over fast and slow windows, bw_slo_* metrics + /slo.json.
+    serve::SloMonitor slo(serve::SloOptions::fromEnv());
+    slo.bindMetrics(&registry);
+
     serve::EngineOptions opts;
     opts.replicas = 2;
     opts.queueDepth = 32;
@@ -93,6 +114,8 @@ main(int argc, char **argv)
     opts = serve::EngineOptions::fromEnv(opts);
     opts.metricsRegistry = &registry;
     opts.spanTracer = &spans;
+    opts.flightRecorder = &flight;
+    opts.sloMonitor = &slo;
     auto engine = session.serve(opts);
 
     std::printf("Engine: %u replicas, queue depth %zu, %s dispatch, "
@@ -102,6 +125,7 @@ main(int argc, char **argv)
                 session.model().name.c_str());
 
     metrics::MetricsHttpServer http(registry);
+    engine->exposeDebug(http); // /slo.json + /debug + readiness probe
     if (const char *port_env = std::getenv("BW_METRICS_PORT")) {
         Status st = http.start(
             static_cast<uint16_t>(std::atoi(port_env)));
@@ -191,6 +215,27 @@ main(int argc, char **argv)
                     static_cast<long long>(
                         span_doc.find("traces")->size()),
                     path);
+    }
+    // Flight export: the engine is drained, so the recorder rings are
+    // quiescent and safe to collect.
+    {
+        std::vector<obs::FlightRecord> promoted = flight.promoted();
+        std::printf("Flight recorder: %llu recorded, %zu promoted "
+                    "(%llu dropped to ring wrap)\n",
+                    static_cast<unsigned long long>(flight.recorded()),
+                    promoted.size(),
+                    static_cast<unsigned long long>(flight.dropped()));
+        if (const char *path = std::getenv("BW_FLIGHT_JSON")) {
+            Expected<Json> doc = engine->flightJson();
+            if (doc.ok()) {
+                writeJsonFile(path, doc.value());
+                std::printf("Flight JSON written to %s\n", path);
+            }
+        }
+    }
+    if (const char *path = std::getenv("BW_SLO_JSON")) {
+        writeJsonFile(path, slo.sloJson());
+        std::printf("SLO JSON written to %s\n", path);
     }
     if (const char *path = std::getenv("BW_SERVE_TRACE")) {
         // Engine timestamps are microseconds; clock 1.0 keeps them so.

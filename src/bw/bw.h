@@ -64,6 +64,7 @@
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight.h"
 #include "obs/span.h"
 #include "obs/stall.h"
 #include "obs/trace.h"
@@ -73,6 +74,7 @@
 #include "runtime/serving.h"
 #include "serve/engine.h"
 #include "serve/session.h"
+#include "serve/slo.h"
 #include "synth/resource_model.h"
 #include "tensor/tensor.h"
 #include "timing/npu_timing.h"

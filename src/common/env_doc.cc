@@ -76,6 +76,42 @@ envVarDocs()
          "Override the output path of a harness's machine-readable "
          "artifact (BENCH_fig7_utilization.json, "
          "BENCH_table5_deepbench.json, BENCH_serve_engine.json)."},
+        {"BW_FLIGHT_WINDOW_MS",
+         "Flight-recorder tail-promotion window in milliseconds of the "
+         "engine's clock (default 1000): the slowest-K ranking runs "
+         "per window of admission time."},
+        {"BW_FLIGHT_SLOWEST_K",
+         "Ok flight records promoted per promotion window, ranked by "
+         "latency (default 4; 0 promotes only anomalies — expiries, "
+         "rejects, errors, cancellations)."},
+        {"BW_FLIGHT_RING",
+         "Flight-recorder ring capacity per shard (default 4096 "
+         "records); the oldest records of a full shard are overwritten "
+         "and counted as dropped."},
+        {"BW_FLIGHT_JSON",
+         "Output path for serve_engine's promoted flight-record export "
+         "(schema bw.flight/1, embedding one bw.spans/1 tree per "
+         "promoted record). Inspect with 'bw_spans flight', check with "
+         "'bw_spans validate'."},
+        {"BW_SLO_LATENCY_OBJECTIVE",
+         "Latency SLO objective: target fraction of served requests "
+         "meeting their deadline class's latency target (default "
+         "0.99)."},
+        {"BW_SLO_AVAILABILITY_OBJECTIVE",
+         "Availability SLO objective: target fraction of submissions "
+         "served successfully (default 0.999)."},
+        {"BW_SLO_FAST_WINDOW_S",
+         "Fast burn-rate window in seconds of the feeding clock "
+         "(default 300). The multi-window alert fires only when both "
+         "windows burn above the page threshold."},
+        {"BW_SLO_SLOW_WINDOW_S",
+         "Slow burn-rate window in seconds of the feeding clock "
+         "(default 3600)."},
+        {"BW_SLO_JSON",
+         "Output path for serve_engine's SLO evaluation document "
+         "(schema bw.slo/1): per-class lifetime counters plus "
+         "fast/slow burn rates for both SLIs, as served on "
+         "/slo.json."},
     };
     return docs;
 }

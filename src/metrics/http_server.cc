@@ -76,6 +76,25 @@ MetricsHttpServer::~MetricsHttpServer()
     stop();
 }
 
+void
+MetricsHttpServer::handleJson(std::string path,
+                              std::function<std::string()> body)
+{
+    for (auto &h : handlers_) {
+        if (h.first == path) {
+            h.second = std::move(body);
+            return;
+        }
+    }
+    handlers_.emplace_back(std::move(path), std::move(body));
+}
+
+void
+MetricsHttpServer::setReadiness(std::function<bool()> ready)
+{
+    ready_ = std::move(ready);
+}
+
 std::string
 MetricsHttpServer::respond(const std::string &request_line) const
 {
@@ -99,8 +118,22 @@ MetricsHttpServer::respond(const std::string &request_line) const
         return httpResponse(200, "OK", "application/json",
                             metricsJson(registry_).dump(2) + "\n");
     }
-    if (path == "/healthz" || path == "/")
+    if (path == "/healthz" || path == "/") {
+        // Liveness vs readiness: the listener answering at all is
+        // liveness; a draining engine flips the probe so the front
+        // door stops routing here while in-flight work finishes.
+        if (ready_ && !ready_()) {
+            return httpResponse(503, "Service Unavailable",
+                                "application/json",
+                                "{\"draining\": true}\n");
+        }
         return httpResponse(200, "OK", "text/plain", "ok\n");
+    }
+    for (const auto &h : handlers_) {
+        if (h.first == path)
+            return httpResponse(200, "OK", "application/json",
+                                h.second());
+    }
     return httpResponse(404, "Not Found", "text/plain",
                         "try /metrics, /metrics.json or /healthz\n");
 }

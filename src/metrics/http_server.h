@@ -1,12 +1,20 @@
 /**
  * @file
- * Minimal embedded HTTP endpoint for live metrics scraping: a
- * POSIX-socket listener serving GET /metrics (Prometheus text format
- * 0.0.4), GET /metrics.json (the repo's ordered Json) and GET /healthz
- * from a metrics::Registry. Opt-in: examples start it only when
- * BW_METRICS_PORT is set. One accept thread handles connections
- * serially — metrics responses are small and scrapes are rare, so no
- * connection pool is warranted.
+ * Minimal embedded HTTP endpoint for live metrics scraping and debug
+ * introspection: a POSIX-socket listener serving GET /metrics
+ * (Prometheus text format 0.0.4), GET /metrics.json (the repo's
+ * ordered Json) and GET /healthz from a metrics::Registry, plus any
+ * number of registered JSON handlers (the serving engine mounts
+ * /slo.json and the /debug family via Engine::exposeDebug). Opt-in:
+ * examples start it only when BW_METRICS_PORT is set. One accept
+ * thread handles connections serially — responses are small and
+ * scrapes are rare, so no connection pool is warranted.
+ *
+ * /healthz distinguishes liveness from readiness: it is 200 "ok" while
+ * the process serves, and 503 {"draining":true} once the registered
+ * readiness probe reports not-ready (engine drain()/shutdown() begun),
+ * so a cluster front door can evict a draining replica before its
+ * listener disappears.
  */
 
 #ifndef BW_METRICS_HTTP_SERVER_H
@@ -14,8 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "metrics/metrics.h"
@@ -32,6 +43,25 @@ class MetricsHttpServer
 
     MetricsHttpServer(const MetricsHttpServer &) = delete;
     MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Mount a GET handler producing a JSON body at @p path (exact
+     * match, query string stripped; re-registering a path replaces its
+     * handler). The handler runs on the accept thread per request, so
+     * live documents (queue snapshots, SLO evaluations) are computed at
+     * scrape time. Register before start() or between requests — the
+     * table is read without a lock on the serving path.
+     */
+    void handleJson(std::string path, std::function<std::string()> body);
+
+    /**
+     * Register the readiness probe consulted by /healthz: when it
+     * returns false the endpoint answers 503 {"draining":true} instead
+     * of 200 "ok", so load balancers evict the replica while in-flight
+     * work finishes. Liveness (the listener answering at all) is
+     * unaffected.
+     */
+    void setReadiness(std::function<bool()> ready);
 
     /**
      * Bind (port 0 picks an ephemeral port — see port()), listen, and
@@ -59,6 +89,9 @@ class MetricsHttpServer
     void acceptLoop();
 
     const Registry &registry_;
+    std::vector<std::pair<std::string, std::function<std::string()>>>
+        handlers_;
+    std::function<bool()> ready_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
     int listenFd_ = -1;

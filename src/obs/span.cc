@@ -46,6 +46,8 @@ spanOutcomeName(SpanOutcome o)
       case SpanOutcome::Ok: return "ok";
       case SpanOutcome::DeadlineExpired: return "deadline_expired";
       case SpanOutcome::Cancelled: return "cancelled";
+      case SpanOutcome::Rejected: return "rejected";
+      case SpanOutcome::Error: return "error";
       default: BW_PANIC("bad SpanOutcome %d", static_cast<int>(o));
     }
 }
@@ -171,7 +173,9 @@ recordRequestTree(SpanTracer &tracer, const RequestSpans &rs)
     q.endUs = rs.dequeueUs;
     tracer.record(q);
 
-    if (rs.outcome != SpanOutcome::Ok)
+    // Errored requests consumed service; only never-served outcomes
+    // (expired in queue, rejected, cancelled) stop at queue_wait.
+    if (rs.outcome != SpanOutcome::Ok && rs.outcome != SpanOutcome::Error)
         return 0; // never reached service: queue_wait is the story
 
     SpanRecord d;

@@ -75,6 +75,8 @@ enum class SpanOutcome : uint8_t
     Ok = 0,
     DeadlineExpired, //!< waited out its deadline in the queue
     Cancelled,       //!< abandoned by shutdown()
+    Rejected,        //!< refused admission (QUEUE_FULL)
+    Error,           //!< served, but service reported an error
 };
 
 const char *spanOutcomeName(SpanOutcome o);

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/env_doc.h"
 #include "common/logging.h"
+#include "metrics/http_server.h"
+#include "serve/slo.h"
 #include "timing/npu_timing.h"
 
 namespace bw {
@@ -195,8 +198,56 @@ Engine::Engine(std::shared_ptr<const CompiledModel> model,
     // Written once here so serviceProfileFor() can hand out a shared
     // read-only profile from any worker without synchronization.
     overrideProfile_.ms = opts_.serviceMsOverride;
+    replicaDebug_.resize(opts_.replicas);
     if (opts_.metricsRegistry)
         bindMetrics();
+}
+
+void
+Engine::recordFlightSlo(uint64_t seq, RequestId id, obs::FlightClass cls,
+                        bool sampled, unsigned replica, unsigned steps,
+                        uint64_t admit_us, uint64_t dequeue_us,
+                        uint64_t service_us, uint64_t done_us,
+                        double deadline_ms, double latency_ms)
+{
+    if (opts_.flightRecorder) {
+        obs::FlightRecord fr;
+        fr.seq = seq;
+        fr.id = id;
+        fr.cls = cls;
+        fr.sampled = sampled;
+        fr.replica = replica;
+        fr.steps = steps;
+        fr.admitUs = admit_us;
+        fr.dequeueUs = dequeue_us;
+        fr.serviceUs = service_us;
+        fr.doneUs = done_us;
+        fr.latencyUs = latency_ms > 0 ? static_cast<uint64_t>(
+                                            std::llround(latency_ms * 1e3))
+                                      : 0;
+        opts_.flightRecorder->record(fr);
+    }
+    if (opts_.sloMonitor) {
+        opts_.sloMonitor->record(done_us, deadline_ms, latency_ms,
+                                 cls == obs::FlightClass::Ok);
+    }
+}
+
+void
+Engine::noteError(uint64_t seq, RequestId id, uint64_t time_us,
+                  StatusCode code, std::string message)
+{
+    std::lock_guard<std::mutex> lk(debugMu_);
+    ++errorsTotal_;
+    if (errors_.size() >= kErrorRing)
+        errors_.pop_front();
+    ErrorRecord e;
+    e.seq = seq;
+    e.id = id;
+    e.timeUs = time_us;
+    e.code = code;
+    e.message = std::move(message);
+    errors_.push_back(std::move(e));
 }
 
 void
@@ -344,15 +395,26 @@ Engine::enqueue(Pending p)
                 "engine is draining or shut down");
         }
         if (queue_.size() >= opts_.queueDepth) {
+            // The reject consumes a submission-attempt seq (the flight
+            // promotion key) but never a request id — span trace ids
+            // stay dense over admitted requests only.
+            uint64_t seq = nextSeq_++;
             collector_.recordRejected();
             if (live_)
                 live_->rejected->inc();
-            return Status::queueFull(detail::format(
+            Status st = Status::queueFull(detail::format(
                 "queue at depth %zu; request rejected (admission "
                 "control)", opts_.queueDepth));
+            uint64_t t_us = toUs(nowS());
+            recordFlightSlo(seq, 0, obs::FlightClass::Rejected, false, 0,
+                            p.steps, t_us, t_us, t_us, t_us, p.deadlineMs,
+                            0.0);
+            noteError(seq, 0, t_us, st.code(), st.message());
+            return st;
         }
         startLocked();
         p.id = nextId_++;
+        p.seq = nextSeq_++;
         p.admitS = nowS();
         if (opts_.spanTracer)
             p.ctx = opts_.spanTracer->admit(p.id);
@@ -438,10 +500,20 @@ void
 Engine::serveBatch(unsigned index, FuncMachine *machine,
                    std::vector<Pending> batch, double dequeue_s)
 {
+    {
+        std::lock_guard<std::mutex> lk(debugMu_);
+        ReplicaDebug &rd = replicaDebug_[index];
+        rd.busy = true;
+        rd.inflight.clear();
+        for (const Pending &p : batch)
+            rd.inflight.push_back(p.id);
+    }
+
     // On-dequeue deadline expiry: requests that waited out their
     // deadline complete immediately, consuming no service.
     std::vector<Pending> live;
     live.reserve(batch.size());
+    uint64_t expired_here = 0;
     for (Pending &p : batch) {
         double queue_ms = (dequeue_s - p.admitS) * 1e3;
         if (p.deadlineMs > 0 && queue_ms > p.deadlineMs) {
@@ -454,25 +526,38 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
             r.latencyMs = queue_ms + opts_.networkMs;
             r.worker = index;
             collector_.recordExpired();
+            ++expired_here;
             if (live_)
                 live_->expired->inc();
             emitTrace(obs::EventKind::QueueWait,
                       obs::ResClass::ServeQueue, 0, p.id, p.admitS,
                       dequeue_s);
+            uint64_t admit_us = toUs(p.admitS);
+            uint64_t dq_us = std::max(toUs(dequeue_s), admit_us);
             if (p.ctx.sampled()) {
-                uint64_t admit_us = toUs(p.admitS);
-                uint64_t dq_us = std::max(toUs(dequeue_s), admit_us);
                 recordSpans(p.ctx, p.steps, admit_us, dq_us, dq_us,
                             dq_us, index,
                             obs::SpanOutcome::DeadlineExpired);
             }
+            recordFlightSlo(p.seq, p.id, obs::FlightClass::DeadlineExpired,
+                            p.ctx.sampled(), index, p.steps, admit_us,
+                            dq_us, dq_us, dq_us, p.deadlineMs,
+                            r.latencyMs);
+            noteError(p.seq, p.id, dq_us, r.status.code(),
+                      r.status.message());
             p.promise.set_value(std::move(r));
         } else {
             live.push_back(std::move(p));
         }
     }
-    if (live.empty())
+    if (live.empty()) {
+        std::lock_guard<std::mutex> lk(debugMu_);
+        ReplicaDebug &rd = replicaDebug_[index];
+        rd.busy = false;
+        rd.inflight.clear();
+        rd.expired += expired_here;
         return;
+    }
 
     if (opts_.serviceHook) {
         for (const Pending &p : live)
@@ -532,17 +617,38 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
         r.latencyMs = r.queueMs + r.serviceMs + opts_.networkMs;
         r.worker = index;
         r.batch = static_cast<unsigned>(live.size());
+        bool served_ok = r.status.ok();
         emitTrace(obs::EventKind::QueueWait, obs::ResClass::ServeQueue,
                   0, p.id, p.admitS, dequeue_s);
         emitTrace(obs::EventKind::Service, obs::ResClass::ServeWorker,
                   static_cast<uint16_t>(index), p.id, dequeue_s, done_s);
+        uint64_t admit_us = toUs(p.admitS);
+        uint64_t dq_us = std::max(toUs(dequeue_s), admit_us);
+        uint64_t svc_us = std::max(toUs(service_start_s), dq_us);
+        uint64_t dn_us = std::max(toUs(done_s), svc_us);
         if (p.ctx.sampled()) {
-            uint64_t admit_us = toUs(p.admitS);
-            uint64_t dq_us = std::max(toUs(dequeue_s), admit_us);
-            uint64_t svc_us = std::max(toUs(service_start_s), dq_us);
-            uint64_t dn_us = std::max(toUs(done_s), svc_us);
             recordSpans(p.ctx, p.steps, admit_us, dq_us, svc_us, dn_us,
-                        index, obs::SpanOutcome::Ok);
+                        index,
+                        served_ok ? obs::SpanOutcome::Ok
+                                  : obs::SpanOutcome::Error);
+        }
+        recordFlightSlo(p.seq, p.id,
+                        served_ok ? obs::FlightClass::Ok
+                                  : obs::FlightClass::Error,
+                        p.ctx.sampled(), index, p.steps, admit_us, dq_us,
+                        svc_us, dn_us, p.deadlineMs, r.latencyMs);
+        if (!served_ok) {
+            noteError(p.seq, p.id, dn_us, r.status.code(),
+                      r.status.message());
+        }
+        {
+            std::lock_guard<std::mutex> lk(debugMu_);
+            ReplicaDebug &rd = replicaDebug_[index];
+            rd.lastId = p.id;
+            if (served_ok)
+                ++rd.served;
+            else
+                ++rd.errors;
         }
         collector_.recordCompleted(r, p.admitS, done_s);
         if (live_) {
@@ -559,6 +665,12 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
         }
         p.promise.set_value(std::move(r));
     }
+
+    std::lock_guard<std::mutex> dlk(debugMu_);
+    ReplicaDebug &rd = replicaDebug_[index];
+    rd.busy = false;
+    rd.inflight.clear();
+    rd.expired += expired_here;
 }
 
 void
@@ -596,6 +708,12 @@ Engine::shutdown()
         collector_.recordCancelled();
         if (live_)
             live_->cancelled->inc();
+        uint64_t admit_us = toUs(p.admitS);
+        uint64_t t_us = std::max(toUs(now_s), admit_us);
+        recordFlightSlo(p.seq, p.id, obs::FlightClass::Cancelled,
+                        p.ctx.sampled(), 0, p.steps, admit_us, t_us,
+                        t_us, t_us, p.deadlineMs, r.latencyMs);
+        noteError(p.seq, p.id, t_us, r.status.code(), r.status.message());
         p.promise.set_value(std::move(r));
     }
     if (live_)
@@ -607,6 +725,13 @@ Engine::queueSize() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     return queue_.size();
+}
+
+bool
+Engine::accepting() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return accepting_;
 }
 
 Json
@@ -625,6 +750,229 @@ Engine::statsJson() const
     j.set("engine", std::move(cfg));
     j.set("stats", collector_.toJson());
     return j;
+}
+
+// --- /debug introspection ---
+
+Json
+Engine::debugQueueJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Json j = Json::object();
+    j.set("accepting", accepting_);
+    j.set("draining", draining_);
+    j.set("stopping", stopping_);
+    j.set("depth", static_cast<uint64_t>(queue_.size()));
+    j.set("capacity", static_cast<uint64_t>(opts_.queueDepth));
+    j.set("inflight", inFlight_);
+    j.set("next_id", nextId_);
+    j.set("next_seq", nextSeq_);
+    double now_s = nowS();
+    Json list = Json::array();
+    for (const Pending &p : queue_) {
+        Json e = Json::object();
+        e.set("id", p.id);
+        e.set("seq", p.seq);
+        e.set("timed", p.timed);
+        e.set("steps", p.steps);
+        e.set("deadline_ms", p.deadlineMs);
+        e.set("queued_ms", (now_s - p.admitS) * 1e3);
+        e.set("sampled", p.ctx.sampled());
+        list.push(std::move(e));
+    }
+    j.set("queue", std::move(list));
+    return j;
+}
+
+Json
+Engine::debugReplicasJson() const
+{
+    std::lock_guard<std::mutex> lk(debugMu_);
+    Json j = Json::object();
+    j.set("replicas", opts_.replicas);
+    Json list = Json::array();
+    for (size_t i = 0; i < replicaDebug_.size(); ++i) {
+        const ReplicaDebug &rd = replicaDebug_[i];
+        Json e = Json::object();
+        e.set("replica", static_cast<uint64_t>(i));
+        e.set("state", rd.busy ? "serving" : "idle");
+        e.set("served", rd.served);
+        e.set("expired", rd.expired);
+        e.set("errors", rd.errors);
+        e.set("last_id", rd.lastId);
+        Json ids = Json::array();
+        for (RequestId id : rd.inflight)
+            ids.push(id);
+        e.set("inflight_ids", std::move(ids));
+        list.push(std::move(e));
+    }
+    j.set("workers", std::move(list));
+    return j;
+}
+
+Json
+Engine::debugConfigJson() const
+{
+    Json j = Json::object();
+    Json eng = Json::object();
+    eng.set("replicas", opts_.replicas);
+    eng.set("queue_depth", static_cast<uint64_t>(opts_.queueDepth));
+    eng.set("policy", dispatchPolicyName(opts_.policy));
+    eng.set("max_batch", opts_.maxBatch);
+    eng.set("batch_timeout_ms", opts_.batchTimeoutMs);
+    eng.set("network_ms", opts_.networkMs);
+    eng.set("default_deadline_ms", opts_.defaultDeadlineMs);
+    eng.set("service_ms_override", opts_.serviceMsOverride);
+    eng.set("time_scale", opts_.timeScale);
+    eng.set("metrics", opts_.metricsRegistry != nullptr);
+    eng.set("span_tracer", opts_.spanTracer != nullptr);
+    eng.set("flight_recorder", opts_.flightRecorder != nullptr);
+    eng.set("slo_monitor", opts_.sloMonitor != nullptr);
+    j.set("engine", std::move(eng));
+    if (model_) {
+        const NpuConfig &cfg = model_->cfg;
+        Json npu = Json::object();
+        npu.set("name", cfg.name);
+        npu.set("native_dim", cfg.nativeDim);
+        npu.set("lanes", cfg.lanes);
+        npu.set("tile_engines", cfg.tileEngines);
+        npu.set("precision", cfg.precision.toString());
+        npu.set("mrf_size", cfg.mrfSize);
+        npu.set("initial_vrf_size", cfg.initialVrfSize);
+        npu.set("mfus", cfg.mfus);
+        npu.set("clock_mhz", cfg.clockMhz);
+        npu.set("peak_tflops", cfg.peakTflops());
+        j.set("npu", std::move(npu));
+    }
+    if (opts_.flightRecorder) {
+        const obs::FlightRecorderOptions &fo =
+            opts_.flightRecorder->options();
+        Json f = Json::object();
+        f.set("shard_capacity", static_cast<uint64_t>(fo.shardCapacity));
+        f.set("window_us", fo.windowUs);
+        f.set("slowest_k", fo.slowestK);
+        j.set("flight", std::move(f));
+    }
+    // The resolved BW_* environment: every documented variable that is
+    // actually set in this process, from the same single-source list
+    // the README table renders from.
+    Json env = Json::object();
+    for (const EnvVarDoc &d : envVarDocs()) {
+        if (const char *v = std::getenv(d.name))
+            env.set(d.name, v);
+    }
+    j.set("env", std::move(env));
+    return j;
+}
+
+Json
+Engine::debugErrorsJson() const
+{
+    std::lock_guard<std::mutex> lk(debugMu_);
+    Json j = Json::object();
+    j.set("capacity", static_cast<uint64_t>(kErrorRing));
+    j.set("total", errorsTotal_);
+    Json list = Json::array();
+    for (const ErrorRecord &e : errors_) {
+        Json r = Json::object();
+        r.set("seq", e.seq);
+        r.set("id", e.id);
+        r.set("time_us", e.timeUs);
+        r.set("code", statusCodeName(e.code));
+        r.set("message", e.message);
+        list.push(std::move(r));
+    }
+    j.set("errors", std::move(list));
+    return j;
+}
+
+Json
+Engine::debugFlightJson() const
+{
+    Json j = Json::object();
+    j.set("attached", opts_.flightRecorder != nullptr);
+    if (!opts_.flightRecorder) {
+        j.set("promoted", Json::array());
+        return j;
+    }
+    const obs::FlightRecorder &fr = *opts_.flightRecorder;
+    j.set("recorded", fr.recorded());
+    j.set("dropped", fr.dropped());
+    j.set("window_us", fr.options().windowUs);
+    j.set("slowest_k", fr.options().slowestK);
+    Json list = Json::array();
+    for (const obs::FlightRecord &r : fr.promoted()) {
+        Json e = Json::object();
+        e.set("seq", r.seq);
+        e.set("id", r.id);
+        e.set("class", obs::flightClassName(r.cls));
+        // The flight export keys its span trees by seq; a head-sampled
+        // request additionally has a live bw.spans/1 trace under its id.
+        e.set("trace", r.seq);
+        e.set("head_trace", r.sampled ? r.id : 0);
+        e.set("latency_us", r.latencyUs);
+        e.set("admit_us", r.admitUs);
+        list.push(std::move(e));
+    }
+    j.set("promoted", std::move(list));
+    return j;
+}
+
+obs::ChainProfileFn
+Engine::chainProfileFn()
+{
+    if (!model_ || opts_.serviceMsOverride > 0)
+        return {};
+    return [this](uint32_t steps,
+                  const std::vector<obs::ChainProfile> **chains,
+                  Cycles *total_cycles) {
+        if (steps == 0)
+            return false;
+        const ServiceProfile &prof = serviceProfileFor(steps);
+        if (!prof.chains || prof.chains->empty())
+            return false;
+        *chains = prof.chains.get();
+        *total_cycles = prof.totalCycles;
+        return true;
+    };
+}
+
+Expected<Json>
+Engine::flightJson()
+{
+    if (!opts_.flightRecorder) {
+        return Status::failedPrecondition(
+            "no flight recorder attached "
+            "(EngineOptions::flightRecorder)");
+    }
+    return obs::flightJson(*opts_.flightRecorder, chainProfileFn());
+}
+
+void
+Engine::exposeDebug(metrics::MetricsHttpServer &srv)
+{
+    srv.setReadiness([this] { return accepting(); });
+    srv.handleJson("/debug/queue", [this] {
+        return debugQueueJson().dump(2) + "\n";
+    });
+    srv.handleJson("/debug/replicas", [this] {
+        return debugReplicasJson().dump(2) + "\n";
+    });
+    srv.handleJson("/debug/config", [this] {
+        return debugConfigJson().dump(2) + "\n";
+    });
+    srv.handleJson("/debug/errors", [this] {
+        return debugErrorsJson().dump(2) + "\n";
+    });
+    srv.handleJson("/debug/flight", [this] {
+        return debugFlightJson().dump(2) + "\n";
+    });
+    if (opts_.sloMonitor) {
+        SloMonitor *slo = opts_.sloMonitor;
+        srv.handleJson("/slo.json", [slo] {
+            return slo->sloJson().dump(2) + "\n";
+        });
+    }
 }
 
 double
@@ -651,7 +999,10 @@ Engine::serviceProfileFor(unsigned steps)
     timing::NpuTiming sim(model_->cfg);
     sim.setTileBeats(model_->tileBeats);
     ServiceProfile prof;
-    if (opts_.spanTracer) {
+    // Both consumers of chain profiles — live span trees and the
+    // flight export's reconstructed leaves — need the profiled run
+    // (cycle-identical to run(), tested).
+    if (opts_.spanTracer || opts_.flightRecorder) {
         auto chains = std::make_shared<std::vector<obs::ChainProfile>>();
         auto res = sim.runProfiled(model_->prologue, model_->step, steps,
                                    chains.get());
@@ -707,10 +1058,15 @@ Engine::replay(const std::vector<double> &arrivals_s, unsigned steps)
                   "replay: arrivals must be ascending");
     }
     double service_ms = serviceMsFor(steps);
-    // Each replay restarts the tracer and its replay-local sequence
-    // counter, so two replays of one schedule export byte-identically.
+    // Each replay restarts the tracer, the flight recorder and the SLO
+    // monitor alongside their replay-local sequence counters, so two
+    // replays of one schedule export byte-identically.
     if (opts_.spanTracer)
         opts_.spanTracer->clear();
+    if (opts_.flightRecorder)
+        opts_.flightRecorder->clear();
+    if (opts_.sloMonitor)
+        opts_.sloMonitor->clear();
     return opts_.policy == DispatchPolicy::Batched
                ? replayBatched(arrivals_s, service_ms, steps)
                : replayUnbatched(arrivals_s, service_ms, steps);
@@ -725,7 +1081,8 @@ Engine::replayUnbatched(const std::vector<double> &arrivals_s,
         return stats;
 
     obs::SpanTracer *tracer = opts_.spanTracer;
-    uint64_t seq = 0; // replay-local deterministic sequence counter
+    uint64_t seq = 0;     // admitted requests only (span trace ids)
+    uint64_t attempt = 0; // every submission attempt (flight seq)
     double service_s = service_ms / 1e3;
     double net_s = opts_.networkMs / 1e3;
     double deadline_ms = opts_.defaultDeadlineMs;
@@ -741,11 +1098,16 @@ Engine::replayUnbatched(const std::vector<double> &arrivals_s,
     double last_done = arrivals_s.front();
 
     for (double a : arrivals_s) {
+        ++attempt; // flight key: rejected arrivals consume one too
         size_t dequeued = static_cast<size_t>(
             std::upper_bound(starts.begin(), starts.end(), a) -
             starts.begin());
         if (starts.size() - dequeued >= opts_.queueDepth) {
             collector_.recordRejected();
+            uint64_t t_us = toUs(a);
+            recordFlightSlo(attempt, 0, obs::FlightClass::Rejected,
+                            false, 0, steps, t_us, t_us, t_us, t_us,
+                            deadline_ms, 0.0);
             continue;
         }
         size_t r = static_cast<size_t>(
@@ -763,17 +1125,28 @@ Engine::replayUnbatched(const std::vector<double> &arrivals_s,
             recordSpans(ctx, steps, admit_us, start_us, start_us,
                         start_us, static_cast<unsigned>(r),
                         obs::SpanOutcome::DeadlineExpired);
+            recordFlightSlo(attempt, seq,
+                            obs::FlightClass::DeadlineExpired,
+                            ctx.sampled(), static_cast<unsigned>(r),
+                            steps, admit_us, start_us, start_us,
+                            start_us, deadline_ms,
+                            (start - a) * 1e3 + opts_.networkMs);
             continue;
         }
         double done = start + service_s;
         free_s[r] = done;
         last_done = std::max(last_done, done);
-        latencies.push_back((done + net_s / 2 - a) * 1e3);
+        double latency_ms = (done + net_s / 2 - a) * 1e3;
+        latencies.push_back(latency_ms);
         // Virtual time dequeues straight into service: the dispatch
         // span is zero-width at the service start.
-        recordSpans(ctx, steps, admit_us, start_us, start_us,
-                    std::max(toUs(done), start_us),
+        uint64_t done_us = std::max(toUs(done), start_us);
+        recordSpans(ctx, steps, admit_us, start_us, start_us, done_us,
                     static_cast<unsigned>(r), obs::SpanOutcome::Ok);
+        recordFlightSlo(attempt, seq, obs::FlightClass::Ok,
+                        ctx.sampled(), static_cast<unsigned>(r), steps,
+                        admit_us, start_us, start_us, done_us,
+                        deadline_ms, latency_ms);
     }
 
     std::sort(latencies.begin(), latencies.end());
@@ -793,7 +1166,8 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
         return stats;
 
     obs::SpanTracer *tracer = opts_.spanTracer;
-    uint64_t seq = 0; // replay-local deterministic sequence counter
+    uint64_t seq = 0;     // admitted requests only (span trace ids)
+    uint64_t attempt = 0; // every submission attempt (flight seq)
     double net_ms = opts_.networkMs;
     double deadline_ms = opts_.defaultDeadlineMs;
     std::vector<double> free_s(opts_.replicas, 0.0);
@@ -814,12 +1188,20 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
                    dequeues.begin());
     };
 
+    auto reject = [&](double at) {
+        ++attempt;
+        collector_.recordRejected();
+        uint64_t t_us = toUs(at);
+        recordFlightSlo(attempt, 0, obs::FlightClass::Rejected, false, 0,
+                        steps, t_us, t_us, t_us, t_us, deadline_ms, 0.0);
+    };
+
     size_t i = 0;
     const size_t n = arrivals_s.size();
     while (i < n) {
         // Find the batch's oldest member (admission-checked).
         while (i < n && waiting(arrivals_s[i]) >= opts_.queueDepth) {
-            collector_.recordRejected();
+            reject(arrivals_s[i]);
             ++i;
         }
         if (i >= n)
@@ -828,9 +1210,14 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
         double trigger = oldest + opts_.batchTimeoutMs / 1e3;
         std::vector<double> members{oldest};
         std::vector<obs::TraceContext> mctx;
+        std::vector<uint64_t> mid;  //!< admitted id (span trace seq)
+        std::vector<uint64_t> mseq; //!< submission-attempt seq
         ++seq; // rejected arrivals never consumed a sequence number
+        ++attempt;
         mctx.push_back(tracer ? tracer->admit(seq)
                               : obs::TraceContext{});
+        mid.push_back(seq);
+        mseq.push_back(attempt);
         ++i;
         // Accumulate: requests arriving before the trigger, up to the
         // batch cap, each admission-checked against queue occupancy.
@@ -838,12 +1225,15 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
                arrivals_s[i] <= trigger) {
             if (waiting(arrivals_s[i]) + members.size() >=
                 opts_.queueDepth) {
-                collector_.recordRejected();
+                reject(arrivals_s[i]);
             } else {
                 members.push_back(arrivals_s[i]);
                 ++seq;
+                ++attempt;
                 mctx.push_back(tracer ? tracer->admit(seq)
                                       : obs::TraceContext{});
+                mid.push_back(seq);
+                mseq.push_back(attempt);
             }
             ++i;
         }
@@ -859,6 +1249,7 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
         // On-dequeue deadline expiry.
         std::vector<double> served;
         std::vector<obs::TraceContext> sctx;
+        std::vector<uint64_t> sid, sseq;
         served.reserve(members.size());
         for (size_t k = 0; k < members.size(); ++k) {
             double a = members[k];
@@ -870,9 +1261,18 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
                             launch_us, launch_us,
                             static_cast<unsigned>(r),
                             obs::SpanOutcome::DeadlineExpired);
+                recordFlightSlo(mseq[k], mid[k],
+                                obs::FlightClass::DeadlineExpired,
+                                mctx[k].sampled(),
+                                static_cast<unsigned>(r), steps,
+                                admit_us, launch_us, launch_us,
+                                launch_us, deadline_ms,
+                                (launch - a) * 1e3 + net_ms);
             } else {
                 served.push_back(a);
                 sctx.push_back(mctx[k]);
+                sid.push_back(mid[k]);
+                sseq.push_back(mseq[k]);
             }
         }
         if (served.empty())
@@ -886,12 +1286,18 @@ Engine::replayBatched(const std::vector<double> &arrivals_s,
         last_done = std::max(last_done, done);
         for (size_t k = 0; k < served.size(); ++k) {
             double a = served[k];
-            latencies.push_back((done - a) * 1e3 + net_ms);
+            double latency_ms = (done - a) * 1e3 + net_ms;
+            latencies.push_back(latency_ms);
             uint64_t admit_us = toUs(a);
             uint64_t launch_us = std::max(toUs(launch), admit_us);
+            uint64_t done_us = std::max(toUs(done), launch_us);
             recordSpans(sctx[k], steps, admit_us, launch_us, launch_us,
-                        std::max(toUs(done), launch_us),
-                        static_cast<unsigned>(r), obs::SpanOutcome::Ok);
+                        done_us, static_cast<unsigned>(r),
+                        obs::SpanOutcome::Ok);
+            recordFlightSlo(sseq[k], sid[k], obs::FlightClass::Ok,
+                            sctx[k].sampled(), static_cast<unsigned>(r),
+                            steps, admit_us, launch_us, launch_us,
+                            done_us, deadline_ms, latency_ms);
         }
         batch_sum += b;
         ++batches;

@@ -46,12 +46,18 @@
 #include "common/status.h"
 #include "compiler/compiled_model.h"
 #include "metrics/metrics.h"
+#include "obs/flight.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "runtime/serving.h"
 
 namespace bw {
+namespace metrics {
+class MetricsHttpServer;
+}
 namespace serve {
+
+class SloMonitor;
 
 using RequestId = uint64_t;
 
@@ -136,6 +142,30 @@ struct EngineOptions
      * counts (tested).
      */
     obs::SpanTracer *spanTracer = nullptr;
+
+    /**
+     * Flight recorder (non-owning; must outlive the engine). When set,
+     * the engine records *every* submission attempt's flight record —
+     * completions, deadline expiries, QUEUE_FULL rejects, service
+     * errors and shutdown cancellations — keyed by a deterministic
+     * submission sequence number (rejects consume one too; admitted
+     * request ids / span trace ids are unaffected). Recording is
+     * wait-free and does not change request outcomes or simulated
+     * cycle counts; under replay() the recorder is cleared and fed
+     * virtual time, so two replays of one schedule export byte-
+     * identical flight logs (tested).
+     */
+    obs::FlightRecorder *flightRecorder = nullptr;
+
+    /**
+     * SLO burn-rate monitor (non-owning; must outlive the engine).
+     * When set, every finished submission attempt is recorded against
+     * its deadline class — completions count toward the latency SLI,
+     * rejects / expiries / errors / cancellations burn availability
+     * budget. Fed engine-clock microseconds live and virtual
+     * microseconds under replay() (which clears it first).
+     */
+    SloMonitor *sloMonitor = nullptr;
 
     /**
      * Apply BW_SERVE_* environment overrides to @p base:
@@ -273,6 +303,50 @@ class Engine
     /** Requests currently queued (racy snapshot). */
     size_t queueSize() const;
 
+    /** Whether the engine still admits requests (false once drain() or
+     *  shutdown() has begun — the /healthz readiness signal). */
+    bool accepting() const;
+
+    /**
+     * Mount the engine's introspection endpoints on @p srv:
+     * /debug/queue, /debug/replicas, /debug/config, /debug/errors and
+     * /debug/flight, plus /slo.json when a SloMonitor is attached; and
+     * register the readiness probe so /healthz turns 503
+     * {"draining":true} once drain()/shutdown() has begun. The server
+     * must not outlive the engine.
+     */
+    void exposeDebug(metrics::MetricsHttpServer &srv);
+
+    /** Admission-queue snapshot: engine lifecycle flags, occupancy,
+     *  and one entry per queued request (id, age, deadline). */
+    Json debugQueueJson() const;
+
+    /** Per-replica worker state: serving/idle, in-flight request ids,
+     *  served/expired/error counts, last served id. */
+    Json debugReplicasJson() const;
+
+    /** Effective configuration: EngineOptions, the model's NpuConfig,
+     *  and every documented BW_* variable currently set. */
+    Json debugConfigJson() const;
+
+    /** The last-N non-OK outcomes (rejects, expiries, service errors,
+     *  cancellations), newest last. */
+    Json debugErrorsJson() const;
+
+    /** Promoted flight-record index: one compact row per promoted
+     *  record linking its flight seq to the admitted request id and
+     *  (when head-sampled) the live span-export trace id. */
+    Json debugFlightJson() const;
+
+    /**
+     * The full bw.flight/1 export of the attached flight recorder,
+     * with chain[i] span leaves reconstructed from the engine's cached
+     * timing profiles. Collect only after quiescence (drained, shut
+     * down, or after replay()) — the recorder rings are wait-free, not
+     * seqlocked. Fails FailedPrecondition without a recorder.
+     */
+    Expected<Json> flightJson();
+
     /** Latency summary of completed requests so far (thread-safe). */
     ServeStats stats() const { return collector_.snapshot(); }
 
@@ -321,6 +395,9 @@ class Engine
     struct Pending
     {
         RequestId id = 0;
+        /** Submission-attempt sequence number (flight-recorder key);
+         *  unlike id, rejected submissions consume one. */
+        uint64_t seq = 0;
         std::vector<FVec> xs;  //!< empty for timed requests
         unsigned steps = 1;
         bool timed = false;
@@ -346,6 +423,27 @@ class Engine
         std::vector<metrics::Counter *> replicaBusyUs;
         metrics::Histogram *latencyMs = nullptr;
         metrics::Histogram *queueWaitMs = nullptr;
+    };
+
+    /** One /debug/errors ring entry. */
+    struct ErrorRecord
+    {
+        uint64_t seq = 0;
+        RequestId id = 0;   //!< 0 for pre-admission rejects
+        uint64_t timeUs = 0;
+        StatusCode code = StatusCode::Ok;
+        std::string message;
+    };
+
+    /** Per-replica live state for /debug/replicas. */
+    struct ReplicaDebug
+    {
+        bool busy = false;
+        uint64_t served = 0;
+        uint64_t expired = 0;
+        uint64_t errors = 0;
+        RequestId lastId = 0;
+        std::vector<RequestId> inflight;
     };
 
     Expected<std::future<Response>> enqueue(Pending p);
@@ -404,6 +502,23 @@ class Engine
                      uint64_t service_us, uint64_t done_us,
                      unsigned replica, obs::SpanOutcome outcome);
 
+    /** Feed the flight recorder and the SLO monitor (either may be
+     *  absent) with one finished submission attempt; timestamps are
+     *  microseconds on the engine's clock (virtual under replay). */
+    void recordFlightSlo(uint64_t seq, RequestId id, obs::FlightClass cls,
+                         bool sampled, unsigned replica, unsigned steps,
+                         uint64_t admit_us, uint64_t dequeue_us,
+                         uint64_t service_us, uint64_t done_us,
+                         double deadline_ms, double latency_ms);
+
+    /** Append to the /debug/errors ring (bounded; oldest evicted). */
+    void noteError(uint64_t seq, RequestId id, uint64_t time_us,
+                   StatusCode code, std::string message);
+
+    /** Binds the flight export's chain-leaf reconstruction to the
+     *  engine's per-step-count timing-profile cache. */
+    obs::ChainProfileFn chainProfileFn();
+
     std::mutex serviceMsMu_;
     std::unordered_map<unsigned, ServiceProfile> serviceCache_;
     ServiceProfile overrideProfile_; //!< serviceMsOverride, no chains
@@ -412,6 +527,16 @@ class Engine
     std::mutex traceMu_;
     obs::EventTrace trace_;
     std::unique_ptr<LiveMetrics> live_;
+
+    /** Next submission-attempt seq (guarded by mu_; rejects consume
+     *  one, unlike nextId_ — see Pending::seq). */
+    uint64_t nextSeq_ = 1;
+
+    static constexpr size_t kErrorRing = 64;
+    mutable std::mutex debugMu_;
+    std::deque<ErrorRecord> errors_; //!< newest at the back
+    uint64_t errorsTotal_ = 0;
+    std::vector<ReplicaDebug> replicaDebug_;
 };
 
 } // namespace serve

@@ -1,0 +1,474 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace bw {
+namespace serve {
+
+namespace {
+
+constexpr const char *kSchema = "bw.slo/1";
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::atof(v) : fallback;
+}
+
+} // namespace
+
+std::vector<SloClassSpec>
+SloOptions::defaultClasses()
+{
+    return {
+        {"interactive", 10.0, 5.0},
+        {"standard", 100.0, 50.0},
+        {"best_effort", 0.0, 500.0},
+    };
+}
+
+SloOptions
+SloOptions::fromEnv(SloOptions base)
+{
+    double lat =
+        envDouble("BW_SLO_LATENCY_OBJECTIVE", base.latencyObjective);
+    if (lat > 0 && lat < 1)
+        base.latencyObjective = lat;
+    double avail = envDouble("BW_SLO_AVAILABILITY_OBJECTIVE",
+                             base.availabilityObjective);
+    if (avail > 0 && avail < 1)
+        base.availabilityObjective = avail;
+    double fast_s = envDouble("BW_SLO_FAST_WINDOW_S", 0);
+    if (fast_s > 0)
+        base.fastWindowUs = static_cast<uint64_t>(fast_s * 1e6);
+    double slow_s = envDouble("BW_SLO_SLOW_WINDOW_S", 0);
+    if (slow_s > 0)
+        base.slowWindowUs = static_cast<uint64_t>(slow_s * 1e6);
+    return base;
+}
+
+SloOptions
+SloOptions::fromEnv()
+{
+    return fromEnv(SloOptions{});
+}
+
+SloMonitor::SloMonitor(SloOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.classes.empty())
+        opts_.classes = SloOptions::defaultClasses();
+    opts_.bucketUs = std::max<uint64_t>(1, opts_.bucketUs);
+    opts_.fastWindowUs = std::max(opts_.fastWindowUs, opts_.bucketUs);
+    opts_.slowWindowUs = std::max(opts_.slowWindowUs, opts_.fastWindowUs);
+    size_t slots = static_cast<size_t>(
+        (opts_.slowWindowUs + opts_.bucketUs - 1) / opts_.bucketUs);
+    classes_.resize(opts_.classes.size());
+    for (ClassState &cs : classes_) {
+        cs.ring.resize(slots);
+        cs.tag.assign(slots, ~0ull);
+    }
+}
+
+void
+SloMonitor::bindMetrics(metrics::Registry *registry)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    registry_ = registry;
+    if (!registry_)
+        return;
+    for (size_t c = 0; c < classes_.size(); ++c) {
+        metrics::Labels labels{{"class", opts_.classes[c].name}};
+        classes_[c].requestsC = &registry_->counter(
+            "bw_slo_requests_total",
+            "Finished submissions per deadline class", labels);
+        classes_[c].latencyBreachC = &registry_->counter(
+            "bw_slo_latency_breach_total",
+            "Served requests that missed their class latency target",
+            labels);
+        classes_[c].availBreachC = &registry_->counter(
+            "bw_slo_availability_breach_total",
+            "Submissions not served successfully (rejected, expired, "
+            "errored, cancelled)",
+            labels);
+    }
+}
+
+size_t
+SloMonitor::classOf(double deadline_ms) const
+{
+    size_t catch_all = opts_.classes.size() - 1;
+    for (size_t c = 0; c < opts_.classes.size(); ++c) {
+        double bound = opts_.classes[c].maxDeadlineMs;
+        if (bound <= 0) {
+            catch_all = c; // explicit catch-all
+            continue;
+        }
+        if (deadline_ms > 0 && deadline_ms <= bound)
+            return c;
+    }
+    return catch_all;
+}
+
+void
+SloMonitor::record(uint64_t t_us, double deadline_ms, double latency_ms,
+                   bool available)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t c = classOf(deadline_ms);
+    ClassState &cs = classes_[c];
+    uint64_t bucket = t_us / opts_.bucketUs;
+    size_t slot = static_cast<size_t>(bucket % cs.ring.size());
+    if (cs.tag[slot] != bucket) {
+        cs.ring[slot] = Bucket{};
+        cs.tag[slot] = bucket;
+    }
+    Bucket &b = cs.ring[slot];
+    ++cs.requests;
+    if (cs.requestsC)
+        cs.requestsC->inc();
+    if (available) {
+        ++b.availGood;
+        bool lat_ok = latency_ms <= opts_.classes[c].latencyTargetMs;
+        if (lat_ok) {
+            ++b.latGood;
+        } else {
+            ++b.latBad;
+            ++cs.latencyBreaches;
+            if (cs.latencyBreachC)
+                cs.latencyBreachC->inc();
+        }
+    } else {
+        ++b.availBad;
+        ++cs.availabilityBreaches;
+        if (cs.availBreachC)
+            cs.availBreachC->inc();
+    }
+    if (!sawRecord_ || t_us > highWaterUs_)
+        highWaterUs_ = t_us;
+    sawRecord_ = true;
+}
+
+SloWindowEval
+SloMonitor::evalWindow(const ClassState &cs, uint64_t window_us,
+                       bool latency, double objective) const
+{
+    SloWindowEval ev;
+    if (!sawRecord_)
+        return ev;
+    uint64_t high_bucket = highWaterUs_ / opts_.bucketUs;
+    uint64_t span = std::max<uint64_t>(1, window_us / opts_.bucketUs);
+    uint64_t first =
+        high_bucket >= span - 1 ? high_bucket - (span - 1) : 0;
+    for (size_t slot = 0; slot < cs.ring.size(); ++slot) {
+        uint64_t tag = cs.tag[slot];
+        if (tag == ~0ull || tag < first || tag > high_bucket)
+            continue;
+        const Bucket &b = cs.ring[slot];
+        ev.good += latency ? b.latGood : b.availGood;
+        ev.bad += latency ? b.latBad : b.availBad;
+    }
+    uint64_t total = ev.good + ev.bad;
+    ev.badFraction =
+        total > 0 ? static_cast<double>(ev.bad) /
+                        static_cast<double>(total)
+                  : 0.0;
+    double budget = 1.0 - objective;
+    ev.burnRate = budget > 0 ? ev.badFraction / budget : 0.0;
+    return ev;
+}
+
+std::vector<SloClassEval>
+SloMonitor::snapshotLocked() const
+{
+    std::vector<SloClassEval> out;
+    out.reserve(classes_.size());
+    for (size_t c = 0; c < classes_.size(); ++c) {
+        const ClassState &cs = classes_[c];
+        SloClassEval ev;
+        ev.name = opts_.classes[c].name;
+        ev.requests = cs.requests;
+        ev.latencyBreaches = cs.latencyBreaches;
+        ev.availabilityBreaches = cs.availabilityBreaches;
+        ev.latencyFast = evalWindow(cs, opts_.fastWindowUs, true,
+                                    opts_.latencyObjective);
+        ev.latencySlow = evalWindow(cs, opts_.slowWindowUs, true,
+                                    opts_.latencyObjective);
+        ev.availFast = evalWindow(cs, opts_.fastWindowUs, false,
+                                  opts_.availabilityObjective);
+        ev.availSlow = evalWindow(cs, opts_.slowWindowUs, false,
+                                  opts_.availabilityObjective);
+        ev.latencyFiring =
+            ev.latencyFast.burnRate > opts_.pageBurnRate &&
+            ev.latencySlow.burnRate > opts_.pageBurnRate;
+        ev.availabilityFiring =
+            ev.availFast.burnRate > opts_.pageBurnRate &&
+            ev.availSlow.burnRate > opts_.pageBurnRate;
+        out.push_back(std::move(ev));
+    }
+    return out;
+}
+
+std::vector<SloClassEval>
+SloMonitor::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return snapshotLocked();
+}
+
+uint64_t
+SloMonitor::recorded() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t n = 0;
+    for (const ClassState &cs : classes_)
+        n += cs.requests;
+    return n;
+}
+
+void
+SloMonitor::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (ClassState &cs : classes_) {
+        std::fill(cs.ring.begin(), cs.ring.end(), Bucket{});
+        std::fill(cs.tag.begin(), cs.tag.end(), ~0ull);
+        cs.requests = 0;
+        cs.latencyBreaches = 0;
+        cs.availabilityBreaches = 0;
+    }
+    highWaterUs_ = 0;
+    sawRecord_ = false;
+}
+
+namespace {
+
+Json
+windowJson(const SloWindowEval &ev)
+{
+    Json j = Json::object();
+    j.set("good", ev.good);
+    j.set("bad", ev.bad);
+    j.set("bad_fraction", ev.badFraction);
+    j.set("burn_rate", ev.burnRate);
+    return j;
+}
+
+} // namespace
+
+Json
+SloMonitor::sloJson() const
+{
+    std::vector<SloClassEval> evals;
+    uint64_t high_us;
+    bool saw;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        evals = snapshotLocked();
+        high_us = highWaterUs_;
+        saw = sawRecord_;
+    }
+
+    // Refresh the bound burn-rate gauges from this evaluation (the
+    // scrape path lands here via the /slo.json handler).
+    if (registry_) {
+        for (const SloClassEval &ev : evals) {
+            const struct
+            {
+                const char *slo;
+                const char *window;
+                const SloWindowEval *w;
+            } gauges[] = {
+                {"latency", "fast", &ev.latencyFast},
+                {"latency", "slow", &ev.latencySlow},
+                {"availability", "fast", &ev.availFast},
+                {"availability", "slow", &ev.availSlow},
+            };
+            for (const auto &g : gauges) {
+                registry_
+                    ->gauge("bw_slo_burn_rate",
+                            "SLO burn rate over the trailing window "
+                            "(1.0 = budget consumed exactly at the "
+                            "sustainable rate)",
+                            {{"class", ev.name},
+                             {"slo", g.slo},
+                             {"window", g.window}})
+                    .set(g.w->burnRate);
+            }
+            registry_
+                ->gauge("bw_slo_firing",
+                        "1 when both window burn rates exceed the page "
+                        "threshold",
+                        {{"class", ev.name}, {"slo", "latency"}})
+                .set(ev.latencyFiring ? 1.0 : 0.0);
+            registry_
+                ->gauge("bw_slo_firing",
+                        "1 when both window burn rates exceed the page "
+                        "threshold",
+                        {{"class", ev.name}, {"slo", "availability"}})
+                .set(ev.availabilityFiring ? 1.0 : 0.0);
+        }
+    }
+
+    Json doc = Json::object();
+    doc.set("schema", kSchema);
+    Json obj = Json::object();
+    obj.set("latency", opts_.latencyObjective);
+    obj.set("availability", opts_.availabilityObjective);
+    doc.set("objectives", std::move(obj));
+    Json win = Json::object();
+    win.set("fast_us", opts_.fastWindowUs);
+    win.set("slow_us", opts_.slowWindowUs);
+    win.set("bucket_us", opts_.bucketUs);
+    doc.set("windows", std::move(win));
+    doc.set("page_burn_rate", opts_.pageBurnRate);
+    doc.set("evaluated_at_us", saw ? high_us : 0);
+
+    Json classes = Json::array();
+    for (size_t c = 0; c < evals.size(); ++c) {
+        const SloClassEval &ev = evals[c];
+        Json j = Json::object();
+        j.set("name", ev.name);
+        if (opts_.classes[c].maxDeadlineMs > 0)
+            j.set("max_deadline_ms", opts_.classes[c].maxDeadlineMs);
+        j.set("latency_target_ms", opts_.classes[c].latencyTargetMs);
+        j.set("requests", ev.requests);
+        j.set("latency_breaches", ev.latencyBreaches);
+        j.set("availability_breaches", ev.availabilityBreaches);
+        Json lat = Json::object();
+        lat.set("fast", windowJson(ev.latencyFast));
+        lat.set("slow", windowJson(ev.latencySlow));
+        lat.set("firing", ev.latencyFiring);
+        j.set("latency", std::move(lat));
+        Json avail = Json::object();
+        avail.set("fast", windowJson(ev.availFast));
+        avail.set("slow", windowJson(ev.availSlow));
+        avail.set("firing", ev.availabilityFiring);
+        j.set("availability", std::move(avail));
+        classes.push(std::move(j));
+    }
+    doc.set("classes", std::move(classes));
+    return doc;
+}
+
+// --- Validation ---
+
+namespace {
+
+Status
+failSlo(const std::string &why)
+{
+    return Status::invalidArgument("slo document: " + why);
+}
+
+Status
+validateWindowEval(const Json *w, const std::string &where)
+{
+    if (!w || w->type() != Json::Type::Object)
+        return failSlo(where + " is not an object");
+    const Json *good = w->find("good");
+    const Json *bad = w->find("bad");
+    if (!good || good->type() != Json::Type::Int || good->asInt() < 0 ||
+        !bad || bad->type() != Json::Type::Int || bad->asInt() < 0)
+        return failSlo(where + " missing non-negative good/bad counts");
+    const Json *frac = w->find("bad_fraction");
+    const Json *burn = w->find("burn_rate");
+    if (!frac || !frac->isNumber() || !burn || !burn->isNumber())
+        return failSlo(where + " missing bad_fraction/burn_rate");
+    if (frac->asDouble() < 0 || frac->asDouble() > 1)
+        return failSlo(where + " bad_fraction outside [0, 1]");
+    if (burn->asDouble() < 0)
+        return failSlo(where + " burn_rate is negative");
+    int64_t total = good->asInt() + bad->asInt();
+    if (total == 0 && frac->asDouble() != 0)
+        return failSlo(where + " empty window with nonzero fraction");
+    return Status();
+}
+
+Status
+validateSli(const Json *sli, const std::string &where)
+{
+    if (!sli || sli->type() != Json::Type::Object)
+        return failSlo(where + " is not an object");
+    Status st = validateWindowEval(sli->find("fast"), where + ".fast");
+    if (!st.ok())
+        return st;
+    st = validateWindowEval(sli->find("slow"), where + ".slow");
+    if (!st.ok())
+        return st;
+    const Json *firing = sli->find("firing");
+    if (!firing || firing->type() != Json::Type::Bool)
+        return failSlo(where + " missing boolean firing");
+    return Status();
+}
+
+} // namespace
+
+Status
+validateSloJson(const Json &doc)
+{
+    if (doc.type() != Json::Type::Object)
+        return failSlo("not an object");
+    const Json *schema = doc.find("schema");
+    if (!schema || schema->type() != Json::Type::String ||
+        schema->asString() != kSchema)
+        return failSlo(std::string("schema is not '") + kSchema + "'");
+    const Json *objectives = doc.find("objectives");
+    if (!objectives || objectives->type() != Json::Type::Object)
+        return failSlo("missing objectives object");
+    for (const char *key : {"latency", "availability"}) {
+        const Json *o = objectives->find(key);
+        if (!o || !o->isNumber() || o->asDouble() <= 0 ||
+            o->asDouble() >= 1)
+            return failSlo(std::string("objective '") + key +
+                           "' not in (0, 1)");
+    }
+    const Json *windows = doc.find("windows");
+    if (!windows || windows->type() != Json::Type::Object)
+        return failSlo("missing windows object");
+    const Json *fast = windows->find("fast_us");
+    const Json *slow = windows->find("slow_us");
+    if (!fast || fast->type() != Json::Type::Int || fast->asInt() <= 0 ||
+        !slow || slow->type() != Json::Type::Int || slow->asInt() <= 0)
+        return failSlo("windows missing positive fast_us/slow_us");
+    if (slow->asInt() < fast->asInt())
+        return failSlo("slow window shorter than fast window");
+    const Json *classes = doc.find("classes");
+    if (!classes || classes->type() != Json::Type::Array ||
+        classes->size() == 0)
+        return failSlo("missing non-empty classes array");
+    for (size_t i = 0; i < classes->size(); ++i) {
+        const Json &c = classes->at(i);
+        if (c.type() != Json::Type::Object)
+            return failSlo("class entry is not an object");
+        const Json *name = c.find("name");
+        if (!name || name->type() != Json::Type::String ||
+            name->asString().empty())
+            return failSlo("class entry missing name");
+        const std::string &cls = name->asString();
+        const Json *target = c.find("latency_target_ms");
+        if (!target || !target->isNumber() || target->asDouble() <= 0)
+            return failSlo("class '" + cls +
+                           "' missing positive latency_target_ms");
+        for (const char *key :
+             {"requests", "latency_breaches", "availability_breaches"}) {
+            const Json *v = c.find(key);
+            if (!v || v->type() != Json::Type::Int || v->asInt() < 0)
+                return failSlo("class '" + cls + "' missing "
+                               "non-negative integer '" + key + "'");
+        }
+        Status st = validateSli(c.find("latency"), cls + ".latency");
+        if (!st.ok())
+            return st;
+        st = validateSli(c.find("availability"), cls + ".availability");
+        if (!st.ok())
+            return st;
+    }
+    return Status();
+}
+
+} // namespace serve
+} // namespace bw

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * SLO burn-rate monitoring for the serving engine.
+ *
+ * The paper's serving contract is a hard real-time SLO: batch-1
+ * execution exists to keep the 99th percentile inside the deadline
+ * (Section VI, Fig. 8). A latency histogram says what the distribution
+ * was; it does not say whether the *objective* — "99% of interactive
+ * requests finish within 10 ms, 99.9% are served at all" — is currently
+ * being violated, or how fast the error budget is burning.
+ *
+ * SloMonitor tracks two SLIs per deadline class:
+ *
+ *   - latency:      served requests whose end-to-end latency met the
+ *                   class target, over served requests;
+ *   - availability: requests that were served successfully, over all
+ *                   submissions (rejects, deadline expiries, errors and
+ *                   cancellations all consume availability budget).
+ *
+ * Each SLI is aggregated into fixed virtual-time buckets and evaluated
+ * over a fast and a slow trailing window (the classic multi-window
+ * burn-rate alert: page when *both* the 5-minute and the 1-hour burn
+ * rate exceed the threshold, so one spike doesn't page but a sustained
+ * burn does). burn rate = (bad fraction in window) / (1 - objective);
+ * a burn rate of 1.0 consumes the budget exactly at the sustainable
+ * rate, 14.4 consumes a 30-day budget in ~2 days.
+ *
+ * All time is the caller's clock — the engine feeds wall microseconds
+ * live and virtual microseconds under replay(), and every export is
+ * evaluated at the monitor's high-water mark rather than "now", so two
+ * replays of one schedule produce byte-identical /slo.json documents.
+ */
+
+#ifndef BW_SERVE_SLO_H
+#define BW_SERVE_SLO_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "metrics/metrics.h"
+
+namespace bw {
+namespace serve {
+
+/** One deadline class and its SLO targets. */
+struct SloClassSpec
+{
+    std::string name;
+    /** Requests whose deadline is <= this bound (ms) fall in this
+     *  class; 0 = catch-all (also takes requests with no deadline). */
+    double maxDeadlineMs = 0;
+    /** Latency SLI threshold: a served request is "good" when its
+     *  end-to-end latency is <= this many milliseconds. */
+    double latencyTargetMs = 0;
+};
+
+/** SloMonitor configuration. */
+struct SloOptions
+{
+    /**
+     * Deadline classes, ascending by maxDeadlineMs with the catch-all
+     * (maxDeadlineMs 0) last. Default: interactive (deadline <= 10 ms,
+     * target 5 ms), standard (<= 100 ms, target 50 ms), best_effort
+     * (everything else, target 500 ms).
+     */
+    std::vector<SloClassSpec> classes;
+
+    /** Latency objective: target fraction of served requests meeting
+     *  the class latency target. */
+    double latencyObjective = 0.99;
+
+    /** Availability objective: target fraction of submissions served
+     *  successfully. */
+    double availabilityObjective = 0.999;
+
+    /** Fast / slow trailing windows, microseconds of the feeding
+     *  clock (5 minutes / 1 hour of virtual time by default). */
+    uint64_t fastWindowUs = 300ull * 1000 * 1000;
+    uint64_t slowWindowUs = 3600ull * 1000 * 1000;
+
+    /** Aggregation bucket width, microseconds (bounds memory: the
+     *  monitor keeps slowWindowUs / bucketUs buckets per class). */
+    uint64_t bucketUs = 1000 * 1000;
+
+    /** Multi-window alert threshold: a class's SLI is "firing" when
+     *  both window burn rates exceed this. */
+    double pageBurnRate = 14.4;
+
+    /** Apply BW_SLO_LATENCY_OBJECTIVE, BW_SLO_AVAILABILITY_OBJECTIVE,
+     *  BW_SLO_FAST_WINDOW_S and BW_SLO_SLOW_WINDOW_S on @p base. */
+    static SloOptions fromEnv(SloOptions base);
+    static SloOptions fromEnv();
+
+    /** The default three-class ladder (see classes). */
+    static std::vector<SloClassSpec> defaultClasses();
+};
+
+/** Burn-rate evaluation of one SLI over one trailing window. */
+struct SloWindowEval
+{
+    uint64_t good = 0;
+    uint64_t bad = 0;
+    double badFraction = 0; //!< bad / (good + bad), 0 when empty
+    double burnRate = 0;    //!< badFraction / (1 - objective)
+};
+
+/** One class's full evaluation (both SLIs, both windows). */
+struct SloClassEval
+{
+    std::string name;
+    uint64_t requests = 0;             //!< lifetime submissions
+    uint64_t latencyBreaches = 0;      //!< lifetime latency misses
+    uint64_t availabilityBreaches = 0; //!< lifetime unserved requests
+    SloWindowEval latencyFast, latencySlow;
+    SloWindowEval availFast, availSlow;
+    bool latencyFiring = false;
+    bool availabilityFiring = false;
+};
+
+/**
+ * Multi-window SLO burn-rate monitor. record() is mutex-guarded (one
+ * tiny critical section per completed request — the flight recorder and
+ * span tracer own the wait-free hot paths); snapshot()/sloJson() may be
+ * called concurrently with recording.
+ */
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(SloOptions opts = {});
+
+    const SloOptions &options() const { return opts_; }
+
+    /**
+     * Bind bw_slo_* metrics into @p registry (non-owning; must outlive
+     * the monitor): bw_slo_requests_total / bw_slo_latency_breach_total
+     * / bw_slo_availability_breach_total counters per class, updated on
+     * record(); bw_slo_burn_rate gauges per (class, slo, window) and
+     * bw_slo_firing gauges per (class, slo), refreshed on every
+     * snapshot()/sloJson().
+     */
+    void bindMetrics(metrics::Registry *registry);
+
+    /** Deadline class index of a request submitted with @p deadline_ms
+     *  (0 = no deadline). */
+    size_t classOf(double deadline_ms) const;
+
+    /**
+     * Record one finished submission at time @p t_us on the feeding
+     * clock. @p available = the request was served successfully
+     * (rejects, expiries, errors, cancellations are unavailable);
+     * @p latency_ms is consulted for the latency SLI only when
+     * available.
+     */
+    void record(uint64_t t_us, double deadline_ms, double latency_ms,
+                bool available);
+
+    /** Evaluate every class at the monitor's high-water time. */
+    std::vector<SloClassEval> snapshot() const;
+
+    /** Total submissions recorded (all classes). */
+    uint64_t recorded() const;
+
+    /** Drop all recorded state (e.g. between a live run and a
+     *  deterministic replay sharing one monitor). */
+    void clear();
+
+    /**
+     * The /slo.json document, schema bw.slo/1: objectives, windows,
+     * and per-class lifetime counters plus fast/slow burn-rate
+     * evaluations for both SLIs. Evaluated at the high-water mark of
+     * recorded time — deterministic for deterministic input. Also
+     * refreshes the bound gauges.
+     */
+    Json sloJson() const;
+
+  private:
+    struct Bucket
+    {
+        uint64_t latGood = 0, latBad = 0;
+        uint64_t availGood = 0, availBad = 0;
+    };
+
+    struct ClassState
+    {
+        std::vector<Bucket> ring;  //!< slowWindow / bucket slots
+        std::vector<uint64_t> tag; //!< absolute bucket number per slot
+        uint64_t requests = 0;
+        uint64_t latencyBreaches = 0;
+        uint64_t availabilityBreaches = 0;
+        metrics::Counter *requestsC = nullptr;
+        metrics::Counter *latencyBreachC = nullptr;
+        metrics::Counter *availBreachC = nullptr;
+    };
+
+    SloWindowEval evalWindow(const ClassState &cs, uint64_t window_us,
+                             bool latency, double objective) const;
+    std::vector<SloClassEval> snapshotLocked() const;
+
+    SloOptions opts_;
+    mutable std::mutex mu_;
+    std::vector<ClassState> classes_;
+    uint64_t highWaterUs_ = 0;
+    bool sawRecord_ = false;
+    metrics::Registry *registry_ = nullptr;
+};
+
+/**
+ * Validate a sloJson() document against the bw.slo/1 schema: required
+ * members and types, objectives in (0, 1), at least one class, window
+ * evaluations with non-negative counts and consistent burn rates.
+ * Returns OK or InvalidArgument naming the first violation.
+ */
+Status validateSloJson(const Json &doc);
+
+} // namespace serve
+} // namespace bw
+
+#endif // BW_SERVE_SLO_H

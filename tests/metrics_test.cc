@@ -491,6 +491,51 @@ TEST(HttpServer, RoutesWithoutSockets)
               std::string::npos);
 }
 
+TEST(HttpServer, ReadinessProbeGatesHealthz)
+{
+    Registry reg;
+    MetricsHttpServer srv(reg);
+    // No probe installed: /healthz is plain liveness.
+    EXPECT_NE(srv.respond("GET /healthz HTTP/1.1").find("200 OK"),
+              std::string::npos);
+
+    bool ready = false;
+    srv.setReadiness([&] { return ready; });
+    std::string resp = srv.respond("GET /healthz HTTP/1.1");
+    EXPECT_NE(resp.find("503"), std::string::npos);
+    EXPECT_NE(resp.find("\"draining\": true"), std::string::npos);
+    EXPECT_NE(resp.find("application/json"), std::string::npos);
+
+    ready = true;
+    EXPECT_NE(srv.respond("GET /healthz HTTP/1.1").find("200 OK"),
+              std::string::npos);
+    // An unready server still serves /metrics (liveness vs readiness).
+    ready = false;
+    EXPECT_NE(srv.respond("GET /metrics HTTP/1.1").find("200 OK"),
+              std::string::npos);
+}
+
+TEST(HttpServer, JsonHandlersRouteAndReplace)
+{
+    Registry reg;
+    MetricsHttpServer srv(reg);
+    srv.handleJson("/debug/x", [] { return std::string("{\"v\": 1}\n"); });
+    std::string resp = srv.respond("GET /debug/x HTTP/1.1");
+    EXPECT_NE(resp.find("200 OK"), std::string::npos);
+    EXPECT_NE(resp.find("application/json"), std::string::npos);
+    EXPECT_NE(resp.find("{\"v\": 1}"), std::string::npos);
+    EXPECT_NE(srv.respond("GET /debug/y HTTP/1.1").find("404"),
+              std::string::npos);
+
+    // Re-registering the same path replaces the handler.
+    srv.handleJson("/debug/x", [] { return std::string("{\"v\": 2}\n"); });
+    EXPECT_NE(srv.respond("GET /debug/x HTTP/1.1").find("{\"v\": 2}"),
+              std::string::npos);
+    // Query strings are stripped for registered handlers too.
+    EXPECT_NE(srv.respond("GET /debug/x?pretty HTTP/1.1").find("{\"v\": 2}"),
+              std::string::npos);
+}
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
 #include <sys/socket.h>
