@@ -24,9 +24,11 @@
  * reconstructed span tree in the embedded bw.spans/1 document.
  *
  * The `validate` mode dispatches on the document's schema tag
- * (bw.spans/1, bw.flight/1 or bw.slo/1) and runs the matching
- * structural validator — the CI schema gate for every observability
- * export.
+ * (bw.spans/1, bw.flight/1, bw.slo/1 or bw.route/1) and runs the
+ * matching structural validator — the CI schema gate for every
+ * observability export. Cluster span exports root each trace at the
+ * front-door "route" span; the analyzer descends into its "request"
+ * child automatically.
  *
  * Exit codes: 0 = report printed, 2 = usage / unreadable input,
  * 3 = valid document but no complete request traces to analyze.
@@ -94,12 +96,37 @@ stallOf(const Json &chain, const char *key)
     return v ? static_cast<uint64_t>(v->asInt()) : 0;
 }
 
-TraceSummary
-summarize(uint64_t trace, const Json &root)
+/**
+ * The span to attribute a trace's time to. Cluster exports root each
+ * trace at the front-door "route" span with the engine-side "request"
+ * tree as its only child — descend so queue/dispatch/execute
+ * attribution keeps working on both shapes.
+ */
+const Json &
+requestRoot(const Json &root)
 {
+    const Json *name = root.find("name");
+    if (!name || name->asString() != "route")
+        return root;
+    const Json *children = root.find("children");
+    for (size_t i = 0; children && i < children->size(); ++i) {
+        const Json &c = children->at(i);
+        const Json *cn = c.find("name");
+        if (cn && cn->asString() == "request")
+            return c;
+    }
+    return root; // shed/expired at the front door: no request child
+}
+
+TraceSummary
+summarize(uint64_t trace, const Json &route_root)
+{
+    const Json &root = requestRoot(route_root);
     TraceSummary s;
     s.trace = trace;
-    s.durMs = durMsOf(root);
+    // The route root's wall includes front-door time; the request
+    // child's split is what the report attributes.
+    s.durMs = durMsOf(route_root);
     const Json *outcome = root.find("outcome");
     s.outcome = outcome ? outcome->asString() : "ok";
     const Json *children = root.find("children");
@@ -301,10 +328,13 @@ validateDoc(const char *path)
         st = obs::validateFlightJson(doc);
     else if (tag == "bw.slo/1")
         st = serve::validateSloJson(doc);
+    else if (tag == "bw.route/1")
+        st = cluster::validateRouteJson(doc);
     else {
         std::fprintf(stderr,
                      "bw_spans: %s: unknown schema tag '%s' (want "
-                     "bw.spans/1, bw.flight/1 or bw.slo/1)\n",
+                     "bw.spans/1, bw.flight/1, bw.slo/1 or "
+                     "bw.route/1)\n",
                      path, tag.c_str());
         return 2;
     }

@@ -38,6 +38,10 @@
 #include "baseline/gpu_model.h"
 #include "bfp/bfp.h"
 #include "bfp/float16.h"
+#include "cluster/cluster.h"
+#include "cluster/router.h"
+#include "cluster/traffic.h"
+#include "cluster/weight_cache.h"
 #include "common/env_doc.h"
 #include "common/json.h"
 #include "common/logging.h"

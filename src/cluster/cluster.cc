@@ -1,0 +1,912 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.h"
+#include "metrics/exposition.h"
+#include "metrics/http_server.h"
+
+namespace bw {
+namespace cluster {
+
+namespace {
+
+/// Same seconds->microseconds rounding as the serving engine, so the
+/// cluster's virtual-time flight/SLO records mirror Engine::replay
+/// byte-for-byte.
+uint64_t
+toUs(double seconds)
+{
+    return seconds > 0
+               ? static_cast<uint64_t>(std::llround(seconds * 1e6))
+               : 0;
+}
+
+/// serviceCache_ key: model and group are small, steps dominates.
+uint64_t
+svcKey(uint32_t model, size_t group, unsigned steps)
+{
+    return (static_cast<uint64_t>(model) << 44) |
+           (static_cast<uint64_t>(group) << 32) | steps;
+}
+
+} // namespace
+
+// --- ClusterOptions ---
+
+ClusterOptions
+ClusterOptions::fromEnv(ClusterOptions base)
+{
+    if (const char *mix = std::getenv("BW_CLUSTER_MIX")) {
+        // "s5:2,a10:1" — preset name and engine count per group. The
+        // first existing group's engine options act as the template.
+        serve::EngineOptions tmpl = base.groups.empty()
+                                        ? serve::EngineOptions{}
+                                        : base.groups.front().engine;
+        std::vector<ReplicaGroupSpec> groups;
+        std::string s = mix;
+        size_t pos = 0;
+        bool ok = true;
+        while (pos < s.size()) {
+            size_t comma = s.find(',', pos);
+            if (comma == std::string::npos)
+                comma = s.size();
+            std::string tok = s.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (tok.empty())
+                continue;
+            size_t colon = tok.find(':');
+            std::string name = tok.substr(0, colon);
+            unsigned count = 1;
+            if (colon != std::string::npos)
+                count = static_cast<unsigned>(
+                    std::max(1, std::atoi(tok.c_str() + colon + 1)));
+            ReplicaGroupSpec g;
+            g.name = name;
+            g.engines = count;
+            g.engine = tmpl;
+            if (name == "s5")
+                g.config = NpuConfig::bwS5();
+            else if (name == "a10")
+                g.config = NpuConfig::bwA10();
+            else if (name == "s10")
+                g.config = NpuConfig::bwS10();
+            else {
+                BW_WARN("BW_CLUSTER_MIX: unknown preset '%s' (want s5, "
+                        "a10 or s10); keeping configured groups",
+                        name.c_str());
+                ok = false;
+                break;
+            }
+            groups.push_back(std::move(g));
+        }
+        if (ok && !groups.empty())
+            base.groups = std::move(groups);
+    }
+    if (const char *pol = std::getenv("BW_CLUSTER_POLICY")) {
+        Expected<RoutePolicy> p = routePolicyFromName(pol);
+        if (p.ok())
+            base.router.policy = p.value();
+        else
+            BW_WARN("BW_CLUSTER_POLICY: %s", p.status().message().c_str());
+    }
+    if (const char *cap = std::getenv("BW_CLUSTER_CACHE_TILES")) {
+        if (*cap)
+            base.weightCacheTiles =
+                static_cast<uint64_t>(std::max(0.0, std::atof(cap)));
+    }
+    return base;
+}
+
+ClusterOptions
+ClusterOptions::fromEnv()
+{
+    return fromEnv(ClusterOptions{});
+}
+
+// --- Reports ---
+
+Json
+EngineReport::toJson() const
+{
+    Json j = Json::object();
+    j.set("label", label);
+    j.set("stats", stats.toJson());
+    j.set("routed", routed);
+    j.set("completed", completed);
+    j.set("rejected", rejected);
+    j.set("expired", expired);
+    j.set("good", good);
+    j.set("cache_hits", cacheHits);
+    j.set("cache_misses", cacheMisses);
+    j.set("cache_evictions", cacheEvictions);
+    j.set("reloaded_tiles", reloadedTiles);
+    j.set("reload_ms_total", reloadMsTotal);
+    return j;
+}
+
+Json
+ClusterStats::toJson() const
+{
+    Json j = Json::object();
+    j.set("overall", overall.toJson());
+    j.set("submitted", submitted);
+    j.set("shed", shed);
+    j.set("rejected", rejected);
+    j.set("expired", expired);
+    j.set("completed", completed);
+    j.set("goodput", goodput);
+    j.set("goodput_rps", goodputRps);
+    Json sbc = Json::array();
+    for (uint64_t c : shedByClass)
+        sbc.push(c);
+    j.set("shed_by_class", std::move(sbc));
+    Json eng = Json::array();
+    for (const EngineReport &r : engines)
+        eng.push(r.toJson());
+    j.set("engines", std::move(eng));
+    return j;
+}
+
+// --- Cluster ---
+
+Cluster::Cluster(ClusterOptions opts)
+    : opts_(std::move(opts)), clsMonitor_(opts_.slo)
+{
+    if (opts_.groups.empty()) {
+        ReplicaGroupSpec g;
+        g.config = NpuConfig::bwS10();
+        opts_.groups.push_back(std::move(g));
+    }
+    unsigned engines = 0;
+    for (ReplicaGroupSpec &g : opts_.groups) {
+        g.engines = std::max(1u, g.engines);
+        engines += g.engines;
+    }
+    size_t classes = clsMonitor_.options().classes.size();
+    router_ = std::make_unique<Router>(opts_.router, engines, classes);
+
+    for (size_t gi = 0; gi < opts_.groups.size(); ++gi) {
+        const ReplicaGroupSpec &g = opts_.groups[gi];
+        for (unsigned i = 0; i < g.engines; ++i) {
+            auto s = std::make_unique<Shard>();
+            s->label = g.name + "/" + std::to_string(i);
+            s->group = gi;
+            s->registry = std::make_unique<metrics::Registry>();
+            s->flight = std::make_unique<obs::FlightRecorder>(opts_.flight);
+            s->slo = std::make_unique<serve::SloMonitor>(opts_.slo);
+            serve::EngineOptions eo = g.engine;
+            eo.groupLabel = s->label;
+            eo.metricsRegistry = s->registry.get();
+            eo.flightRecorder = s->flight.get();
+            eo.sloMonitor = s->slo.get();
+            // The cluster records route-rooted span trees itself
+            // (replay); per-engine tracers would collide on trace ids.
+            eo.spanTracer = nullptr;
+            s->engine = std::make_unique<serve::Engine>(std::move(eo));
+            // The engine registered these gauges in bindMetrics();
+            // get-or-create hands back the same instances.
+            s->queueDepth = &s->registry->gauge(
+                "bw_serve_queue_depth",
+                "Requests waiting in the engine's bounded admission queue");
+            s->inflight = &s->registry->gauge(
+                "bw_serve_inflight",
+                "Requests currently in service across accelerator replicas");
+            s->cache = WeightCache(opts_.weightCacheTiles
+                                       ? opts_.weightCacheTiles
+                                       : g.config.mrfSize);
+            s->freeS.assign(s->engine->options().replicas, 0.0);
+            shards_.push_back(std::move(s));
+        }
+    }
+    if (opts_.metricsRegistry)
+        bindClusterMetrics();
+}
+
+Cluster::~Cluster()
+{
+    shutdown();
+}
+
+void
+Cluster::bindClusterMetrics()
+{
+    metrics::Registry &reg = *opts_.metricsRegistry;
+    enginesGauge_ =
+        &reg.gauge("bw_cluster_engines", "Engine shards in the cluster");
+    enginesGauge_->set(static_cast<double>(shards_.size()));
+    modelsGauge_ = &reg.gauge("bw_cluster_models",
+                              "Resident models registered with the cluster");
+    for (const auto &s : shards_) {
+        metrics::Labels l{{"engine", s->label}};
+        ShardMetrics m;
+        m.routed = &reg.counter(
+            "bw_cluster_routed_total",
+            "Requests the front-door router sent to this engine", l);
+        m.completed = &reg.counter("bw_cluster_completed_total",
+                                   "Requests completed per engine", l);
+        m.rejected = &reg.counter(
+            "bw_cluster_rejected_total",
+            "Requests rejected QUEUE_FULL at the engine shard", l);
+        m.expired = &reg.counter(
+            "bw_cluster_expired_total",
+            "Requests whose deadline expired at the engine shard", l);
+        m.cacheHits = &reg.counter("bw_cluster_weight_cache_hits_total",
+                                   "Weight-cache hits per engine", l);
+        m.cacheMisses =
+            &reg.counter("bw_cluster_weight_cache_misses_total",
+                         "Weight-cache misses (DRAM reloads) per engine", l);
+        m.cacheEvictions =
+            &reg.counter("bw_cluster_weight_cache_evictions_total",
+                         "Resident models evicted per engine", l);
+        m.reloadUs = &reg.counter(
+            "bw_cluster_reload_us_total",
+            "Simulated microseconds spent streaming weights from DRAM",
+            l);
+        shardMetrics_.push_back(m);
+    }
+    const auto &classes = clsMonitor_.options().classes;
+    for (const serve::SloClassSpec &c : classes) {
+        shedByClassC_.push_back(&reg.counter(
+            "bw_cluster_shed_total",
+            "Requests shed at the front door by deadline class",
+            {{"class", c.name}}));
+    }
+}
+
+metrics::Counter *
+Cluster::shedCounter(uint32_t cls)
+{
+    if (shedByClassC_.empty())
+        return nullptr;
+    return shedByClassC_[std::min<size_t>(cls, shedByClassC_.size() - 1)];
+}
+
+const std::string &
+Cluster::engineLabel(unsigned engine) const
+{
+    BW_ASSERT(engine < shards_.size(), "engine %u out of range", engine);
+    return shards_[engine]->label;
+}
+
+serve::Engine &
+Cluster::engine(unsigned engine)
+{
+    BW_ASSERT(engine < shards_.size(), "engine %u out of range", engine);
+    return *shards_[engine]->engine;
+}
+
+Expected<uint32_t>
+Cluster::addModel(const std::string &name, const GirGraph &graph)
+{
+    ModelEntry e;
+    e.name = name;
+    for (size_t gi = 0; gi < opts_.groups.size(); ++gi) {
+        try {
+            e.sessions.push_back(std::make_unique<Session>(
+                Session::compile(graph, opts_.groups[gi].config)));
+        } catch (const std::exception &ex) {
+            return Status::invalidArgument(detail::format(
+                "model '%s' does not compile for group '%s': %s",
+                name.c_str(), opts_.groups[gi].name.c_str(), ex.what()));
+        }
+    }
+    if (opts_.metricsRegistry) {
+        e.requests = &opts_.metricsRegistry->counter(
+            "bw_cluster_requests_total",
+            "Requests submitted per resident model", {{"model", name}});
+    }
+    models_.push_back(std::move(e));
+    uint32_t id = static_cast<uint32_t>(models_.size() - 1);
+    if (modelsGauge_)
+        modelsGauge_->set(static_cast<double>(models_.size()));
+    if (opts_.warmStart) {
+        for (auto &s : shards_)
+            s->cache.preload(id, modelTiles(id, s->group));
+    }
+    return id;
+}
+
+uint32_t
+Cluster::addTimedModel(const std::string &name, double service_ms,
+                       uint64_t weight_tiles)
+{
+    BW_ASSERT(service_ms > 0, "timed model '%s' needs service_ms > 0",
+              name.c_str());
+    ModelEntry e;
+    e.name = name;
+    e.timed = true;
+    e.timedMs = service_ms;
+    e.timedTiles = weight_tiles;
+    if (opts_.metricsRegistry) {
+        e.requests = &opts_.metricsRegistry->counter(
+            "bw_cluster_requests_total",
+            "Requests submitted per resident model", {{"model", name}});
+    }
+    models_.push_back(std::move(e));
+    uint32_t id = static_cast<uint32_t>(models_.size() - 1);
+    if (modelsGauge_)
+        modelsGauge_->set(static_cast<double>(models_.size()));
+    if (opts_.warmStart) {
+        for (auto &s : shards_)
+            s->cache.preload(id, modelTiles(id, s->group));
+    }
+    return id;
+}
+
+const std::string &
+Cluster::modelName(uint32_t model) const
+{
+    BW_ASSERT(model < models_.size(), "model %u out of range", model);
+    return models_[model].name;
+}
+
+uint64_t
+Cluster::modelTiles(uint32_t model, size_t group) const
+{
+    BW_ASSERT(model < models_.size(), "model %u out of range", model);
+    const ModelEntry &e = models_[model];
+    if (e.timed)
+        return e.timedTiles;
+    return e.sessions[group]->model().mrfTilesUsed;
+}
+
+double
+Cluster::modelServiceMs(uint32_t model, size_t group, unsigned steps)
+{
+    BW_ASSERT(model < models_.size(), "model %u out of range", model);
+    ModelEntry &e = models_[model];
+    if (e.timed)
+        return e.timedMs;
+    uint64_t key = svcKey(model, group, steps);
+    auto it = serviceCache_.find(key);
+    if (it != serviceCache_.end())
+        return it->second;
+    double ms = e.sessions[group]->serviceMs(steps);
+    serviceCache_.emplace(key, ms);
+    return ms;
+}
+
+double
+Cluster::reloadMs(size_t group, uint64_t tiles) const
+{
+    if (tiles == 0)
+        return 0.0;
+    const NpuConfig &c = opts_.groups[group].config;
+    // One native N x N tile: N*N BFP elements (sign + mantissa bits)
+    // plus one shared exponent per row.
+    uint64_t n = c.nativeDim;
+    uint64_t bits_per_tile =
+        n * n * static_cast<uint64_t>(c.precision.elemBits()) +
+        n * static_cast<uint64_t>(c.precision.expBits);
+    uint64_t bytes = (tiles * bits_per_tile + 7) / 8;
+    uint64_t bpc = std::max(1u, c.timing.dramBytesPerCycle);
+    uint64_t cycles = c.timing.dramLatency + (bytes + bpc - 1) / bpc;
+    return static_cast<double>(cycles) / (c.clockMhz * 1e3);
+}
+
+void
+Cluster::setRouterPolicy(RoutePolicy policy)
+{
+    RouterOptions ro = router_->options();
+    ro.policy = policy;
+    opts_.router = ro;
+    router_ = std::make_unique<Router>(
+        std::move(ro), engineCount(),
+        clsMonitor_.options().classes.size());
+}
+
+void
+Cluster::warmCaches()
+{
+    // Ascending model id, first-fit: deterministic warm set per shard.
+    for (auto &s : shards_) {
+        for (uint32_t m = 0; m < models_.size(); ++m)
+            s->cache.preload(m, modelTiles(m, s->group));
+    }
+}
+
+std::vector<EngineLoad>
+Cluster::virtualLoads(double now_s) const
+{
+    std::vector<EngineLoad> loads;
+    loads.reserve(shards_.size());
+    for (const auto &s : shards_) {
+        EngineLoad l;
+        size_t dequeued = static_cast<size_t>(
+            std::upper_bound(s->starts.begin(), s->starts.end(), now_s) -
+            s->starts.begin());
+        l.queued = s->starts.size() - dequeued;
+        l.inflight = static_cast<uint64_t>(
+            std::count_if(s->freeS.begin(), s->freeS.end(),
+                          [now_s](double f) { return f > now_s; }));
+        l.queueCapacity = s->engine->options().queueDepth;
+        loads.push_back(l);
+    }
+    return loads;
+}
+
+std::vector<EngineLoad>
+Cluster::liveLoads() const
+{
+    std::vector<EngineLoad> loads;
+    loads.reserve(shards_.size());
+    for (const auto &s : shards_) {
+        EngineLoad l;
+        l.queued = static_cast<uint64_t>(
+            std::max(0.0, s->queueDepth->value()));
+        l.inflight = static_cast<uint64_t>(
+            std::max(0.0, s->inflight->value()));
+        l.queueCapacity = s->engine->options().queueDepth;
+        loads.push_back(l);
+    }
+    return loads;
+}
+
+ClusterStats
+Cluster::replay(const std::vector<ClusterRequest> &trace)
+{
+    BW_ASSERT(!models_.empty(), "replay: no models registered");
+    for (size_t i = 1; i < trace.size(); ++i) {
+        BW_ASSERT(trace[i].arrivalS >= trace[i - 1].arrivalS,
+                  "replay: arrivals must be ascending");
+    }
+
+    // Full virtual reset: every observer restarts with the trace, so
+    // two replays of one trace export byte-identically.
+    router_->clear();
+    clsMonitor_.clear();
+    obs::SpanTracer *tracer = opts_.spanTracer;
+    if (tracer)
+        tracer->clear();
+    for (auto &sp : shards_) {
+        Shard &s = *sp;
+        s.starts.clear();
+        s.freeS.assign(s.engine->options().replicas, 0.0);
+        s.attempt = 0;
+        s.routed = s.completed = s.rejected = s.expired = 0;
+        s.good = s.reloadedTiles = 0;
+        s.reloadMsTotal = 0;
+        s.latencies.clear();
+        s.saw = false;
+        s.firstArrival = s.lastDone = 0;
+        s.flight->clear();
+        s.slo->clear();
+        s.cache.clear();
+    }
+    if (opts_.warmStart)
+        warmCaches();
+
+    ClusterStats cs;
+    cs.shedByClass.assign(clsMonitor_.options().classes.size(), 0);
+    uint64_t seq = 0;      // every submission (router decision key)
+    uint64_t admitted = 0; // cluster-wide admitted ids (span traces)
+
+    for (const ClusterRequest &req : trace) {
+        ++seq;
+        ++cs.submitted;
+        BW_ASSERT(req.model < models_.size(),
+                  "replay: unknown model %u", req.model);
+        ModelEntry &me = models_[req.model];
+        if (me.requests)
+            me.requests->inc();
+        uint32_t cls =
+            static_cast<uint32_t>(clsMonitor_.classOf(req.deadlineMs));
+        double a = req.arrivalS;
+
+        int32_t target = router_->route(seq, req.model, me.name, cls,
+                                        virtualLoads(a));
+        if (target < 0) {
+            ++cs.shed;
+            ++cs.shedByClass[cls];
+            if (metrics::Counter *c = shedCounter(cls))
+                c->inc();
+            clsMonitor_.record(toUs(a), req.deadlineMs, 0.0, false);
+            continue;
+        }
+
+        Shard &s = *shards_[static_cast<size_t>(target)];
+        ShardMetrics *sm = shardMetrics_.empty()
+                               ? nullptr
+                               : &shardMetrics_[static_cast<size_t>(target)];
+        const serve::EngineOptions &eo = s.engine->options();
+        ++s.attempt;
+        ++s.routed;
+        if (sm)
+            sm->routed->inc();
+        if (!s.saw) {
+            s.saw = true;
+            s.firstArrival = a;
+            s.lastDone = a;
+        }
+        double deadline_ms =
+            req.deadlineMs > 0 ? req.deadlineMs : eo.defaultDeadlineMs;
+
+        // From here the shard mirrors Engine::replayUnbatched exactly
+        // (admission check, earliest-free replica, deadline at dequeue),
+        // with the model's service time plus any weight-reload charge
+        // standing in for the engine's single-model service time.
+        size_t dequeued = static_cast<size_t>(
+            std::upper_bound(s.starts.begin(), s.starts.end(), a) -
+            s.starts.begin());
+        if (s.starts.size() - dequeued >= eo.queueDepth) {
+            ++s.rejected;
+            ++cs.rejected;
+            if (sm)
+                sm->rejected->inc();
+            uint64_t t_us = toUs(a);
+            obs::FlightRecord fr;
+            fr.seq = s.attempt;
+            fr.cls = obs::FlightClass::Rejected;
+            fr.steps = req.steps;
+            fr.admitUs = fr.dequeueUs = fr.serviceUs = fr.doneUs = t_us;
+            s.flight->record(fr);
+            s.slo->record(t_us, deadline_ms, 0.0, false);
+            clsMonitor_.record(t_us, deadline_ms, 0.0, false);
+            continue;
+        }
+
+        uint64_t tiles = modelTiles(req.model, s.group);
+        WeightTouch wt = s.cache.touch(req.model, tiles);
+        double reload_ms = 0;
+        if (wt.hit) {
+            if (sm)
+                sm->cacheHits->inc();
+        } else {
+            reload_ms = reloadMs(s.group, wt.loadedTiles);
+            s.reloadedTiles += wt.loadedTiles;
+            s.reloadMsTotal += reload_ms;
+            if (sm) {
+                sm->cacheMisses->inc();
+                if (wt.evictions)
+                    sm->cacheEvictions->add(wt.evictions);
+                sm->reloadUs->add(static_cast<uint64_t>(
+                    std::llround(reload_ms * 1e3)));
+            }
+        }
+
+        double net_s = eo.networkMs / 1e3;
+        size_t r = static_cast<size_t>(
+            std::min_element(s.freeS.begin(), s.freeS.end()) -
+            s.freeS.begin());
+        double start = std::max(a + net_s / 2, s.freeS[r]);
+        s.starts.push_back(start);
+        ++admitted;
+        obs::TraceContext ctx =
+            tracer ? tracer->admit(admitted) : obs::TraceContext{};
+        uint64_t admit_us = toUs(a);
+        uint64_t start_us = std::max(toUs(start), admit_us);
+
+        if (deadline_ms > 0 && (start - a) * 1e3 > deadline_ms) {
+            ++s.expired;
+            ++cs.expired;
+            if (sm)
+                sm->expired->inc();
+            double latency_ms = (start - a) * 1e3 + eo.networkMs;
+            if (ctx.sampled()) {
+                obs::RouteSpan rs;
+                rs.trace = ctx.trace;
+                rs.admitUs = admit_us;
+                rs.doneUs = start_us;
+                rs.engine = static_cast<uint32_t>(target);
+                rs.model = req.model;
+                rs.outcome = obs::SpanOutcome::DeadlineExpired;
+                obs::SpanId root = obs::recordRouteSpan(*tracer, rs);
+                obs::RequestSpans qs;
+                qs.trace = ctx.trace;
+                qs.admitUs = admit_us;
+                qs.dequeueUs = qs.serviceUs = qs.doneUs = start_us;
+                qs.replica = static_cast<uint32_t>(r);
+                qs.outcome = obs::SpanOutcome::DeadlineExpired;
+                obs::recordRequestTree(*tracer, qs, root);
+            }
+            obs::FlightRecord fr;
+            fr.seq = s.attempt;
+            fr.id = admitted;
+            fr.cls = obs::FlightClass::DeadlineExpired;
+            fr.sampled = ctx.sampled();
+            fr.replica = static_cast<uint32_t>(r);
+            fr.steps = req.steps;
+            fr.admitUs = admit_us;
+            fr.dequeueUs = fr.serviceUs = fr.doneUs = start_us;
+            fr.latencyUs = latency_ms > 0
+                               ? static_cast<uint64_t>(
+                                     std::llround(latency_ms * 1e3))
+                               : 0;
+            s.flight->record(fr);
+            s.slo->record(start_us, deadline_ms, latency_ms, false);
+            clsMonitor_.record(start_us, deadline_ms, latency_ms, false);
+            continue;
+        }
+
+        double service_ms =
+            modelServiceMs(req.model, s.group, req.steps) + reload_ms;
+        double done = start + service_ms / 1e3;
+        s.freeS[r] = done;
+        s.lastDone = std::max(s.lastDone, done);
+        double latency_ms = (done + net_s / 2 - a) * 1e3;
+        s.latencies.push_back(latency_ms);
+        ++s.completed;
+        ++cs.completed;
+        if (sm)
+            sm->completed->inc();
+        if (deadline_ms <= 0 || latency_ms <= deadline_ms)
+            ++s.good;
+        uint64_t done_us = std::max(toUs(done), start_us);
+        if (ctx.sampled()) {
+            obs::RouteSpan rs;
+            rs.trace = ctx.trace;
+            rs.admitUs = admit_us;
+            rs.doneUs = done_us;
+            rs.engine = static_cast<uint32_t>(target);
+            rs.model = req.model;
+            rs.outcome = obs::SpanOutcome::Ok;
+            obs::SpanId root = obs::recordRouteSpan(*tracer, rs);
+            obs::RequestSpans qs;
+            qs.trace = ctx.trace;
+            qs.admitUs = admit_us;
+            qs.dequeueUs = qs.serviceUs = start_us;
+            qs.doneUs = done_us;
+            qs.replica = static_cast<uint32_t>(r);
+            qs.outcome = obs::SpanOutcome::Ok;
+            obs::recordRequestTree(*tracer, qs, root);
+        }
+        obs::FlightRecord fr;
+        fr.seq = s.attempt;
+        fr.id = admitted;
+        fr.cls = obs::FlightClass::Ok;
+        fr.sampled = ctx.sampled();
+        fr.replica = static_cast<uint32_t>(r);
+        fr.steps = req.steps;
+        fr.admitUs = admit_us;
+        fr.dequeueUs = fr.serviceUs = start_us;
+        fr.doneUs = done_us;
+        fr.latencyUs =
+            latency_ms > 0
+                ? static_cast<uint64_t>(std::llround(latency_ms * 1e3))
+                : 0;
+        s.flight->record(fr);
+        s.slo->record(done_us, deadline_ms, latency_ms, true);
+        clsMonitor_.record(done_us, deadline_ms, latency_ms, true);
+    }
+
+    // Per-engine and merged summaries.
+    std::vector<double> all;
+    double first = 0, last = 0;
+    bool any = false;
+    for (auto &sp : shards_) {
+        Shard &s = *sp;
+        EngineReport r;
+        r.label = s.label;
+        std::sort(s.latencies.begin(), s.latencies.end());
+        fillLatencyStats(r.stats, s.latencies);
+        double span = s.lastDone - s.firstArrival;
+        r.stats.throughputRps =
+            s.saw && span > 0
+                ? static_cast<double>(s.latencies.size()) / span
+                : 0;
+        r.routed = s.routed;
+        r.completed = s.completed;
+        r.rejected = s.rejected;
+        r.expired = s.expired;
+        r.good = s.good;
+        r.cacheHits = s.cache.hits();
+        r.cacheMisses = s.cache.misses();
+        r.cacheEvictions = s.cache.evictions();
+        r.reloadedTiles = s.reloadedTiles;
+        r.reloadMsTotal = s.reloadMsTotal;
+        cs.goodput += s.good;
+        all.insert(all.end(), s.latencies.begin(), s.latencies.end());
+        if (s.saw) {
+            if (!any || s.firstArrival < first)
+                first = s.firstArrival;
+            if (!any || s.lastDone > last)
+                last = s.lastDone;
+            any = true;
+        }
+        cs.engines.push_back(std::move(r));
+    }
+    std::sort(all.begin(), all.end());
+    fillLatencyStats(cs.overall, all);
+    double span = any ? last - first : 0;
+    cs.overall.throughputRps =
+        span > 0 ? static_cast<double>(all.size()) / span : 0;
+    cs.goodputRps =
+        span > 0 ? static_cast<double>(cs.goodput) / span : 0;
+    return cs;
+}
+
+// --- Live serving ---
+
+void
+Cluster::start()
+{
+    for (auto &s : shards_)
+        s->engine->start();
+}
+
+Expected<std::future<serve::Response>>
+Cluster::submitTimed(uint32_t model, unsigned steps, double deadline_ms)
+{
+    if (model >= models_.size()) {
+        return Status::invalidArgument(
+            detail::format("unknown model id %u (have %zu)", model,
+                           models_.size()));
+    }
+    std::lock_guard<std::mutex> lk(liveMu_);
+    ++liveSeq_;
+    ModelEntry &me = models_[model];
+    if (me.requests)
+        me.requests->inc();
+    uint32_t cls =
+        static_cast<uint32_t>(clsMonitor_.classOf(deadline_ms));
+    int32_t target =
+        router_->route(liveSeq_, model, me.name, cls, liveLoads());
+    if (target < 0) {
+        if (metrics::Counter *c = shedCounter(cls))
+            c->inc();
+        const auto &classes = clsMonitor_.options().classes;
+        return Status::unavailable(detail::format(
+            "front door shed deadline class '%s' (cluster occupancy "
+            "over threshold)",
+            classes[std::min<size_t>(cls, classes.size() - 1)]
+                .name.c_str()));
+    }
+    Shard &s = *shards_[static_cast<size_t>(target)];
+    ShardMetrics *sm = shardMetrics_.empty()
+                           ? nullptr
+                           : &shardMetrics_[static_cast<size_t>(target)];
+    if (sm)
+        sm->routed->inc();
+    uint64_t tiles = modelTiles(model, s.group);
+    WeightTouch wt = s.cache.touch(model, tiles);
+    double reload_ms = 0;
+    if (wt.hit) {
+        if (sm)
+            sm->cacheHits->inc();
+    } else {
+        reload_ms = reloadMs(s.group, wt.loadedTiles);
+        if (sm) {
+            sm->cacheMisses->inc();
+            if (wt.evictions)
+                sm->cacheEvictions->add(wt.evictions);
+            sm->reloadUs->add(
+                static_cast<uint64_t>(std::llround(reload_ms * 1e3)));
+        }
+    }
+    double service_ms =
+        modelServiceMs(model, s.group, steps) + reload_ms;
+    return s.engine->submitTimed(steps, deadline_ms, service_ms);
+}
+
+void
+Cluster::drain()
+{
+    for (auto &s : shards_)
+        s->engine->drain();
+}
+
+void
+Cluster::shutdown()
+{
+    for (auto &s : shards_)
+        s->engine->shutdown();
+}
+
+bool
+Cluster::accepting() const
+{
+    for (const auto &s : shards_) {
+        if (!s->engine->accepting())
+            return false;
+    }
+    return true;
+}
+
+// --- Introspection ---
+
+Json
+Cluster::engineSloJson(unsigned engine) const
+{
+    BW_ASSERT(engine < shards_.size(), "engine %u out of range", engine);
+    return shards_[engine]->slo->sloJson();
+}
+
+Json
+Cluster::engineFlightJson(unsigned engine) const
+{
+    BW_ASSERT(engine < shards_.size(), "engine %u out of range", engine);
+    // No chain-profile source: the shards are model-less engines, so
+    // promoted records carry no chain leaves (the Engine::flightJson
+    // degeneracy).
+    return obs::flightJson(*shards_[engine]->flight);
+}
+
+Json
+Cluster::engineCacheJson(unsigned engine) const
+{
+    BW_ASSERT(engine < shards_.size(), "engine %u out of range", engine);
+    return shards_[engine]->cache.toJson();
+}
+
+Json
+Cluster::debugClusterJson() const
+{
+    Json j = Json::object();
+    j.set("engines", static_cast<uint64_t>(shards_.size()));
+    j.set("model_count", static_cast<uint64_t>(models_.size()));
+    j.set("policy", routePolicyName(router_->options().policy));
+    j.set("routed", router_->routed());
+    j.set("shed", router_->shed());
+    Json groups = Json::array();
+    for (const ReplicaGroupSpec &g : opts_.groups) {
+        Json gj = Json::object();
+        gj.set("name", g.name);
+        gj.set("config", g.config.name);
+        gj.set("engines", g.engines);
+        gj.set("replicas", g.engine.replicas);
+        gj.set("queue_depth", static_cast<uint64_t>(g.engine.queueDepth));
+        groups.push(std::move(gj));
+    }
+    j.set("groups", std::move(groups));
+    Json shards = Json::array();
+    for (const auto &sp : shards_) {
+        Json sj = Json::object();
+        sj.set("label", sp->label);
+        sj.set("group", opts_.groups[sp->group].name);
+        sj.set("accepting", sp->engine->accepting());
+        sj.set("queued", static_cast<uint64_t>(sp->engine->queueSize()));
+        sj.set("cache", sp->cache.toJson());
+        shards.push(std::move(sj));
+    }
+    j.set("shards", std::move(shards));
+    Json models = Json::array();
+    for (size_t m = 0; m < models_.size(); ++m) {
+        Json mj = Json::object();
+        mj.set("id", static_cast<uint64_t>(m));
+        mj.set("name", models_[m].name);
+        mj.set("timed", models_[m].timed);
+        Json tiles = Json::array();
+        for (size_t gi = 0; gi < opts_.groups.size(); ++gi)
+            tiles.push(modelTiles(static_cast<uint32_t>(m), gi));
+        mj.set("tiles_per_group", std::move(tiles));
+        models.push(std::move(mj));
+    }
+    j.set("models", std::move(models));
+    return j;
+}
+
+void
+Cluster::exposeDebug(metrics::MetricsHttpServer &srv)
+{
+    srv.setReadiness([this] { return accepting(); });
+    srv.handleJson("/debug/cluster",
+                   [this] { return debugClusterJson().dump(2); });
+    srv.handleJson("/route.json",
+                   [this] { return routeJson().dump(2); });
+    srv.handleJson("/slo.json", [this] { return sloJson().dump(2); });
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+        std::string base = "/engine/" + std::to_string(i);
+        srv.handleJson(base + "/slo.json", [this, i] {
+            return engineSloJson(i).dump(2);
+        });
+        srv.handleJson(base + "/flight.json", [this, i] {
+            return engineFlightJson(i).dump(2);
+        });
+        srv.handleJson(base + "/cache.json", [this, i] {
+            return engineCacheJson(i).dump(2);
+        });
+        srv.handleJson(base + "/metrics.json", [this, i] {
+            return metrics::metricsJson(*shards_[i]->registry).dump(2);
+        });
+        srv.handleJson(base + "/debug/config", [this, i] {
+            return shards_[i]->engine->debugConfigJson().dump(2);
+        });
+    }
+}
+
+} // namespace cluster
+} // namespace bw

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * bw::cluster — multi-engine sharded serving with multi-model tenancy
+ * and a front-door router.
+ *
+ * The paper's deployment (Section II, Fig. 1) is not one accelerator:
+ * it is racks of network-attached NPUs of several hardware generations
+ * (the Table III Stratix V / Arria 10 / Stratix 10 configurations
+ * coexist in production) behind a front end that routes each inference
+ * to some replica. A Cluster reproduces that layer on top of the
+ * single-node serve::Engine:
+ *
+ *   - Replica groups: N engines per group, each group its own
+ *     NpuConfig (heterogeneous hardware mixes, e.g. 2x BW_S10 + 4x
+ *     BW_S5). Every engine is an independent shard with its own
+ *     metrics registry, flight recorder and SLO monitor — the
+ *     unlabeled bw_serve_* series of two engines must never share a
+ *     registry.
+ *   - Multi-model tenancy: models register once (addModel compiles the
+ *     graph for every group's configuration; addTimedModel takes a
+ *     flat service time) and any engine can serve any model — at the
+ *     cost of an LRU weight-matrix cache per engine (WeightCache): a
+ *     request for a non-resident model first streams the model's MRF
+ *     tiles from DRAM, charged in cycles from the group's TimingParams
+ *     (dramLatency + bytes / dramBytesPerCycle).
+ *   - Front-door routing: a Router (router.h) picks the engine per
+ *     request — consistent-hash by model, least-loaded, or SLO-aware
+ *     with class-ordered admission shedding — and logs every decision.
+ *
+ * Determinism contract: replay(trace) pushes a generateTraffic() trace
+ * through routing, weight caching and the exact per-engine virtual-time
+ * queueing discipline of Engine::replayUnbatched, with no threads and
+ * no clocks. Two replays of one trace produce byte-identical router
+ * decision logs, per-engine bw.flight/1 and bw.slo/1 documents, and
+ * span-tree exports (tested). A single-group, single-engine cluster
+ * serving one zero-footprint model degenerates to Engine::replay()
+ * bit-identically (tested).
+ */
+
+#ifndef BW_CLUSTER_CLUSTER_H
+#define BW_CLUSTER_CLUSTER_H
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/traffic.h"
+#include "cluster/weight_cache.h"
+#include "common/status.h"
+#include "graph/gir.h"
+#include "metrics/metrics.h"
+#include "obs/flight.h"
+#include "obs/span.h"
+#include "serve/engine.h"
+#include "serve/session.h"
+#include "serve/slo.h"
+
+namespace bw {
+namespace metrics {
+class MetricsHttpServer;
+}
+namespace cluster {
+
+/** One replica group: homogeneous engines over one NPU configuration. */
+struct ReplicaGroupSpec
+{
+    std::string name = "s10";  //!< label prefix ("s10/0", "s10/1", ...)
+    NpuConfig config;          //!< the group's synthesis configuration
+    unsigned engines = 1;      //!< engine shards in this group
+    /** Per-engine options (queueDepth, replicas, networkMs, deadlines).
+     *  groupLabel / registries / recorders are overwritten per shard. */
+    serve::EngineOptions engine;
+};
+
+/** Cluster configuration. */
+struct ClusterOptions
+{
+    std::vector<ReplicaGroupSpec> groups;
+    RouterOptions router;
+
+    /** Per-engine weight-cache capacity in native matrix tiles
+     *  (0 = each engine's config.mrfSize — the paper's MRF budget). */
+    uint64_t weightCacheTiles = 0;
+
+    /** Preload registered models (ascending id, first-fit) into every
+     *  engine's weight cache at construction and at each replay(). */
+    bool warmStart = true;
+
+    /** Cluster-level registry for the bw_cluster_* series (non-owning;
+     *  per-engine bw_serve_* series live in per-shard registries). */
+    metrics::Registry *metricsRegistry = nullptr;
+
+    /** Span tracer for route-rooted request trees under replay()
+     *  (non-owning; cleared at the start of every replay). */
+    obs::SpanTracer *spanTracer = nullptr;
+
+    /** Deadline-class ladder and objectives, shared by the cluster
+     *  monitor and every per-engine monitor. */
+    serve::SloOptions slo;
+
+    /** Per-engine flight-recorder options. */
+    obs::FlightRecorderOptions flight;
+
+    /**
+     * Apply BW_CLUSTER_* environment overrides on @p base:
+     * BW_CLUSTER_MIX replaces the groups with a preset mix
+     * ("s5:2,a10:1,s10:1" — preset:count, presets s5 / a10 / s10),
+     * BW_CLUSTER_POLICY sets the router policy by name, and
+     * BW_CLUSTER_CACHE_TILES sets weightCacheTiles.
+     */
+    static ClusterOptions fromEnv(ClusterOptions base);
+    static ClusterOptions fromEnv();
+};
+
+/** Per-engine slice of a ClusterStats. */
+struct EngineReport
+{
+    std::string label;
+    ServeStats stats;          //!< latency summary of this shard
+    uint64_t routed = 0;       //!< requests the router sent here
+    uint64_t completed = 0;
+    uint64_t rejected = 0;     //!< QUEUE_FULL at the shard
+    uint64_t expired = 0;      //!< deadline expiries at dequeue
+    uint64_t good = 0;         //!< completions inside their deadline
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    uint64_t reloadedTiles = 0;
+    double reloadMsTotal = 0;  //!< service time spent streaming weights
+
+    Json toJson() const;
+};
+
+/** Outcome of one Cluster::replay(). */
+struct ClusterStats
+{
+    ServeStats overall;  //!< merged latency summary across engines
+    uint64_t submitted = 0;
+    uint64_t shed = 0;     //!< front-door sheds (router policy)
+    uint64_t rejected = 0; //!< shard QUEUE_FULL rejects
+    uint64_t expired = 0;
+    uint64_t completed = 0;
+    /** Completions whose latency met their deadline (no deadline =
+     *  always good): the saturation-sweep goodput numerator. */
+    uint64_t goodput = 0;
+    double goodputRps = 0;
+    std::vector<uint64_t> shedByClass;
+    std::vector<EngineReport> engines;
+
+    Json toJson() const;
+};
+
+/**
+ * A cluster of serve::Engine shards behind a front-door Router.
+ * Construction builds every shard (engine + registry + flight recorder
+ * + SLO monitor + weight cache); models register afterwards. replay()
+ * is single-threaded virtual time; submitTimed() is the live threaded
+ * path (router decisions serialized under one lock, service on the
+ * shard engines' worker pools).
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(ClusterOptions opts);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    const ClusterOptions &options() const { return opts_; }
+    const Router &router() const { return *router_; }
+
+    /** Total engine shards across all groups. */
+    unsigned engineCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Shard label, "<group>/<index-within-group>". */
+    const std::string &engineLabel(unsigned engine) const;
+
+    /** The shard's serving engine (live submits, debug endpoints). */
+    serve::Engine &engine(unsigned engine);
+
+    /**
+     * Register a model: compile @p graph for every group configuration
+     * (weight footprint and service times then differ per group, as the
+     * hardware does). Returns the model id requests name, or
+     * InvalidArgument when compilation fails for some group.
+     */
+    Expected<uint32_t> addModel(const std::string &name,
+                                const GirGraph &graph);
+
+    /**
+     * Register a model by flat service time: @p service_ms per request
+     * on any group, @p weight_tiles of MRF footprint. Zero tiles makes
+     * every touch a free cache hit — the degeneracy-test configuration.
+     */
+    uint32_t addTimedModel(const std::string &name, double service_ms,
+                           uint64_t weight_tiles = 0);
+
+    size_t modelCount() const { return models_.size(); }
+    const std::string &modelName(uint32_t model) const;
+
+    /** The model's MRF tile footprint on @p group's configuration. */
+    uint64_t modelTiles(uint32_t model, size_t group) const;
+
+    /** Simulated single-request service milliseconds for @p model on
+     *  @p group's configuration at @p steps timesteps (cached). */
+    double modelServiceMs(uint32_t model, size_t group, unsigned steps);
+
+    /** Milliseconds to stream @p tiles weight tiles from DRAM on
+     *  @p group's configuration (TimingParams cycles at clockMhz). */
+    double reloadMs(size_t group, uint64_t tiles) const;
+
+    /** Swap the routing policy (drops the decision log; typically
+     *  called between replays — the saturation sweep). */
+    void setRouterPolicy(RoutePolicy policy);
+
+    /**
+     * Deterministic virtual-time replay of @p trace (ascending
+     * arrivals, e.g. generateTraffic()). Resets router log, weight
+     * caches (re-warmed when warmStart), per-engine flight recorders
+     * and SLO monitors, the cluster SLO monitor, and the span tracer,
+     * then routes every request and mirrors Engine::replayUnbatched
+     * per shard with model service + weight-reload charging. Requests
+     * without a deadline inherit the target shard's defaultDeadlineMs.
+     */
+    ClusterStats replay(const std::vector<ClusterRequest> &trace);
+
+    // --- Live (threaded) serving. ---
+
+    /** Spawn every shard's worker pool (idempotent). */
+    void start();
+
+    /**
+     * Route and submit one timed request for @p model. Sheds at the
+     * front door with Unavailable (naming the deadline class) under the
+     * slo_aware policy; otherwise forwards to the routed shard's
+     * submitTimed with the model's service time plus any weight-reload
+     * charge. @p deadline_ms 0 = the shard's defaultDeadlineMs.
+     */
+    Expected<std::future<serve::Response>>
+    submitTimed(uint32_t model, unsigned steps, double deadline_ms = 0);
+
+    /** Drain every shard (stop admitting, wait for in-flight work). */
+    void drain();
+
+    /** Shut every shard down (cancel queued work, join workers). */
+    void shutdown();
+
+    /** True while every shard still admits requests. */
+    bool accepting() const;
+
+    // --- Introspection. ---
+
+    /** The router's bw.route/1 decision log. */
+    Json routeJson() const { return router_->decisionsJson(); }
+
+    /** The cluster-level bw.slo/1 document (sheds burn availability). */
+    Json sloJson() const { return clsMonitor_.sloJson(); }
+
+    /** Shard @p engine's bw.slo/1 document. */
+    Json engineSloJson(unsigned engine) const;
+
+    /** Shard @p engine's bw.flight/1 document (model-less shards have
+     *  no chain leaves, matching Engine::flightJson without a model). */
+    Json engineFlightJson(unsigned engine) const;
+
+    /** Shard @p engine's weight-cache state. */
+    Json engineCacheJson(unsigned engine) const;
+
+    /** Topology + per-shard occupancy/cache/counters + router summary. */
+    Json debugClusterJson() const;
+
+    /**
+     * Mount the cluster's introspection endpoints on @p srv:
+     * /debug/cluster, /route.json, /slo.json, and per shard i
+     * /engine/i/slo.json, /engine/i/flight.json, /engine/i/metrics.json
+     * (the shard registry's bw_serve_* series) and /engine/i/debug/config
+     * (which carries the shard's group label). Registers the readiness
+     * probe: /healthz turns 503 once any shard stops accepting. The
+     * server must not outlive the cluster.
+     */
+    void exposeDebug(metrics::MetricsHttpServer &srv);
+
+  private:
+    /** One engine shard: the engine plus everything it must not share. */
+    struct Shard
+    {
+        std::string label;
+        size_t group = 0;
+        std::unique_ptr<metrics::Registry> registry;
+        std::unique_ptr<obs::FlightRecorder> flight;
+        std::unique_ptr<serve::SloMonitor> slo;
+        std::unique_ptr<serve::Engine> engine;
+        WeightCache cache;
+        /** The engine's own occupancy gauges (live-load signal). */
+        metrics::Gauge *queueDepth = nullptr;
+        metrics::Gauge *inflight = nullptr;
+
+        // Virtual-time replay state (mirrors Engine::replayUnbatched).
+        std::vector<double> starts; //!< dequeue time per admitted req
+        std::vector<double> freeS;  //!< per-replica next-free time
+        uint64_t attempt = 0;       //!< per-shard flight seq counter
+
+        // Per-replay report accumulators.
+        uint64_t routed = 0, completed = 0, rejected = 0, expired = 0;
+        uint64_t good = 0, reloadedTiles = 0;
+        double reloadMsTotal = 0;
+        std::vector<double> latencies;
+        double firstArrival = 0, lastDone = 0;
+        bool saw = false;
+    };
+
+    /** One registered model. */
+    struct ModelEntry
+    {
+        std::string name;
+        bool timed = false;
+        double timedMs = 0;
+        uint64_t timedTiles = 0;
+        /** One compiled session per group (empty when timed). */
+        std::vector<std::unique_ptr<Session>> sessions;
+        metrics::Counter *requests = nullptr; //!< bw_cluster_requests_total
+    };
+
+    /** Per-shard cluster-registry counters (labels {engine: label}). */
+    struct ShardMetrics
+    {
+        metrics::Counter *routed = nullptr;
+        metrics::Counter *completed = nullptr;
+        metrics::Counter *rejected = nullptr;
+        metrics::Counter *expired = nullptr;
+        metrics::Counter *cacheHits = nullptr;
+        metrics::Counter *cacheMisses = nullptr;
+        metrics::Counter *cacheEvictions = nullptr;
+        metrics::Counter *reloadUs = nullptr;
+    };
+
+    std::vector<EngineLoad> virtualLoads(double now_s) const;
+    std::vector<EngineLoad> liveLoads() const;
+    void warmCaches();
+    void bindClusterMetrics();
+    metrics::Counter *shedCounter(uint32_t cls);
+
+    ClusterOptions opts_;
+    std::unique_ptr<Router> router_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<ModelEntry> models_;
+    /** Cluster-level SLO monitor: deadline-class authority (classOf)
+     *  and the front-door /slo.json — records every submission
+     *  including sheds (as availability burn). */
+    serve::SloMonitor clsMonitor_;
+    std::vector<ShardMetrics> shardMetrics_;
+    std::vector<metrics::Counter *> shedByClassC_;
+    metrics::Gauge *enginesGauge_ = nullptr;
+    metrics::Gauge *modelsGauge_ = nullptr;
+
+    /** (model, group, steps) -> simulated service ms. */
+    std::unordered_map<uint64_t, double> serviceCache_;
+
+    /** Serializes live routing decisions + cache touches. */
+    std::mutex liveMu_;
+    uint64_t liveSeq_ = 0;
+};
+
+} // namespace cluster
+} // namespace bw
+
+#endif // BW_CLUSTER_CLUSTER_H

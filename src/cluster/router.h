@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cluster front-door router: pluggable request-to-engine policies plus
+ * SLO-aware admission.
+ *
+ * The paper's Fig. 1 front end routes requests to network-attached
+ * accelerators; this router reproduces the three policies that matter
+ * for the serving argument:
+ *
+ *   - consistent_hash: requests for one model always land on the same
+ *     engine (a hash ring with virtual nodes), maximizing weight-cache
+ *     affinity but blind to load — a hot model melts its engine while
+ *     neighbors idle.
+ *   - least_loaded: pick the engine with the fewest queued + in-flight
+ *     requests (the queue-depth / inflight gauges of the PR 3 metrics
+ *     registry under the threaded engine; virtual occupancy under
+ *     replay). Spreads hot models at the cost of weight reloads.
+ *   - slo_aware: least-loaded placement plus class-aware shedding at
+ *     the front door — when cluster occupancy crosses a deadline
+ *     class's threshold, that class is shed *before* any engine queue
+ *     fills, so best-effort traffic degrades first and interactive
+ *     traffic keeps its queue room (instead of the blanket QUEUE_FULL
+ *     every class suffers equally).
+ *
+ * Every decision is appended to a bounded log exportable as a
+ * bw.route/1 document; decisions are pure functions of (inputs, ring),
+ * so two replays of one trace log byte-identical decisions (tested).
+ */
+
+#ifndef BW_CLUSTER_ROUTER_H
+#define BW_CLUSTER_ROUTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace bw {
+namespace cluster {
+
+/** Front-door routing policies. */
+enum class RoutePolicy : uint8_t
+{
+    ConsistentHash = 0, //!< hash ring by model: max cache affinity
+    LeastLoaded,        //!< fewest queued + inflight requests
+    SloAware,           //!< least-loaded + class-aware front-door shed
+};
+
+const char *routePolicyName(RoutePolicy p);
+
+/** Parse "consistent_hash" | "least_loaded" | "slo_aware". */
+Expected<RoutePolicy> routePolicyFromName(const std::string &name);
+
+/** Router configuration. */
+struct RouterOptions
+{
+    RoutePolicy policy = RoutePolicy::LeastLoaded;
+
+    /** Virtual nodes per engine on the consistent-hash ring (more
+     *  nodes, smoother model spread across engines). */
+    unsigned virtualNodes = 16;
+
+    /**
+     * slo_aware shed thresholds, one per deadline class (the
+     * SloMonitor class ladder): class c is shed when cluster queue
+     * occupancy (total queued / total queue capacity) reaches
+     * shedAt[c]. Empty = defaultShedAt(classes): the most urgent class
+     * is never front-door shed (threshold above any occupancy), lower
+     * classes shed at 0.9, 0.7, ... so load degrades tail-first.
+     */
+    std::vector<double> shedAt;
+
+    /** Decision-log capacity; older decisions beyond it are dropped
+     *  from the log (counters keep counting). */
+    size_t logCapacity = 1u << 16;
+
+    static std::vector<double> defaultShedAt(size_t classes);
+};
+
+/** One engine's load as seen by the router at decision time. */
+struct EngineLoad
+{
+    uint64_t queued = 0;        //!< admission-queue occupancy
+    uint64_t inflight = 0;      //!< requests in service
+    uint64_t queueCapacity = 1; //!< EngineOptions::queueDepth
+};
+
+/** One logged routing decision. */
+struct RouteDecision
+{
+    uint64_t seq = 0;   //!< cluster-wide submission number (1-based)
+    uint32_t model = 0;
+    uint32_t cls = 0;   //!< deadline class index (SloMonitor ladder)
+    int32_t engine = -1; //!< target engine; -1 = shed at the front door
+};
+
+/**
+ * The front-door router. Not thread-safe: the cluster serializes
+ * decisions (replay is single-threaded; live submits take the cluster
+ * routing lock).
+ */
+class Router
+{
+  public:
+    Router(RouterOptions opts, unsigned engines, size_t slo_classes);
+
+    const RouterOptions &options() const { return opts_; }
+    unsigned engines() const { return engines_; }
+
+    /**
+     * Decide the target engine for one submission. @p model_name feeds
+     * the hash ring (stable across runs: FNV-1a over the name);
+     * @p loads must have one entry per engine. Returns the engine
+     * index, or -1 when the slo_aware policy sheds class @p cls at the
+     * front door. Appends to the decision log either way.
+     */
+    int32_t route(uint64_t seq, uint32_t model,
+                  const std::string &model_name, uint32_t cls,
+                  const std::vector<EngineLoad> &loads);
+
+    /** Effective shed threshold for class @p cls. */
+    double shedThreshold(uint32_t cls) const;
+
+    uint64_t routed() const { return routed_; }
+    uint64_t shed() const { return shed_; }
+    const std::vector<uint64_t> &shedByClass() const
+    {
+        return shedByClass_;
+    }
+    const std::vector<RouteDecision> &decisions() const
+    {
+        return log_;
+    }
+
+    /**
+     * The decision log as a bw.route/1 document: policy, engines,
+     * counters, and one row per logged decision. Deterministic for a
+     * deterministic decision sequence — the cluster determinism tests
+     * compare two replays' documents byte-identically.
+     */
+    Json decisionsJson() const;
+
+    /** Drop the log and counters (between replays). */
+    void clear();
+
+    /** Snapshot of dropped decision-log entries (log overflow). */
+    uint64_t logDropped() const { return logDropped_; }
+
+  private:
+    struct RingPoint
+    {
+        uint64_t hash;
+        uint32_t engine;
+    };
+
+    int32_t leastLoaded(const std::vector<EngineLoad> &loads) const;
+
+    RouterOptions opts_;
+    unsigned engines_;
+    std::vector<double> shedAt_; //!< resolved per-class thresholds
+    std::vector<RingPoint> ring_;
+    std::vector<RouteDecision> log_;
+    uint64_t routed_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t logDropped_ = 0;
+    std::vector<uint64_t> shedByClass_;
+};
+
+/**
+ * Structural validator for a bw.route/1 document (decisionsJson):
+ * schema tag, counter consistency (routed + shed vs logged + dropped
+ * rows), per-decision field ranges against the declared engine count.
+ */
+Status validateRouteJson(const Json &doc);
+
+} // namespace cluster
+} // namespace bw
+
+#endif // BW_CLUSTER_ROUTER_H

@@ -1,0 +1,140 @@
+#include "cluster/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace bw {
+namespace cluster {
+
+namespace {
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::atof(v) : fallback;
+}
+
+} // namespace
+
+TrafficOptions
+TrafficOptions::fromEnv(TrafficOptions base)
+{
+    base.seed = static_cast<uint64_t>(
+        envDouble("BW_CLUSTER_SEED", static_cast<double>(base.seed)));
+    base.baseRps = envDouble("BW_CLUSTER_RPS", base.baseRps);
+    base.durationS = envDouble("BW_CLUSTER_DURATION_S", base.durationS);
+    return base;
+}
+
+TrafficOptions
+TrafficOptions::fromEnv()
+{
+    return fromEnv(TrafficOptions{});
+}
+
+double
+trafficRateAt(const TrafficOptions &opts, double t_s)
+{
+    double rate = opts.baseRps;
+    if (opts.diurnalAmplitude != 0 && opts.diurnalPeriodS > 0) {
+        rate *= 1.0 + opts.diurnalAmplitude *
+                          std::sin(2.0 * M_PI * t_s /
+                                   opts.diurnalPeriodS);
+    }
+    for (const BurstPhase &b : opts.bursts) {
+        if (t_s >= b.startS && t_s < b.startS + b.durationS)
+            rate *= b.multiplier;
+    }
+    return std::max(rate, 0.0);
+}
+
+std::vector<ClusterRequest>
+generateTraffic(const TrafficOptions &opts)
+{
+    std::vector<ClusterRequest> trace;
+    if (opts.baseRps <= 0 || opts.durationS <= 0)
+        return trace;
+
+    // Peak rate bounds the thinning proposal process: diurnal swing at
+    // full amplitude times the largest burst multiplier.
+    double peak = opts.baseRps * (1.0 + std::abs(opts.diurnalAmplitude));
+    double burst_peak = 1.0;
+    for (const BurstPhase &b : opts.bursts)
+        burst_peak = std::max(burst_peak, b.multiplier);
+    peak *= burst_peak;
+    BW_ASSERT(peak > 0, "traffic peak rate must be positive");
+
+    std::vector<ModelMix> mix = opts.mix;
+    if (mix.empty())
+        mix.push_back(ModelMix{});
+    double total_w = 0;
+    for (const ModelMix &m : mix) {
+        BW_ASSERT(m.weight > 0, "model mix weight must be positive");
+        total_w += m.weight;
+    }
+
+    // Thinning: candidates at the peak rate, accepted with probability
+    // rate(t)/peak. Every path consumes Rng draws in a fixed order
+    // (gap, accept, then model only on accept), so the trace is a pure
+    // function of the options.
+    Rng rng(opts.seed);
+    double t = 0;
+    while (true) {
+        t += rng.exponential(peak);
+        if (t >= opts.durationS)
+            break;
+        double accept = rng.uniform();
+        if (accept * peak >= trafficRateAt(opts, t))
+            continue;
+        double pick = rng.uniform() * total_w;
+        size_t m = 0;
+        for (; m + 1 < mix.size(); ++m) {
+            if (pick < mix[m].weight)
+                break;
+            pick -= mix[m].weight;
+        }
+        ClusterRequest r;
+        r.arrivalS = t;
+        r.model = mix[m].model;
+        r.steps = std::max(1u, mix[m].steps);
+        r.deadlineMs = mix[m].deadlineMs;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+Json
+trafficSummaryJson(const TrafficOptions &opts,
+                   const std::vector<ClusterRequest> &trace)
+{
+    Json j = Json::object();
+    j.set("seed", opts.seed);
+    j.set("base_rps", opts.baseRps);
+    j.set("duration_s", opts.durationS);
+    j.set("diurnal_amplitude", opts.diurnalAmplitude);
+    j.set("bursts", static_cast<uint64_t>(opts.bursts.size()));
+    j.set("requests", static_cast<uint64_t>(trace.size()));
+    if (!trace.empty()) {
+        j.set("first_arrival_s", trace.front().arrivalS);
+        j.set("last_arrival_s", trace.back().arrivalS);
+    }
+    // Per-model request counts, ascending by model id.
+    uint32_t max_model = 0;
+    for (const ClusterRequest &r : trace)
+        max_model = std::max(max_model, r.model);
+    std::vector<uint64_t> counts(trace.empty() ? 0 : max_model + 1, 0);
+    for (const ClusterRequest &r : trace)
+        ++counts[r.model];
+    Json per_model = Json::array();
+    for (uint64_t c : counts)
+        per_model.push(c);
+    j.set("per_model", std::move(per_model));
+    return j;
+}
+
+} // namespace cluster
+} // namespace bw

@@ -1,0 +1,110 @@
+#include "cluster/weight_cache.h"
+
+namespace bw {
+namespace cluster {
+
+WeightCache::WeightCache(uint64_t capacity_tiles)
+    : capacity_(capacity_tiles)
+{
+}
+
+bool
+WeightCache::evictFor(uint64_t tiles)
+{
+    if (capacity_ == 0)
+        return true; // unbounded
+    if (tiles > capacity_)
+        return false; // can never be resident
+    while (used_ + tiles > capacity_ && !lru_.empty()) {
+        const Entry &victim = lru_.back();
+        used_ -= victim.tiles;
+        index_.erase(victim.model);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    return used_ + tiles <= capacity_;
+}
+
+void
+WeightCache::insert(uint32_t model, uint64_t tiles)
+{
+    lru_.push_front(Entry{model, tiles});
+    index_[model] = lru_.begin();
+    used_ += tiles;
+}
+
+WeightTouch
+WeightCache::touch(uint32_t model, uint64_t tiles)
+{
+    WeightTouch t;
+    if (tiles == 0) { // nothing to load; always a free hit
+        t.hit = true;
+        ++hits_;
+        return t;
+    }
+    auto it = index_.find(model);
+    if (it != index_.end()) {
+        t.hit = true;
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second); // refresh MRU
+        return t;
+    }
+    ++misses_;
+    t.loadedTiles = tiles;
+    uint64_t ev0 = evictions_;
+    if (evictFor(tiles))
+        insert(model, tiles);
+    t.evictions = static_cast<unsigned>(evictions_ - ev0);
+    return t;
+}
+
+bool
+WeightCache::preload(uint32_t model, uint64_t tiles)
+{
+    if (tiles == 0 || index_.count(model))
+        return true;
+    if (capacity_ != 0 && used_ + tiles > capacity_)
+        return false; // warm start never evicts
+    insert(model, tiles);
+    return true;
+}
+
+bool
+WeightCache::resident(uint32_t model) const
+{
+    return index_.count(model) != 0;
+}
+
+void
+WeightCache::clear()
+{
+    lru_.clear();
+    index_.clear();
+    used_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+}
+
+Json
+WeightCache::toJson() const
+{
+    Json j = Json::object();
+    j.set("capacity_tiles", capacity_);
+    j.set("used_tiles", used_);
+    j.set("hits", hits_);
+    j.set("misses", misses_);
+    j.set("evictions", evictions_);
+    Json res = Json::array();
+    for (const Entry &e : lru_) {
+        Json r = Json::object();
+        r.set("model", e.model);
+        r.set("tiles", e.tiles);
+        res.push(std::move(r));
+    }
+    j.set("resident", std::move(res));
+    return j;
+}
+
+} // namespace cluster
+} // namespace bw

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-engine LRU weight-matrix cache for multi-model tenancy.
+ *
+ * A single BW NPU pins one model's weight matrices in its on-chip MRF
+ * (Section III); serving several resident models from one engine means
+ * the matrices of at most a cache-capacity's worth of models can be
+ * resident at once, and a request for a non-resident model first
+ * streams its matrices from DRAM. WeightCache models that contention:
+ * capacity and footprints are measured in native-dimension matrix
+ * tiles (the CompiledModel::mrfTilesUsed unit), eviction is LRU, and a
+ * miss reports the tiles to load so the cluster can charge the reload
+ * in cycles (TimingParams::dramLatency + bytes / dramBytesPerCycle).
+ *
+ * Deterministic by construction — no clocks, no randomness; the hit /
+ * miss / eviction sequence is a pure function of the touch sequence.
+ * Not thread-safe: the cluster serializes touches (virtual-time replay
+ * is single-threaded; live submits take the cluster's routing lock).
+ */
+
+#ifndef BW_CLUSTER_WEIGHT_CACHE_H
+#define BW_CLUSTER_WEIGHT_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.h"
+
+namespace bw {
+namespace cluster {
+
+/** Outcome of one WeightCache::touch(). */
+struct WeightTouch
+{
+    bool hit = false;
+    uint64_t loadedTiles = 0; //!< tiles streamed from DRAM on a miss
+    unsigned evictions = 0;   //!< resident models evicted to make room
+};
+
+/** LRU cache of model weight footprints, in native matrix tiles. */
+class WeightCache
+{
+  public:
+    /** @p capacity_tiles = 0 means unbounded (every model fits). */
+    explicit WeightCache(uint64_t capacity_tiles = 0);
+
+    /**
+     * Reference @p model with footprint @p tiles: a hit refreshes its
+     * LRU position; a miss evicts least-recently-used residents until
+     * the model fits, then loads it. A model with @p tiles = 0 is a
+     * free hit (nothing to load); a model larger than the whole cache
+     * loads on every touch and is never resident.
+     */
+    WeightTouch touch(uint32_t model, uint64_t tiles);
+
+    /** Preload @p model without counting a miss (warm start); returns
+     *  false when it does not fit alongside current residents. */
+    bool preload(uint32_t model, uint64_t tiles);
+
+    bool resident(uint32_t model) const;
+    uint64_t capacityTiles() const { return capacity_; }
+    uint64_t usedTiles() const { return used_; }
+    size_t residents() const { return lru_.size(); }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
+
+    /** Drop residents and counters (between replays). */
+    void clear();
+
+    /** Residents MRU-first plus counters, machine-readable. */
+    Json toJson() const;
+
+  private:
+    struct Entry
+    {
+        uint32_t model;
+        uint64_t tiles;
+    };
+
+    bool evictFor(uint64_t tiles);
+    void insert(uint32_t model, uint64_t tiles);
+
+    uint64_t capacity_;
+    uint64_t used_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    std::list<Entry> lru_; //!< front = most recently used
+    std::unordered_map<uint32_t, std::list<Entry>::iterator> index_;
+};
+
+} // namespace cluster
+} // namespace bw
+
+#endif // BW_CLUSTER_WEIGHT_CACHE_H

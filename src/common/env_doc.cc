@@ -112,6 +112,37 @@ envVarDocs()
          "(schema bw.slo/1): per-class lifetime counters plus "
          "fast/slow burn rates for both SLIs, as served on "
          "/slo.json."},
+        {"BW_CLUSTER_MIX",
+         "Replica-group mix for cluster::ClusterOptions::fromEnv() as "
+         "'preset:count' pairs, e.g. 's5:2,a10:1,s10:1' (presets s5 / "
+         "a10 / s10 = the Table III configurations). Replaces the "
+         "configured groups; the first configured group's engine "
+         "options carry over as the template."},
+        {"BW_CLUSTER_POLICY",
+         "Front-door routing policy for the cluster: "
+         "'consistent_hash' (hash ring by model, max weight-cache "
+         "affinity), 'least_loaded' (fewest queued + in-flight), or "
+         "'slo_aware' (least-loaded plus class-ordered admission "
+         "shedding)."},
+        {"BW_CLUSTER_CACHE_TILES",
+         "Per-engine LRU weight-cache capacity in native matrix tiles "
+         "(0 = each engine's NpuConfig::mrfSize). Requests for "
+         "non-resident models are charged a DRAM weight-stream reload "
+         "in their service time."},
+        {"BW_CLUSTER_SEED",
+         "Seed for the cluster traffic generator (cluster_serve's "
+         "open-loop Poisson + diurnal + burst trace). Same seed, same "
+         "trace, byte-identical replay exports."},
+        {"BW_CLUSTER_RPS",
+         "Base arrival rate in requests/second for the cluster traffic "
+         "generator, before diurnal and burst modulation."},
+        {"BW_CLUSTER_DURATION_S",
+         "Generated cluster trace duration in virtual seconds."},
+        {"BW_CLUSTER_ROUTE_JSON",
+         "Output path for cluster_serve's router decision log (schema "
+         "bw.route/1): policy, shed counters by deadline class, and "
+         "one row per routing decision. Check with 'bw_spans "
+         "validate'."},
     };
     return docs;
 }

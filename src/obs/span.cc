@@ -35,6 +35,7 @@ spanKindName(SpanKind k)
       case SpanKind::Dispatch: return "dispatch";
       case SpanKind::Execute: return "execute";
       case SpanKind::Chain: return "chain";
+      case SpanKind::Route: return "route";
       default: BW_PANIC("bad SpanKind %d", static_cast<int>(k));
     }
 }
@@ -150,14 +151,15 @@ SpanTracer::clear()
 // --- Canonical request tree ---
 
 SpanId
-recordRequestTree(SpanTracer &tracer, const RequestSpans &rs)
+recordRequestTree(SpanTracer &tracer, const RequestSpans &rs,
+                  SpanId parent)
 {
     if (rs.trace == 0)
         return 0;
     SpanRecord r;
     r.trace = rs.trace;
-    r.id = 1;
-    r.parent = 0;
+    r.id = parent + 1;
+    r.parent = parent;
     r.kind = SpanKind::Request;
     r.outcome = rs.outcome;
     r.startUs = rs.admitUs;
@@ -166,8 +168,8 @@ recordRequestTree(SpanTracer &tracer, const RequestSpans &rs)
 
     SpanRecord q;
     q.trace = rs.trace;
-    q.id = 2;
-    q.parent = 1;
+    q.id = parent + 2;
+    q.parent = r.id;
     q.kind = SpanKind::QueueWait;
     q.startUs = rs.admitUs;
     q.endUs = rs.dequeueUs;
@@ -180,8 +182,8 @@ recordRequestTree(SpanTracer &tracer, const RequestSpans &rs)
 
     SpanRecord d;
     d.trace = rs.trace;
-    d.id = 3;
-    d.parent = 1;
+    d.id = parent + 3;
+    d.parent = r.id;
     d.kind = SpanKind::Dispatch;
     d.startUs = rs.dequeueUs;
     d.endUs = rs.serviceUs;
@@ -189,8 +191,8 @@ recordRequestTree(SpanTracer &tracer, const RequestSpans &rs)
 
     SpanRecord e;
     e.trace = rs.trace;
-    e.id = 4;
-    e.parent = 1;
+    e.id = parent + 4;
+    e.parent = r.id;
     e.kind = SpanKind::Execute;
     e.index = rs.replica;
     e.chainCount = rs.chainCount;
@@ -198,6 +200,25 @@ recordRequestTree(SpanTracer &tracer, const RequestSpans &rs)
     e.endUs = rs.doneUs;
     tracer.record(e);
     return e.id;
+}
+
+SpanId
+recordRouteSpan(SpanTracer &tracer, const RouteSpan &rs)
+{
+    if (rs.trace == 0)
+        return 0;
+    SpanRecord r;
+    r.trace = rs.trace;
+    r.id = 1;
+    r.parent = 0;
+    r.kind = SpanKind::Route;
+    r.outcome = rs.outcome;
+    r.index = rs.engine;
+    r.chainId = rs.model;
+    r.startUs = rs.admitUs;
+    r.endUs = rs.doneUs;
+    tracer.record(r);
+    return r.id;
 }
 
 void
@@ -278,6 +299,11 @@ spanNode(const SpanRecord &s, const std::vector<const SpanRecord *> &kids)
       case SpanKind::Request:
         n.set("outcome", spanOutcomeName(s.outcome));
         break;
+      case SpanKind::Route:
+        n.set("outcome", spanOutcomeName(s.outcome));
+        n.set("engine", s.index);
+        n.set("model", s.chainId);
+        break;
       case SpanKind::Execute:
         n.set("replica", s.index);
         if (s.chainCount > 0) {
@@ -342,7 +368,8 @@ spanTreeJson(const std::vector<SpanRecord> &spans, uint64_t dropped)
         for (size_t k = i; k < j; ++k) {
             const SpanRecord *s = ordered[k];
             by_id.emplace(s->id, s);
-            if (s->parent == 0 && s->kind == SpanKind::Request)
+            if (s->parent == 0 && (s->kind == SpanKind::Request ||
+                                   s->kind == SpanKind::Route))
                 root = s;
         }
         bool lost_parent = false;
@@ -464,8 +491,10 @@ validateSpan(const Json &node, TraceId trace, bool is_root,
     if (!name || name->type() != Json::Type::String ||
         name->asString().empty())
         return failSpan(trace, "span missing name");
-    if (is_root && name->asString() != "request")
-        return failSpan(trace, "root span is not named 'request'");
+    if (is_root && name->asString() != "request" &&
+        name->asString() != "route")
+        return failSpan(trace,
+                        "root span is not named 'request' or 'route'");
     const Json *id = node.find("id");
     if (!id || id->type() != Json::Type::Int || id->asInt() <= 0)
         return failSpan(trace, "span '" + name->asString() +
@@ -604,6 +633,11 @@ appendSpanEvents(Json &chrome_doc, const std::vector<SpanRecord> &spans)
         switch (s.kind) {
           case SpanKind::Request:
             args.set("outcome", spanOutcomeName(s.outcome));
+            break;
+          case SpanKind::Route:
+            args.set("outcome", spanOutcomeName(s.outcome));
+            args.set("engine", s.index);
+            args.set("model", s.chainId);
             break;
           case SpanKind::Execute:
             args.set("replica", s.index);

@@ -64,6 +64,7 @@ enum class SpanKind : uint8_t
     Dispatch,    //!< dequeue -> service start (batch admin, expiry)
     Execute,     //!< service on one accelerator replica
     Chain,       //!< one retired instruction chain within execute
+    Route,       //!< cluster front-door routing decision (tree root)
     NumSpanKinds
 };
 
@@ -226,8 +227,32 @@ struct RequestSpans
  * request + queue_wait only (it never reached service). Returns the
  * execute span id (0 when no execute span was recorded) for
  * recordChainSpans().
+ *
+ * @p parent nests the whole tree under an already recorded span (the
+ * cluster front door's route span): span ids shift by @p parent and the
+ * request span's parent becomes @p parent instead of being the root.
  */
-SpanId recordRequestTree(SpanTracer &tracer, const RequestSpans &rs);
+SpanId recordRequestTree(SpanTracer &tracer, const RequestSpans &rs,
+                         SpanId parent = 0);
+
+/**
+ * One cluster routing decision wrapped around a request: the span
+ * covers [admitUs, doneUs] and carries the chosen engine and the
+ * resident-model id. Recorded as the trace root (id 1, parentless) —
+ * nest the request tree under it via recordRequestTree(..., parent).
+ */
+struct RouteSpan
+{
+    TraceId trace = 0;
+    uint64_t admitUs = 0;
+    uint64_t doneUs = 0;
+    uint32_t engine = 0; //!< target engine index within the cluster
+    uint32_t model = 0;  //!< resident-model id the request named
+    SpanOutcome outcome = SpanOutcome::Ok;
+};
+
+/** Record a route root span; returns its id (0 when unsampled). */
+SpanId recordRouteSpan(SpanTracer &tracer, const RouteSpan &rs);
 
 /**
  * Attach chain leaf spans under execute span @p execute of @p trace,
@@ -256,7 +281,8 @@ Json spanTreeJson(const SpanTracer &tracer);
 
 /**
  * Validate a spanTreeJson() document against the bw.spans/1 schema:
- * required members and types, request-named roots, ids unique within a
+ * required members and types, request- or route-named roots (the
+ * latter from the cluster front door), ids unique within a
  * trace, end >= start, dur consistent, every child interval inside its
  * parent. Returns OK or InvalidArgument naming the first violation.
  */

@@ -370,16 +370,25 @@ Engine::submit(std::vector<FVec> xs, double deadline_ms)
 Expected<std::future<Response>>
 Engine::submitTimed(unsigned steps, double deadline_ms)
 {
-    if (!model_ && opts_.serviceMsOverride <= 0) {
+    return submitTimed(steps, deadline_ms, 0.0);
+}
+
+Expected<std::future<Response>>
+Engine::submitTimed(unsigned steps, double deadline_ms,
+                    double service_ms)
+{
+    if (!model_ && opts_.serviceMsOverride <= 0 && service_ms <= 0) {
         return Status::failedPrecondition(
             "timed request needs a CompiledModel (for the timing "
-            "simulator) or EngineOptions::serviceMsOverride");
+            "simulator), EngineOptions::serviceMsOverride, or a "
+            "per-request service_ms");
     }
     if (steps == 0)
         return Status::invalidArgument("timed request with steps == 0");
     Pending p;
     p.steps = steps;
     p.timed = true;
+    p.serviceMsReq = service_ms > 0 ? service_ms : 0.0;
     p.deadlineMs = deadline_ms > 0 ? deadline_ms : opts_.defaultDeadlineMs;
     return enqueue(std::move(p));
 }
@@ -574,7 +583,8 @@ Engine::serveBatch(unsigned index, FuncMachine *machine,
     for (const Pending &p : live) {
         if (p.timed) {
             ++timed;
-            sim_ms += serviceMsFor(p.steps);
+            sim_ms += p.serviceMsReq > 0 ? p.serviceMsReq
+                                         : serviceMsFor(p.steps);
         }
     }
     if (timed > 0 && opts_.batchServiceMs)
@@ -815,6 +825,7 @@ Engine::debugConfigJson() const
 {
     Json j = Json::object();
     Json eng = Json::object();
+    eng.set("group", opts_.groupLabel);
     eng.set("replicas", opts_.replicas);
     eng.set("queue_depth", static_cast<uint64_t>(opts_.queueDepth));
     eng.set("policy", dispatchPolicyName(opts_.policy));

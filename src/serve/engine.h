@@ -99,6 +99,11 @@ struct EngineOptions
      *  of running the timing simulator (analytic-model equivalence). */
     double serviceMsOverride = 0.0;
 
+    /** Replica-group label stamped on /debug/config, so the engines of
+     *  a multi-engine cluster are distinguishable when scraping their
+     *  debug endpoints (e.g. "s10/0"). Purely informational. */
+    std::string groupLabel;
+
     /**
      * Wall-clock seconds a worker occupies itself per simulated second
      * of timed service (1.0 = real time, 0.0 = instantaneous). Timed
@@ -287,6 +292,17 @@ class Engine
                                                 double deadline_ms = 0);
 
     /**
+     * Submit a timed request with a per-request simulated service time
+     * (milliseconds). The cluster front door uses this to charge
+     * model-specific service plus weight-reload cost on a shared,
+     * model-less engine; @p service_ms <= 0 falls back to the engine's
+     * model / serviceMsOverride (and then requires one of them).
+     */
+    Expected<std::future<Response>> submitTimed(unsigned steps,
+                                                double deadline_ms,
+                                                double service_ms);
+
+    /**
      * Graceful drain: stop admitting, then block until every queued
      * and in-flight request has completed. The worker pool stays up
      * (shutdown() or the destructor joins it).
@@ -401,6 +417,9 @@ class Engine
         std::vector<FVec> xs;  //!< empty for timed requests
         unsigned steps = 1;
         bool timed = false;
+        /** Per-request simulated service override, milliseconds
+         *  (0 = the engine's model / serviceMsOverride). */
+        double serviceMsReq = 0;
         double deadlineMs = 0; //!< 0 = none
         double admitS = 0;     //!< engine-clock seconds at admission
         /** Span-tracing context, stamped at admission and carried to

@@ -1,0 +1,699 @@
+/**
+ * @file
+ * Tests for bw::cluster: deterministic traffic generation, router
+ * policies (consistent hash, least-loaded, SLO-aware shedding), the LRU
+ * weight cache, and the Cluster replay determinism/degeneracy contracts.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::cluster;
+
+// --- TrafficGen ---
+
+TEST(Traffic, GenerateIsDeterministic)
+{
+    TrafficOptions opts;
+    opts.baseRps = 2000;
+    opts.durationS = 0.5;
+    opts.seed = 7;
+    opts.diurnalAmplitude = 0.3;
+    opts.diurnalPeriodS = 0.25;
+    opts.bursts.push_back(BurstPhase{0.1, 0.05, 3.0});
+    opts.mix.push_back(ModelMix{0, 4.0, 2, 10.0});
+    opts.mix.push_back(ModelMix{1, 1.0, 5, 0.0});
+
+    std::vector<ClusterRequest> a = generateTraffic(opts);
+    std::vector<ClusterRequest> b = generateTraffic(opts);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrivalS, b[i].arrivalS);
+        EXPECT_EQ(a[i].model, b[i].model);
+        EXPECT_EQ(a[i].steps, b[i].steps);
+        EXPECT_EQ(a[i].deadlineMs, b[i].deadlineMs);
+    }
+    EXPECT_EQ(trafficSummaryJson(opts, a).dump(),
+              trafficSummaryJson(opts, b).dump());
+
+    // Arrivals ascend and stay inside the duration.
+    for (size_t i = 1; i < a.size(); ++i)
+        EXPECT_GE(a[i].arrivalS, a[i - 1].arrivalS);
+    EXPECT_LT(a.back().arrivalS, opts.durationS);
+
+    // The mix weights skew the model draw 4:1.
+    size_t hot = 0;
+    for (const ClusterRequest &r : a)
+        hot += r.model == 0;
+    EXPECT_GT(hot, a.size() / 2);
+
+    // Different seed, different trace.
+    opts.seed = 8;
+    std::vector<ClusterRequest> c = generateTraffic(opts);
+    bool same = c.size() == a.size();
+    for (size_t i = 0; same && i < c.size(); ++i)
+        same = c[i].arrivalS == a[i].arrivalS;
+    EXPECT_FALSE(same);
+}
+
+TEST(Traffic, RateModulation)
+{
+    TrafficOptions opts;
+    opts.baseRps = 1000;
+    opts.diurnalAmplitude = 0.5;
+    opts.diurnalPeriodS = 1.0;
+    EXPECT_DOUBLE_EQ(trafficRateAt(opts, 0.0), 1000.0);
+    EXPECT_NEAR(trafficRateAt(opts, 0.25), 1500.0, 1e-9);
+    EXPECT_NEAR(trafficRateAt(opts, 0.75), 500.0, 1e-9);
+
+    opts.bursts.push_back(BurstPhase{0.0, 0.1, 4.0});
+    EXPECT_NEAR(trafficRateAt(opts, 0.0), 4000.0, 1e-9);
+    EXPECT_NEAR(trafficRateAt(opts, 0.25), 1500.0, 1e-9);
+
+    // A burst raises the arrival count inside its window.
+    TrafficOptions burst;
+    burst.baseRps = 1000;
+    burst.durationS = 1.0;
+    burst.bursts.push_back(BurstPhase{0.5, 0.2, 5.0});
+    std::vector<ClusterRequest> t = generateTraffic(burst);
+    size_t in = 0, before = 0;
+    for (const ClusterRequest &r : t) {
+        if (r.arrivalS >= 0.5 && r.arrivalS < 0.7)
+            ++in;
+        else if (r.arrivalS >= 0.2 && r.arrivalS < 0.4)
+            ++before;
+    }
+    EXPECT_GT(in, 2 * before);
+}
+
+// --- WeightCache ---
+
+TEST(WeightCache, LruEvictionOrder)
+{
+    WeightCache c(100);
+    EXPECT_FALSE(c.touch(0, 40).hit); // load A
+    EXPECT_FALSE(c.touch(1, 40).hit); // load B
+    EXPECT_TRUE(c.touch(0, 40).hit);  // A now MRU
+    WeightTouch t = c.touch(2, 40);   // evicts B (LRU), not A
+    EXPECT_FALSE(t.hit);
+    EXPECT_EQ(t.loadedTiles, 40u);
+    EXPECT_EQ(t.evictions, 1u);
+    EXPECT_TRUE(c.resident(0));
+    EXPECT_FALSE(c.resident(1));
+    EXPECT_TRUE(c.resident(2));
+    EXPECT_EQ(c.usedTiles(), 80u);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 3u);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(WeightCache, OversizedModelNeverResident)
+{
+    WeightCache c(50);
+    // Needs two evictions to even try, still cannot fit.
+    EXPECT_FALSE(c.touch(0, 20).hit);
+    EXPECT_FALSE(c.touch(1, 20).hit);
+    WeightTouch t = c.touch(9, 80);
+    EXPECT_FALSE(t.hit);
+    EXPECT_EQ(t.loadedTiles, 80u);
+    EXPECT_FALSE(c.resident(9));
+    // The oversized touch must not have evicted the residents.
+    EXPECT_TRUE(c.resident(0));
+    EXPECT_TRUE(c.resident(1));
+    // And it reloads on every touch.
+    EXPECT_FALSE(c.touch(9, 80).hit);
+}
+
+TEST(WeightCache, ZeroTilesAndUnbounded)
+{
+    WeightCache c(10);
+    EXPECT_TRUE(c.touch(0, 0).hit); // zero footprint: free hit
+    EXPECT_EQ(c.residents(), 0u);
+
+    WeightCache u(0); // unbounded
+    for (uint32_t m = 0; m < 50; ++m)
+        EXPECT_FALSE(u.touch(m, 100).hit);
+    EXPECT_EQ(u.evictions(), 0u);
+    EXPECT_EQ(u.residents(), 50u);
+}
+
+TEST(WeightCache, PreloadWarmStart)
+{
+    WeightCache c(100);
+    EXPECT_TRUE(c.preload(0, 60));
+    EXPECT_FALSE(c.preload(1, 60)); // does not fit, never evicts
+    EXPECT_TRUE(c.resident(0));
+    EXPECT_FALSE(c.resident(1));
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.touch(0, 60).hit);
+}
+
+// --- Router ---
+
+namespace {
+
+RouterOptions
+routerOpts(RoutePolicy p)
+{
+    RouterOptions o;
+    o.policy = p;
+    return o;
+}
+
+} // namespace
+
+TEST(Router, ConsistentHashIsStableAndLoadBlind)
+{
+    Router r(routerOpts(RoutePolicy::ConsistentHash), 4, 3);
+    std::vector<EngineLoad> idle(4), skew(4);
+    for (auto &l : idle)
+        l.queueCapacity = 8;
+    skew = idle;
+    skew[0].queued = 100; // consistent hash must ignore load
+
+    int32_t e = r.route(1, 0, "gru-hot", 0, idle);
+    ASSERT_GE(e, 0);
+    for (uint64_t s = 2; s < 10; ++s)
+        EXPECT_EQ(r.route(s, 0, "gru-hot", 0, s % 2 ? skew : idle), e);
+
+    // Different names spread over more than one engine.
+    bool spread = false;
+    for (int i = 0; i < 16 && !spread; ++i)
+        spread = r.route(100 + i, 1, "model-" + std::to_string(i), 0,
+                         idle) != e;
+    EXPECT_TRUE(spread);
+}
+
+TEST(Router, LeastLoadedPicksMinAndBreaksTiesLow)
+{
+    Router r(routerOpts(RoutePolicy::LeastLoaded), 3, 3);
+    std::vector<EngineLoad> loads(3);
+    for (auto &l : loads)
+        l.queueCapacity = 8;
+    loads[0].queued = 2;
+    loads[1].queued = 1;
+    loads[2].inflight = 3;
+    EXPECT_EQ(r.route(1, 0, "m", 0, loads), 1);
+    loads[1].queued = 2;
+    loads[2].inflight = 2;
+    EXPECT_EQ(r.route(2, 0, "m", 0, loads), 0); // all tied at 2: lowest
+}
+
+TEST(Router, SloAwareShedsByClassOrder)
+{
+    Router r(routerOpts(RoutePolicy::SloAware), 2, 3);
+    // Default thresholds for 3 classes: {2.0, 0.9, 0.7}.
+    EXPECT_GT(r.shedThreshold(0), 1.0);
+    EXPECT_NEAR(r.shedThreshold(1), 0.9, 1e-12);
+    EXPECT_NEAR(r.shedThreshold(2), 0.7, 1e-12);
+
+    std::vector<EngineLoad> full(2);
+    for (auto &l : full) {
+        l.queued = 8;
+        l.queueCapacity = 8; // occupancy 1.0
+    }
+    EXPECT_GE(r.route(1, 0, "m", 0, full), 0); // urgent: never shed
+    EXPECT_EQ(r.route(2, 0, "m", 1, full), -1);
+    EXPECT_EQ(r.route(3, 0, "m", 2, full), -1);
+
+    std::vector<EngineLoad> mid = full;
+    mid[0].queued = 6;
+    mid[1].queued = 6; // occupancy 0.75: sheds class 2 only
+    EXPECT_GE(r.route(4, 0, "m", 1, mid), 0);
+    EXPECT_EQ(r.route(5, 0, "m", 2, mid), -1);
+
+    EXPECT_EQ(r.shed(), 3u);
+    ASSERT_EQ(r.shedByClass().size(), 3u);
+    EXPECT_EQ(r.shedByClass()[0], 0u);
+    EXPECT_EQ(r.shedByClass()[1], 1u);
+    EXPECT_EQ(r.shedByClass()[2], 2u);
+}
+
+TEST(Router, DecisionLogDeterministicAndClearable)
+{
+    auto drive = [](Router &r) {
+        std::vector<EngineLoad> loads(3);
+        for (auto &l : loads)
+            l.queueCapacity = 4;
+        for (uint64_t s = 1; s <= 20; ++s) {
+            loads[s % 3].queued = s % 5;
+            r.route(s, static_cast<uint32_t>(s % 2),
+                    s % 2 ? "even" : "odd",
+                    static_cast<uint32_t>(s % 3), loads);
+        }
+    };
+    Router a(routerOpts(RoutePolicy::SloAware), 3, 3);
+    Router b(routerOpts(RoutePolicy::SloAware), 3, 3);
+    drive(a);
+    drive(b);
+    Json da = a.decisionsJson();
+    EXPECT_EQ(da.dump(), b.decisionsJson().dump());
+    Status valid = validateRouteJson(da);
+    EXPECT_TRUE(valid.ok()) << valid.toString();
+    // Mutating a counter breaks the log/counter consistency check.
+    Json broken = da;
+    broken.set("routed", static_cast<uint64_t>(9999));
+    EXPECT_FALSE(validateRouteJson(broken).ok());
+    EXPECT_FALSE(validateRouteJson(Json::object()).ok());
+    ASSERT_TRUE(da.find("schema"));
+    EXPECT_EQ(da.find("schema")->asString(), "bw.route/1");
+    EXPECT_EQ(static_cast<uint64_t>(da.find("decisions")->size()),
+              a.routed() + a.shed());
+
+    a.clear();
+    EXPECT_EQ(a.routed(), 0u);
+    EXPECT_EQ(a.shed(), 0u);
+    EXPECT_EQ(a.decisions().size(), 0u);
+    drive(a);
+    EXPECT_EQ(a.decisionsJson().dump(), b.decisionsJson().dump());
+}
+
+// --- Cluster ---
+
+namespace {
+
+/// A two-group, three-engine cluster over flat-service models: fast to
+/// construct, fully deterministic, exercises heterogeneous groups.
+ClusterOptions
+smallClusterOptions()
+{
+    ClusterOptions co;
+    ReplicaGroupSpec fast;
+    fast.name = "s10";
+    fast.config = NpuConfig::bwS10();
+    fast.engines = 2;
+    fast.engine.queueDepth = 8;
+    fast.engine.defaultDeadlineMs = 20.0;
+    ReplicaGroupSpec slow;
+    slow.name = "s5";
+    slow.config = NpuConfig::bwS5();
+    slow.engines = 1;
+    slow.engine.queueDepth = 8;
+    slow.engine.defaultDeadlineMs = 20.0;
+    co.groups = {fast, slow};
+    co.weightCacheTiles = 64;
+    return co;
+}
+
+TrafficOptions
+smallTraffic(double rps, double duration_s)
+{
+    TrafficOptions t;
+    t.baseRps = rps;
+    t.durationS = duration_s;
+    t.seed = 42;
+    t.mix.push_back(ModelMix{0, 8.0, 1, 10.0}); // hot, interactive
+    t.mix.push_back(ModelMix{1, 2.0, 1, 80.0}); // warm, standard
+    t.mix.push_back(ModelMix{2, 1.0, 1, 0.0});  // cold, best-effort
+    return t;
+}
+
+void
+addSmallModels(Cluster &c)
+{
+    c.addTimedModel("hot", 0.8, 24);
+    c.addTimedModel("warm", 1.5, 24);
+    c.addTimedModel("cold", 2.5, 40);
+}
+
+} // namespace
+
+TEST(Cluster, ReplayIsByteIdenticallyDeterministic)
+{
+    obs::SpanTracerOptions so;
+    so.sampleEvery = 3;
+    obs::SpanTracer tracer(so);
+    ClusterOptions co = smallClusterOptions();
+    co.spanTracer = &tracer;
+    Cluster c(co);
+    addSmallModels(c);
+    std::vector<ClusterRequest> trace =
+        generateTraffic(smallTraffic(3000, 0.4));
+    ASSERT_GT(trace.size(), 200u);
+
+    ClusterStats s1 = c.replay(trace);
+    std::string route1 = c.routeJson().dump();
+    std::string slo1 = c.sloJson().dump();
+    std::vector<std::string> flight1, eslo1;
+    for (unsigned e = 0; e < c.engineCount(); ++e) {
+        flight1.push_back(c.engineFlightJson(e).dump());
+        eslo1.push_back(c.engineSloJson(e).dump());
+    }
+    std::string spans1 = obs::spanTreeJson(tracer).dump();
+
+    ClusterStats s2 = c.replay(trace);
+    EXPECT_EQ(s1.toJson().dump(), s2.toJson().dump());
+    EXPECT_EQ(route1, c.routeJson().dump());
+    EXPECT_EQ(slo1, c.sloJson().dump());
+    for (unsigned e = 0; e < c.engineCount(); ++e) {
+        EXPECT_EQ(flight1[e], c.engineFlightJson(e).dump());
+        EXPECT_EQ(eslo1[e], c.engineSloJson(e).dump());
+        EXPECT_TRUE(
+            obs::validateFlightJson(c.engineFlightJson(e)).ok());
+        EXPECT_TRUE(serve::validateSloJson(c.engineSloJson(e)).ok());
+    }
+    EXPECT_EQ(spans1, obs::spanTreeJson(tracer).dump());
+
+    // The replay actually exercised the cluster.
+    EXPECT_EQ(s1.submitted, trace.size());
+    EXPECT_GT(s1.completed, 0u);
+    uint64_t accounted =
+        s1.completed + s1.shed + s1.rejected + s1.expired;
+    EXPECT_EQ(accounted, s1.submitted);
+}
+
+TEST(Cluster, RouteRootedSpanTreesValidate)
+{
+    obs::SpanTracerOptions so;
+    so.sampleEvery = 1; // trace everything
+    obs::SpanTracer tracer(so);
+    ClusterOptions co = smallClusterOptions();
+    co.spanTracer = &tracer;
+    Cluster c(co);
+    addSmallModels(c);
+    c.replay(generateTraffic(smallTraffic(1500, 0.1)));
+
+    Json doc = obs::spanTreeJson(tracer);
+    Status st = obs::validateSpanTreeJson(doc);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    const Json *traces = doc.find("traces");
+    ASSERT_NE(traces, nullptr);
+    ASSERT_GT(traces->size(), 0u);
+    for (size_t i = 0; i < traces->size(); ++i) {
+        const Json *root = traces->at(i).find("root");
+        ASSERT_NE(root, nullptr);
+        EXPECT_EQ(root->find("name")->asString(), "route");
+        const Json *kids = root->find("children");
+        ASSERT_NE(kids, nullptr);
+        ASSERT_EQ(kids->size(), 1u);
+        EXPECT_EQ(kids->at(0).find("name")->asString(), "request");
+    }
+}
+
+TEST(Cluster, SingleEngineDegeneratesToEngineReplay)
+{
+    const double service_ms = 1.1;
+    const unsigned steps = 3;
+
+    serve::EngineOptions eo;
+    eo.replicas = 2;
+    eo.queueDepth = 4;
+    eo.networkMs = 0.4;
+    eo.defaultDeadlineMs = 6.0;
+
+    // The reference: a model-less engine replaying the arrival schedule.
+    obs::FlightRecorder refFlight;
+    serve::SloMonitor refSlo;
+    serve::EngineOptions ref = eo;
+    ref.serviceMsOverride = service_ms;
+    ref.flightRecorder = &refFlight;
+    ref.sloMonitor = &refSlo;
+    serve::Engine engine(ref);
+
+    // The cluster: one group, one engine, one zero-footprint model with
+    // the same flat service time.
+    ClusterOptions co;
+    ReplicaGroupSpec g;
+    g.name = "solo";
+    g.engines = 1;
+    g.engine = eo;
+    co.groups = {g};
+    Cluster c(co);
+    uint32_t m = c.addTimedModel("only", service_ms, 0);
+
+    Rng rng(11);
+    std::vector<double> arrivals = poissonArrivals(1800, 0.3, rng);
+    ASSERT_GT(arrivals.size(), 100u);
+    std::vector<ClusterRequest> trace;
+    for (double a : arrivals)
+        trace.push_back(ClusterRequest{a, m, steps, 0.0});
+
+    ServeStats es = engine.replay(arrivals, steps);
+    ClusterStats cst = c.replay(trace);
+
+    // Identical latency summaries...
+    EXPECT_EQ(es.toJson().dump(), cst.overall.toJson().dump());
+    ASSERT_EQ(cst.engines.size(), 1u);
+    EXPECT_EQ(es.toJson().dump(), cst.engines[0].stats.toJson().dump());
+    // ...byte-identical flight and SLO documents.
+    Expected<Json> ef = engine.flightJson();
+    ASSERT_TRUE(ef.ok());
+    EXPECT_EQ(ef.value().dump(), c.engineFlightJson(0).dump());
+    EXPECT_EQ(refSlo.sloJson().dump(), c.engineSloJson(0).dump());
+    // And every routed decision targeted the only engine.
+    EXPECT_EQ(c.router().shed(), 0u);
+    EXPECT_EQ(c.router().routed(), trace.size());
+}
+
+TEST(Cluster, WeightCacheThrashChargesReloads)
+{
+    ClusterOptions co;
+    ReplicaGroupSpec g;
+    g.name = "one";
+    g.engines = 1;
+    g.engine.queueDepth = 1u << 20; // no rejects: isolate reload cost
+    co.groups = {g};
+    co.weightCacheTiles = 50;
+    co.warmStart = false; // count the cold start too
+    Cluster thrash(co);
+    // Two models of 40 tiles each: only one fits, so strict
+    // alternation misses every touch.
+    thrash.addTimedModel("a", 1.0, 40);
+    thrash.addTimedModel("b", 1.0, 40);
+
+    std::vector<ClusterRequest> trace;
+    for (int i = 0; i < 200; ++i)
+        trace.push_back(
+            ClusterRequest{i * 0.005, static_cast<uint32_t>(i % 2), 1, 0});
+    ClusterStats ts = thrash.replay(trace);
+    ASSERT_EQ(ts.engines.size(), 1u);
+    EXPECT_EQ(ts.engines[0].cacheHits, 0u);
+    EXPECT_EQ(ts.engines[0].cacheMisses, 200u);
+    EXPECT_GE(ts.engines[0].cacheEvictions, 198u);
+    EXPECT_GT(ts.engines[0].reloadMsTotal, 0.0);
+    EXPECT_EQ(ts.engines[0].reloadedTiles, 200u * 40u);
+
+    // A cache that holds both models never misses once warm-started —
+    // and completes faster.
+    co.weightCacheTiles = 100;
+    co.warmStart = true;
+    Cluster roomy(co);
+    roomy.addTimedModel("a", 1.0, 40);
+    roomy.addTimedModel("b", 1.0, 40);
+    ClusterStats rs = roomy.replay(trace);
+    EXPECT_EQ(rs.engines[0].cacheMisses, 0u);
+    EXPECT_EQ(rs.engines[0].cacheHits, 200u);
+    EXPECT_LT(rs.overall.meanLatencyMs, ts.overall.meanLatencyMs);
+
+    // The reload charge matches the documented DRAM model.
+    double per40 = thrash.reloadMs(0, 40);
+    EXPECT_GT(per40, 0.0);
+    EXPECT_NEAR(ts.engines[0].reloadMsTotal, 200 * per40, 1e-9);
+}
+
+TEST(Cluster, SloAwareShedsTailClassesFirstUnderSaturation)
+{
+    ClusterOptions co = smallClusterOptions();
+    co.router.policy = RoutePolicy::SloAware;
+    Cluster c(co);
+    addSmallModels(c);
+    // Far past saturation: three engines of ~1 req/ms against 20k rps.
+    ClusterStats s = c.replay(generateTraffic(smallTraffic(20000, 0.3)));
+    ASSERT_EQ(s.shedByClass.size(), 3u);
+    EXPECT_EQ(s.shedByClass[0], 0u); // interactive never front-door shed
+    EXPECT_GT(s.shedByClass[1], 0u);
+    EXPECT_GT(s.shedByClass[2], 0u);
+    EXPECT_GT(s.shed, 0u);
+    // Interactive keeps completing while lower classes shed.
+    EXPECT_GT(s.completed, 0u);
+}
+
+TEST(Cluster, LeastLoadedOutperformsConsistentHashOnSkewedMix)
+{
+    ClusterOptions co;
+    ReplicaGroupSpec g;
+    g.name = "s10";
+    g.config = NpuConfig::bwS10();
+    g.engines = 4;
+    g.engine.queueDepth = 16;
+    g.engine.defaultDeadlineMs = 25.0;
+    co.groups = {g};
+    co.weightCacheTiles = 256; // generous: isolate placement effects
+    co.router.policy = RoutePolicy::ConsistentHash;
+    Cluster c(co);
+    c.addTimedModel("hot", 1.0, 16);
+    c.addTimedModel("cold-a", 1.0, 16);
+    c.addTimedModel("cold-b", 1.0, 16);
+
+    TrafficOptions t;
+    t.baseRps = 2600; // ~65% of 4-engine capacity, all behind one hash
+    t.durationS = 0.5;
+    t.seed = 9;
+    t.mix.push_back(ModelMix{0, 16.0, 1, 12.0}); // hot model dominates
+    t.mix.push_back(ModelMix{1, 1.0, 1, 12.0});
+    t.mix.push_back(ModelMix{2, 1.0, 1, 12.0});
+    std::vector<ClusterRequest> trace = generateTraffic(t);
+
+    ClusterStats hash = c.replay(trace);
+    c.setRouterPolicy(RoutePolicy::LeastLoaded);
+    ClusterStats least = c.replay(trace);
+
+    // Consistent hash pins the hot model to one engine, which
+    // saturates; least-loaded spreads it and sustains more goodput.
+    EXPECT_GT(least.goodput, hash.goodput);
+    EXPECT_GT(least.goodputRps, hash.goodputRps);
+}
+
+TEST(Cluster, DebugConfigCarriesGroupLabel)
+{
+    ClusterOptions co = smallClusterOptions();
+    Cluster c(co);
+    ASSERT_EQ(c.engineCount(), 3u);
+    EXPECT_EQ(c.engineLabel(0), "s10/0");
+    EXPECT_EQ(c.engineLabel(1), "s10/1");
+    EXPECT_EQ(c.engineLabel(2), "s5/0");
+    for (unsigned e = 0; e < c.engineCount(); ++e) {
+        Json cfg = c.engine(e).debugConfigJson();
+        const Json *eng = cfg.find("engine");
+        ASSERT_NE(eng, nullptr);
+        const Json *group = eng->find("group");
+        ASSERT_NE(group, nullptr);
+        EXPECT_EQ(group->asString(), c.engineLabel(e));
+    }
+}
+
+TEST(Cluster, LiveSubmitRoutesAndServes)
+{
+    metrics::Registry reg;
+    ClusterOptions co = smallClusterOptions();
+    co.metricsRegistry = &reg;
+    for (ReplicaGroupSpec &g : co.groups) {
+        g.engine.timeScale = 0.0; // instantaneous wall-clock service
+        g.engine.defaultDeadlineMs = 0.0;
+        g.engine.queueDepth = 64; // submits outpace live load signals
+    }
+    Cluster c(co);
+    addSmallModels(c);
+    c.start();
+    EXPECT_TRUE(c.accepting());
+
+    std::vector<std::future<serve::Response>> futs;
+    for (int i = 0; i < 30; ++i) {
+        Expected<std::future<serve::Response>> f =
+            c.submitTimed(static_cast<uint32_t>(i % 3), 1);
+        ASSERT_TRUE(f.ok()) << f.status().toString();
+        futs.push_back(std::move(f.value()));
+    }
+    c.drain();
+    unsigned ok = 0;
+    for (auto &f : futs)
+        ok += f.get().status.ok();
+    EXPECT_EQ(ok, 30u);
+    EXPECT_FALSE(c.accepting());
+
+    // The cluster registry saw the traffic.
+    std::string prom = metrics::prometheusText(reg);
+    EXPECT_NE(prom.find("bw_cluster_engines 3"), std::string::npos);
+    EXPECT_NE(prom.find("bw_cluster_requests_total"), std::string::npos);
+    EXPECT_NE(prom.find("bw_cluster_routed_total"), std::string::npos);
+
+    // Unknown model ids are refused before routing.
+    EXPECT_FALSE(c.submitTimed(99, 1).ok());
+}
+
+TEST(Cluster, ExposeDebugServesClusterAndPerEngineDocs)
+{
+    metrics::Registry reg;
+    ClusterOptions co = smallClusterOptions();
+    co.metricsRegistry = &reg;
+    Cluster c(co);
+    addSmallModels(c);
+    c.replay(generateTraffic(smallTraffic(1500, 0.1)));
+
+    metrics::MetricsHttpServer srv(reg);
+    c.exposeDebug(srv);
+    auto body = [&](const std::string &path) {
+        std::string resp = srv.respond("GET " + path + " HTTP/1.1");
+        size_t split = resp.find("\r\n\r\n");
+        EXPECT_NE(resp.find("200"), std::string::npos) << path;
+        return split == std::string::npos ? std::string()
+                                          : resp.substr(split + 4);
+    };
+    Json cluster = Json::parse(body("/debug/cluster"));
+    EXPECT_EQ(cluster.find("engines")->asInt(), 3);
+    EXPECT_EQ(cluster.find("model_count")->asInt(), 3);
+    EXPECT_EQ(cluster.find("models")->size(), 3u);
+    Json route = Json::parse(body("/route.json"));
+    EXPECT_EQ(route.find("schema")->asString(), "bw.route/1");
+    EXPECT_TRUE(serve::validateSloJson(Json::parse(body("/slo.json"))).ok());
+    for (unsigned e = 0; e < c.engineCount(); ++e) {
+        std::string base = "/engine/" + std::to_string(e);
+        EXPECT_TRUE(obs::validateFlightJson(
+                        Json::parse(body(base + "/flight.json")))
+                        .ok());
+        EXPECT_TRUE(serve::validateSloJson(
+                        Json::parse(body(base + "/slo.json")))
+                        .ok());
+        Json cfg = Json::parse(body(base + "/debug/config"));
+        EXPECT_EQ(cfg.find("engine")->find("group")->asString(),
+                  c.engineLabel(e));
+        Json cache = Json::parse(body(base + "/cache.json"));
+        EXPECT_TRUE(cache.contains("capacity_tiles"));
+    }
+}
+
+TEST(Cluster, CompiledModelsDifferPerGroup)
+{
+    ClusterOptions co = smallClusterOptions();
+    Cluster c(co);
+    Rng rng(3);
+    GirGraph g = makeGru(randomGruWeights(96, 96, rng));
+    Expected<uint32_t> id = c.addModel("gru96", g);
+    ASSERT_TRUE(id.ok()) << id.status().toString();
+    // Groups have different native dimensions, so the same model has
+    // different tile footprints and service times per group.
+    uint64_t t0 = c.modelTiles(id.value(), 0); // BW_S10, N=400
+    uint64_t t1 = c.modelTiles(id.value(), 1); // BW_S5, N=100
+    EXPECT_GT(t0, 0u);
+    EXPECT_GT(t1, 0u);
+    EXPECT_NE(t0, t1);
+    double s0 = c.modelServiceMs(id.value(), 0, 1);
+    double s1 = c.modelServiceMs(id.value(), 1, 1);
+    EXPECT_GT(s0, 0.0);
+    EXPECT_GT(s1, s0); // the S5 part is slower than the S10 part
+}
+
+TEST(Cluster, OptionsFromEnv)
+{
+    ::setenv("BW_CLUSTER_MIX", "s5:2,s10:1", 1);
+    ::setenv("BW_CLUSTER_POLICY", "consistent_hash", 1);
+    ::setenv("BW_CLUSTER_CACHE_TILES", "123", 1);
+    ::setenv("BW_CLUSTER_SEED", "77", 1);
+    ::setenv("BW_CLUSTER_RPS", "2500", 1);
+    ::setenv("BW_CLUSTER_DURATION_S", "0.25", 1);
+    ClusterOptions co = ClusterOptions::fromEnv();
+    TrafficOptions to = TrafficOptions::fromEnv();
+    ::unsetenv("BW_CLUSTER_MIX");
+    ::unsetenv("BW_CLUSTER_POLICY");
+    ::unsetenv("BW_CLUSTER_CACHE_TILES");
+    ::unsetenv("BW_CLUSTER_SEED");
+    ::unsetenv("BW_CLUSTER_RPS");
+    ::unsetenv("BW_CLUSTER_DURATION_S");
+
+    ASSERT_EQ(co.groups.size(), 2u);
+    EXPECT_EQ(co.groups[0].name, "s5");
+    EXPECT_EQ(co.groups[0].engines, 2u);
+    EXPECT_EQ(co.groups[0].config.nativeDim, NpuConfig::bwS5().nativeDim);
+    EXPECT_EQ(co.groups[1].name, "s10");
+    EXPECT_EQ(co.groups[1].engines, 1u);
+    EXPECT_EQ(co.router.policy, RoutePolicy::ConsistentHash);
+    EXPECT_EQ(co.weightCacheTiles, 123u);
+    EXPECT_EQ(to.seed, 77u);
+    EXPECT_DOUBLE_EQ(to.baseRps, 2500.0);
+    EXPECT_DOUBLE_EQ(to.durationS, 0.25);
+}
