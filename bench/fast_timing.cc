@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Timing-fidelity ladder benchmark: wall-clock speedup and accuracy of
+ * the event-driven fast tier and the memoized cached tier against the
+ * cycle-accurate ground truth, on serve-engine-shaped RNN workloads.
+ *
+ * The machine-readable artifact (BENCH_fast_timing.json, override with
+ * BW_BENCH_JSON) pins every simulated quantity exactly — cycle counts,
+ * error flags, simulated p50/p99 replay latencies — while wall-clock
+ * leaves live under "wall" subtrees the regression gate ignores. The
+ * harness itself enforces the acceptance floors: zero simulated-cycle
+ * error, bit-identical cached hits, and >= 10x fast-tier wall-clock
+ * speedup on the largest workload.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+
+namespace {
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct WorkloadSpec
+{
+    const char *name;
+    RnnKind kind;
+    unsigned hidden;
+    unsigned iterations;
+};
+
+bool
+chainsEqual(const std::vector<obs::ChainProfile> &a,
+            const std::vector<obs::ChainProfile> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].chain != b[i].chain || a[i].kind != b[i].kind ||
+            a[i].dispatchStart != b[i].dispatchStart ||
+            a[i].dispatchDone != b[i].dispatchDone ||
+            a[i].decodeDone != b[i].decodeDone ||
+            a[i].done != b[i].done || a[i].dataStall != b[i].dataStall ||
+            a[i].inputStall != b[i].inputStall ||
+            a[i].structStall != b[i].structStall)
+            return false;
+    }
+    return true;
+}
+
+bool
+resultsBitIdentical(const timing::TimingResult &a,
+                    const timing::TimingResult &b)
+{
+    return a.totalCycles == b.totalCycles &&
+           a.dispatchedOps == b.dispatchedOps && a.mvmOps == b.mvmOps &&
+           a.instructionsDispatched == b.instructionsDispatched &&
+           a.chainsExecuted == b.chainsExecuted &&
+           a.nativeTileOps == b.nativeTileOps &&
+           a.mvmBusyCycles == b.mvmBusyCycles &&
+           a.mfuBusyCycles == b.mfuBusyCycles &&
+           a.iterationEnd == b.iterationEnd &&
+           a.outputTimes == b.outputTimes &&
+           a.stats.toJson().dump() == b.stats.toJson().dump();
+}
+
+} // namespace
+
+int
+main()
+{
+    NpuConfig cfg = NpuConfig::bwS10();
+    std::printf("Timing-fidelity ladder on %s: cycle-accurate vs fast "
+                "(event-driven) vs cached (memoized)\n\n",
+                cfg.name.c_str());
+
+    const WorkloadSpec specs[] = {
+        {"gru_h512_i2000", RnnKind::Gru, 512, 2000},
+        {"lstm_h256_i1500", RnnKind::Lstm, 256, 1500},
+    };
+
+    TextTable t({"Workload", "Cycles", "Cycle ms", "Fast ms", "Fast x",
+                 "Fast err", "Hit ms", "Hit x", "Bit-identical"});
+    Json workloads = Json::array();
+    bool pass = true;
+    double biggest_speedup = 0;
+
+    for (const WorkloadSpec &spec : specs) {
+        Rng rng(1);
+        GirGraph g =
+            spec.kind == RnnKind::Lstm
+                ? makeLstm(randomLstmWeights(spec.hidden, spec.hidden, rng))
+                : makeGru(randomGruWeights(spec.hidden, spec.hidden, rng));
+        CompileOptions copts;
+        copts.pipelineInputProjections = spec.kind == RnnKind::Gru;
+        CompiledModel m = compileGir(g, cfg, copts);
+
+        // The serve-engine service-time path is an unprofiled run();
+        // that is the wall-clock race. The profiled variant (chain
+        // profiles for span/flight exports) is measured separately —
+        // its copy cost is shared by both tiers.
+        timing::CycleAccurateModel exact(cfg);
+        exact.setTileBeats(m.tileBeats);
+        timing::TimingResult want;
+        double cycle_ms = wallMs([&] {
+            want = exact.run(m.prologue, m.step, spec.iterations);
+        });
+        std::vector<obs::ChainProfile> exact_chains;
+        double cycle_prof_ms = wallMs([&] {
+            exact.runProfiled(m.prologue, m.step, spec.iterations,
+                              &exact_chains);
+        });
+
+        timing::EventDrivenModel fast(cfg);
+        fast.setTileBeats(m.tileBeats);
+        timing::TimingResult got;
+        double fast_ms = wallMs([&] {
+            got = fast.run(m.prologue, m.step, spec.iterations);
+        });
+        std::vector<obs::ChainProfile> fast_chains;
+        double fast_prof_ms = wallMs([&] {
+            fast.runProfiled(m.prologue, m.step, spec.iterations,
+                             &fast_chains);
+        });
+        double rel_err =
+            want.totalCycles
+                ? std::abs(static_cast<double>(got.totalCycles) -
+                           static_cast<double>(want.totalCycles)) /
+                      static_cast<double>(want.totalCycles)
+                : 0.0;
+        bool chains_ok = chainsEqual(fast_chains, exact_chains);
+        bool extrapolated = fast.extrapolatedRuns() == 2 &&
+                            fast.exactFallbacks() == 0;
+
+        timing::MemoTimingModel memo(
+            std::make_unique<timing::CycleAccurateModel>(cfg));
+        memo.setTileBeats(m.tileBeats);
+        timing::ProfiledRun miss =
+            memo.runShared(m.prologue, m.step, spec.iterations);
+        timing::ProfiledRun hit;
+        double hit_ms = wallMs([&] {
+            hit = memo.runShared(m.prologue, m.step, spec.iterations);
+        });
+        bool cached_ok =
+            memo.hits() == 1 &&
+            resultsBitIdentical(hit.result, want) &&
+            resultsBitIdentical(miss.result, want) &&
+            hit.chains && chainsEqual(*hit.chains, exact_chains);
+
+        double fast_x = fast_ms > 0 ? cycle_ms / fast_ms : 0;
+        double hit_x = hit_ms > 0 ? cycle_ms / hit_ms : 0;
+        biggest_speedup = std::max(biggest_speedup, fast_x);
+        pass = pass && rel_err == 0.0 && chains_ok && extrapolated &&
+               cached_ok;
+
+        t.addRow({spec.name, std::to_string(want.totalCycles),
+                  fmtF(cycle_ms, 1), fmtF(fast_ms, 1), fmtF(fast_x, 1),
+                  fmtF(rel_err, 6), fmtF(hit_ms, 3), fmtF(hit_x, 0),
+                  cached_ok ? "yes" : "NO"});
+
+        Json w = Json::object();
+        w.set("name", spec.name);
+        w.set("iterations", spec.iterations);
+        Json cyc = Json::object();
+        cyc.set("total_cycles", want.totalCycles);
+        cyc.set("chains", want.chainsExecuted);
+        w.set("cycle_accurate", std::move(cyc));
+        Json f = Json::object();
+        f.set("total_cycles", got.totalCycles);
+        f.set("rel_cycle_error", rel_err);
+        f.set("chains_identical", chains_ok);
+        f.set("extrapolated", extrapolated);
+        w.set("fast", std::move(f));
+        Json c = Json::object();
+        c.set("bit_identical", cached_ok);
+        w.set("cached", std::move(c));
+        Json wall = Json::object();
+        wall.set("cycle_ms", cycle_ms);
+        wall.set("cycle_profiled_ms", cycle_prof_ms);
+        wall.set("fast_ms", fast_ms);
+        wall.set("fast_profiled_ms", fast_prof_ms);
+        wall.set("fast_speedup", fast_x);
+        wall.set("cached_hit_ms", hit_ms);
+        wall.set("cached_hit_speedup", hit_x);
+        w.set("wall", std::move(wall));
+        workloads.push(std::move(w));
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Serve-engine tie-in: the simulated p50/p99 of a deterministic
+    // replay must not move when the engine's timing tier changes.
+    Rng rng(9);
+    Session session = Session::compile(
+        makeGru(randomGruWeights(128, 128, rng)), cfg);
+    std::vector<double> arrivals;
+    for (int i = 0; i < 64; ++i)
+        arrivals.push_back(i * 0.0004);
+    const unsigned serve_steps = 64;
+    auto replay_at = [&](timing::Fidelity f) {
+        serve::EngineOptions opts;
+        opts.fidelity = f;
+        opts.queueDepth = arrivals.size();
+        auto engine = session.serve(opts);
+        ServeStats s = engine->replay(arrivals, serve_steps);
+        engine->shutdown();
+        return s;
+    };
+    ServeStats serve_cycle = replay_at(timing::Fidelity::CycleAccurate);
+    ServeStats serve_fast = replay_at(timing::Fidelity::Fast);
+    ServeStats serve_cached = replay_at(timing::Fidelity::Cached);
+    bool serve_ok =
+        serve_fast.p50LatencyMs == serve_cycle.p50LatencyMs &&
+        serve_fast.p99LatencyMs == serve_cycle.p99LatencyMs &&
+        serve_cached.p50LatencyMs == serve_cycle.p50LatencyMs &&
+        serve_cached.p99LatencyMs == serve_cycle.p99LatencyMs;
+    pass = pass && serve_ok;
+    std::printf("Serve replay (GRU h=128, %u steps, %zu requests): "
+                "p50 %.4f ms, p99 %.4f ms — fast/cached deltas %s\n",
+                serve_steps, arrivals.size(), serve_cycle.p50LatencyMs,
+                serve_cycle.p99LatencyMs,
+                serve_ok ? "zero" : "NONZERO");
+
+    Json doc = Json::object();
+    doc.set("schema", "bw.bench.fast_timing/1");
+    doc.set("config", cfg.name);
+    doc.set("workloads", std::move(workloads));
+    Json serve = Json::object();
+    serve.set("steps", serve_steps);
+    serve.set("requests", static_cast<uint64_t>(arrivals.size()));
+    serve.set("p50_ms", serve_cycle.p50LatencyMs);
+    serve.set("p99_ms", serve_cycle.p99LatencyMs);
+    serve.set("fast_p50_delta", serve_fast.p50LatencyMs -
+                                    serve_cycle.p50LatencyMs);
+    serve.set("fast_p99_delta", serve_fast.p99LatencyMs -
+                                    serve_cycle.p99LatencyMs);
+    serve.set("cached_p50_delta", serve_cached.p50LatencyMs -
+                                      serve_cycle.p50LatencyMs);
+    serve.set("cached_p99_delta", serve_cached.p99LatencyMs -
+                                      serve_cycle.p99LatencyMs);
+    doc.set("serve", std::move(serve));
+
+    std::string path = bench::benchJsonPath("fast_timing");
+    std::ofstream out(path);
+    out << doc.dump(2) << "\n";
+    std::printf("\nWrote %s\n", path.c_str());
+
+    if (biggest_speedup < 10.0) {
+        std::printf("FAIL: fast-tier speedup %.1fx below the 10x "
+                    "acceptance floor\n",
+                    biggest_speedup);
+        return 1;
+    }
+    if (!pass) {
+        std::printf("FAIL: accuracy/bit-identity acceptance checks "
+                    "failed (see table)\n");
+        return 1;
+    }
+    std::printf("PASS: fast tier %.0fx with zero simulated-cycle error; "
+                "cached hits bit-identical\n",
+                biggest_speedup);
+    return 0;
+}

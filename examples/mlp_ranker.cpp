@@ -27,7 +27,8 @@ main()
     Rng rng(17);
     MlpWeights w = randomMlpWeights(dims, rng);
     GirGraph g = makeMlp(w);
-    CompiledModel m = compileGir(g, cfg);
+    Session sess = Session::compile(g, cfg);
+    const CompiledModel &m = sess.model();
 
     std::printf("MLP ranker on %s: layers", cfg.name.c_str());
     for (unsigned d : dims)
@@ -39,21 +40,18 @@ main()
                 m.mrfTilesUsed, cfg.mrfSize);
 
     // Functional sanity against the float reference.
-    FuncMachine machine(cfg);
-    m.install(machine);
     FVec x(dims.front());
     fillUniform(x, rng, -0.5f, 0.5f);
-    FVec score = m.runStep(machine, x);
+    FVec score = sess.infer(x);
     FVec ref = mlpRef(w, x);
     std::printf("Functional: max |npu - ref| over the %zu-way output = "
                 "%.4f\n\n",
                 score.size(), maxAbsDiff(score, ref));
 
-    // Latency: measured vs the Section III bounds.
-    timing::NpuTiming sim(cfg);
-    sim.setTileBeats(m.tileBeats);
-    auto one = sim.run(m.step, 1);
-    auto pipelined = sim.run(m.step, 64); // back-to-back requests
+    // Latency: measured vs the Section III bounds (the session's
+    // timing tier honors BW_TIMING_MODE).
+    auto one = sess.time(1);
+    auto pipelined = sess.time(64); // back-to-back requests
 
     CritPathResult cp = analyzeCritPath(g, cfg.macCount());
     std::printf("Latency bounds (Section III):\n");

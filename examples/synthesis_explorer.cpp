@@ -23,11 +23,9 @@ Cycles
 gruPerStep(unsigned hidden, const NpuConfig &cfg)
 {
     Rng rng(1);
-    CompiledModel m =
-        compileGir(makeGru(randomGruWeights(hidden, hidden, rng)), cfg);
-    timing::NpuTiming sim(cfg);
-    sim.setTileBeats(m.tileBeats);
-    return sim.run(m.prologue, m.step, 25).steadyStateIterationCycles();
+    Session s = Session::compile(
+        makeGru(randomGruWeights(hidden, hidden, rng)), cfg);
+    return s.time(25).steadyStateIterationCycles();
 }
 
 } // namespace

@@ -82,6 +82,7 @@
 #include "synth/resource_model.h"
 #include "tensor/tensor.h"
 #include "timing/npu_timing.h"
+#include "timing/timing_model.h"
 #include "workloads/deepbench.h"
 #include "workloads/paper_data.h"
 #include "workloads/resnet50.h"

@@ -98,6 +98,7 @@ ClusterOptions::fromEnv(ClusterOptions base)
             base.weightCacheTiles =
                 static_cast<uint64_t>(std::max(0.0, std::atof(cap)));
     }
+    base.fidelity = timing::fidelityFromEnv(base.fidelity);
     return base;
 }
 
@@ -180,6 +181,7 @@ Cluster::Cluster(ClusterOptions opts)
             s->slo = std::make_unique<serve::SloMonitor>(opts_.slo);
             serve::EngineOptions eo = g.engine;
             eo.groupLabel = s->label;
+            eo.fidelity = opts_.fidelity;
             eo.metricsRegistry = s->registry.get();
             eo.flightRecorder = s->flight.get();
             eo.sloMonitor = s->slo.get();
@@ -365,7 +367,7 @@ Cluster::modelServiceMs(uint32_t model, size_t group, unsigned steps)
     auto it = serviceCache_.find(key);
     if (it != serviceCache_.end())
         return it->second;
-    double ms = e.sessions[group]->serviceMs(steps);
+    double ms = e.sessions[group]->serviceMs(steps, opts_.fidelity);
     serviceCache_.emplace(key, ms);
     return ms;
 }
@@ -729,8 +731,15 @@ Cluster::start()
 }
 
 Expected<std::future<serve::Response>>
-Cluster::submitTimed(uint32_t model, unsigned steps, double deadline_ms)
+Cluster::submit(uint32_t model, serve::Request req)
 {
+    if (!req.inputs.empty()) {
+        return Status::invalidArgument(
+            "cluster requests are timed; functional inputs are served "
+            "through a Session, not the cluster front door");
+    }
+    unsigned steps = req.steps;
+    double deadline_ms = req.deadlineMs;
     if (model >= models_.size()) {
         return Status::invalidArgument(
             detail::format("unknown model id %u (have %zu)", model,
@@ -777,9 +786,18 @@ Cluster::submitTimed(uint32_t model, unsigned steps, double deadline_ms)
                 static_cast<uint64_t>(std::llround(reload_ms * 1e3)));
         }
     }
-    double service_ms =
-        modelServiceMs(model, s.group, steps) + reload_ms;
-    return s.engine->submitTimed(steps, deadline_ms, service_ms);
+    double base_ms = req.serviceMsOverride > 0
+                         ? req.serviceMsOverride
+                         : modelServiceMs(model, s.group, steps);
+    double service_ms = base_ms + reload_ms;
+    return s.engine->submit(
+        serve::Request::timed(steps, deadline_ms, service_ms));
+}
+
+Expected<std::future<serve::Response>>
+Cluster::submitTimed(uint32_t model, unsigned steps, double deadline_ms)
+{
+    return submit(model, serve::Request::timed(steps, deadline_ms));
 }
 
 void

@@ -104,12 +104,19 @@ struct ClusterOptions
     /** Per-engine flight-recorder options. */
     obs::FlightRecorderOptions flight;
 
+    /** Timing-fidelity tier for model service-time simulation
+     *  (modelServiceMs) and for every shard engine's timing model.
+     *  Replays stay deterministic at any tier; Cached replays are
+     *  bit-identical to CycleAccurate. */
+    timing::Fidelity fidelity = timing::Fidelity::CycleAccurate;
+
     /**
      * Apply BW_CLUSTER_* environment overrides on @p base:
      * BW_CLUSTER_MIX replaces the groups with a preset mix
      * ("s5:2,a10:1,s10:1" — preset:count, presets s5 / a10 / s10),
      * BW_CLUSTER_POLICY sets the router policy by name, and
-     * BW_CLUSTER_CACHE_TILES sets weightCacheTiles.
+     * BW_CLUSTER_CACHE_TILES sets weightCacheTiles. BW_TIMING_MODE
+     * sets the timing fidelity tier ("cycle" | "fast" | "cached").
      */
     static ClusterOptions fromEnv(ClusterOptions base);
     static ClusterOptions fromEnv();
@@ -239,10 +246,16 @@ class Cluster
     /**
      * Route and submit one timed request for @p model. Sheds at the
      * front door with Unavailable (naming the deadline class) under the
-     * slo_aware policy; otherwise forwards to the routed shard's
-     * submitTimed with the model's service time plus any weight-reload
-     * charge. @p deadline_ms 0 = the shard's defaultDeadlineMs.
+     * slo_aware policy; otherwise forwards to the routed shard with the
+     * model's service time plus any weight-reload charge folded into
+     * req.serviceMsOverride. req.deadlineMs 0 = the shard's
+     * defaultDeadlineMs; req.inputs must be empty (cluster requests are
+     * timed — functional inputs go through a Session directly).
      */
+    Expected<std::future<serve::Response>> submit(uint32_t model,
+                                                  serve::Request req);
+
+    /** Deprecated shim for submit(model, serve::Request::timed(...)). */
     Expected<std::future<serve::Response>>
     submitTimed(uint32_t model, unsigned steps, double deadline_ms = 0);
 

@@ -14,6 +14,17 @@ envVarDocs()
          "breakdown). Set to 'events' to additionally print every "
          "resource busy interval. A sink attached with setTraceSink() "
          "takes precedence."},
+        {"BW_TIMING_MODE",
+         "Timing-fidelity tier wherever a fromEnv()/Session default is "
+         "consulted: 'cycle' (exact NpuTiming pipeline model, the "
+         "default), 'fast' (event-driven steady-state extrapolation "
+         "with exact fallback), or 'cached' (memoized cycle-accurate; "
+         "repeat runs replay bit-identically in O(1))."},
+        {"BW_TIMING_FAST_WARMUP",
+         "Exact-simulator warmup iterations for the 'fast' tier before "
+         "steady-state extrapolation kicks in (default 16). Raise it "
+         "for workloads whose pipeline takes longer to reach a "
+         "periodic steady state."},
         {"BW_SCORECARD_JSON",
          "Output path for repro_scorecard's machine-readable artifact "
          "(default BENCH_scorecard.json in the working directory)."},

@@ -66,6 +66,7 @@ EngineOptions::fromEnv(EngineOptions base)
             BW_WARN("BW_SERVE_POLICY=%s ignored (want unbatched|batched)",
                     s.c_str());
     }
+    base.fidelity = timing::fidelityFromEnv(base.fidelity);
     return base;
 }
 
@@ -349,48 +350,59 @@ Engine::startLocked()
 }
 
 Expected<std::future<Response>>
+Engine::submit(Request req)
+{
+    Pending p;
+    p.deadlineMs =
+        req.deadlineMs > 0 ? req.deadlineMs : opts_.defaultDeadlineMs;
+    if (!req.inputs.empty()) {
+        if (!model_) {
+            return Status::failedPrecondition(
+                "functional request on a model-less engine (construct "
+                "the engine with a CompiledModel, or submit a timed "
+                "Request)");
+        }
+        Status valid = model_->validateSequenceInput(req.inputs);
+        if (!valid.ok())
+            return valid;
+        p.xs = std::move(req.inputs);
+        p.steps = static_cast<unsigned>(p.xs.size());
+        p.timed = false;
+        return enqueue(std::move(p));
+    }
+    if (!model_ && opts_.serviceMsOverride <= 0 &&
+        req.serviceMsOverride <= 0) {
+        return Status::failedPrecondition(
+            "timed request needs a CompiledModel (for the timing "
+            "model), EngineOptions::serviceMsOverride, or a "
+            "Request::serviceMsOverride");
+    }
+    if (req.steps == 0)
+        return Status::invalidArgument("timed request with steps == 0");
+    p.steps = req.steps;
+    p.timed = true;
+    p.serviceMsReq =
+        req.serviceMsOverride > 0 ? req.serviceMsOverride : 0.0;
+    return enqueue(std::move(p));
+}
+
+Expected<std::future<Response>>
 Engine::submit(std::vector<FVec> xs, double deadline_ms)
 {
-    if (!model_) {
-        return Status::failedPrecondition(
-            "functional request on a model-less engine (construct the "
-            "engine with a CompiledModel, or use submitTimed())");
-    }
-    Status valid = model_->validateSequenceInput(xs);
-    if (!valid.ok())
-        return valid;
-    Pending p;
-    p.xs = std::move(xs);
-    p.steps = static_cast<unsigned>(p.xs.size());
-    p.timed = false;
-    p.deadlineMs = deadline_ms > 0 ? deadline_ms : opts_.defaultDeadlineMs;
-    return enqueue(std::move(p));
+    return submit(Request::functional(std::move(xs), deadline_ms));
 }
 
 Expected<std::future<Response>>
 Engine::submitTimed(unsigned steps, double deadline_ms)
 {
-    return submitTimed(steps, deadline_ms, 0.0);
+    return submit(Request::timed(steps, deadline_ms));
 }
 
 Expected<std::future<Response>>
 Engine::submitTimed(unsigned steps, double deadline_ms,
                     double service_ms)
 {
-    if (!model_ && opts_.serviceMsOverride <= 0 && service_ms <= 0) {
-        return Status::failedPrecondition(
-            "timed request needs a CompiledModel (for the timing "
-            "simulator), EngineOptions::serviceMsOverride, or a "
-            "per-request service_ms");
-    }
-    if (steps == 0)
-        return Status::invalidArgument("timed request with steps == 0");
-    Pending p;
-    p.steps = steps;
-    p.timed = true;
-    p.serviceMsReq = service_ms > 0 ? service_ms : 0.0;
-    p.deadlineMs = deadline_ms > 0 ? deadline_ms : opts_.defaultDeadlineMs;
-    return enqueue(std::move(p));
+    return submit(Request::timed(steps, deadline_ms, service_ms));
 }
 
 Expected<std::future<Response>>
@@ -834,6 +846,7 @@ Engine::debugConfigJson() const
     eng.set("network_ms", opts_.networkMs);
     eng.set("default_deadline_ms", opts_.defaultDeadlineMs);
     eng.set("service_ms_override", opts_.serviceMsOverride);
+    eng.set("timing_mode", timing::fidelityName(opts_.fidelity));
     eng.set("time_scale", opts_.timeScale);
     eng.set("metrics", opts_.metricsRegistry != nullptr);
     eng.set("span_tracer", opts_.spanTracer != nullptr);
@@ -1007,21 +1020,27 @@ Engine::serviceProfileFor(unsigned steps)
     auto it = serviceCache_.find(steps);
     if (it != serviceCache_.end())
         return it->second;
-    timing::NpuTiming sim(model_->cfg);
-    sim.setTileBeats(model_->tileBeats);
+    // The simulation runs at the options' fidelity tier; the per-steps
+    // map above stays as a thin front handing workers one immutable
+    // shared profile per step count.
+    if (!timingModel_) {
+        timingModel_ = timing::makeTimingModel(opts_.fidelity,
+                                               model_->cfg);
+        timingModel_->setTileBeats(model_->tileBeats);
+    }
     ServiceProfile prof;
     // Both consumers of chain profiles — live span trees and the
     // flight export's reconstructed leaves — need the profiled run
     // (cycle-identical to run(), tested).
     if (opts_.spanTracer || opts_.flightRecorder) {
-        auto chains = std::make_shared<std::vector<obs::ChainProfile>>();
-        auto res = sim.runProfiled(model_->prologue, model_->step, steps,
-                                   chains.get());
-        prof.ms = res.latencyMs(model_->cfg);
-        prof.totalCycles = res.totalCycles;
-        prof.chains = std::move(chains);
+        auto pr = timingModel_->runShared(model_->prologue, model_->step,
+                                          steps);
+        prof.ms = pr.result.latencyMs(model_->cfg);
+        prof.totalCycles = pr.result.totalCycles;
+        prof.chains = std::move(pr.chains);
     } else {
-        auto res = sim.run(model_->prologue, model_->step, steps);
+        auto res = timingModel_->run(model_->prologue, model_->step,
+                                     steps);
         prof.ms = res.latencyMs(model_->cfg);
         prof.totalCycles = res.totalCycles;
     }

@@ -50,6 +50,7 @@
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "runtime/serving.h"
+#include "timing/timing_model.h"
 
 namespace bw {
 namespace metrics {
@@ -69,6 +70,54 @@ enum class DispatchPolicy : uint8_t
 };
 
 const char *dispatchPolicyName(DispatchPolicy p);
+
+/**
+ * One serving request — the single submission currency of Engine,
+ * Cluster and the Session::serve path. A request is *functional* when
+ * @p inputs is non-empty (the real FuncMachine runs and outputs are
+ * returned) and *timed* otherwise (the request charges the timing
+ * model's service milliseconds for @p steps timesteps).
+ */
+struct Request
+{
+    /** Input sequence; empty = timed request. */
+    std::vector<FVec> inputs;
+
+    /** Timesteps a timed request charges (ignored for functional
+     *  requests, which take their step count from inputs.size()). */
+    unsigned steps = 1;
+
+    /** Deadline checked at dequeue (0 = EngineOptions'
+     *  defaultDeadlineMs). */
+    double deadlineMs = 0;
+
+    /** Per-request simulated service milliseconds (timed requests
+     *  only; <= 0 = the engine's timing model / serviceMsOverride).
+     *  The cluster front door uses this to charge model service plus
+     *  weight-reload cost on a shared, model-less engine. */
+    double serviceMsOverride = 0;
+
+    /** Timed request for @p steps timesteps. */
+    static Request
+    timed(unsigned steps, double deadline_ms = 0, double service_ms = 0)
+    {
+        Request r;
+        r.steps = steps;
+        r.deadlineMs = deadline_ms;
+        r.serviceMsOverride = service_ms;
+        return r;
+    }
+
+    /** Functional request over @p xs. */
+    static Request
+    functional(std::vector<FVec> xs, double deadline_ms = 0)
+    {
+        Request r;
+        r.inputs = std::move(xs);
+        r.deadlineMs = deadline_ms;
+        return r;
+    }
+};
 
 /** Engine configuration. */
 struct EngineOptions
@@ -98,6 +147,15 @@ struct EngineOptions
     /** When > 0, timed requests charge this many milliseconds instead
      *  of running the timing simulator (analytic-model equivalence). */
     double serviceMsOverride = 0.0;
+
+    /**
+     * Timing-fidelity tier of the engine's internal service-time
+     * simulation (timing_model.h): CycleAccurate is exact,
+     * Fast extrapolates the steady state, Cached memoizes
+     * cycle-accurate runs bit-identically. fromEnv() applies
+     * BW_TIMING_MODE.
+     */
+    timing::Fidelity fidelity = timing::Fidelity::CycleAccurate;
 
     /** Replica-group label stamped on /debug/config, so the engines of
      *  a multi-engine cluster are distinguishable when scraping their
@@ -175,8 +233,9 @@ struct EngineOptions
     /**
      * Apply BW_SERVE_* environment overrides to @p base:
      * BW_SERVE_REPLICAS, BW_SERVE_QUEUE_DEPTH, BW_SERVE_MAX_BATCH,
-     * BW_SERVE_TIMEOUT_MS, BW_SERVE_TIMESCALE, and BW_SERVE_POLICY
-     * ("unbatched" | "batched").
+     * BW_SERVE_TIMEOUT_MS, BW_SERVE_TIMESCALE, BW_SERVE_POLICY
+     * ("unbatched" | "batched"), and BW_TIMING_MODE
+     * ("cycle" | "fast" | "cached").
      */
     static EngineOptions fromEnv(EngineOptions base);
     static EngineOptions fromEnv();
@@ -276,28 +335,30 @@ class Engine
     void start();
 
     /**
-     * Submit a functional inference over input sequence @p xs. Fails
-     * fast — without enqueueing — with QUEUE_FULL when the queue is at
-     * depth, UNAVAILABLE after drain()/shutdown(), INVALID_ARGUMENT on
-     * malformed input, or FAILED_PRECONDITION on a model-less engine.
-     * @p deadline_ms (0 = options().defaultDeadlineMs) is checked when
-     * the request is dequeued.
+     * Submit one request (functional when req.inputs is non-empty,
+     * timed otherwise — see serve::Request). Fails fast — without
+     * enqueueing — with QUEUE_FULL when the queue is at depth,
+     * UNAVAILABLE after drain()/shutdown(), INVALID_ARGUMENT on
+     * malformed input, or FAILED_PRECONDITION when the engine lacks
+     * what the request needs (a model for functional requests; a
+     * model, serviceMsOverride or req.serviceMsOverride for timed
+     * ones). req.deadlineMs (0 = options().defaultDeadlineMs) is
+     * checked when the request is dequeued.
      */
+    Expected<std::future<Response>> submit(Request req);
+
+    /** Deprecated shim for the pre-Request overload set: forwards to
+     *  submit(Request::functional(xs, deadline_ms)). */
     Expected<std::future<Response>> submit(std::vector<FVec> xs,
                                            double deadline_ms = 0);
 
-    /** Submit a timed request: charges the NpuTiming-derived service
-     *  time for @p steps timesteps (or serviceMsOverride). */
+    /** Deprecated shim: forwards to
+     *  submit(Request::timed(steps, deadline_ms)). */
     Expected<std::future<Response>> submitTimed(unsigned steps,
                                                 double deadline_ms = 0);
 
-    /**
-     * Submit a timed request with a per-request simulated service time
-     * (milliseconds). The cluster front door uses this to charge
-     * model-specific service plus weight-reload cost on a shared,
-     * model-less engine; @p service_ms <= 0 falls back to the engine's
-     * model / serviceMsOverride (and then requires one of them).
-     */
+    /** Deprecated shim: forwards to
+     *  submit(Request::timed(steps, deadline_ms, service_ms)). */
     Expected<std::future<Response>> submitTimed(unsigned steps,
                                                 double deadline_ms,
                                                 double service_ms);
@@ -539,7 +600,15 @@ class Engine
     obs::ChainProfileFn chainProfileFn();
 
     std::mutex serviceMsMu_;
+    /** Thin per-step-count front over the timing model: keeps the
+     *  derived milliseconds + shared chain vector per steps value so
+     *  workers share one immutable profile per step count. The actual
+     *  simulation (and, under Fidelity::Cached, the cross-run memo)
+     *  lives in timingModel_. */
     std::unordered_map<unsigned, ServiceProfile> serviceCache_;
+    /** Lazily built at the options' fidelity tier (under
+     *  serviceMsMu_). */
+    std::unique_ptr<timing::TimingModel> timingModel_;
     ServiceProfile overrideProfile_; //!< serviceMsOverride, no chains
 
     StatsCollector collector_;

@@ -10,7 +10,8 @@ Session::compile(const GirGraph &graph, const NpuConfig &cfg,
 }
 
 Session::Session(CompiledModel model)
-    : model_(std::make_shared<CompiledModel>(std::move(model)))
+    : model_(std::make_shared<CompiledModel>(std::move(model))),
+      defaultFidelity_(timing::fidelityFromEnv())
 {
 }
 
@@ -49,34 +50,63 @@ Session::reset()
         model_->resetRequestState(*machine_);
 }
 
+timing::TimingModel &
+Session::timingModel(timing::Fidelity f)
+{
+    auto &slot = timingModels_[static_cast<size_t>(f)];
+    if (!slot) {
+        slot = timing::makeTimingModel(f, model_->cfg);
+        slot->setTileBeats(model_->tileBeats);
+    }
+    return *slot;
+}
+
 timing::NpuTiming &
 Session::timer()
 {
-    if (!sim_) {
-        sim_ = std::make_unique<timing::NpuTiming>(model_->cfg);
-        sim_->setTileBeats(model_->tileBeats);
-    }
-    return *sim_;
+    return static_cast<timing::CycleAccurateModel &>(
+               timingModel(timing::Fidelity::CycleAccurate))
+        .sim();
 }
 
 timing::TimingResult
 Session::time(unsigned steps)
 {
-    return timer().run(model_->prologue, model_->step, steps);
+    return time(steps, defaultFidelity_);
+}
+
+timing::TimingResult
+Session::time(unsigned steps, timing::Fidelity f)
+{
+    return timingModel(f).run(model_->prologue, model_->step, steps);
 }
 
 timing::TimingResult
 Session::timeProfiled(unsigned steps,
                       std::vector<obs::ChainProfile> *chains)
 {
-    return timer().runProfiled(model_->prologue, model_->step, steps,
-                               chains);
+    return timeProfiled(steps, chains, defaultFidelity_);
+}
+
+timing::TimingResult
+Session::timeProfiled(unsigned steps,
+                      std::vector<obs::ChainProfile> *chains,
+                      timing::Fidelity f)
+{
+    return timingModel(f).runProfiled(model_->prologue, model_->step,
+                                      steps, chains);
 }
 
 double
 Session::serviceMs(unsigned steps)
 {
-    return time(steps).latencyMs(model_->cfg);
+    return serviceMs(steps, defaultFidelity_);
+}
+
+double
+Session::serviceMs(unsigned steps, timing::Fidelity f)
+{
+    return time(steps, f).latencyMs(model_->cfg);
 }
 
 std::unique_ptr<serve::Engine>

@@ -21,11 +21,13 @@
 #ifndef BW_SERVE_SESSION_H
 #define BW_SERVE_SESSION_H
 
+#include <array>
 #include <memory>
 
 #include "compiler/lowering.h"
 #include "serve/engine.h"
 #include "timing/npu_timing.h"
+#include "timing/timing_model.h"
 
 namespace bw {
 
@@ -62,10 +64,15 @@ class Session
     /** The lazily created, installed functional machine. */
     FuncMachine &machine();
 
-    // --- Performance (cycle-level microarchitecture model). ---
+    // --- Performance (tiered timing-fidelity models). ---
 
-    /** Simulate serving @p steps timesteps (prologue handled). */
+    /** Simulate serving @p steps timesteps (prologue handled) at the
+     *  session's default fidelity (BW_TIMING_MODE, captured at
+     *  construction; CycleAccurate when unset). */
     timing::TimingResult time(unsigned steps = 1);
+
+    /** As time(steps) at an explicit fidelity tier. */
+    timing::TimingResult time(unsigned steps, timing::Fidelity f);
 
     /** As time(steps), additionally collecting the retired-chain
      *  profiles (the span-tracing / stall-attribution feed) into
@@ -73,12 +80,31 @@ class Session
     timing::TimingResult timeProfiled(
         unsigned steps, std::vector<obs::ChainProfile> *chains);
 
+    /** As timeProfiled() at an explicit fidelity tier. */
+    timing::TimingResult timeProfiled(
+        unsigned steps, std::vector<obs::ChainProfile> *chains,
+        timing::Fidelity f);
+
     /** Wall-clock latency of one @p steps-step request (cached by the
      *  serving engine's convention: one timing run per step count). */
     double serviceMs(unsigned steps);
 
-    /** The lazily created timing simulator with the model's tile-beat
-     *  schedule applied — attach trace sinks here. */
+    /** As serviceMs() at an explicit fidelity tier. */
+    double serviceMs(unsigned steps, timing::Fidelity f);
+
+    /** The fidelity time()/serviceMs() default to: BW_TIMING_MODE at
+     *  construction, else CycleAccurate. */
+    timing::Fidelity defaultFidelity() const { return defaultFidelity_; }
+
+    /** The lazily created timing model for one fidelity tier, with the
+     *  model's tile-beat schedule applied. One instance per tier per
+     *  session — the Cached tier's memo persists across calls. */
+    timing::TimingModel &timingModel(timing::Fidelity f);
+
+    /** The lazily created cycle-accurate simulator with the model's
+     *  tile-beat schedule applied — attach trace sinks here. Shares
+     *  the CycleAccurate tier's instance, so sink attachments also
+     *  cover time(steps, Fidelity::CycleAccurate). */
     timing::NpuTiming &timer();
 
     // --- Serving (concurrent engine over accelerator replicas). ---
@@ -90,8 +116,10 @@ class Session
 
   private:
     std::shared_ptr<const CompiledModel> model_;
-    std::unique_ptr<FuncMachine> machine_;    //!< lazy, installed
-    std::unique_ptr<timing::NpuTiming> sim_;  //!< lazy, beats applied
+    std::unique_ptr<FuncMachine> machine_; //!< lazy, installed
+    /** One lazily created model per fidelity tier, beats applied. */
+    std::array<std::unique_ptr<timing::TimingModel>, 3> timingModels_;
+    timing::Fidelity defaultFidelity_ = timing::Fidelity::CycleAccurate;
 };
 
 } // namespace bw

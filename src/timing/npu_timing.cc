@@ -178,6 +178,41 @@ NpuTiming::setTileBeats(std::unordered_map<uint32_t, unsigned> beats)
     tileBeats_ = std::move(beats);
 }
 
+void
+NpuTiming::setIterationSnapshots(std::vector<IterationSnapshot> *out)
+{
+    snaps_ = out;
+}
+
+void
+NpuTiming::captureSnapshot(const TimingResult &res, Cycles end)
+{
+    if (!snaps_)
+        return;
+    IterationSnapshot s;
+    s.end = end;
+    s.niosBusy = nios_.busyCycles();
+    s.mvmBusy = engines_.totalBusyCycles();
+    s.reduceBusy = reduceUnits_.totalBusyCycles();
+    s.mfuBusy = mfuUnits_.totalBusyCycles();
+    s.vrfReadBusy = ivrfRead_.busyCycles() + asvrfRead_.busyCycles() +
+                    mulvrfRead_.busyCycles();
+    s.vrfWriteBusy = ivrfWrite_.totalBusyCycles() +
+                     asvrfWrite_.totalBusyCycles() +
+                     mulvrfWrite_.totalBusyCycles();
+    s.netInBusy = netIn_.busyCycles();
+    s.netOutBusy = netOut_.busyCycles();
+    s.dramBusy = dram_.busyCycles();
+    s.dispatchedOps = res.dispatchedOps;
+    s.mvmOps = res.mvmOps;
+    s.instructions = res.instructionsDispatched;
+    s.chains = res.chainsExecuted;
+    s.nativeTileOps = res.nativeTileOps;
+    s.matrixTilesMoved = res.stats.counter("matrix_tiles_moved");
+    s.outputCount = res.outputTimes.size();
+    snaps_->push_back(s);
+}
+
 Cycles
 NpuTiming::nextInputArrival()
 {
@@ -713,11 +748,17 @@ NpuTiming::run(const Program &prologue, const Program &step,
         return last;
     };
 
-    exec_program(prologue, pro_chains);
+    if (snaps_) {
+        snaps_->clear();
+        snaps_->reserve(iterations + 1);
+    }
+    Cycles pro_end = exec_program(prologue, pro_chains);
+    captureSnapshot(res, pro_end);
     for (unsigned it = 0; it < iterations; ++it) {
         Cycles iter_end = exec_program(step, chains);
         res.iterationEnd.push_back(iter_end);
         res.totalCycles = std::max(res.totalCycles, iter_end);
+        captureSnapshot(res, iter_end);
     }
 
     res.mvmBusyCycles = engines_.totalBusyCycles();

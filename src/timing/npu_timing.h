@@ -114,6 +114,45 @@ class NpuTiming
                              unsigned iterations,
                              std::vector<obs::ChainProfile> *chains);
 
+    /**
+     * Cumulative simulator state sampled at an iteration boundary: the
+     * iteration's completion cycle plus every busy-cycle aggregate and
+     * counter the final TimingResult is assembled from. The
+     * event-driven fast model (timing_model.h) diffs consecutive
+     * snapshots to detect a steady-state period and extrapolate the
+     * remaining iterations without simulating them.
+     */
+    struct IterationSnapshot
+    {
+        Cycles end = 0; //!< completion cycle (prologue / iteration end)
+        Cycles niosBusy = 0;
+        Cycles mvmBusy = 0;
+        Cycles reduceBusy = 0;
+        Cycles mfuBusy = 0;
+        Cycles vrfReadBusy = 0;
+        Cycles vrfWriteBusy = 0;
+        Cycles netInBusy = 0;
+        Cycles netOutBusy = 0;
+        Cycles dramBusy = 0;
+        OpCount dispatchedOps = 0;
+        OpCount mvmOps = 0;
+        uint64_t instructions = 0;
+        uint64_t chains = 0;
+        uint64_t nativeTileOps = 0;
+        uint64_t matrixTilesMoved = 0;
+        size_t outputCount = 0;
+    };
+
+    /**
+     * Attach a per-iteration snapshot collector (non-owning; nullptr
+     * detaches). While attached, each run() clears the vector and
+     * appends one snapshot after the prologue (index 0) and one after
+     * every iteration, so a run of N iterations yields N+1 snapshots.
+     * Purely observational: simulated cycle counts are identical with
+     * or without a collector (tested).
+     */
+    void setIterationSnapshots(std::vector<IterationSnapshot> *out);
+
   private:
     struct ChainCtx;
 
@@ -192,6 +231,12 @@ class NpuTiming
 
     /** Publish per-run hardware counters to the attached registry. */
     void publishMetrics(const TimingResult &res);
+
+    /** Append one iteration snapshot (no-op when none attached). */
+    void captureSnapshot(const TimingResult &res, Cycles end);
+
+    /** Iteration-snapshot collector (null = off, the default). */
+    std::vector<IterationSnapshot> *snaps_ = nullptr;
 
     /** Active sink (null = tracing off, the zero-cost default). */
     obs::TraceSink *sink_ = nullptr;
