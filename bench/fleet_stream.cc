@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Fleet streaming-export benchmark: replayStream() vs replay()
+ * equivalence, fidelity-audit divergence, and the O(1)-memory gate for
+ * multi-million-request streamed replays.
+ *
+ * Phase A replays one ~100k-request trace twice through two identical
+ * heterogeneous clusters — once materialized (Cluster::replay), once
+ * pull-based (Cluster::replayStream over a TrafficStream, with a
+ * RouteStreamWriter decision sink) — and asserts the two runs are
+ * byte-identical observers: equal ClusterStats counters, identical
+ * federated /fleet/metrics text, identical fleet bw.slo/1 rollups,
+ * identical bw.spanstream/1 exports, and equal audit counters with
+ * zero fast-vs-cycle-accurate divergences.
+ *
+ * Phase B streams a >= 1M-request trace through a third cluster with
+ * every decision flowing through the NDJSON writer, and gates the
+ * ru_maxrss delta across the run: streamed replay must not grow
+ * resident memory with trace length (the materialized trace alone
+ * would be ~40 MB; the gate is 32 MB).
+ *
+ * The artifact (BENCH_fleet_stream.json, override with BW_BENCH_JSON)
+ * pins every virtual-time quantity — counters, stream row/byte counts,
+ * audit checks, sketch percentiles — while the "memory" and "wall"
+ * subtrees are machine-dependent and excluded from the regression
+ * compare (the harness itself enforces the memory gate).
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::cluster;
+
+namespace {
+
+long
+rssKb()
+{
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss; // KiB on Linux
+}
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/** The cluster under test: the demo's heterogeneous two-generation
+ *  fleet, on the fast timing tier with a 1-in-997 fidelity audit. */
+ClusterOptions
+benchOptions(metrics::Registry *reg, obs::SpanTracer *spans)
+{
+    ClusterOptions co;
+    ReplicaGroupSpec s10;
+    s10.name = "s10";
+    s10.config = NpuConfig::bwS10();
+    s10.engines = 2;
+    ReplicaGroupSpec s5;
+    s5.name = "s5";
+    s5.config = NpuConfig::bwS5();
+    s5.engines = 1;
+    for (ReplicaGroupSpec *g : {&s10, &s5}) {
+        g->engine.queueDepth = 32;
+        g->engine.networkMs = 0.05;
+        g->engine.defaultDeadlineMs = 50.0;
+    }
+    co.groups = {s10, s5};
+    co.router.policy = RoutePolicy::SloAware;
+    co.weightCacheTiles = 64;
+    co.fidelity = timing::Fidelity::Fast;
+    co.auditEvery = 997;
+    co.metricsRegistry = reg;
+    co.spanTracer = spans;
+    return co;
+}
+
+void
+addModels(Cluster &c)
+{
+    c.addTimedModel("dnn-hot", 0.8, 24);
+    c.addTimedModel("dnn-warm", 1.5, 24);
+    c.addTimedModel("dnn-cold", 2.5, 40);
+    Rng rng(7);
+    GirGraph gru = makeGru(randomGruWeights(128, 128, rng));
+    Expected<uint32_t> id = c.addModel("gru-tagger", gru);
+    BW_ASSERT(id.ok(), "gru-tagger failed to register: %s",
+              id.status().message().c_str());
+}
+
+TrafficOptions
+benchTraffic(double rps, double duration_s, uint64_t seed)
+{
+    TrafficOptions t;
+    t.baseRps = rps;
+    t.durationS = duration_s;
+    t.seed = seed;
+    t.diurnalAmplitude = 0.3;
+    t.diurnalPeriodS = duration_s;
+    t.mix.push_back(ModelMix{0, 8.0, 1, 10.0});
+    t.mix.push_back(ModelMix{1, 2.0, 1, 80.0});
+    t.mix.push_back(ModelMix{2, 1.0, 1, 0.0});
+    t.mix.push_back(ModelMix{3, 1.5, 2, 40.0});
+    return t;
+}
+
+/** Capture an NDJSON stream into a string (Phase A identity checks). */
+std::string
+captureSpanStream(const obs::SpanTracer &spans)
+{
+    std::string out;
+    obs::StreamSink sink = [&out](const std::string &chunk) {
+        out += chunk;
+        return true;
+    };
+    obs::streamSpanTreesNdjson(spans, sink);
+    return out;
+}
+
+Json
+statsLeaf(const ClusterStats &s)
+{
+    Json j = Json::object();
+    j.set("submitted", s.submitted);
+    j.set("shed", s.shed);
+    j.set("rejected", s.rejected);
+    j.set("expired", s.expired);
+    j.set("completed", s.completed);
+    j.set("goodput", s.goodput);
+    return j;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool pass = true;
+
+    // --- Phase A: replay() vs replayStream() equivalence. ---
+    metrics::Registry reg_a, reg_b;
+    obs::SpanTracer spans_a, spans_b;
+    Cluster vec_cluster(benchOptions(&reg_a, &spans_a));
+    Cluster stream_cluster(benchOptions(&reg_b, &spans_b));
+    addModels(vec_cluster);
+    addModels(stream_cluster);
+
+    // ~2400 rps is ~75% of the 3-shard fleet's capacity at this mix:
+    // most requests complete (the audit samples completed compiled-model
+    // requests) while diurnal peaks still exercise shed/expiry paths.
+    TrafficOptions small = benchTraffic(2400, 42.0, 42);
+    std::vector<ClusterRequest> trace = generateTraffic(small);
+
+    ClusterStats rv;
+    double wall_vec_ms =
+        wallMs([&] { rv = vec_cluster.replay(trace); });
+
+    uint64_t stream_bytes = 0;
+    obs::StreamSink counting = [&stream_bytes](const std::string &c) {
+        stream_bytes += c.size();
+        return true;
+    };
+    obs::RouteStreamWriter writer(
+        counting,
+        routePolicyName(stream_cluster.router().options().policy),
+        stream_cluster.engineCount(), stream_cluster.sloClassCount());
+    stream_cluster.setDecisionSink([&writer](const RouteDecision &d) {
+        writer.decision(d.seq, d.model, d.cls, d.engine);
+    });
+    TrafficStream small_stream(small);
+    ClusterStats rs;
+    double wall_stream_ms = wallMs([&] {
+        rs = stream_cluster.replayStream(
+            [&small_stream](ClusterRequest *r) {
+                return small_stream.next(r);
+            });
+    });
+    writer.finish();
+
+    bool counters_equal =
+        rv.submitted == rs.submitted && rv.shed == rs.shed &&
+        rv.rejected == rs.rejected && rv.expired == rs.expired &&
+        rv.completed == rs.completed && rv.goodput == rs.goodput;
+    bool metrics_identical =
+        vec_cluster.fleetMetricsText() == stream_cluster.fleetMetricsText();
+    bool slo_identical = vec_cluster.fleetSloJson().dump() ==
+                         stream_cluster.fleetSloJson().dump();
+    bool spans_identical =
+        captureSpanStream(spans_a) == captureSpanStream(spans_b);
+    bool flight_identical =
+        vec_cluster.engineFlightJson(0).dump() ==
+        stream_cluster.engineFlightJson(0).dump();
+    bool audit_equal =
+        vec_cluster.auditChecks() == stream_cluster.auditChecks() &&
+        vec_cluster.auditDivergences() ==
+            stream_cluster.auditDivergences();
+
+    std::printf("Phase A: %zu requests, replay %.0f ms vs stream %.0f ms\n",
+                trace.size(), wall_vec_ms, wall_stream_ms);
+    std::printf("  counters %s  fleet metrics %s  slo rollup %s  "
+                "spans %s  flight %s\n",
+                counters_equal ? "equal" : "DIFFER",
+                metrics_identical ? "identical" : "DIFFER",
+                slo_identical ? "identical" : "DIFFER",
+                spans_identical ? "identical" : "DIFFER",
+                flight_identical ? "identical" : "DIFFER");
+    std::printf("  audit: %llu checks, %llu divergences (fast vs "
+                "cycle-accurate)\n",
+                static_cast<unsigned long long>(
+                    vec_cluster.auditChecks()),
+                static_cast<unsigned long long>(
+                    vec_cluster.auditDivergences()));
+    pass = pass && counters_equal && metrics_identical &&
+           slo_identical && spans_identical && flight_identical &&
+           audit_equal && vec_cluster.auditChecks() > 0 &&
+           vec_cluster.auditDivergences() == 0;
+
+    // --- Phase B: O(1)-memory streamed replay at >= 1M requests. ---
+    metrics::Registry reg_c;
+    obs::SpanTracer spans_c;
+    Cluster big_cluster(benchOptions(&reg_c, &spans_c));
+    addModels(big_cluster);
+
+    TrafficOptions big = benchTraffic(2400, 500.0, 9);
+    uint64_t big_bytes = 0;
+    obs::StreamSink big_sink = [&big_bytes](const std::string &c) {
+        big_bytes += c.size();
+        return true;
+    };
+    obs::RouteStreamWriter big_writer(
+        big_sink,
+        routePolicyName(big_cluster.router().options().policy),
+        big_cluster.engineCount(), big_cluster.sloClassCount());
+    big_cluster.setDecisionSink([&big_writer](const RouteDecision &d) {
+        big_writer.decision(d.seq, d.model, d.cls, d.engine);
+    });
+
+    long rss_before_kb = rssKb();
+    TrafficStream big_stream(big);
+    ClusterStats rb;
+    double wall_big_ms = wallMs([&] {
+        rb = big_cluster.replayStream([&big_stream](ClusterRequest *r) {
+            return big_stream.next(r);
+        });
+    });
+    big_writer.finish();
+    long rss_after_kb = rssKb();
+    long delta_kb = rss_after_kb - rss_before_kb;
+    const long kGateKb = 32 * 1024; // the materialized trace is ~40 MB
+    bool o1_pass = delta_kb < kGateKb;
+
+    std::printf("\nPhase B: %llu requests streamed in %.0f ms "
+                "(%llu NDJSON rows, %.1f MB written)\n",
+                static_cast<unsigned long long>(rb.submitted),
+                wall_big_ms,
+                static_cast<unsigned long long>(big_writer.rows()),
+                static_cast<double>(big_bytes) / 1e6);
+    std::printf("  resident memory: %ld KiB -> %ld KiB (delta %ld KiB, "
+                "gate %ld KiB): %s\n",
+                rss_before_kb, rss_after_kb, delta_kb, kGateKb,
+                o1_pass ? "O(1) pass" : "FAIL");
+    std::printf("  audit: %llu checks, %llu divergences  p99 (sketch) "
+                "%.3f ms\n",
+                static_cast<unsigned long long>(
+                    big_cluster.auditChecks()),
+                static_cast<unsigned long long>(
+                    big_cluster.auditDivergences()),
+                rb.overall.p99LatencyMs);
+    pass = pass && o1_pass && big_cluster.auditDivergences() == 0 &&
+           rb.submitted >= 1000000;
+
+    // --- Artifact. ---
+    Json doc = Json::object();
+    doc.set("schema", "bw.fleet_stream/1");
+    doc.set("harness", "fleet_stream");
+    doc.set("engines", 3);
+    doc.set("fidelity", timing::fidelityName(timing::Fidelity::Fast));
+    doc.set("audit_every", static_cast<uint64_t>(997));
+    {
+        Json eq = Json::object();
+        eq.set("requests", static_cast<uint64_t>(trace.size()));
+        eq.set("replay", statsLeaf(rv));
+        eq.set("stream", statsLeaf(rs));
+        eq.set("p99_exact_ms", rv.overall.p99LatencyMs);
+        eq.set("p99_sketch_ms", rs.overall.p99LatencyMs);
+        eq.set("stream_rows", writer.rows());
+        eq.set("stream_bytes", stream_bytes);
+        eq.set("counters_equal", counters_equal);
+        eq.set("fleet_metrics_identical", metrics_identical);
+        eq.set("fleet_slo_identical", slo_identical);
+        eq.set("spans_identical", spans_identical);
+        eq.set("flight_identical", flight_identical);
+        eq.set("audit_checks", vec_cluster.auditChecks());
+        eq.set("audit_divergences", vec_cluster.auditDivergences());
+        doc.set("equivalence", std::move(eq));
+    }
+    {
+        Json st = Json::object();
+        st.set("requests", rb.submitted);
+        st.set("stats", statsLeaf(rb));
+        st.set("rows", big_writer.rows());
+        st.set("bytes", big_bytes);
+        st.set("p99_sketch_ms", rb.overall.p99LatencyMs);
+        st.set("audit_checks", big_cluster.auditChecks());
+        st.set("audit_divergences", big_cluster.auditDivergences());
+        doc.set("stream", std::move(st));
+    }
+    {
+        // Machine-dependent: excluded from the regression compare; the
+        // harness enforces the gate itself.
+        Json mem = Json::object();
+        mem.set("rss_before_kb", static_cast<int64_t>(rss_before_kb));
+        mem.set("rss_after_kb", static_cast<int64_t>(rss_after_kb));
+        mem.set("delta_kb", static_cast<int64_t>(delta_kb));
+        mem.set("gate_kb", static_cast<int64_t>(kGateKb));
+        mem.set("o1_pass", o1_pass);
+        doc.set("memory", std::move(mem));
+        Json wall = Json::object();
+        wall.set("phase_a_replay_ms", wall_vec_ms);
+        wall.set("phase_a_stream_ms", wall_stream_ms);
+        wall.set("phase_b_stream_ms", wall_big_ms);
+        doc.set("wall", std::move(wall));
+    }
+    std::string path = bench::benchJsonPath("fleet_stream");
+    writeJsonFile(path, doc);
+    std::printf("\nBench JSON written to %s\n", path.c_str());
+
+    if (!pass) {
+        std::fprintf(stderr, "fleet_stream: FAILED (see above)\n");
+        return 1;
+    }
+    std::printf("fleet_stream: all gates passed\n");
+    return 0;
+}

@@ -30,12 +30,18 @@
  * front-door "route" span; the analyzer descends into its "request"
  * child automatically.
  *
+ * The `validate-stream` mode does the same for NDJSON streaming
+ * exports (bw.routestream/1, bw.spanstream/1, bw.flightstream/1),
+ * line by line in O(1) memory — a truncated final record or a missing
+ * summary trailer is an error, not a silent pass.
+ *
  * Exit codes: 0 = report printed, 2 = usage / unreadable input,
  * 3 = valid document but no complete request traces to analyze.
  *
  *   $ ./bw_spans spans.json [N]
  *   $ ./bw_spans flight flight.json [N]
  *   $ ./bw_spans validate <export.json>
+ *   $ ./bw_spans validate-stream <export.ndjson>
  */
 
 #include <algorithm>
@@ -347,15 +353,31 @@ validateDoc(const char *path)
     return 0;
 }
 
+/** The `validate-stream` mode: NDJSON schema-dispatch validation. */
+int
+validateStream(const char *path)
+{
+    Status st = obs::validateStreamFile(path);
+    if (!st.ok()) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", path,
+                     st.toString().c_str());
+        return 2;
+    }
+    std::printf("bw_spans: %s valid (NDJSON stream)\n", path);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: bw_spans <spans.json> [N]\n"
-                             "       bw_spans flight <flight.json> [N]\n"
-                             "       bw_spans validate <export.json>\n");
+        std::fprintf(stderr,
+                     "usage: bw_spans <spans.json> [N]\n"
+                     "       bw_spans flight <flight.json> [N]\n"
+                     "       bw_spans validate <export.json>\n"
+                     "       bw_spans validate-stream <export.ndjson>\n");
         return 2;
     }
     if (std::strcmp(argv[1], "validate") == 0) {
@@ -365,6 +387,15 @@ main(int argc, char **argv)
             return 2;
         }
         return validateDoc(argv[2]);
+    }
+    if (std::strcmp(argv[1], "validate-stream") == 0) {
+        if (argc < 3) {
+            std::fprintf(
+                stderr,
+                "usage: bw_spans validate-stream <export.ndjson>\n");
+            return 2;
+        }
+        return validateStream(argv[2]);
     }
     if (std::strcmp(argv[1], "flight") == 0) {
         if (argc < 3) {

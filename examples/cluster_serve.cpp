@@ -29,12 +29,24 @@
  * the route-rooted span trees, BW_FLIGHT_JSON engine 0's bw.flight/1
  * document, and BW_BENCH_JSON overrides the sweep artifact path.
  *
+ * Fleet plane: BW_FLEET_METRICS_JSON / BW_FLEET_SLO_JSON write the
+ * federated metrics document and the fleet bw.slo/1 rollup,
+ * BW_FLEET_STREAM streams every routing decision of the Phase-1 replay
+ * as bw.routestream/1 NDJSON (validated after the run),
+ * BW_FLEET_SPANS_NDJSON streams the stitched span trees as
+ * bw.spanstream/1, and BW_AUDIT_JSON writes the /debug/audit document.
+ * BW_AUDIT_SAMPLE=<n> audits every n-th completed compiled-model
+ * request against the cycle-accurate model when BW_TIMING_MODE runs a
+ * fast/cached tier.
+ *
  * Live introspection: BW_METRICS_PORT serves the cluster registry
- * (bw_cluster_* series) plus /debug/cluster, /route.json, /slo.json
- * and per-shard /engine/<i>/{slo,flight,cache,metrics}.json and
- * /engine/<i>/debug/config; /healthz turns 503 {"draining":true} once
- * any shard drains. BW_METRICS_LINGER_S holds the endpoint open after
- * the run so scrapers cannot race the exit.
+ * (bw_cluster_* series) plus /debug/cluster, /route.json, /slo.json,
+ * the fleet plane (/fleet/metrics, /fleet/metrics.json, /fleet/slo.json,
+ * /fleet/spans.ndjson, /debug/audit) and per-shard
+ * /engine/<i>/{slo,flight,cache,metrics}.json, /engine/<i>/flight.ndjson
+ * and /engine/<i>/debug/config; /healthz turns 503 {"draining":true}
+ * once any shard drains. BW_METRICS_LINGER_S holds the endpoint open
+ * after the run so scrapers cannot race the exit.
  *
  *   $ ./cluster_serve [live_requests]
  *   $ ./cluster_serve --help
@@ -44,6 +56,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +113,7 @@ demoTraffic()
     t.mix.push_back(ModelMix{0, 8.0, 1, 10.0}); // hot, interactive
     t.mix.push_back(ModelMix{1, 2.0, 1, 80.0}); // warm, standard
     t.mix.push_back(ModelMix{2, 1.0, 1, 0.0});  // cold, best-effort
+    t.mix.push_back(ModelMix{3, 1.5, 2, 40.0}); // compiled GRU
     return TrafficOptions::fromEnv(std::move(t));
 }
 
@@ -108,6 +123,16 @@ addDemoModels(Cluster &c)
     c.addTimedModel("dnn-hot", 0.8, 24);
     c.addTimedModel("dnn-warm", 1.5, 24);
     c.addTimedModel("dnn-cold", 2.5, 40);
+    // A real compiled model rides along with the timed ones: its
+    // service time and weight footprint come from compilation per
+    // group (the S5 and S10 prices differ), its execute spans carry
+    // stitched chain leaves, and the fidelity audit has a compiled
+    // target to re-price against the cycle-accurate model.
+    Rng rng(7);
+    GirGraph gru = makeGru(randomGruWeights(128, 128, rng));
+    Expected<uint32_t> id = c.addModel("gru-tagger", gru);
+    BW_ASSERT(id.ok(), "gru-tagger failed to register: %s",
+              id.status().message().c_str());
 }
 
 } // namespace
@@ -153,9 +178,47 @@ main(int argc, char **argv)
     }
 
     // --- Phase 1: deterministic virtual-time replay. ---
+    // With BW_FLEET_STREAM, every routing decision is written as one
+    // bw.routestream/1 NDJSON line while the replay runs — O(1) writer
+    // state no matter the trace length.
+    std::ofstream route_stream_file;
+    std::unique_ptr<obs::RouteStreamWriter> route_writer;
+    const char *stream_path = std::getenv("BW_FLEET_STREAM");
+    if (stream_path) {
+        route_stream_file.open(stream_path, std::ios::binary);
+        obs::StreamSink sink =
+            [&route_stream_file](const std::string &chunk) {
+                route_stream_file.write(
+                    chunk.data(),
+                    static_cast<std::streamsize>(chunk.size()));
+                return static_cast<bool>(route_stream_file);
+            };
+        route_writer = std::make_unique<obs::RouteStreamWriter>(
+            std::move(sink),
+            routePolicyName(cluster.router().options().policy),
+            cluster.engineCount(), cluster.sloClassCount());
+        cluster.setDecisionSink(
+            [&w = *route_writer](const RouteDecision &d) {
+                w.decision(d.seq, d.model, d.cls, d.engine);
+            });
+    }
+
     TrafficOptions traffic = demoTraffic();
     std::vector<ClusterRequest> trace = generateTraffic(traffic);
     ClusterStats rs = cluster.replay(trace);
+
+    if (route_writer) {
+        route_writer->finish();
+        route_stream_file.close();
+        cluster.setDecisionSink({});
+        Status st = obs::validateRouteStreamFile(stream_path);
+        std::printf("Fleet route stream written to %s "
+                    "(%llu rows, %llu bytes): %s\n",
+                    stream_path,
+                    static_cast<unsigned long long>(route_writer->rows()),
+                    static_cast<unsigned long long>(route_writer->bytes()),
+                    st.ok() ? "valid" : st.message().c_str());
+    }
 
     std::printf("\nReplay: %zu requests over %.2f s (seed %llu)\n",
                 trace.size(), traffic.durationS,
@@ -176,6 +239,16 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rs.expired),
                 static_cast<unsigned long long>(rs.goodput),
                 rs.goodputRps);
+    if (cluster.options().auditEvery > 0) {
+        std::printf("fidelity audit (%s tier, 1-in-%llu): %llu checks, "
+                    "%llu divergences\n",
+                    timing::fidelityName(cluster.options().fidelity),
+                    static_cast<unsigned long long>(
+                        cluster.options().auditEvery),
+                    static_cast<unsigned long long>(cluster.auditChecks()),
+                    static_cast<unsigned long long>(
+                        cluster.auditDivergences()));
+    }
 
     if (const char *path = std::getenv("BW_CLUSTER_ROUTE_JSON")) {
         writeJsonFile(path, cluster.routeJson());
@@ -192,6 +265,29 @@ main(int argc, char **argv)
     if (const char *path = std::getenv("BW_FLIGHT_JSON")) {
         writeJsonFile(path, cluster.engineFlightJson(0));
         std::printf("Engine 0 flight JSON written to %s\n", path);
+    }
+    if (const char *path = std::getenv("BW_FLEET_METRICS_JSON")) {
+        writeJsonFile(path, cluster.fleetMetricsJson());
+        std::printf("Fleet metrics JSON written to %s\n", path);
+    }
+    if (const char *path = std::getenv("BW_FLEET_SLO_JSON")) {
+        writeJsonFile(path, cluster.fleetSloJson());
+        std::printf("Fleet SLO rollup written to %s\n", path);
+    }
+    if (const char *path = std::getenv("BW_AUDIT_JSON")) {
+        writeJsonFile(path, cluster.auditJson());
+        std::printf("Fidelity audit JSON written to %s\n", path);
+    }
+    if (const char *path = std::getenv("BW_FLEET_SPANS_NDJSON")) {
+        std::ofstream out(path, std::ios::binary);
+        obs::StreamSink sink = [&out](const std::string &chunk) {
+            out.write(chunk.data(),
+                      static_cast<std::streamsize>(chunk.size()));
+            return static_cast<bool>(out);
+        };
+        Status st = obs::streamSpanTreesNdjson(spans, sink);
+        std::printf("Fleet span stream written to %s: %s\n", path,
+                    st.ok() ? "ok" : st.message().c_str());
     }
 
     // --- Phase 2: saturation sweep, routing policies head to head. ---

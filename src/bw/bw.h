@@ -68,6 +68,7 @@
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
 #include "obs/chrome_trace.h"
+#include "obs/fleet.h"
 #include "obs/flight.h"
 #include "obs/span.h"
 #include "obs/stall.h"

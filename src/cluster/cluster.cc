@@ -98,6 +98,16 @@ ClusterOptions::fromEnv(ClusterOptions base)
             base.weightCacheTiles =
                 static_cast<uint64_t>(std::max(0.0, std::atof(cap)));
     }
+    if (const char *cap = std::getenv("BW_ROUTE_LOG_MAX")) {
+        if (*cap)
+            base.router.logCapacity = static_cast<size_t>(
+                std::max(0.0, std::atof(cap)));
+    }
+    if (const char *n = std::getenv("BW_AUDIT_SAMPLE")) {
+        if (*n)
+            base.auditEvery =
+                static_cast<uint64_t>(std::max(0.0, std::atof(n)));
+    }
     base.fidelity = timing::fidelityFromEnv(base.fidelity);
     return base;
 }
@@ -204,6 +214,11 @@ Cluster::Cluster(ClusterOptions opts)
             shards_.push_back(std::move(s));
         }
     }
+    fleet_.setClusterRegistry(opts_.metricsRegistry);
+    for (const auto &s : shards_) {
+        fleet_.addShard(s->label, opts_.groups[s->group].name,
+                        s->registry.get(), s->slo.get());
+    }
     if (opts_.metricsRegistry)
         bindClusterMetrics();
 }
@@ -257,6 +272,14 @@ Cluster::bindClusterMetrics()
             "Requests shed at the front door by deadline class",
             {{"class", c.name}}));
     }
+    auditChecksC_ = &reg.counter(
+        "bw_timing_audit_checks_total",
+        "Sampled fast-tier service times re-priced against the "
+        "cycle-accurate timing model");
+    auditDivergenceC_ = &reg.counter(
+        "bw_timing_audit_divergence_total",
+        "Audited service times that diverged from the cycle-accurate "
+        "reference");
 }
 
 metrics::Counter *
@@ -399,6 +422,15 @@ Cluster::setRouterPolicy(RoutePolicy policy)
     router_ = std::make_unique<Router>(
         std::move(ro), engineCount(),
         clsMonitor_.options().classes.size());
+    if (decisionSink_)
+        router_->setDecisionSink(decisionSink_);
+}
+
+void
+Cluster::setDecisionSink(std::function<void(const RouteDecision &)> sink)
+{
+    decisionSink_ = std::move(sink);
+    router_->setDecisionSink(decisionSink_);
 }
 
 void
@@ -448,22 +480,87 @@ Cluster::liveLoads() const
     return loads;
 }
 
-ClusterStats
-Cluster::replay(const std::vector<ClusterRequest> &trace)
-{
-    BW_ASSERT(!models_.empty(), "replay: no models registered");
-    for (size_t i = 1; i < trace.size(); ++i) {
-        BW_ASSERT(trace[i].arrivalS >= trace[i - 1].arrivalS,
-                  "replay: arrivals must be ascending");
-    }
+// --- Streaming latency sketch ---
 
+namespace {
+
+/// Sketch floor: one microsecond, in milliseconds.
+constexpr double kSketchMinMs = 1e-3;
+
+/// Upper bound of log-bucket @p idx (geometric, ratio 2^(1/4)).
+double
+sketchUpperMs(size_t idx)
+{
+    return kSketchMinMs * std::exp2(static_cast<double>(idx) / 4.0);
+}
+
+} // namespace
+
+void
+Cluster::LatencySketch::record(double latency_ms)
+{
+    ++count;
+    sumMs += latency_ms;
+    maxMs = std::max(maxMs, latency_ms);
+    size_t idx = 0;
+    if (latency_ms > kSketchMinMs) {
+        double b = std::ceil(std::log2(latency_ms / kSketchMinMs) * 4.0);
+        idx = std::min<size_t>(
+            kBuckets - 1, static_cast<size_t>(std::max(0.0, b)));
+    }
+    ++buckets[idx];
+}
+
+void
+Cluster::LatencySketch::clear()
+{
+    count = 0;
+    sumMs = 0;
+    maxMs = 0;
+    buckets.fill(0);
+}
+
+void
+Cluster::LatencySketch::fill(ServeStats &stats) const
+{
+    stats.requests = count;
+    if (count == 0)
+        return;
+    stats.meanLatencyMs = sumMs / static_cast<double>(count);
+    stats.maxLatencyMs = maxMs;
+    // Nearest-rank percentile over the buckets, reported at the
+    // bucket's upper bound (a conservative estimate within one ratio
+    // step of the exact sample), clamped to the observed maximum.
+    auto pct = [this](double p) {
+        uint64_t rank = static_cast<uint64_t>(
+            std::ceil(p / 100.0 * static_cast<double>(count)));
+        rank = std::max<uint64_t>(1, std::min(rank, count));
+        uint64_t cum = 0;
+        for (size_t b = 0; b < kBuckets; ++b) {
+            cum += buckets[b];
+            if (cum >= rank)
+                return std::min(maxMs, sketchUpperMs(b));
+        }
+        return maxMs;
+    };
+    stats.p50LatencyMs = pct(50.0);
+    stats.p95LatencyMs = pct(95.0);
+    stats.p99LatencyMs = pct(99.0);
+}
+
+// --- Replay ---
+
+void
+Cluster::replayReset()
+{
     // Full virtual reset: every observer restarts with the trace, so
-    // two replays of one trace export byte-identically.
+    // two replays of one trace export byte-identically. The cluster
+    // registry's counters and the audit totals are cumulative across
+    // replays by design, like any production Prometheus counter.
     router_->clear();
     clsMonitor_.clear();
-    obs::SpanTracer *tracer = opts_.spanTracer;
-    if (tracer)
-        tracer->clear();
+    if (opts_.spanTracer)
+        opts_.spanTracer->clear();
     for (auto &sp : shards_) {
         Shard &s = *sp;
         s.starts.clear();
@@ -473,6 +570,7 @@ Cluster::replay(const std::vector<ClusterRequest> &trace)
         s.good = s.reloadedTiles = 0;
         s.reloadMsTotal = 0;
         s.latencies.clear();
+        s.sketch.clear();
         s.saw = false;
         s.firstArrival = s.lastDone = 0;
         s.flight->clear();
@@ -481,215 +579,291 @@ Cluster::replay(const std::vector<ClusterRequest> &trace)
     }
     if (opts_.warmStart)
         warmCaches();
+}
 
-    ClusterStats cs;
-    cs.shedByClass.assign(clsMonitor_.options().classes.size(), 0);
-    uint64_t seq = 0;      // every submission (router decision key)
-    uint64_t admitted = 0; // cluster-wide admitted ids (span traces)
+void
+Cluster::pruneStarts(double now_s)
+{
+    // Entries with start <= now_s are exactly the ones upper_bound
+    // counts as dequeued, so dropping them changes no queued-depth or
+    // admission computation — and under ascending arrivals they can
+    // never count as queued again. Bounds the per-shard history at the
+    // queue depth regardless of trace length.
+    for (auto &sp : shards_) {
+        std::deque<double> &st = sp->starts;
+        while (!st.empty() && st.front() <= now_s)
+            st.pop_front();
+    }
+}
 
-    for (const ClusterRequest &req : trace) {
-        ++seq;
-        ++cs.submitted;
-        BW_ASSERT(req.model < models_.size(),
-                  "replay: unknown model %u", req.model);
-        ModelEntry &me = models_[req.model];
-        if (me.requests)
-            me.requests->inc();
-        uint32_t cls =
-            static_cast<uint32_t>(clsMonitor_.classOf(req.deadlineMs));
-        double a = req.arrivalS;
+ClusterStats
+Cluster::replay(const std::vector<ClusterRequest> &trace)
+{
+    BW_ASSERT(!models_.empty(), "replay: no models registered");
+    replayReset();
+    ReplayPass rp;
+    rp.cs.shedByClass.assign(clsMonitor_.options().classes.size(), 0);
+    for (const ClusterRequest &req : trace)
+        replayOne(req, rp);
+    return replayFinish(rp);
+}
 
-        int32_t target = router_->route(seq, req.model, me.name, cls,
-                                        virtualLoads(a));
-        if (target < 0) {
-            ++cs.shed;
-            ++cs.shedByClass[cls];
-            if (metrics::Counter *c = shedCounter(cls))
-                c->inc();
-            clsMonitor_.record(toUs(a), req.deadlineMs, 0.0, false);
-            continue;
-        }
+ClusterStats
+Cluster::replayStream(const std::function<bool(ClusterRequest *)> &next)
+{
+    BW_ASSERT(!models_.empty(), "replay: no models registered");
+    replayReset();
+    ReplayPass rp;
+    rp.streaming = true;
+    rp.cs.shedByClass.assign(clsMonitor_.options().classes.size(), 0);
+    ClusterRequest req;
+    while (next(&req))
+        replayOne(req, rp);
+    return replayFinish(rp);
+}
 
-        Shard &s = *shards_[static_cast<size_t>(target)];
-        ShardMetrics *sm = shardMetrics_.empty()
-                               ? nullptr
-                               : &shardMetrics_[static_cast<size_t>(target)];
-        const serve::EngineOptions &eo = s.engine->options();
-        ++s.attempt;
-        ++s.routed;
+void
+Cluster::replayOne(const ClusterRequest &req, ReplayPass &rp)
+{
+    ClusterStats &cs = rp.cs;
+    ++rp.seq;
+    ++cs.submitted;
+    BW_ASSERT(req.model < models_.size(), "replay: unknown model %u",
+              req.model);
+    BW_ASSERT(!rp.sawArrival || req.arrivalS >= rp.lastArrival,
+              "replay: arrivals must be ascending");
+    rp.sawArrival = true;
+    rp.lastArrival = req.arrivalS;
+    obs::SpanTracer *tracer = opts_.spanTracer;
+    ModelEntry &me = models_[req.model];
+    if (me.requests)
+        me.requests->inc();
+    uint32_t cls =
+        static_cast<uint32_t>(clsMonitor_.classOf(req.deadlineMs));
+    double a = req.arrivalS;
+    pruneStarts(a);
+
+    int32_t target = router_->route(rp.seq, req.model, me.name, cls,
+                                    virtualLoads(a));
+    if (target < 0) {
+        ++cs.shed;
+        ++cs.shedByClass[cls];
+        if (metrics::Counter *c = shedCounter(cls))
+            c->inc();
+        clsMonitor_.record(toUs(a), req.deadlineMs, 0.0, false);
+        return;
+    }
+
+    Shard &s = *shards_[static_cast<size_t>(target)];
+    ShardMetrics *sm = shardMetrics_.empty()
+                           ? nullptr
+                           : &shardMetrics_[static_cast<size_t>(target)];
+    const serve::EngineOptions &eo = s.engine->options();
+    ++s.attempt;
+    ++s.routed;
+    if (sm)
+        sm->routed->inc();
+    if (!s.saw) {
+        s.saw = true;
+        s.firstArrival = a;
+        s.lastDone = a;
+    }
+    double deadline_ms =
+        req.deadlineMs > 0 ? req.deadlineMs : eo.defaultDeadlineMs;
+
+    // From here the shard mirrors Engine::replayUnbatched exactly
+    // (admission check, earliest-free replica, deadline at dequeue),
+    // with the model's service time plus any weight-reload charge
+    // standing in for the engine's single-model service time.
+    size_t dequeued = static_cast<size_t>(
+        std::upper_bound(s.starts.begin(), s.starts.end(), a) -
+        s.starts.begin());
+    if (s.starts.size() - dequeued >= eo.queueDepth) {
+        ++s.rejected;
+        ++cs.rejected;
         if (sm)
-            sm->routed->inc();
-        if (!s.saw) {
-            s.saw = true;
-            s.firstArrival = a;
-            s.lastDone = a;
-        }
-        double deadline_ms =
-            req.deadlineMs > 0 ? req.deadlineMs : eo.defaultDeadlineMs;
+            sm->rejected->inc();
+        uint64_t t_us = toUs(a);
+        obs::FlightRecord fr;
+        fr.seq = s.attempt;
+        fr.cls = obs::FlightClass::Rejected;
+        fr.steps = req.steps;
+        fr.admitUs = fr.dequeueUs = fr.serviceUs = fr.doneUs = t_us;
+        s.flight->record(fr);
+        s.slo->record(t_us, deadline_ms, 0.0, false);
+        clsMonitor_.record(t_us, deadline_ms, 0.0, false);
+        return;
+    }
 
-        // From here the shard mirrors Engine::replayUnbatched exactly
-        // (admission check, earliest-free replica, deadline at dequeue),
-        // with the model's service time plus any weight-reload charge
-        // standing in for the engine's single-model service time.
-        size_t dequeued = static_cast<size_t>(
-            std::upper_bound(s.starts.begin(), s.starts.end(), a) -
-            s.starts.begin());
-        if (s.starts.size() - dequeued >= eo.queueDepth) {
-            ++s.rejected;
-            ++cs.rejected;
-            if (sm)
-                sm->rejected->inc();
-            uint64_t t_us = toUs(a);
-            obs::FlightRecord fr;
-            fr.seq = s.attempt;
-            fr.cls = obs::FlightClass::Rejected;
-            fr.steps = req.steps;
-            fr.admitUs = fr.dequeueUs = fr.serviceUs = fr.doneUs = t_us;
-            s.flight->record(fr);
-            s.slo->record(t_us, deadline_ms, 0.0, false);
-            clsMonitor_.record(t_us, deadline_ms, 0.0, false);
-            continue;
-        }
-
-        uint64_t tiles = modelTiles(req.model, s.group);
-        WeightTouch wt = s.cache.touch(req.model, tiles);
-        double reload_ms = 0;
-        if (wt.hit) {
-            if (sm)
-                sm->cacheHits->inc();
-        } else {
-            reload_ms = reloadMs(s.group, wt.loadedTiles);
-            s.reloadedTiles += wt.loadedTiles;
-            s.reloadMsTotal += reload_ms;
-            if (sm) {
-                sm->cacheMisses->inc();
-                if (wt.evictions)
-                    sm->cacheEvictions->add(wt.evictions);
-                sm->reloadUs->add(static_cast<uint64_t>(
-                    std::llround(reload_ms * 1e3)));
-            }
-        }
-
-        double net_s = eo.networkMs / 1e3;
-        size_t r = static_cast<size_t>(
-            std::min_element(s.freeS.begin(), s.freeS.end()) -
-            s.freeS.begin());
-        double start = std::max(a + net_s / 2, s.freeS[r]);
-        s.starts.push_back(start);
-        ++admitted;
-        obs::TraceContext ctx =
-            tracer ? tracer->admit(admitted) : obs::TraceContext{};
-        uint64_t admit_us = toUs(a);
-        uint64_t start_us = std::max(toUs(start), admit_us);
-
-        if (deadline_ms > 0 && (start - a) * 1e3 > deadline_ms) {
-            ++s.expired;
-            ++cs.expired;
-            if (sm)
-                sm->expired->inc();
-            double latency_ms = (start - a) * 1e3 + eo.networkMs;
-            if (ctx.sampled()) {
-                obs::RouteSpan rs;
-                rs.trace = ctx.trace;
-                rs.admitUs = admit_us;
-                rs.doneUs = start_us;
-                rs.engine = static_cast<uint32_t>(target);
-                rs.model = req.model;
-                rs.outcome = obs::SpanOutcome::DeadlineExpired;
-                obs::SpanId root = obs::recordRouteSpan(*tracer, rs);
-                obs::RequestSpans qs;
-                qs.trace = ctx.trace;
-                qs.admitUs = admit_us;
-                qs.dequeueUs = qs.serviceUs = qs.doneUs = start_us;
-                qs.replica = static_cast<uint32_t>(r);
-                qs.outcome = obs::SpanOutcome::DeadlineExpired;
-                obs::recordRequestTree(*tracer, qs, root);
-            }
-            obs::FlightRecord fr;
-            fr.seq = s.attempt;
-            fr.id = admitted;
-            fr.cls = obs::FlightClass::DeadlineExpired;
-            fr.sampled = ctx.sampled();
-            fr.replica = static_cast<uint32_t>(r);
-            fr.steps = req.steps;
-            fr.admitUs = admit_us;
-            fr.dequeueUs = fr.serviceUs = fr.doneUs = start_us;
-            fr.latencyUs = latency_ms > 0
-                               ? static_cast<uint64_t>(
-                                     std::llround(latency_ms * 1e3))
-                               : 0;
-            s.flight->record(fr);
-            s.slo->record(start_us, deadline_ms, latency_ms, false);
-            clsMonitor_.record(start_us, deadline_ms, latency_ms, false);
-            continue;
-        }
-
-        double service_ms =
-            modelServiceMs(req.model, s.group, req.steps) + reload_ms;
-        double done = start + service_ms / 1e3;
-        s.freeS[r] = done;
-        s.lastDone = std::max(s.lastDone, done);
-        double latency_ms = (done + net_s / 2 - a) * 1e3;
-        s.latencies.push_back(latency_ms);
-        ++s.completed;
-        ++cs.completed;
+    uint64_t tiles = modelTiles(req.model, s.group);
+    WeightTouch wt = s.cache.touch(req.model, tiles);
+    double reload_ms = 0;
+    if (wt.hit) {
         if (sm)
-            sm->completed->inc();
-        if (deadline_ms <= 0 || latency_ms <= deadline_ms)
-            ++s.good;
-        uint64_t done_us = std::max(toUs(done), start_us);
+            sm->cacheHits->inc();
+    } else {
+        reload_ms = reloadMs(s.group, wt.loadedTiles);
+        s.reloadedTiles += wt.loadedTiles;
+        s.reloadMsTotal += reload_ms;
+        if (sm) {
+            sm->cacheMisses->inc();
+            if (wt.evictions)
+                sm->cacheEvictions->add(wt.evictions);
+            sm->reloadUs->add(
+                static_cast<uint64_t>(std::llround(reload_ms * 1e3)));
+        }
+    }
+
+    double net_s = eo.networkMs / 1e3;
+    size_t r = static_cast<size_t>(
+        std::min_element(s.freeS.begin(), s.freeS.end()) -
+        s.freeS.begin());
+    double start = std::max(a + net_s / 2, s.freeS[r]);
+    s.starts.push_back(start);
+    ++rp.admitted;
+    obs::TraceContext ctx =
+        tracer ? tracer->admit(rp.admitted) : obs::TraceContext{};
+    uint64_t admit_us = toUs(a);
+    uint64_t start_us = std::max(toUs(start), admit_us);
+
+    if (deadline_ms > 0 && (start - a) * 1e3 > deadline_ms) {
+        ++s.expired;
+        ++cs.expired;
+        if (sm)
+            sm->expired->inc();
+        double latency_ms = (start - a) * 1e3 + eo.networkMs;
         if (ctx.sampled()) {
             obs::RouteSpan rs;
             rs.trace = ctx.trace;
             rs.admitUs = admit_us;
-            rs.doneUs = done_us;
+            rs.doneUs = start_us;
             rs.engine = static_cast<uint32_t>(target);
             rs.model = req.model;
-            rs.outcome = obs::SpanOutcome::Ok;
+            rs.outcome = obs::SpanOutcome::DeadlineExpired;
             obs::SpanId root = obs::recordRouteSpan(*tracer, rs);
             obs::RequestSpans qs;
             qs.trace = ctx.trace;
             qs.admitUs = admit_us;
-            qs.dequeueUs = qs.serviceUs = start_us;
-            qs.doneUs = done_us;
+            qs.dequeueUs = qs.serviceUs = qs.doneUs = start_us;
             qs.replica = static_cast<uint32_t>(r);
-            qs.outcome = obs::SpanOutcome::Ok;
+            qs.outcome = obs::SpanOutcome::DeadlineExpired;
             obs::recordRequestTree(*tracer, qs, root);
         }
         obs::FlightRecord fr;
         fr.seq = s.attempt;
-        fr.id = admitted;
-        fr.cls = obs::FlightClass::Ok;
+        fr.id = rp.admitted;
+        fr.cls = obs::FlightClass::DeadlineExpired;
         fr.sampled = ctx.sampled();
         fr.replica = static_cast<uint32_t>(r);
         fr.steps = req.steps;
         fr.admitUs = admit_us;
-        fr.dequeueUs = fr.serviceUs = start_us;
-        fr.doneUs = done_us;
-        fr.latencyUs =
-            latency_ms > 0
-                ? static_cast<uint64_t>(std::llround(latency_ms * 1e3))
-                : 0;
+        fr.dequeueUs = fr.serviceUs = fr.doneUs = start_us;
+        fr.latencyUs = latency_ms > 0
+                           ? static_cast<uint64_t>(
+                                 std::llround(latency_ms * 1e3))
+                           : 0;
         s.flight->record(fr);
-        s.slo->record(done_us, deadline_ms, latency_ms, true);
-        clsMonitor_.record(done_us, deadline_ms, latency_ms, true);
+        s.slo->record(start_us, deadline_ms, latency_ms, false);
+        clsMonitor_.record(start_us, deadline_ms, latency_ms, false);
+        return;
     }
 
-    // Per-engine and merged summaries.
+    double model_ms = modelServiceMs(req.model, s.group, req.steps);
+    double service_ms = model_ms + reload_ms;
+    if (opts_.auditEvery > 0 && !me.timed &&
+        opts_.fidelity != timing::Fidelity::CycleAccurate &&
+        rp.seq % opts_.auditEvery == 0)
+        auditCheck(rp.seq, req.model, s.group, req.steps, model_ms);
+    double done = start + service_ms / 1e3;
+    s.freeS[r] = done;
+    s.lastDone = std::max(s.lastDone, done);
+    double latency_ms = (done + net_s / 2 - a) * 1e3;
+    if (rp.streaming)
+        s.sketch.record(latency_ms);
+    else
+        s.latencies.push_back(latency_ms);
+    ++s.completed;
+    ++cs.completed;
+    if (sm)
+        sm->completed->inc();
+    if (deadline_ms <= 0 || latency_ms <= deadline_ms)
+        ++s.good;
+    uint64_t done_us = std::max(toUs(done), start_us);
+    if (ctx.sampled()) {
+        obs::RouteSpan rs;
+        rs.trace = ctx.trace;
+        rs.admitUs = admit_us;
+        rs.doneUs = done_us;
+        rs.engine = static_cast<uint32_t>(target);
+        rs.model = req.model;
+        rs.outcome = obs::SpanOutcome::Ok;
+        obs::SpanId root = obs::recordRouteSpan(*tracer, rs);
+        obs::RequestSpans qs;
+        qs.trace = ctx.trace;
+        qs.admitUs = admit_us;
+        qs.dequeueUs = qs.serviceUs = start_us;
+        qs.doneUs = done_us;
+        qs.replica = static_cast<uint32_t>(r);
+        qs.outcome = obs::SpanOutcome::Ok;
+        obs::SpanId exec = obs::recordRequestTree(*tracer, qs, root);
+        if (exec)
+            stitchChainSpans(*tracer, ctx.trace, exec, req.model,
+                             s.group, req.steps, start_us, done_us);
+    }
+    obs::FlightRecord fr;
+    fr.seq = s.attempt;
+    fr.id = rp.admitted;
+    fr.cls = obs::FlightClass::Ok;
+    fr.sampled = ctx.sampled();
+    fr.replica = static_cast<uint32_t>(r);
+    fr.steps = req.steps;
+    fr.admitUs = admit_us;
+    fr.dequeueUs = fr.serviceUs = start_us;
+    fr.doneUs = done_us;
+    fr.latencyUs =
+        latency_ms > 0
+            ? static_cast<uint64_t>(std::llround(latency_ms * 1e3))
+            : 0;
+    s.flight->record(fr);
+    s.slo->record(done_us, deadline_ms, latency_ms, true);
+    clsMonitor_.record(done_us, deadline_ms, latency_ms, true);
+}
+
+ClusterStats
+Cluster::replayFinish(ReplayPass &rp)
+{
+    ClusterStats cs = std::move(rp.cs);
+    // Per-engine and merged summaries. Vector replay reports exact
+    // nearest-rank percentiles; streaming replay merges the per-shard
+    // sketches (counters/mean/max stay exact, percentiles are bucket
+    // upper bounds).
     std::vector<double> all;
+    LatencySketch merged;
     double first = 0, last = 0;
     bool any = false;
     for (auto &sp : shards_) {
         Shard &s = *sp;
         EngineReport r;
         r.label = s.label;
-        std::sort(s.latencies.begin(), s.latencies.end());
-        fillLatencyStats(r.stats, s.latencies);
+        uint64_t n = 0;
+        if (rp.streaming) {
+            s.sketch.fill(r.stats);
+            n = s.sketch.count;
+            merged.count += s.sketch.count;
+            merged.sumMs += s.sketch.sumMs;
+            merged.maxMs = std::max(merged.maxMs, s.sketch.maxMs);
+            for (size_t b = 0; b < LatencySketch::kBuckets; ++b)
+                merged.buckets[b] += s.sketch.buckets[b];
+        } else {
+            std::sort(s.latencies.begin(), s.latencies.end());
+            fillLatencyStats(r.stats, s.latencies);
+            n = s.latencies.size();
+            all.insert(all.end(), s.latencies.begin(),
+                       s.latencies.end());
+        }
         double span = s.lastDone - s.firstArrival;
         r.stats.throughputRps =
-            s.saw && span > 0
-                ? static_cast<double>(s.latencies.size()) / span
-                : 0;
+            s.saw && span > 0 ? static_cast<double>(n) / span : 0;
         r.routed = s.routed;
         r.completed = s.completed;
         r.rejected = s.rejected;
@@ -701,7 +875,6 @@ Cluster::replay(const std::vector<ClusterRequest> &trace)
         r.reloadedTiles = s.reloadedTiles;
         r.reloadMsTotal = s.reloadMsTotal;
         cs.goodput += s.good;
-        all.insert(all.end(), s.latencies.begin(), s.latencies.end());
         if (s.saw) {
             if (!any || s.firstArrival < first)
                 first = s.firstArrival;
@@ -711,14 +884,111 @@ Cluster::replay(const std::vector<ClusterRequest> &trace)
         }
         cs.engines.push_back(std::move(r));
     }
-    std::sort(all.begin(), all.end());
-    fillLatencyStats(cs.overall, all);
     double span = any ? last - first : 0;
-    cs.overall.throughputRps =
-        span > 0 ? static_cast<double>(all.size()) / span : 0;
+    if (rp.streaming) {
+        merged.fill(cs.overall);
+        cs.overall.throughputRps =
+            span > 0 ? static_cast<double>(merged.count) / span : 0;
+    } else {
+        std::sort(all.begin(), all.end());
+        fillLatencyStats(cs.overall, all);
+        cs.overall.throughputRps =
+            span > 0 ? static_cast<double>(all.size()) / span : 0;
+    }
     cs.goodputRps =
         span > 0 ? static_cast<double>(cs.goodput) / span : 0;
     return cs;
+}
+
+// --- Fidelity audit + span stitching ---
+
+double
+Cluster::exactServiceMs(uint32_t model, size_t group, unsigned steps)
+{
+    ModelEntry &e = models_[model];
+    BW_ASSERT(!e.timed,
+              "audit: timed model %u has no cycle-accurate price", model);
+    uint64_t key = svcKey(model, group, steps);
+    auto it = exactCache_.find(key);
+    if (it != exactCache_.end())
+        return it->second;
+    double ms = e.sessions[group]->serviceMs(
+        steps, timing::Fidelity::CycleAccurate);
+    exactCache_.emplace(key, ms);
+    return ms;
+}
+
+void
+Cluster::auditCheck(uint64_t seq, uint32_t model, size_t group,
+                    unsigned steps, double fast_ms)
+{
+    double exact_ms = exactServiceMs(model, group, steps);
+    ++auditChecks_;
+    if (auditChecksC_)
+        auditChecksC_->inc();
+    lastCheck_ = AuditSample{seq, model, steps, fast_ms, exact_ms};
+    if (fast_ms != exact_ms) {
+        ++auditDivergence_;
+        if (auditDivergenceC_)
+            auditDivergenceC_->inc();
+        lastDivergence_ = lastCheck_;
+    }
+}
+
+void
+Cluster::stitchChainSpans(obs::SpanTracer &tracer, obs::TraceId trace,
+                          obs::SpanId execute, uint32_t model,
+                          size_t group, unsigned steps,
+                          uint64_t service_us, uint64_t done_us)
+{
+    ModelEntry &e = models_[model];
+    if (e.timed)
+        return; // flat-time models have no chain profiles
+    uint64_t key = svcKey(model, group, steps);
+    auto it = chainCache_.find(key);
+    if (it == chainCache_.end()) {
+        auto chains =
+            std::make_shared<std::vector<obs::ChainProfile>>();
+        timing::TimingResult tr = e.sessions[group]->timeProfiled(
+            steps, chains.get(), opts_.fidelity);
+        ChainInfo ci;
+        ci.totalCycles = tr.totalCycles;
+        ci.chains = std::move(chains);
+        it = chainCache_.emplace(key, std::move(ci)).first;
+    }
+    const ChainInfo &ci = it->second;
+    if (!ci.chains || ci.chains->empty())
+        return;
+    obs::recordChainSpans(tracer, trace, execute, service_us, done_us,
+                          *ci.chains, ci.totalCycles);
+}
+
+Json
+Cluster::auditJson() const
+{
+    Json j = Json::object();
+    j.set("schema", "bw.audit/1");
+    j.set("sample_every", opts_.auditEvery);
+    j.set("fidelity", timing::fidelityName(opts_.fidelity));
+    j.set("active",
+          opts_.auditEvery > 0 &&
+              opts_.fidelity != timing::Fidelity::CycleAccurate);
+    j.set("checks", auditChecks_);
+    j.set("divergences", auditDivergence_);
+    auto sampleJson = [](const AuditSample &s) {
+        Json o = Json::object();
+        o.set("seq", s.seq);
+        o.set("model", static_cast<uint64_t>(s.model));
+        o.set("steps", static_cast<uint64_t>(s.steps));
+        o.set("fast_ms", s.fastMs);
+        o.set("exact_ms", s.exactMs);
+        return o;
+    };
+    if (auditChecks_ > 0)
+        j.set("last_check", sampleJson(lastCheck_));
+    if (auditDivergence_ > 0)
+        j.set("last_divergence", sampleJson(lastDivergence_));
+    return j;
 }
 
 // --- Live serving ---
@@ -906,6 +1176,23 @@ Cluster::exposeDebug(metrics::MetricsHttpServer &srv)
     srv.handleJson("/route.json",
                    [this] { return routeJson().dump(2); });
     srv.handleJson("/slo.json", [this] { return sloJson().dump(2); });
+    srv.handleText("/fleet/metrics",
+                   "text/plain; version=0.0.4; charset=utf-8",
+                   [this] { return fleetMetricsText(); });
+    srv.handleJson("/fleet/metrics.json",
+                   [this] { return fleetMetricsJson().dump(2); });
+    srv.handleJson("/fleet/slo.json",
+                   [this] { return fleetSloJson().dump(2); });
+    srv.handleJson("/debug/audit",
+                   [this] { return auditJson().dump(2); });
+    srv.handleStream(
+        "/fleet/spans.ndjson",
+        [this](const metrics::MetricsHttpServer::StreamSink &sink) {
+            if (opts_.spanTracer)
+                obs::streamSpanTreesNdjson(*opts_.spanTracer, sink);
+            else
+                obs::streamSpanTreesNdjson({}, 0, sink);
+        });
     for (unsigned i = 0; i < shards_.size(); ++i) {
         std::string base = "/engine/" + std::to_string(i);
         srv.handleJson(base + "/slo.json", [this, i] {
@@ -923,6 +1210,11 @@ Cluster::exposeDebug(metrics::MetricsHttpServer &srv)
         srv.handleJson(base + "/debug/config", [this, i] {
             return shards_[i]->engine->debugConfigJson().dump(2);
         });
+        srv.handleStream(
+            base + "/flight.ndjson",
+            [this, i](const metrics::MetricsHttpServer::StreamSink &sink) {
+                obs::streamFlightNdjson(*shards_[i]->flight, sink);
+            });
     }
 }
 

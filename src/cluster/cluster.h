@@ -40,6 +40,9 @@
 #ifndef BW_CLUSTER_CLUSTER_H
 #define BW_CLUSTER_CLUSTER_H
 
+#include <array>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +55,7 @@
 #include "common/status.h"
 #include "graph/gir.h"
 #include "metrics/metrics.h"
+#include "obs/fleet.h"
 #include "obs/flight.h"
 #include "obs/span.h"
 #include "serve/engine.h"
@@ -111,12 +115,25 @@ struct ClusterOptions
     timing::Fidelity fidelity = timing::Fidelity::CycleAccurate;
 
     /**
+     * Fidelity audit sampling: when > 0 and the cluster runs a
+     * fast/cached tier, every auditEvery-th completed compiled-model
+     * request is re-priced against the cycle-accurate model and
+     * compared (bw_timing_audit_{checks,divergence}_total,
+     * /debug/audit). 0 disables the audit. The sampling key is the
+     * deterministic submission sequence number, so two replays audit
+     * the same requests.
+     */
+    uint64_t auditEvery = 0;
+
+    /**
      * Apply BW_CLUSTER_* environment overrides on @p base:
      * BW_CLUSTER_MIX replaces the groups with a preset mix
      * ("s5:2,a10:1,s10:1" — preset:count, presets s5 / a10 / s10),
-     * BW_CLUSTER_POLICY sets the router policy by name, and
-     * BW_CLUSTER_CACHE_TILES sets weightCacheTiles. BW_TIMING_MODE
-     * sets the timing fidelity tier ("cycle" | "fast" | "cached").
+     * BW_CLUSTER_POLICY sets the router policy by name,
+     * BW_CLUSTER_CACHE_TILES sets weightCacheTiles,
+     * BW_ROUTE_LOG_MAX sets router.logCapacity, and BW_AUDIT_SAMPLE
+     * sets auditEvery. BW_TIMING_MODE sets the timing fidelity tier
+     * ("cycle" | "fast" | "cached").
      */
     static ClusterOptions fromEnv(ClusterOptions base);
     static ClusterOptions fromEnv();
@@ -238,6 +255,27 @@ class Cluster
      */
     ClusterStats replay(const std::vector<ClusterRequest> &trace);
 
+    /**
+     * Streaming replay: pull requests from @p next (e.g.
+     * TrafficStream::next) until it returns false, with O(1) resident
+     * memory regardless of trace length — per-shard dequeue history is
+     * pruned as virtual time advances and latency summaries come from
+     * a bounded log-bucket sketch (exact counters and mean/max;
+     * p50/p95/p99 are bucket-upper-bound estimates). Router decisions,
+     * flight records, SLO feeds and span trees are byte-identical to
+     * replay() on the same trace (tested) — attach a decision sink for
+     * the O(1) route export.
+     */
+    ClusterStats
+    replayStream(const std::function<bool(ClusterRequest *)> &next);
+
+    /**
+     * Attach a streaming router-decision sink (obs::RouteStreamWriter),
+     * re-applied across setRouterPolicy(). Every decision — routed or
+     * shed — flows through it before the bounded decision log.
+     */
+    void setDecisionSink(std::function<void(const RouteDecision &)> sink);
+
     // --- Live (threaded) serving. ---
 
     /** Spawn every shard's worker pool (idempotent). */
@@ -276,6 +314,13 @@ class Cluster
     /** The cluster-level bw.slo/1 document (sheds burn availability). */
     Json sloJson() const { return clsMonitor_.sloJson(); }
 
+    /** Deadline classes in the monitor's ladder (after defaulting) —
+     *  sizes the RouteStreamWriter's shed_by_class vector. */
+    size_t sloClassCount() const
+    {
+        return clsMonitor_.options().classes.size();
+    }
+
     /** Shard @p engine's bw.slo/1 document. */
     Json engineSloJson(unsigned engine) const;
 
@@ -289,6 +334,26 @@ class Cluster
     /** Topology + per-shard occupancy/cache/counters + router summary. */
     Json debugClusterJson() const;
 
+    /** The fleet federation plane over every shard registry + SLO
+     *  monitor (and the cluster registry when bound). */
+    const obs::FleetRegistry &fleet() const { return fleet_; }
+
+    /** Federated /fleet/metrics Prometheus text. */
+    std::string fleetMetricsText() const { return fleet_.prometheus(); }
+
+    /** Federated /fleet/metrics.json document. */
+    Json fleetMetricsJson() const { return fleet_.metricsJson(); }
+
+    /** Fleet bw.slo/1 rollup across every shard monitor. */
+    Json fleetSloJson() const { return fleet_.sloRollupJson(); }
+
+    /** The /debug/audit document: fidelity-audit sampling config,
+     *  check/divergence counters, and the last divergence (if any). */
+    Json auditJson() const;
+
+    uint64_t auditChecks() const { return auditChecks_; }
+    uint64_t auditDivergences() const { return auditDivergence_; }
+
     /**
      * Mount the cluster's introspection endpoints on @p srv:
      * /debug/cluster, /route.json, /slo.json, and per shard i
@@ -301,6 +366,25 @@ class Cluster
     void exposeDebug(metrics::MetricsHttpServer &srv);
 
   private:
+    /**
+     * Bounded log-bucket latency summary for streaming replay: exact
+     * count/mean/max, bucket-upper-bound p50/p95/p99. Buckets are
+     * geometric (ratio 2^(1/4)) from 1 microsecond.
+     */
+    struct LatencySketch
+    {
+        static constexpr size_t kBuckets = 96;
+        uint64_t count = 0;
+        double sumMs = 0;
+        double maxMs = 0;
+        std::array<uint64_t, kBuckets> buckets{};
+
+        void record(double latency_ms);
+        void clear();
+        /** Fill the requests/mean/percentile/max fields of @p stats. */
+        void fill(ServeStats &stats) const;
+    };
+
     /** One engine shard: the engine plus everything it must not share. */
     struct Shard
     {
@@ -316,17 +400,32 @@ class Cluster
         metrics::Gauge *inflight = nullptr;
 
         // Virtual-time replay state (mirrors Engine::replayUnbatched).
-        std::vector<double> starts; //!< dequeue time per admitted req
-        std::vector<double> freeS;  //!< per-replica next-free time
-        uint64_t attempt = 0;       //!< per-shard flight seq counter
+        // A deque, not a vector: streaming replay prunes entries whose
+        // start has passed (they can never count as queued again under
+        // ascending arrivals), bounding memory at the queue depth.
+        std::deque<double> starts; //!< dequeue time per admitted req
+        std::vector<double> freeS; //!< per-replica next-free time
+        uint64_t attempt = 0;      //!< per-shard flight seq counter
 
         // Per-replay report accumulators.
         uint64_t routed = 0, completed = 0, rejected = 0, expired = 0;
         uint64_t good = 0, reloadedTiles = 0;
         double reloadMsTotal = 0;
-        std::vector<double> latencies;
+        std::vector<double> latencies; //!< exact (vector replay) only
+        LatencySketch sketch;          //!< streaming replay only
         double firstArrival = 0, lastDone = 0;
         bool saw = false;
+    };
+
+    /** State threaded through one replay pass (vector or streaming). */
+    struct ReplayPass
+    {
+        ClusterStats cs;
+        uint64_t seq = 0;      //!< every submission (router key)
+        uint64_t admitted = 0; //!< admitted ids (span trace ids)
+        bool streaming = false;
+        double lastArrival = 0;
+        bool sawArrival = false;
     };
 
     /** One registered model. */
@@ -360,6 +459,28 @@ class Cluster
     void bindClusterMetrics();
     metrics::Counter *shedCounter(uint32_t cls);
 
+    // Replay decomposition shared by replay() and replayStream().
+    void replayReset();
+    void replayOne(const ClusterRequest &req, ReplayPass &rp);
+    ClusterStats replayFinish(ReplayPass &rp);
+    /** Drop per-shard dequeue history that virtual time has passed. */
+    void pruneStarts(double now_s);
+
+    /** Cycle-accurate service time for the audit (cached per
+     *  (model, group, steps), like serviceCache_). */
+    double exactServiceMs(uint32_t model, size_t group, unsigned steps);
+    /** Sampled fast-vs-cycle-accurate comparison (replay completed
+     *  path). */
+    void auditCheck(uint64_t seq, uint32_t model, size_t group,
+                    unsigned steps, double fast_ms);
+    /** Attach chain leaf spans under @p execute from the compiled
+     *  model's retired-chain profiles (cached per (model, group,
+     *  steps)). */
+    void stitchChainSpans(obs::SpanTracer &tracer, obs::TraceId trace,
+                          obs::SpanId execute, uint32_t model,
+                          size_t group, unsigned steps,
+                          uint64_t service_us, uint64_t done_us);
+
     ClusterOptions opts_;
     std::unique_ptr<Router> router_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -375,6 +496,40 @@ class Cluster
 
     /** (model, group, steps) -> simulated service ms. */
     std::unordered_map<uint64_t, double> serviceCache_;
+    /** (model, group, steps) -> cycle-accurate ms (audit reference). */
+    std::unordered_map<uint64_t, double> exactCache_;
+
+    /** Cached retired-chain profiles for span stitching. */
+    struct ChainInfo
+    {
+        Cycles totalCycles = 0;
+        std::shared_ptr<const std::vector<obs::ChainProfile>> chains;
+    };
+    /** (model, group, steps) -> chain profiles. */
+    std::unordered_map<uint64_t, ChainInfo> chainCache_;
+
+    /** The fleet federation plane (cluster registry + every shard). */
+    obs::FleetRegistry fleet_;
+
+    /** Streaming router-decision sink, re-applied on router swaps. */
+    std::function<void(const RouteDecision &)> decisionSink_;
+
+    // Fidelity-audit state (cumulative across replays, like the
+    // cluster-registry counters).
+    uint64_t auditChecks_ = 0;
+    uint64_t auditDivergence_ = 0;
+    metrics::Counter *auditChecksC_ = nullptr;
+    metrics::Counter *auditDivergenceC_ = nullptr;
+    struct AuditSample
+    {
+        uint64_t seq = 0;
+        uint32_t model = 0;
+        unsigned steps = 0;
+        double fastMs = 0;
+        double exactMs = 0;
+    };
+    AuditSample lastCheck_;
+    AuditSample lastDivergence_;
 
     /** Serializes live routing decisions + cache touches. */
     std::mutex liveMu_;

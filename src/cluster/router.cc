@@ -168,8 +168,11 @@ Router::route(uint64_t seq, uint32_t model,
     } else {
         ++routed_;
     }
+    RouteDecision decision{seq, model, cls, engine};
+    if (sink_)
+        sink_(decision); // streaming export sees every decision
     if (log_.size() < opts_.logCapacity)
-        log_.push_back(RouteDecision{seq, model, cls, engine});
+        log_.push_back(decision);
     else
         ++logDropped_;
     return engine;

@@ -31,6 +31,7 @@
 #define BW_CLUSTER_ROUTER_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -148,6 +149,18 @@ class Router
     /** Snapshot of dropped decision-log entries (log overflow). */
     uint64_t logDropped() const { return logDropped_; }
 
+    /**
+     * Attach a streaming decision sink: called once per route() with
+     * every decision — including front-door sheds — before the bounded
+     * log (which may drop) sees it. This is the O(1)-memory export
+     * path (obs::RouteStreamWriter); the materialized log stays the
+     * introspection window. Pass nullptr to detach.
+     */
+    void setDecisionSink(std::function<void(const RouteDecision &)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
   private:
     struct RingPoint
     {
@@ -166,6 +179,7 @@ class Router
     uint64_t shed_ = 0;
     uint64_t logDropped_ = 0;
     std::vector<uint64_t> shedByClass_;
+    std::function<void(const RouteDecision &)> sink_;
 };
 
 /**

@@ -52,58 +52,74 @@ trafficRateAt(const TrafficOptions &opts, double t_s)
     return std::max(rate, 0.0);
 }
 
-std::vector<ClusterRequest>
-generateTraffic(const TrafficOptions &opts)
+TrafficStream::TrafficStream(TrafficOptions opts)
+    : opts_(std::move(opts)), rng_(opts_.seed)
 {
-    std::vector<ClusterRequest> trace;
-    if (opts.baseRps <= 0 || opts.durationS <= 0)
-        return trace;
+    if (opts_.baseRps <= 0 || opts_.durationS <= 0) {
+        done_ = true;
+        return;
+    }
 
     // Peak rate bounds the thinning proposal process: diurnal swing at
     // full amplitude times the largest burst multiplier.
-    double peak = opts.baseRps * (1.0 + std::abs(opts.diurnalAmplitude));
+    peak_ = opts_.baseRps * (1.0 + std::abs(opts_.diurnalAmplitude));
     double burst_peak = 1.0;
-    for (const BurstPhase &b : opts.bursts)
+    for (const BurstPhase &b : opts_.bursts)
         burst_peak = std::max(burst_peak, b.multiplier);
-    peak *= burst_peak;
-    BW_ASSERT(peak > 0, "traffic peak rate must be positive");
+    peak_ *= burst_peak;
+    BW_ASSERT(peak_ > 0, "traffic peak rate must be positive");
 
-    std::vector<ModelMix> mix = opts.mix;
-    if (mix.empty())
-        mix.push_back(ModelMix{});
-    double total_w = 0;
-    for (const ModelMix &m : mix) {
+    mix_ = opts_.mix;
+    if (mix_.empty())
+        mix_.push_back(ModelMix{});
+    for (const ModelMix &m : mix_) {
         BW_ASSERT(m.weight > 0, "model mix weight must be positive");
-        total_w += m.weight;
+        totalW_ += m.weight;
     }
+}
 
+bool
+TrafficStream::next(ClusterRequest *out)
+{
+    if (done_)
+        return false;
     // Thinning: candidates at the peak rate, accepted with probability
     // rate(t)/peak. Every path consumes Rng draws in a fixed order
     // (gap, accept, then model only on accept), so the trace is a pure
     // function of the options.
-    Rng rng(opts.seed);
-    double t = 0;
     while (true) {
-        t += rng.exponential(peak);
-        if (t >= opts.durationS)
-            break;
-        double accept = rng.uniform();
-        if (accept * peak >= trafficRateAt(opts, t))
-            continue;
-        double pick = rng.uniform() * total_w;
-        size_t m = 0;
-        for (; m + 1 < mix.size(); ++m) {
-            if (pick < mix[m].weight)
-                break;
-            pick -= mix[m].weight;
+        t_ += rng_.exponential(peak_);
+        if (t_ >= opts_.durationS) {
+            done_ = true;
+            return false;
         }
-        ClusterRequest r;
-        r.arrivalS = t;
-        r.model = mix[m].model;
-        r.steps = std::max(1u, mix[m].steps);
-        r.deadlineMs = mix[m].deadlineMs;
-        trace.push_back(r);
+        double accept = rng_.uniform();
+        if (accept * peak_ >= trafficRateAt(opts_, t_))
+            continue;
+        double pick = rng_.uniform() * totalW_;
+        size_t m = 0;
+        for (; m + 1 < mix_.size(); ++m) {
+            if (pick < mix_[m].weight)
+                break;
+            pick -= mix_[m].weight;
+        }
+        out->arrivalS = t_;
+        out->model = mix_[m].model;
+        out->steps = std::max(1u, mix_[m].steps);
+        out->deadlineMs = mix_[m].deadlineMs;
+        ++produced_;
+        return true;
     }
+}
+
+std::vector<ClusterRequest>
+generateTraffic(const TrafficOptions &opts)
+{
+    std::vector<ClusterRequest> trace;
+    TrafficStream stream(opts);
+    ClusterRequest r;
+    while (stream.next(&r))
+        trace.push_back(r);
     return trace;
 }
 

@@ -90,9 +90,43 @@ struct ClusterRequest
 double trafficRateAt(const TrafficOptions &opts, double t_s);
 
 /**
+ * Pull-based traffic generator: the same thinning process as
+ * generateTraffic, one request per next() call, in O(1) memory. The
+ * Rng draw order is identical (gap, accept, then model only on
+ * accept), so a TrafficStream drained into a vector reproduces
+ * generateTraffic(opts) byte-identically (tested) — this is what lets
+ * Cluster::replayStream push multi-million-request traces without
+ * ever materializing them.
+ */
+class TrafficStream
+{
+  public:
+    explicit TrafficStream(TrafficOptions opts);
+
+    /** Produce the next request into @p out; false at end of trace. */
+    bool next(ClusterRequest *out);
+
+    const TrafficOptions &options() const { return opts_; }
+
+    /** Requests produced so far. */
+    uint64_t produced() const { return produced_; }
+
+  private:
+    TrafficOptions opts_;
+    std::vector<ModelMix> mix_;
+    double totalW_ = 0;
+    double peak_ = 0;
+    Rng rng_;
+    double t_ = 0;
+    bool done_ = false;
+    uint64_t produced_ = 0;
+};
+
+/**
  * Generate the arrival trace: ascending arrival times in
  * [0, durationS), each with its drawn model's steps and deadline.
  * Deterministic: same options, same trace (tested byte-identically).
+ * Equivalent to draining a TrafficStream into a vector.
  */
 std::vector<ClusterRequest> generateTraffic(const TrafficOptions &opts);
 

@@ -154,6 +154,48 @@ envVarDocs()
          "bw.route/1): policy, shed counters by deadline class, and "
          "one row per routing decision. Check with 'bw_spans "
          "validate'."},
+        {"BW_ROUTE_LOG_MAX",
+         "Bounded capacity of the router's materialized in-memory "
+         "decision log (default 65536; older rows are dropped and "
+         "counted). For unbounded traces attach the O(1) streaming "
+         "export (BW_FLEET_STREAM) instead of growing this."},
+        {"BW_DEBUG_RING",
+         "Per-engine error-ring capacity for /debug/errors (default "
+         "64 entries; 0 disables retention). The ring holds the most "
+         "recent rejected/expired/errored submissions with their "
+         "status strings."},
+        {"BW_AUDIT_SAMPLE",
+         "Fidelity-audit sampling period N for clusters on a fast or "
+         "cached timing tier: every Nth completed compiled-model "
+         "request is re-priced against the cycle-accurate model "
+         "(bw_timing_audit_{checks,divergence}_total, /debug/audit). "
+         "0 (default) disables the audit."},
+        {"BW_AUDIT_JSON",
+         "Output path for cluster_serve's fidelity-audit document "
+         "(schema bw.audit/1): sampling config, check/divergence "
+         "counters, and the last checked/diverged samples, as served "
+         "on /debug/audit."},
+        {"BW_FLEET_STREAM",
+         "Output path for cluster_serve's streaming router-decision "
+         "log (schema bw.routestream/1, NDJSON): one line per "
+         "decision written as it is made, O(1) memory at any trace "
+         "length, summary trailer last. Check with 'bw_spans "
+         "validate-stream'."},
+        {"BW_FLEET_METRICS_JSON",
+         "Output path for cluster_serve's federated fleet metrics "
+         "document: every shard registry's series labeled {shard, "
+         "group} plus the cluster-level series, as served on "
+         "/fleet/metrics.json."},
+        {"BW_FLEET_SLO_JSON",
+         "Output path for cluster_serve's fleet SLO rollup (schema "
+         "bw.slo/1): per-class window sums across every shard monitor "
+         "with burn rates recomputed on the aggregate, as served on "
+         "/fleet/slo.json."},
+        {"BW_FLEET_SPANS_NDJSON",
+         "Output path for cluster_serve's streaming span-tree export "
+         "(schema bw.spanstream/1, NDJSON): one stitched "
+         "router->engine->chain trace tree per line, as served on "
+         "/fleet/spans.ndjson. Check with 'bw_spans validate-stream'."},
     };
     return docs;
 }

@@ -80,13 +80,35 @@ void
 MetricsHttpServer::handleJson(std::string path,
                               std::function<std::string()> body)
 {
-    for (auto &h : handlers_) {
-        if (h.first == path) {
-            h.second = std::move(body);
+    handleText(std::move(path), "application/json", std::move(body));
+}
+
+void
+MetricsHttpServer::handleText(std::string path, std::string content_type,
+                              std::function<std::string()> body)
+{
+    for (Handler &h : handlers_) {
+        if (h.path == path) {
+            h.contentType = std::move(content_type);
+            h.body = std::move(body);
             return;
         }
     }
-    handlers_.emplace_back(std::move(path), std::move(body));
+    handlers_.push_back(
+        Handler{std::move(path), std::move(content_type), std::move(body)});
+}
+
+void
+MetricsHttpServer::handleStream(
+    std::string path, std::function<void(const StreamSink &)> handler)
+{
+    for (auto &h : streamHandlers_) {
+        if (h.first == path) {
+            h.second = std::move(handler);
+            return;
+        }
+    }
+    streamHandlers_.emplace_back(std::move(path), std::move(handler));
 }
 
 void
@@ -129,13 +151,38 @@ MetricsHttpServer::respond(const std::string &request_line) const
         }
         return httpResponse(200, "OK", "text/plain", "ok\n");
     }
-    for (const auto &h : handlers_) {
-        if (h.first == path)
-            return httpResponse(200, "OK", "application/json",
-                                h.second());
+    for (const Handler &h : handlers_) {
+        if (h.path == path)
+            return httpResponse(200, "OK", h.contentType, h.body());
     }
     return httpResponse(404, "Not Found", "text/plain",
                         "try /metrics, /metrics.json or /healthz\n");
+}
+
+bool
+MetricsHttpServer::respondStream(const std::string &request_line,
+                                 const StreamSink &sink) const
+{
+    std::istringstream in(request_line);
+    std::string method, path;
+    in >> method >> path;
+    if (method != "GET")
+        return false;
+    size_t q = path.find('?');
+    if (q != std::string::npos)
+        path.resize(q);
+    for (const auto &h : streamHandlers_) {
+        if (h.first != path)
+            continue;
+        // No Content-Length: the closed connection delimits the body,
+        // so the handler can produce chunks it never holds at once.
+        if (sink("HTTP/1.1 200 OK\r\n"
+                 "Content-Type: application/x-ndjson\r\n"
+                 "Connection: close\r\n\r\n"))
+            h.second(sink);
+        return true;
+    }
+    return false;
 }
 
 #if BW_HAVE_POSIX_SOCKETS
@@ -198,7 +245,11 @@ MetricsHttpServer::acceptLoop()
             size_t eol = line.find("\r\n");
             if (eol != std::string::npos)
                 line.resize(eol);
-            sendAll(conn, respond(line));
+            StreamSink socket_sink = [conn](const std::string &chunk) {
+                return sendAll(conn, chunk);
+            };
+            if (!respondStream(line, socket_sink))
+                sendAll(conn, respond(line));
         }
         ::close(conn);
     }

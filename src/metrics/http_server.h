@@ -55,6 +55,32 @@ class MetricsHttpServer
     void handleJson(std::string path, std::function<std::string()> body);
 
     /**
+     * Mount a GET handler with an explicit Content-Type (e.g. the
+     * Prometheus text exposition at /fleet/metrics). Same mounting and
+     * threading rules as handleJson.
+     */
+    void handleText(std::string path, std::string content_type,
+                    std::function<std::string()> body);
+
+    /**
+     * Chunk sink handed to a streaming handler: push one chunk (an
+     * NDJSON line) to the client. Returns false once the client is
+     * gone — the handler should stop producing.
+     */
+    using StreamSink = std::function<bool(const std::string &chunk)>;
+
+    /**
+     * Mount a streaming GET handler at @p path: instead of returning
+     * one materialized body, the handler pushes chunks through the
+     * sink while the response is being written (Content-Type
+     * application/x-ndjson, no Content-Length — the server closes the
+     * connection to mark the end). This is how multi-million-row
+     * exports are served at O(1) memory.
+     */
+    void handleStream(std::string path,
+                      std::function<void(const StreamSink &)> handler);
+
+    /**
      * Register the readiness probe consulted by /healthz: when it
      * returns false the endpoint answers 503 {"draining":true} instead
      * of 200 "ok", so load balancers evict the replica while in-flight
@@ -85,12 +111,31 @@ class MetricsHttpServer
      */
     std::string respond(const std::string &request_line) const;
 
+    /**
+     * Route @p request_line against the streaming handlers: when it
+     * names a mounted stream, write the response head and the
+     * handler's chunks through @p sink and return true; otherwise
+     * return false (the caller falls back to respond()). Exposed so
+     * tests can drive streaming without sockets.
+     */
+    bool respondStream(const std::string &request_line,
+                       const StreamSink &sink) const;
+
   private:
+    struct Handler
+    {
+        std::string path;
+        std::string contentType;
+        std::function<std::string()> body;
+    };
+
     void acceptLoop();
 
     const Registry &registry_;
-    std::vector<std::pair<std::string, std::function<std::string()>>>
-        handlers_;
+    std::vector<Handler> handlers_;
+    std::vector<
+        std::pair<std::string, std::function<void(const StreamSink &)>>>
+        streamHandlers_;
     std::function<bool()> ready_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};

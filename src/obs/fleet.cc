@@ -1,0 +1,738 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "metrics/exposition.h"
+
+namespace bw {
+namespace obs {
+
+// --- FleetRegistry ---
+
+void
+FleetRegistry::setClusterRegistry(const metrics::Registry *registry)
+{
+    cluster_ = registry;
+}
+
+void
+FleetRegistry::addShard(std::string shard, std::string group,
+                        const metrics::Registry *registry,
+                        const serve::SloMonitor *slo)
+{
+    FleetShardSource s;
+    s.shard = std::move(shard);
+    s.group = std::move(group);
+    s.registry = registry;
+    s.slo = slo;
+    shards_.push_back(std::move(s));
+}
+
+std::vector<metrics::MetricSnapshot>
+FleetRegistry::federate() const
+{
+    std::vector<metrics::MetricSnapshot> raw;
+    if (cluster_) {
+        std::vector<metrics::MetricSnapshot> c = cluster_->collect();
+        raw.insert(raw.end(), std::make_move_iterator(c.begin()),
+                   std::make_move_iterator(c.end()));
+    }
+    for (const FleetShardSource &s : shards_) {
+        if (!s.registry)
+            continue;
+        for (metrics::MetricSnapshot m : s.registry->collect()) {
+            m.labels.emplace_back("shard", s.shard);
+            m.labels.emplace_back("group", s.group);
+            raw.push_back(std::move(m));
+        }
+    }
+
+    // Regroup family-major in order of first appearance: the text
+    // exposition emits one # HELP / # TYPE pair per run of one name,
+    // and the format forbids a family appearing twice — which it
+    // would, interleaved, once several shards export the same series.
+    std::vector<std::vector<metrics::MetricSnapshot>> buckets;
+    std::unordered_map<std::string, size_t> family;
+    for (metrics::MetricSnapshot &m : raw) {
+        auto it = family.find(m.name);
+        if (it == family.end()) {
+            it = family.emplace(m.name, buckets.size()).first;
+            buckets.emplace_back();
+        }
+        buckets[it->second].push_back(std::move(m));
+    }
+    std::vector<metrics::MetricSnapshot> out;
+    out.reserve(raw.size());
+    for (std::vector<metrics::MetricSnapshot> &b : buckets) {
+        for (metrics::MetricSnapshot &m : b)
+            out.push_back(std::move(m));
+    }
+    return out;
+}
+
+std::string
+FleetRegistry::prometheus() const
+{
+    return metrics::prometheusText(federate());
+}
+
+Json
+FleetRegistry::metricsJson() const
+{
+    return metrics::metricsJson(federate());
+}
+
+namespace {
+
+Json
+rollupWindowJson(const serve::SloWindowEval &ev)
+{
+    Json j = Json::object();
+    j.set("good", ev.good);
+    j.set("bad", ev.bad);
+    j.set("bad_fraction", ev.badFraction);
+    j.set("burn_rate", ev.burnRate);
+    return j;
+}
+
+/// Recompute the derived fields on an aggregated window (same math as
+/// SloMonitor::evalWindow, applied to the fleet-summed counts).
+void
+finishWindow(serve::SloWindowEval &ev, double objective)
+{
+    uint64_t total = ev.good + ev.bad;
+    ev.badFraction = total > 0 ? static_cast<double>(ev.bad) /
+                                     static_cast<double>(total)
+                               : 0.0;
+    double budget = 1.0 - objective;
+    ev.burnRate = budget > 0 ? ev.badFraction / budget : 0.0;
+}
+
+} // namespace
+
+Json
+FleetRegistry::sloRollupJson() const
+{
+    const serve::SloMonitor *first = nullptr;
+    for (const FleetShardSource &s : shards_) {
+        if (s.slo) {
+            first = s.slo;
+            break;
+        }
+    }
+    BW_ASSERT(first, "fleet SLO rollup: no shard SLO monitors "
+                     "registered");
+    const serve::SloOptions &opts = first->options();
+    size_t nclasses = opts.classes.size();
+
+    std::vector<serve::SloClassEval> agg(nclasses);
+    for (size_t c = 0; c < nclasses; ++c)
+        agg[c].name = opts.classes[c].name;
+    uint64_t high_us = 0;
+    for (const FleetShardSource &s : shards_) {
+        if (!s.slo)
+            continue;
+        high_us = std::max(high_us, s.slo->highWaterUs());
+        std::vector<serve::SloClassEval> evals = s.slo->snapshot();
+        BW_ASSERT(evals.size() == nclasses,
+                  "fleet SLO rollup: shard '%s' has %zu classes, "
+                  "expected %zu (the cluster shares one ladder)",
+                  s.shard.c_str(), evals.size(), nclasses);
+        for (size_t c = 0; c < nclasses; ++c) {
+            const serve::SloClassEval &ev = evals[c];
+            serve::SloClassEval &a = agg[c];
+            a.requests += ev.requests;
+            a.latencyBreaches += ev.latencyBreaches;
+            a.availabilityBreaches += ev.availabilityBreaches;
+            auto sum = [](serve::SloWindowEval &into,
+                          const serve::SloWindowEval &from) {
+                into.good += from.good;
+                into.bad += from.bad;
+            };
+            sum(a.latencyFast, ev.latencyFast);
+            sum(a.latencySlow, ev.latencySlow);
+            sum(a.availFast, ev.availFast);
+            sum(a.availSlow, ev.availSlow);
+        }
+    }
+    for (serve::SloClassEval &a : agg) {
+        finishWindow(a.latencyFast, opts.latencyObjective);
+        finishWindow(a.latencySlow, opts.latencyObjective);
+        finishWindow(a.availFast, opts.availabilityObjective);
+        finishWindow(a.availSlow, opts.availabilityObjective);
+        a.latencyFiring = a.latencyFast.burnRate > opts.pageBurnRate &&
+                          a.latencySlow.burnRate > opts.pageBurnRate;
+        a.availabilityFiring =
+            a.availFast.burnRate > opts.pageBurnRate &&
+            a.availSlow.burnRate > opts.pageBurnRate;
+    }
+
+    // Same member order as SloMonitor::sloJson, so the rollup passes
+    // validateSloJson and diffs cleanly against per-shard documents.
+    Json doc = Json::object();
+    doc.set("schema", "bw.slo/1");
+    Json obj = Json::object();
+    obj.set("latency", opts.latencyObjective);
+    obj.set("availability", opts.availabilityObjective);
+    doc.set("objectives", std::move(obj));
+    Json win = Json::object();
+    win.set("fast_us", opts.fastWindowUs);
+    win.set("slow_us", opts.slowWindowUs);
+    win.set("bucket_us", opts.bucketUs);
+    doc.set("windows", std::move(win));
+    doc.set("page_burn_rate", opts.pageBurnRate);
+    doc.set("evaluated_at_us", high_us);
+    doc.set("shards", static_cast<uint64_t>(shards_.size()));
+
+    Json classes = Json::array();
+    for (size_t c = 0; c < agg.size(); ++c) {
+        const serve::SloClassEval &ev = agg[c];
+        Json j = Json::object();
+        j.set("name", ev.name);
+        if (opts.classes[c].maxDeadlineMs > 0)
+            j.set("max_deadline_ms", opts.classes[c].maxDeadlineMs);
+        j.set("latency_target_ms", opts.classes[c].latencyTargetMs);
+        j.set("requests", ev.requests);
+        j.set("latency_breaches", ev.latencyBreaches);
+        j.set("availability_breaches", ev.availabilityBreaches);
+        Json lat = Json::object();
+        lat.set("fast", rollupWindowJson(ev.latencyFast));
+        lat.set("slow", rollupWindowJson(ev.latencySlow));
+        lat.set("firing", ev.latencyFiring);
+        j.set("latency", std::move(lat));
+        Json avail = Json::object();
+        avail.set("fast", rollupWindowJson(ev.availFast));
+        avail.set("slow", rollupWindowJson(ev.availSlow));
+        avail.set("firing", ev.availabilityFiring);
+        j.set("availability", std::move(avail));
+        classes.push(std::move(j));
+    }
+    doc.set("classes", std::move(classes));
+    return doc;
+}
+
+// --- RouteStreamWriter ---
+
+RouteStreamWriter::RouteStreamWriter(StreamSink sink, std::string policy,
+                                     unsigned engines, size_t classes)
+    : sink_(std::move(sink)), engines_(engines),
+      shedByClass_(classes > 0 ? classes : 1, 0)
+{
+    Json h = Json::object();
+    h.set("schema", "bw.routestream/1");
+    h.set("policy", std::move(policy));
+    h.set("engines", engines_);
+    emit(h);
+}
+
+bool
+RouteStreamWriter::emit(const Json &j)
+{
+    if (failed_)
+        return false;
+    std::string line = j.dump();
+    line += '\n';
+    bytes_ += line.size();
+    if (!sink_ || !sink_(line)) {
+        failed_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+RouteStreamWriter::decision(uint64_t seq, uint32_t model, uint32_t cls,
+                            int32_t engine)
+{
+    if (engine < 0) {
+        ++shed_;
+        ++shedByClass_[std::min<size_t>(cls, shedByClass_.size() - 1)];
+    } else {
+        ++routed_;
+    }
+    Json r = Json::object();
+    r.set("seq", seq);
+    r.set("model", model);
+    r.set("class", cls);
+    r.set("engine", engine);
+    return emit(r);
+}
+
+bool
+RouteStreamWriter::finish()
+{
+    if (finished_)
+        return !failed_;
+    finished_ = true;
+    Json s = Json::object();
+    s.set("summary", true);
+    s.set("rows", rows());
+    s.set("routed", routed_);
+    s.set("shed", shed_);
+    Json by_class = Json::array();
+    for (uint64_t c : shedByClass_)
+        by_class.push(c);
+    s.set("shed_by_class", std::move(by_class));
+    return emit(s);
+}
+
+// --- Stream validators ---
+
+namespace {
+
+/// Pull the next NDJSON line; distinguishes "clean end of stream" from
+/// "trailing junk". A final line without '\n' is still returned (the
+/// validators then reject it on content, not on framing).
+bool
+nextLine(std::istream &in, std::string *line)
+{
+    while (std::getline(in, *line)) {
+        if (!line->empty())
+            return true;
+    }
+    return false;
+}
+
+Status
+parseLine(const std::string &line, size_t lineno, Json *out)
+{
+    try {
+        *out = Json::parse(line);
+    } catch (const std::exception &e) {
+        return Status::invalidArgument(detail::format(
+            "line %zu is not valid JSON (truncated stream?): %s",
+            lineno, e.what()));
+    }
+    if (out->type() != Json::Type::Object)
+        return Status::invalidArgument(
+            detail::format("line %zu is not a JSON object", lineno));
+    return Status();
+}
+
+Status
+requireInt(const Json &obj, const char *key, size_t lineno,
+           int64_t *out = nullptr)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return Status::invalidArgument(detail::format(
+            "line %zu missing numeric field '%s'", lineno, key));
+    if (out)
+        *out = v->asInt();
+    return Status();
+}
+
+Status
+streamHeader(std::istream &in, const char *schema, Json *header)
+{
+    std::string line;
+    if (!nextLine(in, &line))
+        return Status::invalidArgument("empty stream (no header line)");
+    Status st = parseLine(line, 1, header);
+    if (!st.ok())
+        return st;
+    const Json *tag = header->find("schema");
+    if (!tag || tag->type() != Json::Type::String ||
+        tag->asString() != schema)
+        return Status::invalidArgument(
+            detail::format("header schema tag is not %s", schema));
+    return Status();
+}
+
+} // namespace
+
+Status
+validateRouteStreamJson(std::istream &in)
+{
+    Json header;
+    Status st = streamHeader(in, "bw.routestream/1", &header);
+    if (!st.ok())
+        return st;
+    int64_t engines = 0;
+    st = requireInt(header, "engines", 1, &engines);
+    if (!st.ok())
+        return st;
+    if (engines < 1)
+        return Status::invalidArgument("header engines must be >= 1");
+    const Json *policy = header.find("policy");
+    if (!policy || policy->type() != Json::Type::String)
+        return Status::invalidArgument("header missing policy");
+
+    uint64_t routed = 0, shed = 0, last_seq = 0;
+    size_t lineno = 1;
+    std::string line;
+    bool saw_summary = false;
+    while (nextLine(in, &line)) {
+        ++lineno;
+        Json row;
+        st = parseLine(line, lineno, &row);
+        if (!st.ok())
+            return st;
+        if (row.contains("summary")) {
+            int64_t rows = 0, srouted = 0, sshed = 0;
+            for (const char *key : {"rows", "routed", "shed"}) {
+                st = requireInt(row, key, lineno);
+                if (!st.ok())
+                    return st;
+            }
+            rows = row.find("rows")->asInt();
+            srouted = row.find("routed")->asInt();
+            sshed = row.find("shed")->asInt();
+            if (static_cast<uint64_t>(srouted) != routed ||
+                static_cast<uint64_t>(sshed) != shed ||
+                static_cast<uint64_t>(rows) != routed + shed)
+                return Status::invalidArgument(detail::format(
+                    "summary counters (rows %lld, routed %lld, shed "
+                    "%lld) do not match the %llu routed + %llu shed "
+                    "rows streamed",
+                    static_cast<long long>(rows),
+                    static_cast<long long>(srouted),
+                    static_cast<long long>(sshed),
+                    static_cast<unsigned long long>(routed),
+                    static_cast<unsigned long long>(shed)));
+            const Json *bc = row.find("shed_by_class");
+            if (!bc || bc->type() != Json::Type::Array)
+                return Status::invalidArgument(
+                    "summary missing shed_by_class array");
+            uint64_t by_class = 0;
+            for (size_t i = 0; i < bc->size(); ++i)
+                by_class += static_cast<uint64_t>(bc->at(i).asInt());
+            if (by_class != shed)
+                return Status::invalidArgument(
+                    "summary shed_by_class does not sum to shed");
+            saw_summary = true;
+            break;
+        }
+        int64_t seq = 0, engine = 0;
+        for (const char *key : {"seq", "model", "class", "engine"}) {
+            st = requireInt(row, key, lineno);
+            if (!st.ok())
+                return st;
+        }
+        seq = row.find("seq")->asInt();
+        engine = row.find("engine")->asInt();
+        if (static_cast<uint64_t>(seq) <= last_seq)
+            return Status::invalidArgument(detail::format(
+                "line %zu seq %lld is not ascending", lineno,
+                static_cast<long long>(seq)));
+        last_seq = static_cast<uint64_t>(seq);
+        if (engine < -1 || engine >= engines)
+            return Status::invalidArgument(detail::format(
+                "line %zu engine %lld out of range [-1, %lld)", lineno,
+                static_cast<long long>(engine),
+                static_cast<long long>(engines)));
+        engine < 0 ? ++shed : ++routed;
+    }
+    if (!saw_summary)
+        return Status::invalidArgument(
+            "stream ended without a summary trailer (truncated?)");
+    if (nextLine(in, &line))
+        return Status::invalidArgument(
+            "trailing data after the summary trailer");
+    return Status();
+}
+
+Status
+validateRouteStreamFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::invalidArgument(
+            detail::format("cannot read %s", path.c_str()));
+    return validateRouteStreamJson(in);
+}
+
+// --- Span streaming ---
+
+Status
+streamSpanTreesNdjson(const std::vector<SpanRecord> &spans,
+                      uint64_t dropped, const StreamSink &sink)
+{
+    if (!sink)
+        return Status::invalidArgument("span stream: null sink");
+    std::vector<const SpanRecord *> ordered;
+    ordered.reserve(spans.size());
+    for (const SpanRecord &s : spans)
+        ordered.push_back(&s);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const SpanRecord *a, const SpanRecord *b) {
+                  return a->trace != b->trace ? a->trace < b->trace
+                                              : a->id < b->id;
+              });
+
+    Json header = Json::object();
+    header.set("schema", "bw.spanstream/1");
+    std::string line = header.dump();
+    line += '\n';
+    if (!sink(line))
+        return Status::unavailable("span stream: sink aborted");
+
+    uint64_t traces = 0, exported = 0, incomplete = 0;
+    size_t i = 0;
+    while (i < ordered.size()) {
+        TraceId t = ordered[i]->trace;
+        size_t j = i;
+        std::vector<SpanRecord> slice;
+        while (j < ordered.size() && ordered[j]->trace == t) {
+            slice.push_back(*ordered[j]);
+            ++j;
+        }
+        i = j;
+        // Render this one trace through the canonical tree builder —
+        // memory is bounded by the largest single trace.
+        Json sub = spanTreeJson(slice, 0);
+        const Json *sub_traces = sub.find("traces");
+        if (const Json *inc = sub.find("incomplete_traces"))
+            incomplete += static_cast<uint64_t>(inc->asInt());
+        if (!sub_traces || sub_traces->size() == 0)
+            continue; // rootless trace: counted incomplete, not emitted
+        exported += static_cast<uint64_t>(sub.find("spans")->asInt());
+        ++traces;
+        line = sub_traces->at(0).dump();
+        line += '\n';
+        if (!sink(line))
+            return Status::unavailable("span stream: sink aborted");
+    }
+
+    Json summary = Json::object();
+    summary.set("summary", true);
+    summary.set("traces", traces);
+    summary.set("spans", exported);
+    summary.set("dropped", dropped);
+    if (incomplete > 0)
+        summary.set("incomplete_traces", incomplete);
+    line = summary.dump();
+    line += '\n';
+    if (!sink(line))
+        return Status::unavailable("span stream: sink aborted");
+    return Status();
+}
+
+Status
+streamSpanTreesNdjson(const SpanTracer &tracer, const StreamSink &sink)
+{
+    return streamSpanTreesNdjson(tracer.collect(), tracer.dropped(),
+                                 sink);
+}
+
+Status
+validateSpanStreamJson(std::istream &in)
+{
+    Json header;
+    Status st = streamHeader(in, "bw.spanstream/1", &header);
+    if (!st.ok())
+        return st;
+    uint64_t traces = 0, last_trace = 0;
+    size_t lineno = 1;
+    std::string line;
+    bool saw_summary = false;
+    while (nextLine(in, &line)) {
+        ++lineno;
+        Json row;
+        st = parseLine(line, lineno, &row);
+        if (!st.ok())
+            return st;
+        if (row.contains("summary")) {
+            int64_t n = 0;
+            st = requireInt(row, "traces", lineno, &n);
+            if (!st.ok())
+                return st;
+            if (static_cast<uint64_t>(n) != traces)
+                return Status::invalidArgument(detail::format(
+                    "summary declares %lld traces, stream carried %llu",
+                    static_cast<long long>(n),
+                    static_cast<unsigned long long>(traces)));
+            st = requireInt(row, "spans", lineno);
+            if (!st.ok())
+                return st;
+            saw_summary = true;
+            break;
+        }
+        int64_t trace = 0;
+        st = requireInt(row, "trace", lineno, &trace);
+        if (!st.ok())
+            return st;
+        if (static_cast<uint64_t>(trace) <= last_trace)
+            return Status::invalidArgument(detail::format(
+                "line %zu trace %lld is not ascending", lineno,
+                static_cast<long long>(trace)));
+        last_trace = static_cast<uint64_t>(trace);
+        const Json *root = row.find("root");
+        if (!root || root->type() != Json::Type::Object)
+            return Status::invalidArgument(detail::format(
+                "line %zu trace entry missing root object", lineno));
+        ++traces;
+    }
+    if (!saw_summary)
+        return Status::invalidArgument(
+            "stream ended without a summary trailer (truncated?)");
+    if (nextLine(in, &line))
+        return Status::invalidArgument(
+            "trailing data after the summary trailer");
+    return Status();
+}
+
+// --- Flight streaming ---
+
+Status
+streamFlightNdjson(const FlightRecorder &recorder, const StreamSink &sink,
+                   const ChainProfileFn &chains_for)
+{
+    if (!sink)
+        return Status::invalidArgument("flight stream: null sink");
+    Json header = Json::object();
+    header.set("schema", "bw.flightstream/1");
+    header.set("window_us", recorder.options().windowUs);
+    header.set("slowest_k", recorder.options().slowestK);
+    std::string line = header.dump();
+    line += '\n';
+    if (!sink(line))
+        return Status::unavailable("flight stream: sink aborted");
+
+    std::vector<FlightRecord> promoted = recorder.promoted();
+    for (const FlightRecord &r : promoted) {
+        // One record per line: reuse the canonical single-record
+        // export, folding its span tree into the record object.
+        Json one = flightJson({r}, recorder.options(), 1, 0, chains_for);
+        Json row = one.find("promoted")->at(0);
+        row.set("spans", *one.find("spans"));
+        line = row.dump();
+        line += '\n';
+        if (!sink(line))
+            return Status::unavailable("flight stream: sink aborted");
+    }
+
+    Json summary = Json::object();
+    summary.set("summary", true);
+    summary.set("promoted", static_cast<uint64_t>(promoted.size()));
+    summary.set("recorded", recorder.recorded());
+    summary.set("dropped", recorder.dropped());
+    line = summary.dump();
+    line += '\n';
+    if (!sink(line))
+        return Status::unavailable("flight stream: sink aborted");
+    return Status();
+}
+
+Status
+validateFlightStreamJson(std::istream &in)
+{
+    Json header;
+    Status st = streamHeader(in, "bw.flightstream/1", &header);
+    if (!st.ok())
+        return st;
+    for (const char *key : {"window_us", "slowest_k"}) {
+        st = requireInt(header, key, 1);
+        if (!st.ok())
+            return st;
+    }
+    uint64_t promoted = 0, last_seq = 0;
+    size_t lineno = 1;
+    std::string line;
+    bool saw_summary = false;
+    while (nextLine(in, &line)) {
+        ++lineno;
+        Json row;
+        st = parseLine(line, lineno, &row);
+        if (!st.ok())
+            return st;
+        if (row.contains("summary")) {
+            int64_t n = 0;
+            st = requireInt(row, "promoted", lineno, &n);
+            if (!st.ok())
+                return st;
+            if (static_cast<uint64_t>(n) != promoted)
+                return Status::invalidArgument(detail::format(
+                    "summary declares %lld promoted records, stream "
+                    "carried %llu",
+                    static_cast<long long>(n),
+                    static_cast<unsigned long long>(promoted)));
+            for (const char *key : {"recorded", "dropped"}) {
+                st = requireInt(row, key, lineno);
+                if (!st.ok())
+                    return st;
+            }
+            saw_summary = true;
+            break;
+        }
+        int64_t seq = 0;
+        for (const char *key : {"seq", "id", "replica", "steps",
+                                "admit_us", "dequeue_us", "service_us",
+                                "done_us", "latency_us"}) {
+            st = requireInt(row, key, lineno);
+            if (!st.ok())
+                return st;
+        }
+        seq = row.find("seq")->asInt();
+        if (static_cast<uint64_t>(seq) <= last_seq)
+            return Status::invalidArgument(detail::format(
+                "line %zu seq %lld is not ascending", lineno,
+                static_cast<long long>(seq)));
+        last_seq = static_cast<uint64_t>(seq);
+        const Json *cls = row.find("class");
+        if (!cls || cls->type() != Json::Type::String)
+            return Status::invalidArgument(detail::format(
+                "line %zu missing class name", lineno));
+        uint64_t admit = static_cast<uint64_t>(
+            row.find("admit_us")->asInt());
+        uint64_t dequeue = static_cast<uint64_t>(
+            row.find("dequeue_us")->asInt());
+        uint64_t service = static_cast<uint64_t>(
+            row.find("service_us")->asInt());
+        uint64_t done =
+            static_cast<uint64_t>(row.find("done_us")->asInt());
+        if (admit > dequeue || dequeue > service || service > done)
+            return Status::invalidArgument(detail::format(
+                "line %zu timestamps out of order", lineno));
+        const Json *spans = row.find("spans");
+        if (!spans || spans->type() != Json::Type::Object)
+            return Status::invalidArgument(detail::format(
+                "line %zu missing embedded spans document", lineno));
+        ++promoted;
+    }
+    if (!saw_summary)
+        return Status::invalidArgument(
+            "stream ended without a summary trailer (truncated?)");
+    if (nextLine(in, &line))
+        return Status::invalidArgument(
+            "trailing data after the summary trailer");
+    return Status();
+}
+
+Status
+validateStreamFile(const std::string &path)
+{
+    std::ifstream probe(path);
+    if (!probe)
+        return Status::invalidArgument(
+            detail::format("cannot read %s", path.c_str()));
+    std::string first;
+    if (!nextLine(probe, &first))
+        return Status::invalidArgument("empty stream (no header line)");
+    Json header;
+    Status st = parseLine(first, 1, &header);
+    if (!st.ok())
+        return st;
+    const Json *tag = header.find("schema");
+    std::string schema = tag && tag->type() == Json::Type::String
+                             ? tag->asString()
+                             : "";
+    std::ifstream in(path); // validators consume from the header on
+    if (schema == "bw.routestream/1")
+        return validateRouteStreamJson(in);
+    if (schema == "bw.spanstream/1")
+        return validateSpanStreamJson(in);
+    if (schema == "bw.flightstream/1")
+        return validateFlightStreamJson(in);
+    return Status::invalidArgument(detail::format(
+        "unknown stream schema tag '%s' (want bw.routestream/1, "
+        "bw.spanstream/1 or bw.flightstream/1)",
+        schema.c_str()));
+}
+
+} // namespace obs
+} // namespace bw

@@ -56,6 +56,9 @@ EngineOptions::fromEnv(EngineOptions base)
     base.batchTimeoutMs =
         envDouble("BW_SERVE_TIMEOUT_MS", base.batchTimeoutMs);
     base.timeScale = envDouble("BW_SERVE_TIMESCALE", base.timeScale);
+    base.errorRingCapacity = static_cast<size_t>(
+        envDouble("BW_DEBUG_RING",
+                  static_cast<double>(base.errorRingCapacity)));
     if (const char *p = std::getenv("BW_SERVE_POLICY")) {
         std::string s(p);
         if (s == "batched")
@@ -240,7 +243,9 @@ Engine::noteError(uint64_t seq, RequestId id, uint64_t time_us,
 {
     std::lock_guard<std::mutex> lk(debugMu_);
     ++errorsTotal_;
-    if (errors_.size() >= kErrorRing)
+    if (opts_.errorRingCapacity == 0)
+        return; // counted, not retained
+    while (errors_.size() >= opts_.errorRingCapacity)
         errors_.pop_front();
     ErrorRecord e;
     e.seq = seq;
@@ -894,7 +899,7 @@ Engine::debugErrorsJson() const
 {
     std::lock_guard<std::mutex> lk(debugMu_);
     Json j = Json::object();
-    j.set("capacity", static_cast<uint64_t>(kErrorRing));
+    j.set("capacity", static_cast<uint64_t>(opts_.errorRingCapacity));
     j.set("total", errorsTotal_);
     Json list = Json::array();
     for (const ErrorRecord &e : errors_) {

@@ -162,6 +162,10 @@ struct EngineOptions
      *  debug endpoints (e.g. "s10/0"). Purely informational. */
     std::string groupLabel;
 
+    /** /debug/errors keeps the last this-many failed requests (ring;
+     *  older entries are evicted). fromEnv() applies BW_DEBUG_RING. */
+    size_t errorRingCapacity = 64;
+
     /**
      * Wall-clock seconds a worker occupies itself per simulated second
      * of timed service (1.0 = real time, 0.0 = instantaneous). Timed
@@ -234,7 +238,7 @@ struct EngineOptions
      * Apply BW_SERVE_* environment overrides to @p base:
      * BW_SERVE_REPLICAS, BW_SERVE_QUEUE_DEPTH, BW_SERVE_MAX_BATCH,
      * BW_SERVE_TIMEOUT_MS, BW_SERVE_TIMESCALE, BW_SERVE_POLICY
-     * ("unbatched" | "batched"), and BW_TIMING_MODE
+     * ("unbatched" | "batched"), BW_DEBUG_RING, and BW_TIMING_MODE
      * ("cycle" | "fast" | "cached").
      */
     static EngineOptions fromEnv(EngineOptions base);
@@ -620,7 +624,6 @@ class Engine
      *  one, unlike nextId_ — see Pending::seq). */
     uint64_t nextSeq_ = 1;
 
-    static constexpr size_t kErrorRing = 64;
     mutable std::mutex debugMu_;
     std::deque<ErrorRecord> errors_; //!< newest at the back
     uint64_t errorsTotal_ = 0;

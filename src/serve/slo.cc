@@ -229,6 +229,13 @@ SloMonitor::recorded() const
     return n;
 }
 
+uint64_t
+SloMonitor::highWaterUs() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return sawRecord_ ? highWaterUs_ : 0;
+}
+
 void
 SloMonitor::clear()
 {

@@ -164,6 +164,11 @@ class SloMonitor
     /** Total submissions recorded (all classes). */
     uint64_t recorded() const;
 
+    /** High-water mark of recorded time on the feeding clock, in
+     *  microseconds (0 before the first record()) — the evaluated_at_us
+     *  every export is pinned to. */
+    uint64_t highWaterUs() const;
+
     /** Drop all recorded state (e.g. between a live run and a
      *  deterministic replay sharing one monitor). */
     void clear();

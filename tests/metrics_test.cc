@@ -11,7 +11,9 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <thread>
 #include <vector>
 
@@ -536,6 +538,61 @@ TEST(HttpServer, JsonHandlersRouteAndReplace)
               std::string::npos);
 }
 
+TEST(HttpServer, StreamHandlersRouteWithoutSockets)
+{
+    Registry reg;
+    MetricsHttpServer srv(reg);
+    std::string out;
+    MetricsHttpServer::StreamSink sink = [&out](const std::string &c) {
+        out += c;
+        return true;
+    };
+    // Unregistered paths and non-GET methods fall through to respond().
+    EXPECT_FALSE(srv.respondStream("GET /stream/x HTTP/1.1", sink));
+    srv.handleStream("/stream/x",
+                     [](const MetricsHttpServer::StreamSink &s) {
+                         s("{\"a\":1}\n");
+                         s("{\"b\":2}\n");
+                     });
+    EXPECT_FALSE(srv.respondStream("POST /stream/x HTTP/1.1", sink));
+    ASSERT_TRUE(srv.respondStream("GET /stream/x HTTP/1.1", sink));
+    EXPECT_NE(out.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(out.find("application/x-ndjson"), std::string::npos);
+    // Connection-delimited body: the handler may produce chunks it
+    // never holds at once, so there is no Content-Length to lie about.
+    EXPECT_EQ(out.find("Content-Length"), std::string::npos);
+    EXPECT_NE(out.find("{\"a\":1}\n{\"b\":2}\n"), std::string::npos);
+
+    // Query strings are stripped; re-registering replaces the handler.
+    out.clear();
+    EXPECT_TRUE(srv.respondStream("GET /stream/x?q=1 HTTP/1.1", sink));
+    EXPECT_NE(out.find("{\"a\":1}"), std::string::npos);
+    srv.handleStream("/stream/x",
+                     [](const MetricsHttpServer::StreamSink &s) {
+                         s("{\"c\":3}\n");
+                     });
+    out.clear();
+    ASSERT_TRUE(srv.respondStream("GET /stream/x HTTP/1.1", sink));
+    EXPECT_NE(out.find("{\"c\":3}"), std::string::npos);
+    EXPECT_EQ(out.find("{\"a\":1}"), std::string::npos);
+
+    // A sink that refuses the header short-circuits the handler.
+    size_t calls = 0;
+    MetricsHttpServer::StreamSink refuse = [&calls](const std::string &) {
+        ++calls;
+        return false;
+    };
+    bool handler_ran = false;
+    srv.handleStream("/stream/y",
+                     [&handler_ran](const MetricsHttpServer::StreamSink &s) {
+                         handler_ran = true;
+                         s("{\"z\":0}\n");
+                     });
+    EXPECT_TRUE(srv.respondStream("GET /stream/y HTTP/1.1", refuse));
+    EXPECT_EQ(calls, 1u);
+    EXPECT_FALSE(handler_ran);
+}
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
 #include <sys/socket.h>
@@ -574,6 +631,149 @@ TEST(HttpServer, ServesMetricsOverARealSocket)
     ASSERT_NE(body, std::string::npos);
     Status v = validatePrometheusText(resp.substr(body + 4));
     EXPECT_TRUE(v.ok()) << v.toString();
+}
+
+namespace {
+
+int
+connectTo(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+sigusr1Noop(int)
+{
+}
+
+} // namespace
+
+TEST(HttpServer, StreamsNdjsonOverSocketDespiteEintr)
+{
+    Registry reg;
+    MetricsHttpServer srv(reg);
+    const size_t kRows = 20000;
+    std::string row(120, 'x');
+    row += '\n';
+    srv.handleStream("/stream/big",
+                     [&](const MetricsHttpServer::StreamSink &sink) {
+                         for (size_t i = 0; i < kRows; ++i)
+                             if (!sink(row))
+                                 return;
+                         sink("{\"summary\":true}\n");
+                     });
+    ASSERT_TRUE(srv.start(0).ok());
+
+    // A no-op SIGUSR1 handler installed WITHOUT SA_RESTART: any send()
+    // or recv() blocked when a signal lands returns EINTR instead of
+    // restarting transparently. The server's write loop must absorb
+    // those (and short writes — the body far exceeds a socket buffer)
+    // without corrupting or truncating the stream.
+    struct sigaction sa {
+    }, old {};
+    sa.sa_handler = sigusr1Noop;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+    std::atomic<bool> done{false};
+    std::thread pinger([&done] {
+        while (!done.load()) {
+            ::kill(::getpid(), SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    int fd = connectTo(srv.port());
+    ASSERT_GE(fd, 0);
+    const char req[] = "GET /stream/big HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+    std::string resp;
+    char buf[8192];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    done.store(true);
+    pinger.join();
+    sigaction(SIGUSR1, &old, nullptr);
+    srv.stop();
+
+    ASSERT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    size_t body = resp.find("\r\n\r\n");
+    ASSERT_NE(body, std::string::npos);
+    std::string payload = resp.substr(body + 4);
+    // Every row arrived, in order, and the trailer closed the stream.
+    EXPECT_EQ(payload.size(), kRows * row.size() +
+                                  std::string("{\"summary\":true}\n").size());
+    EXPECT_EQ(payload.compare(0, row.size(), row), 0);
+    EXPECT_NE(payload.rfind("{\"summary\":true}\n"), std::string::npos);
+}
+
+TEST(HttpServer, ClientHangupAbortsStreamAndServerSurvives)
+{
+    Registry reg;
+    MetricsHttpServer srv(reg);
+    const uint64_t kMaxRows = 1000000;
+    std::atomic<uint64_t> produced{0};
+    std::atomic<bool> aborted{false};
+    std::string row(256, 'y');
+    row += '\n';
+    srv.handleStream("/stream/endless",
+                     [&](const MetricsHttpServer::StreamSink &sink) {
+                         for (uint64_t i = 0; i < kMaxRows; ++i) {
+                             if (!sink(row)) {
+                                 aborted.store(true);
+                                 return;
+                             }
+                             produced.fetch_add(1);
+                         }
+                     });
+    ASSERT_TRUE(srv.start(0).ok());
+
+    int fd = connectTo(srv.port());
+    ASSERT_GE(fd, 0);
+    const char req[] = "GET /stream/endless HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+    // Read a little, then hang up mid-stream: the server's next writes
+    // hit EPIPE/ECONNRESET, the sink reports failure, and the handler
+    // stops producing instead of spinning through the remaining rows.
+    char buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    ::close(fd);
+    for (int i = 0; i < 500 && !aborted.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(aborted.load());
+    EXPECT_LT(produced.load(), kMaxRows);
+
+    // The accept loop survived the hangup: a fresh connection is served.
+    int fd2 = connectTo(srv.port());
+    ASSERT_GE(fd2, 0);
+    const char req2[] = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_GT(::send(fd2, req2, sizeof(req2) - 1, 0), 0);
+    std::string resp;
+    while ((n = ::recv(fd2, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, static_cast<size_t>(n));
+    ::close(fd2);
+    srv.stop();
+    EXPECT_NE(resp.find("200 OK"), std::string::npos);
 }
 #endif
 
