@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Chaos-replay benchmark: the failure-domain plane's determinism and
+ * hedging-value gates, pinned as a machine-readable artifact.
+ *
+ * Three runs of one seeded ~25k-request trace through the demo's
+ * heterogeneous three-shard cluster:
+ *
+ *   G0  no chaos — the healthy-baseline goodput.
+ *   G1  a seeded fault schedule (crashes, hangs, slow replicas,
+ *       partitions), replayed TWICE; the harness gates that the two
+ *       replays export byte-identical bw.route/1, bw.incident/1,
+ *       bw.slo/1 and per-shard bw.flight/1 documents — the core
+ *       contract that makes an incident reproducible from its seed.
+ *   G2  the same schedule with hedged requests armed; the harness
+ *       gates that hedging recovers goodput (G2 > G1), sheds fault
+ *       losses (failed+expired strictly below G1), and that hedge
+ *       wins and incidents are both nonzero. Rescues surface in the
+ *       completed-latency tail — p99 rises toward hedgeMs + service,
+ *       still inside the tightest deadline — while goodput returns
+ *       to the healthy baseline. The fleet is sized with failover
+ *       headroom (losing one shard leaves ~35% utilization); hedging
+ *       pays for itself only in that regime, which is the regime any
+ *       real deployment runs in.
+ *
+ * Everything is virtual time, so every leaf of the artifact
+ * (BENCH_chaos_replay.json, override with BW_BENCH_JSON) is pinned by
+ * the bench_compare regression gate with no wall-clock exclusions.
+ *
+ * Exit codes: 0 = all gates passed, 1 = a gate failed.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bw/bw.h"
+
+using namespace bw;
+using namespace bw::cluster;
+
+namespace {
+
+/** The demo fleet: three S10 shards and one S5, least-loaded routing
+ *  so every shard takes every model (faults always find traffic) and
+ *  losing any one shard still leaves failover headroom — the regime
+ *  where hedging pays for itself. */
+ClusterOptions
+benchOptions()
+{
+    ClusterOptions co;
+    ReplicaGroupSpec s10;
+    s10.name = "s10";
+    s10.config = NpuConfig::bwS10();
+    s10.engines = 3;
+    ReplicaGroupSpec s5;
+    s5.name = "s5";
+    s5.config = NpuConfig::bwS5();
+    s5.engines = 1;
+    for (ReplicaGroupSpec *g : {&s10, &s5}) {
+        g->engine.queueDepth = 32;
+        g->engine.networkMs = 0.05;
+        g->engine.defaultDeadlineMs = 50.0;
+    }
+    co.groups = {s10, s5};
+    co.router.policy = RoutePolicy::LeastLoaded;
+    co.weightCacheTiles = 128;
+    return co;
+}
+
+void
+addModels(Cluster &c)
+{
+    c.addTimedModel("dnn-hot", 0.8, 24);
+    c.addTimedModel("dnn-warm", 1.5, 24);
+    c.addTimedModel("dnn-cold", 2.5, 40);
+}
+
+TrafficOptions
+benchTraffic()
+{
+    TrafficOptions t;
+    t.baseRps = 1000;
+    t.durationS = 10.0;
+    t.seed = 42;
+    t.diurnalAmplitude = 0.3;
+    t.diurnalPeriodS = 10.0;
+    t.mix.push_back(ModelMix{0, 8.0, 1, 10.0});
+    t.mix.push_back(ModelMix{1, 2.0, 1, 80.0});
+    t.mix.push_back(ModelMix{2, 1.0, 1, 0.0});
+    return t;
+}
+
+ChaosOptions
+benchChaos()
+{
+    ChaosOptions o;
+    o.seed = 1947; // a vintage year for valve failures
+    o.faultRate = 2.0;
+    o.horizonS = 10.0;
+    o.meanDurationS = 0.08;
+    return o;
+}
+
+/** Every export of one replay, serialized for byte comparison. */
+struct Exports
+{
+    std::string route;
+    std::string slo;
+    std::string incidents;
+    std::vector<std::string> flights;
+};
+
+Exports
+capture(const Cluster &c)
+{
+    Exports e;
+    e.route = c.routeJson().dump();
+    e.slo = c.sloJson().dump();
+    e.incidents = c.incidentsJson().dump();
+    for (unsigned i = 0; i < c.engineCount(); ++i)
+        e.flights.push_back(c.engineFlightJson(i).dump());
+    return e;
+}
+
+bool
+identical(const Exports &a, const Exports &b)
+{
+    if (a.route != b.route || a.slo != b.slo ||
+        a.incidents != b.incidents || a.flights.size() != b.flights.size())
+        return false;
+    for (size_t i = 0; i < a.flights.size(); ++i)
+        if (a.flights[i] != b.flights[i])
+            return false;
+    return true;
+}
+
+Json
+statsLeaf(const ClusterStats &s)
+{
+    Json j = Json::object();
+    j.set("submitted", s.submitted);
+    j.set("shed", s.shed);
+    j.set("unavailable", s.unavailable);
+    j.set("rejected", s.rejected);
+    j.set("expired", s.expired);
+    j.set("failed", s.failed);
+    j.set("completed", s.completed);
+    j.set("hedged", s.hedged);
+    j.set("hedge_wins", s.hedgeWins);
+    j.set("goodput", s.goodput);
+    j.set("p99_latency_ms", s.overall.p99LatencyMs);
+    return j;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool pass = true;
+    std::vector<ClusterRequest> trace = generateTraffic(benchTraffic());
+    ChaosSchedule schedule =
+        ChaosSchedule::generate(benchChaos(), 4);
+    std::printf("chaos_replay: %zu requests, %zu scheduled faults "
+                "(seed %llu)\n",
+                trace.size(), schedule.faults().size(),
+                static_cast<unsigned long long>(schedule.seed()));
+
+    // --- G0: healthy baseline. ---
+    Cluster healthy(benchOptions());
+    addModels(healthy);
+    ClusterStats g0 = healthy.replay(trace);
+    std::printf("G0 healthy:        goodput %llu / %llu\n",
+                static_cast<unsigned long long>(g0.goodput),
+                static_cast<unsigned long long>(g0.submitted));
+
+    // --- G1: chaos, replayed twice, byte-identity gate. ---
+    Cluster chaotic(benchOptions());
+    addModels(chaotic);
+    chaotic.setChaosSchedule(schedule);
+    ClusterStats g1 = chaotic.replay(trace);
+    Exports first = capture(chaotic);
+    ClusterStats g1b = chaotic.replay(trace);
+    Exports second = capture(chaotic);
+    bool byte_identical = identical(first, second) &&
+                          g1.toJson().dump() == g1b.toJson().dump();
+    uint64_t incidents = chaotic.incidents().faults();
+    std::printf("G1 chaos:          goodput %llu, failed %llu, "
+                "expired %llu, %llu incidents, replay-twice %s\n",
+                static_cast<unsigned long long>(g1.goodput),
+                static_cast<unsigned long long>(g1.failed),
+                static_cast<unsigned long long>(g1.expired),
+                static_cast<unsigned long long>(incidents),
+                byte_identical ? "byte-identical" : "DIVERGED");
+    Status inc_valid = obs::validateIncidentJson(chaotic.incidentsJson());
+    if (!inc_valid.ok())
+        std::fprintf(stderr, "chaos_replay: incident export invalid: %s\n",
+                     inc_valid.toString().c_str());
+    pass = pass && byte_identical && incidents > 0 && g1.failed > 0 &&
+           g1.goodput < g0.goodput && inc_valid.ok();
+
+    // --- G2: chaos + hedging, recovery gate. ---
+    ClusterOptions hedge_opts = benchOptions();
+    hedge_opts.hedgeMs = 6.0;
+    Cluster hedged(hedge_opts);
+    addModels(hedged);
+    hedged.setChaosSchedule(schedule);
+    ClusterStats g2 = hedged.replay(trace);
+    std::printf("G2 chaos + hedge:  goodput %llu, hedged %llu, "
+                "hedge wins %llu (recovered %+lld vs G1)\n",
+                static_cast<unsigned long long>(g2.goodput),
+                static_cast<unsigned long long>(g2.hedged),
+                static_cast<unsigned long long>(g2.hedgeWins),
+                static_cast<long long>(g2.goodput) -
+                    static_cast<long long>(g1.goodput));
+    pass = pass && g2.hedgeWins > 0 && g2.goodput > g1.goodput &&
+           g2.failed + g2.expired < g1.failed + g1.expired;
+
+    Json doc = Json::object();
+    doc.set("schema", "bw.chaos_replay/1");
+    doc.set("harness", "chaos_replay");
+    doc.set("engines", 4);
+    doc.set("requests", static_cast<uint64_t>(trace.size()));
+    doc.set("chaos_seed", schedule.seed());
+    doc.set("scheduled_faults",
+            static_cast<uint64_t>(schedule.faults().size()));
+    doc.set("incidents", incidents);
+    doc.set("byte_identical", byte_identical);
+    doc.set("healthy", statsLeaf(g0));
+    doc.set("chaos", statsLeaf(g1));
+    doc.set("chaos_hedged", statsLeaf(g2));
+    std::string path = bench::benchJsonPath("chaos_replay");
+    writeJsonFile(path, doc);
+    std::printf("\nBench JSON written to %s\n", path.c_str());
+
+    if (!pass) {
+        std::fprintf(stderr, "chaos_replay: FAILED (see above)\n");
+        return 1;
+    }
+    std::printf("chaos_replay: all gates passed\n");
+    return 0;
+}

@@ -23,9 +23,18 @@
  * requests head sampling was likely to drop; each carries a full
  * reconstructed span tree in the embedded bw.spans/1 document.
  *
+ * The `incidents` mode analyzes a bw.incident/1 export (cluster_serve's
+ * BW_FLEET_INCIDENTS_JSON or the /fleet/incidents.json endpoint): every
+ * injected fault's phase timeline (fault_injected -> detected ->
+ * evicted -> rewarm_started -> recovered) with virtual-time stamps, the
+ * blast radius (requests caught in the fault window), the re-warm DRAM
+ * charge, and a per-fault-class MTTR / goodput-impact summary. The
+ * document is validated first — schema, monotonic stamps, and every
+ * fault paired with a terminal recovery or eviction.
+ *
  * The `validate` mode dispatches on the document's schema tag
- * (bw.spans/1, bw.flight/1, bw.slo/1 or bw.route/1) and runs the
- * matching structural validator — the CI schema gate for every
+ * (bw.spans/1, bw.flight/1, bw.slo/1, bw.route/1 or bw.incident/1) and
+ * runs the matching structural validator — the CI schema gate for every
  * observability export. Cluster span exports root each trace at the
  * front-door "route" span; the analyzer descends into its "request"
  * child automatically.
@@ -40,6 +49,7 @@
  *
  *   $ ./bw_spans spans.json [N]
  *   $ ./bw_spans flight flight.json [N]
+ *   $ ./bw_spans incidents incidents.json
  *   $ ./bw_spans validate <export.json>
  *   $ ./bw_spans validate-stream <export.ndjson>
  */
@@ -315,6 +325,132 @@ flightReport(const char *path, size_t top_n)
     return 0;
 }
 
+/** The `incidents` mode: timeline + MTTR report over bw.incident/1. */
+int
+incidentsReport(const char *path)
+{
+    Json doc;
+    if (!loadJson(path, &doc))
+        return 2;
+    Status valid = obs::validateIncidentJson(doc);
+    if (!valid.ok()) {
+        std::fprintf(stderr, "bw_spans: %s: %s\n", path,
+                     valid.toString().c_str());
+        return 2;
+    }
+
+    const Json *incidents = doc.find("incidents");
+    std::printf("bw_spans incidents: %zu fault(s) recorded\n\n",
+                incidents->size());
+    if (incidents->size() == 0) {
+        std::printf("No incidents: the chaos schedule injected no "
+                    "faults into this replay.\n");
+        return 3;
+    }
+
+    // The per-incident timeline: one row per fault, phases inline so
+    // the detect lag and re-warm window are readable at a glance.
+    TextTable t({"id", "class", "shard", "fault @ms", "detect ms",
+                 "mttr ms", "affected", "reload tiles", "reload ms",
+                 "phases"});
+    struct ClassAgg
+    {
+        uint64_t count = 0;
+        uint64_t affected = 0;
+        uint64_t mttrSumUs = 0;
+        uint64_t mttrMaxUs = 0;
+        uint64_t reloadUs = 0;
+    };
+    std::map<std::string, ClassAgg> by_class;
+    uint64_t evicted_total = 0;
+    for (size_t i = 0; i < incidents->size(); ++i) {
+        const Json &inc = incidents->at(i);
+        const Json *events = inc.find("events");
+        uint64_t fault_us = 0, detect_us = 0;
+        bool evicted = false;
+        std::string phases;
+        for (size_t e = 0; e < events->size(); ++e) {
+            const Json &ev = events->at(e);
+            const std::string phase = ev.find("phase")->asString();
+            uint64_t t_us =
+                static_cast<uint64_t>(ev.find("t_us")->asInt());
+            if (phase == "fault_injected")
+                fault_us = t_us;
+            else if (phase == "detected")
+                detect_us = t_us;
+            else if (phase == "evicted")
+                evicted = true;
+            if (!phases.empty())
+                phases += " > ";
+            phases += phase;
+        }
+        uint64_t mttr_us =
+            static_cast<uint64_t>(inc.find("mttr_us")->asInt());
+        uint64_t affected =
+            static_cast<uint64_t>(inc.find("affected")->asInt());
+        uint64_t reload_us =
+            static_cast<uint64_t>(inc.find("reload_us")->asInt());
+        const std::string cls = inc.find("class")->asString();
+        t.addRow({std::to_string(inc.find("id")->asInt()), cls,
+                  inc.find("shard")->asString(),
+                  fmtF(static_cast<double>(fault_us) / 1e3, 3),
+                  detect_us > 0
+                      ? fmtF(static_cast<double>(detect_us - fault_us) /
+                                 1e3,
+                             3)
+                      : "-",
+                  fmtF(static_cast<double>(mttr_us) / 1e3, 3),
+                  fmtI(affected),
+                  fmtI(static_cast<uint64_t>(
+                      inc.find("reload_tiles")->asInt())),
+                  reload_us > 0
+                      ? fmtF(static_cast<double>(reload_us) / 1e3, 3)
+                      : "-",
+                  phases});
+        ClassAgg &agg = by_class[cls];
+        ++agg.count;
+        agg.affected += affected;
+        agg.mttrSumUs += mttr_us;
+        agg.mttrMaxUs = std::max(agg.mttrMaxUs, mttr_us);
+        agg.reloadUs += reload_us;
+        if (evicted)
+            ++evicted_total;
+    }
+    std::printf("Incident timelines (virtual time):\n%s\n",
+                t.render().c_str());
+
+    // MTTR / goodput impact by fault class: the summary the SLO review
+    // reads — how long each failure mode keeps capacity out of the
+    // healthy set, and how many requests it touched while doing so.
+    TextTable summary({"class", "faults", "mean mttr ms", "max mttr ms",
+                       "affected", "rewarm ms"});
+    uint64_t affected_total = 0;
+    for (const auto &kv : by_class) {
+        const ClassAgg &agg = kv.second;
+        summary.addRow(
+            {kv.first, fmtI(agg.count),
+             fmtF(static_cast<double>(agg.mttrSumUs) /
+                      (1e3 * static_cast<double>(agg.count)),
+                  3),
+             fmtF(static_cast<double>(agg.mttrMaxUs) / 1e3, 3),
+             fmtI(agg.affected),
+             agg.reloadUs > 0
+                 ? fmtF(static_cast<double>(agg.reloadUs) / 1e3, 3)
+                 : "-"});
+        affected_total += agg.affected;
+    }
+    std::printf("MTTR and goodput impact by fault class:\n%s\n",
+                summary.render().c_str());
+    std::printf("%llu request(s) hit a faulted shard; %llu incident(s) "
+                "evicted a shard from the healthy routing set. Every "
+                "stamp above is replay virtual time: re-running the "
+                "same chaos seed reproduces this document "
+                "byte-for-byte.\n",
+                static_cast<unsigned long long>(affected_total),
+                static_cast<unsigned long long>(evicted_total));
+    return 0;
+}
+
 /** The `validate` mode: schema-dispatch to the matching validator. */
 int
 validateDoc(const char *path)
@@ -336,11 +472,13 @@ validateDoc(const char *path)
         st = serve::validateSloJson(doc);
     else if (tag == "bw.route/1")
         st = cluster::validateRouteJson(doc);
+    else if (tag == "bw.incident/1")
+        st = obs::validateIncidentJson(doc);
     else {
         std::fprintf(stderr,
                      "bw_spans: %s: unknown schema tag '%s' (want "
-                     "bw.spans/1, bw.flight/1, bw.slo/1 or "
-                     "bw.route/1)\n",
+                     "bw.spans/1, bw.flight/1, bw.slo/1, bw.route/1 "
+                     "or bw.incident/1)\n",
                      path, tag.c_str());
         return 2;
     }
@@ -376,6 +514,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: bw_spans <spans.json> [N]\n"
                      "       bw_spans flight <flight.json> [N]\n"
+                     "       bw_spans incidents <incidents.json>\n"
                      "       bw_spans validate <export.json>\n"
                      "       bw_spans validate-stream <export.ndjson>\n");
         return 2;
@@ -396,6 +535,14 @@ main(int argc, char **argv)
             return 2;
         }
         return validateStream(argv[2]);
+    }
+    if (std::strcmp(argv[1], "incidents") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: bw_spans incidents <incidents.json>\n");
+            return 2;
+        }
+        return incidentsReport(argv[2]);
     }
     if (std::strcmp(argv[1], "flight") == 0) {
         if (argc < 3) {

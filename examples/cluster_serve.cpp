@@ -39,6 +39,14 @@
  * request against the cycle-accurate model when BW_TIMING_MODE runs a
  * fast/cached tier.
  *
+ * Chaos plane: BW_CHAOS_RATE > 0 injects a seeded fault schedule
+ * (crash / hang / slow / dropped-message, BW_CHAOS_SEED,
+ * BW_CHAOS_HORIZON_S) into the Phase-1 replay; BW_HEDGE_MS arms hedged
+ * requests, BW_HEALTH_DETECT_MS sets the detection lag, and
+ * BW_FLEET_INCIDENTS_JSON writes the bw.incident/1 timeline document
+ * (also served live at /fleet/incidents.json; check with
+ * 'bw_spans incidents').
+ *
  * Live introspection: BW_METRICS_PORT serves the cluster registry
  * (bw_cluster_* series) plus /debug/cluster, /route.json, /slo.json,
  * the fleet plane (/fleet/metrics, /fleet/metrics.json, /fleet/slo.json,
@@ -239,6 +247,27 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rs.expired),
                 static_cast<unsigned long long>(rs.goodput),
                 rs.goodputRps);
+    if (!cluster.chaosSchedule().empty()) {
+        uint64_t affected = 0;
+        for (const obs::Incident &inc : cluster.incidents().incidents())
+            affected += inc.affected;
+        std::printf("chaos: %zu fault(s) scheduled (seed %llu), %zu "
+                    "incident(s), %llu request(s) affected, %llu "
+                    "failed\n",
+                    cluster.chaosSchedule().faults().size(),
+                    static_cast<unsigned long long>(
+                        cluster.chaosSchedule().seed()),
+                    cluster.incidents().faults(),
+                    static_cast<unsigned long long>(affected),
+                    static_cast<unsigned long long>(rs.failed));
+    }
+    if (cluster.options().hedgeMs >= 0) {
+        std::printf("hedging (>%.1f ms): %llu hedged, %llu hedge "
+                    "wins\n",
+                    cluster.options().hedgeMs,
+                    static_cast<unsigned long long>(rs.hedged),
+                    static_cast<unsigned long long>(rs.hedgeWins));
+    }
     if (cluster.options().auditEvery > 0) {
         std::printf("fidelity audit (%s tier, 1-in-%llu): %llu checks, "
                     "%llu divergences\n",
@@ -273,6 +302,10 @@ main(int argc, char **argv)
     if (const char *path = std::getenv("BW_FLEET_SLO_JSON")) {
         writeJsonFile(path, cluster.fleetSloJson());
         std::printf("Fleet SLO rollup written to %s\n", path);
+    }
+    if (const char *path = std::getenv("BW_FLEET_INCIDENTS_JSON")) {
+        writeJsonFile(path, cluster.incidentsJson());
+        std::printf("Incident timelines written to %s\n", path);
     }
     if (const char *path = std::getenv("BW_AUDIT_JSON")) {
         writeJsonFile(path, cluster.auditJson());

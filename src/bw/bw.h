@@ -38,6 +38,7 @@
 #include "baseline/gpu_model.h"
 #include "bfp/bfp.h"
 #include "bfp/float16.h"
+#include "cluster/chaos.h"
 #include "cluster/cluster.h"
 #include "cluster/router.h"
 #include "cluster/traffic.h"
@@ -70,6 +71,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/fleet.h"
 #include "obs/flight.h"
+#include "obs/incident.h"
 #include "obs/span.h"
 #include "obs/stall.h"
 #include "obs/trace.h"

@@ -1,9 +1,12 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <limits>
+#include <thread>
 
 #include "common/logging.h"
 #include "metrics/exposition.h"
@@ -108,6 +111,15 @@ ClusterOptions::fromEnv(ClusterOptions base)
             base.auditEvery =
                 static_cast<uint64_t>(std::max(0.0, std::atof(n)));
     }
+    if (const char *h = std::getenv("BW_HEDGE_MS")) {
+        if (*h)
+            base.hedgeMs = std::atof(h);
+    }
+    if (const char *d = std::getenv("BW_HEALTH_DETECT_MS")) {
+        if (*d)
+            base.healthDetectMs = std::max(0.0, std::atof(d));
+    }
+    base.chaos = ChaosOptions::fromEnv(base.chaos);
     base.fidelity = timing::fidelityFromEnv(base.fidelity);
     return base;
 }
@@ -131,6 +143,8 @@ EngineReport::toJson() const
     j.set("rejected", rejected);
     j.set("expired", expired);
     j.set("good", good);
+    j.set("failed", failed);
+    j.set("cancelled", cancelled);
     j.set("cache_hits", cacheHits);
     j.set("cache_misses", cacheMisses);
     j.set("cache_evictions", cacheEvictions);
@@ -146,8 +160,12 @@ ClusterStats::toJson() const
     j.set("overall", overall.toJson());
     j.set("submitted", submitted);
     j.set("shed", shed);
+    j.set("unavailable", unavailable);
     j.set("rejected", rejected);
     j.set("expired", expired);
+    j.set("failed", failed);
+    j.set("hedged", hedged);
+    j.set("hedge_wins", hedgeWins);
     j.set("completed", completed);
     j.set("goodput", goodput);
     j.set("goodput_rps", goodputRps);
@@ -219,6 +237,11 @@ Cluster::Cluster(ClusterOptions opts)
         fleet_.addShard(s->label, opts_.groups[s->group].name,
                         s->registry.get(), s->slo.get());
     }
+    shardChaos_.assign(shards_.size(), ShardChaos{});
+    rewarmTiles_.assign(shards_.size(), 0);
+    rewarmMs_.assign(shards_.size(), 0.0);
+    if (opts_.chaos.enabled())
+        chaos_ = ChaosSchedule::generate(opts_.chaos, engineCount());
     if (opts_.metricsRegistry)
         bindClusterMetrics();
 }
@@ -272,6 +295,41 @@ Cluster::bindClusterMetrics()
             "Requests shed at the front door by deadline class",
             {{"class", c.name}}));
     }
+    // Failure-domain series: a health-state gauge and one counter per
+    // fault class per shard, eagerly registered so a clean run still
+    // exports every class at zero (dashboards key on the full matrix).
+    for (const auto &s : shards_) {
+        const std::string &gname = opts_.groups[s->group].name;
+        healthG_.push_back(&reg.gauge(
+            "bw_health_state",
+            "Shard health: 0 healthy, 1 degraded, 2 faulted, 3 evicted, "
+            "4 re-warming",
+            {{"group", gname}, {"shard", s->label}}));
+        std::array<metrics::Counter *,
+                   static_cast<size_t>(FaultClass::NumFaultClasses)>
+            row{};
+        for (size_t c = 0;
+             c < static_cast<size_t>(FaultClass::NumFaultClasses); ++c) {
+            row[c] = &reg.counter(
+                "bw_failure_total",
+                "Requests lost or degraded by injected faults, by fault "
+                "class",
+                {{"class", faultClassName(static_cast<FaultClass>(c))},
+                 {"group", gname},
+                 {"shard", s->label}});
+        }
+        failureC_.push_back(row);
+    }
+    hedgeAttemptsC_ = &reg.counter(
+        "bw_hedge_attempts_total",
+        "Duplicate dispatches issued for requests over the hedge "
+        "latency budget");
+    hedgeWinsC_ = &reg.counter(
+        "bw_hedge_wins_total",
+        "Hedged dispatches that finished before the primary attempt");
+    hedgeCancelledC_ = &reg.counter(
+        "bw_hedge_cancelled_total",
+        "Hedge-race losers cancelled after the first completion");
     auditChecksC_ = &reg.counter(
         "bw_timing_audit_checks_total",
         "Sampled fast-tier service times re-priced against the "
@@ -434,6 +492,36 @@ Cluster::setDecisionSink(std::function<void(const RouteDecision &)> sink)
 }
 
 void
+Cluster::setChaosSchedule(ChaosSchedule schedule)
+{
+    chaos_ = std::move(schedule);
+}
+
+void
+Cluster::setShardHealthy(unsigned engine, bool healthy)
+{
+    BW_ASSERT(engine < shards_.size(), "engine %u out of range", engine);
+    std::lock_guard<std::mutex> lk(liveMu_);
+    shards_[engine]->healthy = healthy;
+    setHealthGauge(engine, healthy ? 0.0 : 3.0);
+}
+
+void
+Cluster::setHealthGauge(size_t shard, double state)
+{
+    if (shard < healthG_.size())
+        healthG_[shard]->set(state);
+}
+
+metrics::Counter *
+Cluster::failCounter(size_t shard, FaultClass cls)
+{
+    if (shard >= failureC_.size())
+        return nullptr;
+    return failureC_[shard][static_cast<size_t>(cls)];
+}
+
+void
 Cluster::warmCaches()
 {
     // Ascending model id, first-fit: deterministic warm set per shard.
@@ -458,6 +546,7 @@ Cluster::virtualLoads(double now_s) const
             std::count_if(s->freeS.begin(), s->freeS.end(),
                           [now_s](double f) { return f > now_s; }));
         l.queueCapacity = s->engine->options().queueDepth;
+        l.healthy = s->healthy;
         loads.push_back(l);
     }
     return loads;
@@ -475,6 +564,7 @@ Cluster::liveLoads() const
         l.inflight = static_cast<uint64_t>(
             std::max(0.0, s->inflight->value()));
         l.queueCapacity = s->engine->options().queueDepth;
+        l.healthy = s->healthy;
         loads.push_back(l);
     }
     return loads;
@@ -561,24 +651,100 @@ Cluster::replayReset()
     clsMonitor_.clear();
     if (opts_.spanTracer)
         opts_.spanTracer->clear();
-    for (auto &sp : shards_) {
-        Shard &s = *sp;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard &s = *shards_[i];
         s.starts.clear();
         s.freeS.assign(s.engine->options().replicas, 0.0);
         s.attempt = 0;
         s.routed = s.completed = s.rejected = s.expired = 0;
         s.good = s.reloadedTiles = 0;
+        s.failed = s.cancelled = 0;
         s.reloadMsTotal = 0;
         s.latencies.clear();
         s.sketch.clear();
         s.saw = false;
         s.firstArrival = s.lastDone = 0;
+        s.healthy = true;
         s.flight->clear();
         s.slo->clear();
         s.cache.clear();
+        setHealthGauge(i, 0.0);
     }
     if (opts_.warmStart)
         warmCaches();
+
+    // Compile the fault schedule into incident state-machine edges.
+    // Everything here is a pure function of (schedule, options, warm
+    // set), so the transition list — and with it every incident stamp
+    // — replays identically. A shard lives one incident at a time:
+    // faults that land inside an earlier fault's incident window are
+    // dropped (busyUntil).
+    incidents_.clear();
+    transitions_.clear();
+    nextTransition_ = 0;
+    shardChaos_.assign(shards_.size(), ShardChaos{});
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        // A crash restart must re-stream whatever was resident; after
+        // the reset above, that is exactly the warm set.
+        rewarmTiles_[i] = shards_[i]->cache.usedTiles();
+        rewarmMs_[i] = reloadMs(shards_[i]->group, rewarmTiles_[i]);
+    }
+    if (!chaos_.empty()) {
+        double detect_s = std::max(0.0, opts_.healthDetectMs) / 1e3;
+        std::vector<double> busyUntil(shards_.size(), 0.0);
+        const std::vector<FaultEvent> &faults = chaos_.faults();
+        for (size_t fi = 0; fi < faults.size(); ++fi) {
+            const FaultEvent &f = faults[fi];
+            if (f.shard >= shards_.size())
+                continue;
+            if (f.atS < busyUntil[f.shard])
+                continue;
+            double fire = f.atS;
+            double end = fire + std::max(0.0, f.durationS);
+            uint32_t id = static_cast<uint32_t>(fi);
+            auto push = [&](double t, ChaosTransition::Phase p) {
+                transitions_.push_back(
+                    ChaosTransition{t, f.shard, id, p});
+            };
+            double recover = end;
+            switch (f.cls) {
+            case FaultClass::ReplicaCrash: {
+                double detect = fire + detect_s;
+                end = std::max(end, detect);
+                recover = end + rewarmMs_[f.shard] / 1e3;
+                push(fire, ChaosTransition::Fire);
+                push(detect, ChaosTransition::Detect);
+                push(end, ChaosTransition::RewarmStart);
+                push(recover, ChaosTransition::Recover);
+                break;
+            }
+            case FaultClass::ReplicaHang: {
+                double detect = fire + detect_s;
+                recover = std::max(end, detect);
+                push(fire, ChaosTransition::Fire);
+                push(detect, ChaosTransition::Detect);
+                push(recover, ChaosTransition::Recover);
+                break;
+            }
+            case FaultClass::SlowReplica:
+            case FaultClass::DroppedMessage:
+            default:
+                push(fire, ChaosTransition::Fire);
+                push(recover, ChaosTransition::Recover);
+                break;
+            }
+            busyUntil[f.shard] = recover;
+        }
+        std::stable_sort(
+            transitions_.begin(), transitions_.end(),
+            [](const ChaosTransition &a, const ChaosTransition &b) {
+                if (a.tS != b.tS)
+                    return a.tS < b.tS;
+                if (a.fault != b.fault)
+                    return a.fault < b.fault;
+                return a.phase < b.phase;
+            });
+    }
 }
 
 void
@@ -594,6 +760,148 @@ Cluster::pruneStarts(double now_s)
         while (!st.empty() && st.front() <= now_s)
             st.pop_front();
     }
+}
+
+// --- Chaos plane ---
+
+void
+Cluster::advanceChaos(double now_s)
+{
+    while (nextTransition_ < transitions_.size() &&
+           transitions_[nextTransition_].tS <= now_s) {
+        applyTransition(transitions_[nextTransition_]);
+        ++nextTransition_;
+    }
+}
+
+void
+Cluster::applyTransition(const ChaosTransition &tr)
+{
+    const FaultEvent &f = chaos_.faults()[tr.fault];
+    Shard &s = *shards_[tr.shard];
+    ShardChaos &cc = shardChaos_[tr.shard];
+    uint64_t t_us = toUs(tr.tS);
+    switch (tr.phase) {
+    case ChaosTransition::Fire: {
+        cc = ShardChaos{};
+        cc.fault = tr.fault;
+        cc.endS = f.atS + std::max(0.0, f.durationS);
+        cc.incident = incidents_.open(faultClassName(f.cls), s.label,
+                                      opts_.groups[s.group].name, t_us);
+        switch (f.cls) {
+        case FaultClass::ReplicaCrash:
+            cc.down = true;
+            // Callers learn of the crash when the health check does.
+            cc.failAtS =
+                f.atS + std::max(0.0, opts_.healthDetectMs) / 1e3;
+            setHealthGauge(tr.shard, 2.0);
+            break;
+        case FaultClass::ReplicaHang:
+            cc.hung = true;
+            setHealthGauge(tr.shard, 2.0);
+            break;
+        case FaultClass::SlowReplica:
+            cc.slow = true;
+            cc.slowFactor = std::max(
+                1.0, f.magnitude > 0 ? f.magnitude
+                                     : opts_.chaos.slowFactor);
+            setHealthGauge(tr.shard, 1.0);
+            break;
+        case FaultClass::DroppedMessage:
+        default:
+            cc.dropping = true;
+            cc.dropProb = std::min(
+                1.0, std::max(0.0, f.magnitude > 0
+                                       ? f.magnitude
+                                       : opts_.chaos.dropProb));
+            setHealthGauge(tr.shard, 1.0);
+            break;
+        }
+        break;
+    }
+    case ChaosTransition::Detect:
+        incidents_.event(cc.incident, obs::IncidentPhase::Detected,
+                         t_us);
+        // Eviction is immediate on detection: the router's next
+        // decision already skips the shard.
+        incidents_.event(cc.incident, obs::IncidentPhase::Evicted,
+                         t_us);
+        s.healthy = false;
+        setHealthGauge(tr.shard, 3.0);
+        break;
+    case ChaosTransition::RewarmStart: {
+        incidents_.event(cc.incident,
+                         obs::IncidentPhase::RewarmStarted, t_us);
+        // The restarted shard comes up cold: drop residency (counters
+        // survive — they are cumulative) and re-stream the warm set,
+        // charged through the group's DRAM reload model.
+        s.cache.invalidate();
+        if (opts_.warmStart) {
+            for (uint32_t m = 0;
+                 m < static_cast<uint32_t>(models_.size()); ++m)
+                s.cache.preload(m, modelTiles(m, s.group));
+        }
+        uint64_t tiles = rewarmTiles_[tr.shard];
+        double ms = rewarmMs_[tr.shard];
+        s.reloadedTiles += tiles;
+        s.reloadMsTotal += ms;
+        if (!shardMetrics_.empty())
+            shardMetrics_[tr.shard].reloadUs->add(
+                static_cast<uint64_t>(std::llround(ms * 1e3)));
+        incidents_.setReload(
+            cc.incident, tiles,
+            static_cast<uint64_t>(std::llround(ms * 1e3)));
+        setHealthGauge(tr.shard, 4.0);
+        break;
+    }
+    case ChaosTransition::Recover:
+        incidents_.event(cc.incident, obs::IncidentPhase::Recovered,
+                         t_us);
+        s.healthy = true;
+        shardChaos_[tr.shard] = ShardChaos{};
+        setHealthGauge(tr.shard, 0.0);
+        break;
+    }
+}
+
+void
+Cluster::chaosFail(size_t shard, ShardMetrics *sm, ReplayPass &rp,
+                   const ClusterRequest &req, FaultClass fcls,
+                   obs::FlightClass cls, double fail_s,
+                   double deadline_ms)
+{
+    Shard &s = *shards_[shard];
+    if (cls == obs::FlightClass::DeadlineExpired) {
+        // A hang surfaces as a deadline expiry to the caller.
+        ++s.expired;
+        ++rp.cs.expired;
+        if (sm)
+            sm->expired->inc();
+    } else {
+        ++s.failed;
+        ++rp.cs.failed;
+    }
+    if (metrics::Counter *c = failCounter(shard, fcls))
+        c->inc();
+    incidents_.addAffected(shardChaos_[shard].incident);
+    double a = req.arrivalS;
+    double latency_ms =
+        (fail_s - a) * 1e3 + s.engine->options().networkMs;
+    uint64_t admit_us = toUs(a);
+    uint64_t t_us = std::max(toUs(fail_s), admit_us);
+    obs::FlightRecord fr;
+    fr.seq = s.attempt;
+    fr.cls = cls;
+    fr.steps = req.steps;
+    fr.admitUs = admit_us;
+    fr.dequeueUs = fr.serviceUs = fr.doneUs = t_us;
+    fr.latencyUs =
+        latency_ms > 0
+            ? static_cast<uint64_t>(std::llround(latency_ms * 1e3))
+            : 0;
+    s.flight->record(fr);
+    s.slo->record(t_us, deadline_ms, latency_ms, false);
+    clsMonitor_.record(t_us, deadline_ms, latency_ms, false);
 }
 
 ClusterStats
@@ -641,16 +949,27 @@ Cluster::replayOne(const ClusterRequest &req, ReplayPass &rp)
     uint32_t cls =
         static_cast<uint32_t>(clsMonitor_.classOf(req.deadlineMs));
     double a = req.arrivalS;
+    advanceChaos(a);
     pruneStarts(a);
 
     int32_t target = router_->route(rp.seq, req.model, me.name, cls,
                                     virtualLoads(a));
+    if (target == -2) {
+        // Eviction took every shard: unavailable, not load-shed.
+        ++cs.unavailable;
+        clsMonitor_.record(toUs(a), req.deadlineMs, 0.0, false);
+        return;
+    }
     if (target < 0) {
         ++cs.shed;
         ++cs.shedByClass[cls];
         if (metrics::Counter *c = shedCounter(cls))
             c->inc();
         clsMonitor_.record(toUs(a), req.deadlineMs, 0.0, false);
+        return;
+    }
+    if (opts_.hedgeMs >= 0) {
+        replayHedged(req, rp, static_cast<unsigned>(target), cls);
         return;
     }
 
@@ -670,6 +989,37 @@ Cluster::replayOne(const ClusterRequest &req, ReplayPass &rp)
     }
     double deadline_ms =
         req.deadlineMs > 0 ? req.deadlineMs : eo.defaultDeadlineMs;
+
+    // Injected fault effects, decided at admission (forward-only
+    // model): a crashed shard errors its callers when the health check
+    // notices, a hung shard eats the request until its deadline, and a
+    // partition drops a deterministic coin-flip of messages (salted by
+    // the submission seq, so replays drop the same ones).
+    const ShardChaos &cc = shardChaos_[static_cast<size_t>(target)];
+    if (cc.down) {
+        chaosFail(static_cast<size_t>(target), sm, rp, req,
+                  FaultClass::ReplicaCrash, obs::FlightClass::Error,
+                  std::max(a, cc.failAtS), deadline_ms);
+        return;
+    }
+    if (cc.hung) {
+        double stall =
+            deadline_ms > 0 ? a + deadline_ms / 1e3 : cc.endS;
+        chaosFail(static_cast<size_t>(target), sm, rp, req,
+                  FaultClass::ReplicaHang,
+                  obs::FlightClass::DeadlineExpired, std::max(a, stall),
+                  deadline_ms);
+        return;
+    }
+    if (cc.dropping &&
+        chaosUniform(chaos_.seed(), cc.fault, rp.seq) < cc.dropProb) {
+        double lost =
+            deadline_ms > 0 ? a + deadline_ms / 1e3 : cc.endS;
+        chaosFail(static_cast<size_t>(target), sm, rp, req,
+                  FaultClass::DroppedMessage, obs::FlightClass::Error,
+                  std::max(a, lost), deadline_ms);
+        return;
+    }
 
     // From here the shard mirrors Engine::replayUnbatched exactly
     // (admission check, earliest-free replica, deadline at dequeue),
@@ -769,11 +1119,21 @@ Cluster::replayOne(const ClusterRequest &req, ReplayPass &rp)
     }
 
     double model_ms = modelServiceMs(req.model, s.group, req.steps);
-    double service_ms = model_ms + reload_ms;
     if (opts_.auditEvery > 0 && !me.timed &&
         opts_.fidelity != timing::Fidelity::CycleAccurate &&
         rp.seq % opts_.auditEvery == 0)
         auditCheck(rp.seq, req.model, s.group, req.steps, model_ms);
+    if (cc.slow) {
+        // Degraded, not dead: the request completes, stretched. Audited
+        // above with the undegraded price — the audit compares timing
+        // models, not fault effects.
+        model_ms *= cc.slowFactor;
+        if (metrics::Counter *c = failCounter(
+                static_cast<size_t>(target), FaultClass::SlowReplica))
+            c->inc();
+        incidents_.addAffected(cc.incident);
+    }
+    double service_ms = model_ms + reload_ms;
     double done = start + service_ms / 1e3;
     s.freeS[r] = done;
     s.lastDone = std::max(s.lastDone, done);
@@ -829,9 +1189,431 @@ Cluster::replayOne(const ClusterRequest &req, ReplayPass &rp)
     clsMonitor_.record(done_us, deadline_ms, latency_ms, true);
 }
 
+// --- Hedged dispatch (replay) ---
+
+Cluster::HedgeAttempt
+Cluster::runAttempt(unsigned shard, double t, const ClusterRequest &req,
+                    ReplayPass &rp)
+{
+    Shard &s = *shards_[shard];
+    ShardMetrics *sm =
+        shardMetrics_.empty() ? nullptr : &shardMetrics_[shard];
+    const serve::EngineOptions &eo = s.engine->options();
+    HedgeAttempt at;
+    at.shard = shard;
+    at.dispatchS = t;
+    ++s.attempt;
+    at.seq = s.attempt;
+    ++s.routed;
+    if (sm)
+        sm->routed->inc();
+    if (!s.saw) {
+        s.saw = true;
+        s.firstArrival = t;
+        s.lastDone = t;
+    }
+    at.deadlineMs =
+        req.deadlineMs > 0 ? req.deadlineMs : eo.defaultDeadlineMs;
+
+    // Fault effects first — a crashed or partitioned shard never
+    // queues the attempt (same order as the single-dispatch path).
+    const ShardChaos &cc = shardChaos_[shard];
+    if (cc.down) {
+        at.kind = HedgeAttempt::Kind::Faulted;
+        at.fcls = obs::FlightClass::Error;
+        at.clientDoneS = std::max(t, cc.failAtS);
+        at.startS = at.doneS = at.clientDoneS;
+        at.latencyMs = (at.clientDoneS - t) * 1e3 + eo.networkMs;
+        ++s.failed;
+        if (metrics::Counter *c =
+                failCounter(shard, FaultClass::ReplicaCrash))
+            c->inc();
+        incidents_.addAffected(cc.incident);
+        return at;
+    }
+    if (cc.hung) {
+        at.kind = HedgeAttempt::Kind::Faulted;
+        at.fcls = obs::FlightClass::DeadlineExpired;
+        double stall =
+            at.deadlineMs > 0 ? t + at.deadlineMs / 1e3 : cc.endS;
+        at.clientDoneS = std::max(t, stall);
+        at.startS = at.doneS = at.clientDoneS;
+        at.latencyMs = (at.clientDoneS - t) * 1e3 + eo.networkMs;
+        ++s.expired;
+        if (sm)
+            sm->expired->inc();
+        if (metrics::Counter *c =
+                failCounter(shard, FaultClass::ReplicaHang))
+            c->inc();
+        incidents_.addAffected(cc.incident);
+        return at;
+    }
+    if (cc.dropping &&
+        chaosUniform(chaos_.seed(), cc.fault, rp.seq) < cc.dropProb) {
+        at.kind = HedgeAttempt::Kind::Faulted;
+        at.fcls = obs::FlightClass::Error;
+        double lost =
+            at.deadlineMs > 0 ? t + at.deadlineMs / 1e3 : cc.endS;
+        at.clientDoneS = std::max(t, lost);
+        at.startS = at.doneS = at.clientDoneS;
+        at.latencyMs = (at.clientDoneS - t) * 1e3 + eo.networkMs;
+        ++s.failed;
+        if (metrics::Counter *c =
+                failCounter(shard, FaultClass::DroppedMessage))
+            c->inc();
+        incidents_.addAffected(cc.incident);
+        return at;
+    }
+
+    size_t dequeued = static_cast<size_t>(
+        std::upper_bound(s.starts.begin(), s.starts.end(), t) -
+        s.starts.begin());
+    if (s.starts.size() - dequeued >= eo.queueDepth) {
+        at.kind = HedgeAttempt::Kind::Rejected;
+        at.fcls = obs::FlightClass::Rejected;
+        at.startS = at.doneS = at.clientDoneS = t;
+        ++s.rejected;
+        if (sm)
+            sm->rejected->inc();
+        return at;
+    }
+
+    uint64_t tiles = modelTiles(req.model, s.group);
+    WeightTouch wt = s.cache.touch(req.model, tiles);
+    double reload_ms = 0;
+    if (wt.hit) {
+        if (sm)
+            sm->cacheHits->inc();
+    } else {
+        // The DRAM traffic happens even if this attempt later loses
+        // the hedge race — reload charges are never rolled back.
+        reload_ms = reloadMs(s.group, wt.loadedTiles);
+        s.reloadedTiles += wt.loadedTiles;
+        s.reloadMsTotal += reload_ms;
+        if (sm) {
+            sm->cacheMisses->inc();
+            if (wt.evictions)
+                sm->cacheEvictions->add(wt.evictions);
+            sm->reloadUs->add(
+                static_cast<uint64_t>(std::llround(reload_ms * 1e3)));
+        }
+    }
+
+    double net_s = eo.networkMs / 1e3;
+    size_t r = static_cast<size_t>(
+        std::min_element(s.freeS.begin(), s.freeS.end()) -
+        s.freeS.begin());
+    at.replica = r;
+    at.prevFree = s.freeS[r];
+    double start = std::max(t + net_s / 2, s.freeS[r]);
+    s.starts.push_back(start);
+    at.reserved = true;
+    at.startS = start;
+    if (at.deadlineMs > 0 && (start - t) * 1e3 > at.deadlineMs) {
+        at.kind = HedgeAttempt::Kind::Expired;
+        at.fcls = obs::FlightClass::DeadlineExpired;
+        at.doneS = at.clientDoneS = start;
+        at.latencyMs = (start - t) * 1e3 + eo.networkMs;
+        ++s.expired;
+        if (sm)
+            sm->expired->inc();
+        return at;
+    }
+
+    double model_ms = modelServiceMs(req.model, s.group, req.steps);
+    if (cc.slow) {
+        model_ms *= cc.slowFactor;
+        if (metrics::Counter *c =
+                failCounter(shard, FaultClass::SlowReplica))
+            c->inc();
+        incidents_.addAffected(cc.incident);
+    }
+    double done = start + (model_ms + reload_ms) / 1e3;
+    s.freeS[r] = done;
+    at.kind = HedgeAttempt::Kind::Completed;
+    at.fcls = obs::FlightClass::Ok;
+    at.doneS = done;
+    at.clientDoneS = done + net_s / 2;
+    at.latencyMs = (at.clientDoneS - t) * 1e3;
+    return at;
+}
+
+void
+Cluster::recordAttemptFlight(const HedgeAttempt &at, uint64_t id,
+                             bool sampled, unsigned steps)
+{
+    Shard &s = *shards_[at.shard];
+    uint64_t admit_us = toUs(at.dispatchS);
+    uint64_t start_us = std::max(toUs(at.startS), admit_us);
+    uint64_t done_us = std::max(toUs(at.doneS), start_us);
+    obs::FlightRecord fr;
+    fr.seq = at.seq;
+    fr.id = id;
+    fr.cls = at.fcls;
+    fr.sampled = sampled;
+    fr.replica = static_cast<uint32_t>(at.replica);
+    fr.steps = steps;
+    fr.admitUs = admit_us;
+    switch (at.fcls) {
+    case obs::FlightClass::Rejected:
+        fr.dequeueUs = fr.serviceUs = fr.doneUs = admit_us;
+        break;
+    default:
+        fr.dequeueUs = fr.serviceUs = start_us;
+        fr.doneUs = done_us;
+        break;
+    }
+    fr.latencyUs =
+        at.latencyMs > 0
+            ? static_cast<uint64_t>(std::llround(at.latencyMs * 1e3))
+            : 0;
+    s.flight->record(fr);
+}
+
+namespace {
+
+obs::SpanOutcome
+attemptOutcome(const obs::FlightClass cls)
+{
+    switch (cls) {
+    case obs::FlightClass::Ok:
+        return obs::SpanOutcome::Ok;
+    case obs::FlightClass::DeadlineExpired:
+        return obs::SpanOutcome::DeadlineExpired;
+    case obs::FlightClass::Rejected:
+        return obs::SpanOutcome::Rejected;
+    case obs::FlightClass::Cancelled:
+        return obs::SpanOutcome::Cancelled;
+    case obs::FlightClass::Error:
+    default:
+        return obs::SpanOutcome::Error;
+    }
+}
+
+/// Span-id stride between hedge[0] and hedge[1] subtrees: wide enough
+/// for a request tree (4 spans) plus the chain-span cap (256).
+constexpr obs::SpanId kHedgeIdStride = 512;
+
+} // namespace
+
+void
+Cluster::replayHedged(const ClusterRequest &req, ReplayPass &rp,
+                      unsigned primary, uint32_t cls)
+{
+    (void)cls;
+    ClusterStats &cs = rp.cs;
+    double a = req.arrivalS;
+    obs::SpanTracer *tracer = opts_.spanTracer;
+    ++rp.admitted;
+    obs::TraceContext ctx =
+        tracer ? tracer->admit(rp.admitted) : obs::TraceContext{};
+
+    HedgeAttempt p = runAttempt(primary, a, req, rp);
+
+    // Hedge when the primary misses the latency budget or fails
+    // outright; the duplicate goes to the least-loaded other healthy
+    // shard at the moment the budget expires. Chaos state is NOT
+    // advanced to t_h: the global fault clock stays monotone with
+    // arrivals (advancing it here would leak future fault state into
+    // every later request in the window), so the hedge acts on health
+    // knowledge as of the arrival — the same detection lag callers
+    // already live with.
+    bool wantHedge = p.kind != HedgeAttempt::Kind::Completed ||
+                     p.latencyMs > opts_.hedgeMs;
+    HedgeAttempt h;
+    bool hedged = false;
+    if (wantHedge) {
+        double t_h = a + std::max(0.0, opts_.hedgeMs) / 1e3;
+        std::vector<EngineLoad> loads = virtualLoads(t_h);
+        int32_t alt = -1;
+        uint64_t best = UINT64_MAX;
+        for (size_t e = 0; e < loads.size(); ++e) {
+            if (e == primary || !loads[e].healthy)
+                continue;
+            uint64_t occ = loads[e].queued + loads[e].inflight;
+            if (occ < best) { // strict: ties go to the lowest index
+                best = occ;
+                alt = static_cast<int32_t>(e);
+            }
+        }
+        if (alt >= 0) {
+            hedged = true;
+            ++cs.hedged;
+            if (hedgeAttemptsC_)
+                hedgeAttemptsC_->inc();
+            h = runAttempt(static_cast<unsigned>(alt), t_h, req, rp);
+        }
+    }
+
+    // First-wins: the earliest completion the caller hears; ties and
+    // the nothing-completed case go to the primary.
+    bool pWins = true;
+    if (hedged) {
+        bool pOk = p.kind == HedgeAttempt::Kind::Completed;
+        bool hOk = h.kind == HedgeAttempt::Kind::Completed;
+        if (pOk && hOk)
+            pWins = p.clientDoneS <= h.clientDoneS;
+        else if (hOk)
+            pWins = false;
+    }
+    HedgeAttempt &w = pWins ? p : h;
+    HedgeAttempt *loser = hedged ? (pWins ? &h : &p) : nullptr;
+    if (hedged && !pWins) {
+        ++cs.hedgeWins;
+        if (hedgeWinsC_)
+            hedgeWinsC_->inc();
+    }
+
+    // Cancel a loser that would still have completed: before service
+    // start, the reservation is undone (its queue slot and replica
+    // never ran); mid-service, the replica frees at the cancel point.
+    if (loser && loser->kind == HedgeAttempt::Kind::Completed) {
+        Shard &ls = *shards_[loser->shard];
+        double c = w.clientDoneS;
+        if (loser->startS >= c) {
+            ls.freeS[loser->replica] = loser->prevFree;
+            if (!ls.starts.empty())
+                ls.starts.pop_back();
+            loser->startS = c;
+            loser->doneS = c;
+        } else {
+            loser->doneS = std::min(loser->doneS, c);
+            ls.freeS[loser->replica] = loser->doneS;
+        }
+        loser->fcls = obs::FlightClass::Cancelled;
+        loser->latencyMs = (loser->doneS - loser->dispatchS) * 1e3;
+        ++ls.cancelled;
+        if (hedgeCancelledC_)
+            hedgeCancelledC_->inc();
+        ls.lastDone = std::max(ls.lastDone, loser->doneS);
+    }
+
+    // Cluster-level accounting from the winner only — the caller saw
+    // exactly one outcome. (Per-shard reports count every attempt.)
+    Shard &ws = *shards_[w.shard];
+    ShardMetrics *wsm =
+        shardMetrics_.empty() ? nullptr : &shardMetrics_[w.shard];
+    uint64_t admit_us = toUs(a);
+    switch (w.kind) {
+    case HedgeAttempt::Kind::Completed: {
+        double full_ms = (w.clientDoneS - a) * 1e3;
+        ++ws.completed;
+        ++cs.completed;
+        if (wsm)
+            wsm->completed->inc();
+        if (rp.streaming)
+            ws.sketch.record(full_ms);
+        else
+            ws.latencies.push_back(full_ms);
+        if (w.deadlineMs <= 0 || full_ms <= w.deadlineMs)
+            ++ws.good;
+        ws.lastDone = std::max(ws.lastDone, w.doneS);
+        uint64_t done_us = std::max(toUs(w.doneS), admit_us);
+        ws.slo->record(done_us, w.deadlineMs, full_ms, true);
+        clsMonitor_.record(done_us, w.deadlineMs, full_ms, true);
+        break;
+    }
+    case HedgeAttempt::Kind::Rejected: {
+        ++cs.rejected;
+        ws.slo->record(admit_us, w.deadlineMs, 0.0, false);
+        clsMonitor_.record(admit_us, w.deadlineMs, 0.0, false);
+        break;
+    }
+    case HedgeAttempt::Kind::Expired: {
+        ++cs.expired;
+        uint64_t t_us = std::max(toUs(w.startS), admit_us);
+        ws.slo->record(t_us, w.deadlineMs, w.latencyMs, false);
+        clsMonitor_.record(t_us, w.deadlineMs, w.latencyMs, false);
+        break;
+    }
+    case HedgeAttempt::Kind::Faulted:
+    default: {
+        if (w.fcls == obs::FlightClass::DeadlineExpired)
+            ++cs.expired;
+        else
+            ++cs.failed;
+        uint64_t t_us = std::max(toUs(w.clientDoneS), admit_us);
+        ws.slo->record(t_us, w.deadlineMs, w.latencyMs, false);
+        clsMonitor_.record(t_us, w.deadlineMs, w.latencyMs, false);
+        break;
+    }
+    }
+
+    // Flight records in dispatch order: primary, then hedge.
+    recordAttemptFlight(p, rp.admitted, ctx.sampled(), req.steps);
+    if (hedged)
+        recordAttemptFlight(h, rp.admitted, ctx.sampled(), req.steps);
+
+    // Span tree: route root -> hedge[i] children -> nested request
+    // trees. The winner stamps the root's outcome/engine; the loser's
+    // hedge span shows the cancellation.
+    if (ctx.sampled() && tracer) {
+        auto endOf = [&](const HedgeAttempt &at) {
+            uint64_t d = toUs(at.dispatchS);
+            return std::max(std::max(toUs(at.doneS), toUs(at.startS)),
+                            d);
+        };
+        uint64_t root_end = std::max(endOf(p), admit_us);
+        if (hedged)
+            root_end = std::max(root_end, endOf(h));
+
+        obs::SpanRecord root;
+        root.trace = ctx.trace;
+        root.id = 1;
+        root.parent = 0;
+        root.kind = obs::SpanKind::Route;
+        root.outcome = attemptOutcome(w.fcls);
+        root.index = w.shard;
+        root.chainId = req.model;
+        root.startUs = admit_us;
+        root.endUs = root_end;
+        tracer->record(root);
+
+        const HedgeAttempt *attempts[2] = {&p, hedged ? &h : nullptr};
+        for (uint32_t i = 0; i < 2; ++i) {
+            const HedgeAttempt *at = attempts[i];
+            if (!at)
+                continue;
+            uint64_t h_start = std::max(toUs(at->dispatchS), admit_us);
+            uint64_t h_end = std::max(endOf(*at), h_start);
+            obs::SpanRecord hs;
+            hs.trace = ctx.trace;
+            hs.id = 2 + i * kHedgeIdStride;
+            hs.parent = 1;
+            hs.kind = obs::SpanKind::Hedge;
+            hs.outcome = attemptOutcome(at->fcls);
+            hs.index = i;           // hedge ordinal: "hedge[i]"
+            hs.chainId = at->shard; // the engine this attempt hit
+            hs.startUs = h_start;
+            hs.endUs = h_end;
+            tracer->record(hs);
+
+            obs::RequestSpans qs;
+            qs.trace = ctx.trace;
+            qs.admitUs = h_start;
+            qs.dequeueUs = qs.serviceUs =
+                std::max(toUs(at->startS), h_start);
+            qs.doneUs = h_end;
+            qs.replica = static_cast<uint32_t>(at->replica);
+            qs.outcome = attemptOutcome(at->fcls);
+            obs::SpanId exec =
+                obs::recordRequestTree(*tracer, qs, hs.id);
+            if (exec && at->fcls == obs::FlightClass::Ok)
+                stitchChainSpans(*tracer, ctx.trace, exec, req.model,
+                                 shards_[at->shard]->group, req.steps,
+                                 qs.serviceUs, qs.doneUs);
+        }
+    }
+}
+
 ClusterStats
 Cluster::replayFinish(ReplayPass &rp)
 {
+    // Run the incident state machine to completion: every fault that
+    // fired past the last arrival still detects, evicts, re-warms and
+    // recovers, so the exported timeline pairs every fault with its
+    // terminal phase.
+    advanceChaos(std::numeric_limits<double>::infinity());
     ClusterStats cs = std::move(rp.cs);
     // Per-engine and merged summaries. Vector replay reports exact
     // nearest-rank percentiles; streaming replay merges the per-shard
@@ -869,6 +1651,8 @@ Cluster::replayFinish(ReplayPass &rp)
         r.rejected = s.rejected;
         r.expired = s.expired;
         r.good = s.good;
+        r.failed = s.failed;
+        r.cancelled = s.cancelled;
         r.cacheHits = s.cache.hits();
         r.cacheMisses = s.cache.misses();
         r.cacheEvictions = s.cache.evictions();
@@ -1024,6 +1808,11 @@ Cluster::submit(uint32_t model, serve::Request req)
         static_cast<uint32_t>(clsMonitor_.classOf(deadline_ms));
     int32_t target =
         router_->route(liveSeq_, model, me.name, cls, liveLoads());
+    if (target == -2) {
+        return Status::unavailable(detail::format(
+            "no healthy shard for model '%s' (every engine evicted)",
+            me.name.c_str()));
+    }
     if (target < 0) {
         if (metrics::Counter *c = shedCounter(cls))
             c->inc();
@@ -1060,8 +1849,104 @@ Cluster::submit(uint32_t model, serve::Request req)
                          ? req.serviceMsOverride
                          : modelServiceMs(model, s.group, steps);
     double service_ms = base_ms + reload_ms;
-    return s.engine->submit(
+    Expected<std::future<serve::Response>> primary = s.engine->submit(
         serve::Request::timed(steps, deadline_ms, service_ms));
+    if (opts_.hedgeMs < 0 || !primary.ok())
+        return primary;
+
+    // Hedged duplicate dispatch: tie the request to the least-loaded
+    // other healthy shard and let the first response win. Live
+    // cancellation is advisory — the loser's service still completes
+    // on its engine (and shows in that shard's series); the caller
+    // only ever sees the winner.
+    std::vector<EngineLoad> loads = liveLoads();
+    int32_t alt = -1;
+    uint64_t best = UINT64_MAX;
+    for (size_t e = 0; e < loads.size(); ++e) {
+        if (e == static_cast<size_t>(target) || !loads[e].healthy)
+            continue;
+        uint64_t occ = loads[e].queued + loads[e].inflight;
+        if (occ < best) {
+            best = occ;
+            alt = static_cast<int32_t>(e);
+        }
+    }
+    if (alt < 0)
+        return primary;
+    Shard &hs = *shards_[static_cast<size_t>(alt)];
+    ShardMetrics *hsm = shardMetrics_.empty()
+                            ? nullptr
+                            : &shardMetrics_[static_cast<size_t>(alt)];
+    uint64_t h_tiles = modelTiles(model, hs.group);
+    WeightTouch hwt = hs.cache.touch(model, h_tiles);
+    double h_reload_ms = 0;
+    if (hwt.hit) {
+        if (hsm)
+            hsm->cacheHits->inc();
+    } else {
+        h_reload_ms = reloadMs(hs.group, hwt.loadedTiles);
+        if (hsm) {
+            hsm->cacheMisses->inc();
+            if (hwt.evictions)
+                hsm->cacheEvictions->add(hwt.evictions);
+            hsm->reloadUs->add(static_cast<uint64_t>(
+                std::llround(h_reload_ms * 1e3)));
+        }
+    }
+    double h_base_ms = req.serviceMsOverride > 0
+                           ? req.serviceMsOverride
+                           : modelServiceMs(model, hs.group, steps);
+    Expected<std::future<serve::Response>> hedge =
+        hs.engine->submit(serve::Request::timed(
+            steps, deadline_ms, h_base_ms + h_reload_ms));
+    if (!hedge.ok())
+        return primary;
+    if (hsm)
+        hsm->routed->inc();
+    if (hedgeAttemptsC_)
+        hedgeAttemptsC_->inc();
+
+    std::future<serve::Response> f1 = std::move(primary.value());
+    std::future<serve::Response> f2 = std::move(hedge.value());
+    return std::async(
+        std::launch::deferred,
+        [this, f1 = std::move(f1), f2 = std::move(f2)]() mutable {
+            // First-wins poll over both futures; a successful response
+            // beats a failed one regardless of arrival order.
+            while (true) {
+                if (f1.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready) {
+                    serve::Response r1 = f1.get();
+                    if (r1.status.ok()) {
+                        if (hedgeCancelledC_)
+                            hedgeCancelledC_->inc();
+                        return r1;
+                    }
+                    serve::Response r2 = f2.get();
+                    if (r2.status.ok()) {
+                        if (hedgeWinsC_)
+                            hedgeWinsC_->inc();
+                        return r2;
+                    }
+                    return r1;
+                }
+                if (f2.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready) {
+                    serve::Response r2 = f2.get();
+                    if (r2.status.ok()) {
+                        if (hedgeWinsC_)
+                            hedgeWinsC_->inc();
+                        if (hedgeCancelledC_)
+                            hedgeCancelledC_->inc();
+                        return r2;
+                    }
+                    serve::Response r1 = f1.get();
+                    return r1;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            }
+        });
 }
 
 Expected<std::future<serve::Response>>
@@ -1146,6 +2031,7 @@ Cluster::debugClusterJson() const
         sj.set("label", sp->label);
         sj.set("group", opts_.groups[sp->group].name);
         sj.set("accepting", sp->engine->accepting());
+        sj.set("healthy", sp->healthy);
         sj.set("queued", static_cast<uint64_t>(sp->engine->queueSize()));
         sj.set("cache", sp->cache.toJson());
         shards.push(std::move(sj));
@@ -1185,6 +2071,10 @@ Cluster::exposeDebug(metrics::MetricsHttpServer &srv)
                    [this] { return fleetSloJson().dump(2); });
     srv.handleJson("/debug/audit",
                    [this] { return auditJson().dump(2); });
+    srv.handleJson("/fleet/incidents.json",
+                   [this] { return incidentsJson().dump(2); });
+    srv.handleJson("/debug/chaos",
+                   [this] { return chaos_.toJson().dump(2); });
     srv.handleStream(
         "/fleet/spans.ndjson",
         [this](const metrics::MetricsHttpServer::StreamSink &sink) {

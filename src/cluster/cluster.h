@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/chaos.h"
 #include "cluster/router.h"
 #include "cluster/traffic.h"
 #include "cluster/weight_cache.h"
@@ -57,6 +58,7 @@
 #include "metrics/metrics.h"
 #include "obs/fleet.h"
 #include "obs/flight.h"
+#include "obs/incident.h"
 #include "obs/span.h"
 #include "serve/engine.h"
 #include "serve/session.h"
@@ -126,6 +128,33 @@ struct ClusterOptions
     uint64_t auditEvery = 0;
 
     /**
+     * Deterministic fault-injection plan (the chaos plane). When
+     * enabled() the cluster generates a ChaosSchedule from these
+     * options at construction; setChaosSchedule() replaces it. Faults
+     * only act under replay() — the live path reacts to health state
+     * (setShardHealthy) but never injects.
+     */
+    ChaosOptions chaos;
+
+    /**
+     * Hedged-request latency threshold in virtual milliseconds: when a
+     * routed request's primary attempt misses this budget (or fails
+     * outright), a duplicate is dispatched to the least-loaded other
+     * healthy shard and the first completion wins; the loser is
+     * cancelled. Negative disables hedging (the default — the
+     * non-hedged replay path is byte-identical to earlier builds).
+     * Zero hedges every request.
+     */
+    double hedgeMs = -1;
+
+    /**
+     * Virtual milliseconds between a crash/hang fault firing and the
+     * health checker detecting it (detection immediately evicts the
+     * shard from routing).
+     */
+    double healthDetectMs = 5.0;
+
+    /**
      * Apply BW_CLUSTER_* environment overrides on @p base:
      * BW_CLUSTER_MIX replaces the groups with a preset mix
      * ("s5:2,a10:1,s10:1" — preset:count, presets s5 / a10 / s10),
@@ -133,7 +162,9 @@ struct ClusterOptions
      * BW_CLUSTER_CACHE_TILES sets weightCacheTiles,
      * BW_ROUTE_LOG_MAX sets router.logCapacity, and BW_AUDIT_SAMPLE
      * sets auditEvery. BW_TIMING_MODE sets the timing fidelity tier
-     * ("cycle" | "fast" | "cached").
+     * ("cycle" | "fast" | "cached"). BW_HEDGE_MS sets hedgeMs,
+     * BW_HEALTH_DETECT_MS sets healthDetectMs, and the BW_CHAOS_*
+     * family (ChaosOptions::fromEnv) configures the fault plan.
      */
     static ClusterOptions fromEnv(ClusterOptions base);
     static ClusterOptions fromEnv();
@@ -149,6 +180,8 @@ struct EngineReport
     uint64_t rejected = 0;     //!< QUEUE_FULL at the shard
     uint64_t expired = 0;      //!< deadline expiries at dequeue
     uint64_t good = 0;         //!< completions inside their deadline
+    uint64_t failed = 0;       //!< requests lost to an injected fault
+    uint64_t cancelled = 0;    //!< hedge losers cancelled first-wins
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     uint64_t cacheEvictions = 0;
@@ -164,8 +197,12 @@ struct ClusterStats
     ServeStats overall;  //!< merged latency summary across engines
     uint64_t submitted = 0;
     uint64_t shed = 0;     //!< front-door sheds (router policy)
+    uint64_t unavailable = 0; //!< no healthy shard (router engine -2)
     uint64_t rejected = 0; //!< shard QUEUE_FULL rejects
     uint64_t expired = 0;
+    uint64_t failed = 0;   //!< requests lost to injected faults
+    uint64_t hedged = 0;   //!< requests that dispatched a hedge
+    uint64_t hedgeWins = 0; //!< hedges that beat the primary
     uint64_t completed = 0;
     /** Completions whose latency met their deadline (no deadline =
      *  always good): the saturation-sweep goodput numerator. */
@@ -243,6 +280,36 @@ class Cluster
     /** Swap the routing policy (drops the decision log; typically
      *  called between replays — the saturation sweep). */
     void setRouterPolicy(RoutePolicy policy);
+
+    // --- Failure-domain observability (the chaos plane). ---
+
+    /**
+     * Install a fault schedule for subsequent replay()s, replacing any
+     * schedule auto-generated from ClusterOptions::chaos. Faults whose
+     * shard index is out of range are ignored; overlapping faults on
+     * one shard keep the earlier fault (one incident at a time per
+     * shard). An empty schedule restores fault-free replay —
+     * byte-identical to a cluster that never had a schedule (tested).
+     */
+    void setChaosSchedule(ChaosSchedule schedule);
+
+    /** The installed fault schedule (empty when chaos is off). */
+    const ChaosSchedule &chaosSchedule() const { return chaos_; }
+
+    /** The incident log of the most recent replay (cleared at each
+     *  replayReset, fully closed by replayFinish). */
+    const obs::IncidentLog &incidents() const { return incidents_; }
+
+    /** The bw.incident/1 timeline document (/fleet/incidents.json). */
+    Json incidentsJson() const { return obs::incidentJson(incidents_); }
+
+    /**
+     * Live-path health override: an unhealthy shard is skipped by
+     * every routing policy until marked healthy again. Replay manages
+     * health itself (detection/eviction under the chaos schedule) and
+     * resets every shard healthy at replayReset.
+     */
+    void setShardHealthy(unsigned engine, bool healthy);
 
     /**
      * Deterministic virtual-time replay of @p trace (ascending
@@ -407,9 +474,15 @@ class Cluster
         std::vector<double> freeS; //!< per-replica next-free time
         uint64_t attempt = 0;      //!< per-shard flight seq counter
 
+        /** Health-check verdict: false once the checker evicts the
+         *  shard (replay: chaos detection; live: setShardHealthy). */
+        bool healthy = true;
+
         // Per-replay report accumulators.
         uint64_t routed = 0, completed = 0, rejected = 0, expired = 0;
         uint64_t good = 0, reloadedTiles = 0;
+        uint64_t failed = 0;    //!< requests lost to injected faults
+        uint64_t cancelled = 0; //!< hedge losers cancelled here
         double reloadMsTotal = 0;
         std::vector<double> latencies; //!< exact (vector replay) only
         LatencySketch sketch;          //!< streaming replay only
@@ -466,6 +539,90 @@ class Cluster
     /** Drop per-shard dequeue history that virtual time has passed. */
     void pruneStarts(double now_s);
 
+    // --- Chaos plane (replay fault injection + incident telemetry). ---
+
+    /** Active fault effects on one shard (between fire and recover). */
+    struct ShardChaos
+    {
+        bool down = false;     //!< crashed: requests error at failAtS
+        bool hung = false;     //!< hung: requests stall to deadline
+        bool slow = false;     //!< degraded: service times multiplied
+        bool dropping = false; //!< lossy: per-request coin-flip errors
+        double slowFactor = 1.0;
+        double dropProb = 0;
+        double failAtS = 0; //!< crash: when callers see the error
+        double endS = 0;    //!< fault-window end (hang fallback stamp)
+        size_t fault = 0;   //!< schedule index (drop-decision salt)
+        uint64_t incident = 0;
+    };
+
+    /** One precomputed incident state-machine edge. Built at
+     *  replayReset from the schedule; stamps are pure functions of
+     *  (schedule, options), which is what makes incident timelines
+     *  replay byte-identically. */
+    struct ChaosTransition
+    {
+        enum Phase : uint8_t
+        {
+            Fire = 0,        //!< fault effects begin
+            Detect,          //!< health check notices; shard evicted
+            RewarmStart,     //!< crash only: weight re-load begins
+            Recover,         //!< effects end; shard rejoins routing
+        };
+        double tS = 0;
+        unsigned shard = 0;
+        uint32_t fault = 0; //!< index into chaos_.faults()
+        Phase phase = Fire;
+    };
+
+    /** One dispatch attempt of a hedged request: all shard-state
+     *  mutations committed, nothing recorded yet (the winner decides
+     *  the record phase). */
+    struct HedgeAttempt
+    {
+        enum class Kind : uint8_t
+        {
+            Rejected,  //!< shard queue full
+            Expired,   //!< deadline passed at dequeue
+            Faulted,   //!< lost to an injected fault
+            Completed, //!< serviced (may still lose the hedge race)
+        };
+        Kind kind = Kind::Completed;
+        unsigned shard = 0;
+        uint64_t seq = 0;       //!< per-shard flight attempt number
+        double dispatchS = 0;   //!< when this attempt reached the shard
+        double startS = 0;      //!< service start (dequeue)
+        double doneS = 0;       //!< service completion
+        double clientDoneS = 0; //!< when the caller hears the outcome
+        double latencyMs = 0;   //!< caller-observed, from dispatchS
+        double deadlineMs = 0;  //!< resolved against the shard default
+        size_t replica = 0;
+        bool reserved = false;  //!< starts/freeS mutated (undo window)
+        double prevFree = 0;    //!< freeS[replica] before reservation
+        obs::FlightClass fcls = obs::FlightClass::Ok;
+    };
+
+    /** Process every transition with tS <= now_s, in stamp order. */
+    void advanceChaos(double now_s);
+    void applyTransition(const ChaosTransition &tr);
+    void setHealthGauge(size_t shard, double state);
+    metrics::Counter *failCounter(size_t shard, FaultClass cls);
+    /** Charge a fault-failed request on the single-dispatch path. */
+    void chaosFail(size_t shard, ShardMetrics *sm, ReplayPass &rp,
+                   const ClusterRequest &req, FaultClass fcls,
+                   obs::FlightClass cls, double fail_s,
+                   double deadline_ms);
+
+    /** Run one dispatch attempt of a hedged request against @p shard
+     *  at virtual time @p t, committing queue/cache/replica state. */
+    HedgeAttempt runAttempt(unsigned shard, double t,
+                            const ClusterRequest &req, ReplayPass &rp);
+    /** The hedged routed path of replayOne (opts_.hedgeMs >= 0). */
+    void replayHedged(const ClusterRequest &req, ReplayPass &rp,
+                      unsigned primary, uint32_t cls);
+    void recordAttemptFlight(const HedgeAttempt &at, uint64_t id,
+                             bool sampled, unsigned steps);
+
     /** Cycle-accurate service time for the audit (cached per
      *  (model, group, steps), like serviceCache_). */
     double exactServiceMs(uint32_t model, size_t group, unsigned steps);
@@ -513,6 +670,27 @@ class Cluster
 
     /** Streaming router-decision sink, re-applied on router swaps. */
     std::function<void(const RouteDecision &)> decisionSink_;
+
+    // Chaos-plane state (replay fault injection).
+    ChaosSchedule chaos_;
+    obs::IncidentLog incidents_;
+    std::vector<ChaosTransition> transitions_;
+    size_t nextTransition_ = 0;
+    std::vector<ShardChaos> shardChaos_;
+    /** Per-shard warm-set size at reset — what a crash must re-load. */
+    std::vector<uint64_t> rewarmTiles_;
+    std::vector<double> rewarmMs_;
+    /** bw_health_state per shard: 0 healthy, 1 degraded, 2 faulted,
+     *  3 evicted, 4 re-warming. */
+    std::vector<metrics::Gauge *> healthG_;
+    /** bw_failure_total per shard per fault class. */
+    std::vector<std::array<metrics::Counter *,
+                           static_cast<size_t>(
+                               FaultClass::NumFaultClasses)>>
+        failureC_;
+    metrics::Counter *hedgeAttemptsC_ = nullptr;
+    metrics::Counter *hedgeWinsC_ = nullptr;
+    metrics::Counter *hedgeCancelledC_ = nullptr;
 
     // Fidelity-audit state (cumulative across replays, like the
     // cluster-registry counters).

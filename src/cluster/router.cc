@@ -112,8 +112,10 @@ int32_t
 Router::leastLoaded(const std::vector<EngineLoad> &loads) const
 {
     uint64_t best = UINT64_MAX;
-    int32_t pick = 0;
+    int32_t pick = -2; // no healthy engine
     for (size_t e = 0; e < loads.size(); ++e) {
+        if (!loads[e].healthy)
+            continue; // evicted shards take no new work
         uint64_t occ = loads[e].queued + loads[e].inflight;
         if (occ < best) { // strict: ties go to the lowest index
             best = occ;
@@ -121,6 +123,26 @@ Router::leastLoaded(const std::vector<EngineLoad> &loads) const
         }
     }
     return pick;
+}
+
+int32_t
+Router::ringWalk(const std::string &model_name,
+                 const std::vector<EngineLoad> &loads) const
+{
+    uint64_t h = fnv1a(model_name);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const RingPoint &p, uint64_t v) { return p.hash < v; });
+    // Walk the ring forward past evicted engines — the rehash is a
+    // pure function of (ring, health set), so replays and the
+    // determinism tests see identical re-placements.
+    for (size_t step = 0; step < ring_.size(); ++step, ++it) {
+        if (it == ring_.end())
+            it = ring_.begin(); // wrap around the ring
+        if (loads[it->engine].healthy)
+            return static_cast<int32_t>(it->engine);
+    }
+    return -2; // every engine evicted
 }
 
 int32_t
@@ -133,24 +155,27 @@ Router::route(uint64_t seq, uint32_t model,
               engines_);
     int32_t engine = -1;
     switch (opts_.policy) {
-    case RoutePolicy::ConsistentHash: {
-        uint64_t h = fnv1a(model_name);
-        auto it = std::lower_bound(
-            ring_.begin(), ring_.end(), h,
-            [](const RingPoint &p, uint64_t v) { return p.hash < v; });
-        if (it == ring_.end())
-            it = ring_.begin(); // wrap around the ring
-        engine = static_cast<int32_t>(it->engine);
+    case RoutePolicy::ConsistentHash:
+        engine = ringWalk(model_name, loads);
         break;
-    }
     case RoutePolicy::LeastLoaded:
         engine = leastLoaded(loads);
         break;
     case RoutePolicy::SloAware: {
+        // Occupancy over the healthy set only: an evicted shard's
+        // capacity is gone, so its empty queue must not mask pressure.
         uint64_t queued = 0, capacity = 0;
+        bool anyHealthy = false;
         for (const EngineLoad &l : loads) {
+            if (!l.healthy)
+                continue;
+            anyHealthy = true;
             queued += l.queued;
             capacity += std::max<uint64_t>(l.queueCapacity, 1);
+        }
+        if (!anyHealthy) {
+            engine = -2;
+            break;
         }
         double occupancy =
             static_cast<double>(queued) / static_cast<double>(capacity);
@@ -162,7 +187,9 @@ Router::route(uint64_t seq, uint32_t model,
     }
     }
 
-    if (engine < 0) {
+    if (engine == -2) {
+        ++unavailable_;
+    } else if (engine < 0) {
         ++shed_;
         ++shedByClass_[std::min<size_t>(cls, shedByClass_.size() - 1)];
     } else {
@@ -187,6 +214,7 @@ Router::decisionsJson() const
     j.set("engines", engines_);
     j.set("routed", routed_);
     j.set("shed", shed_);
+    j.set("unavailable", unavailable_);
     j.set("log_dropped", logDropped_);
     Json by_class = Json::array();
     for (uint64_t c : shedByClass_)
@@ -211,6 +239,7 @@ Router::clear()
     log_.clear();
     routed_ = 0;
     shed_ = 0;
+    unavailable_ = 0;
     logDropped_ = 0;
     std::fill(shedByClass_.begin(), shedByClass_.end(), 0);
 }
@@ -223,8 +252,8 @@ validateRouteJson(const Json &doc)
         schema->asString() != "bw.route/1")
         return Status::invalidArgument("schema tag is not bw.route/1");
     for (const char *key :
-         {"policy", "engines", "routed", "shed", "log_dropped",
-          "shed_by_class", "decisions"}) {
+         {"policy", "engines", "routed", "shed", "unavailable",
+          "log_dropped", "shed_by_class", "decisions"}) {
         if (!doc.contains(key))
             return Status::invalidArgument(
                 detail::format("missing field '%s'", key));
@@ -236,7 +265,7 @@ validateRouteJson(const Json &doc)
     int64_t engines = doc.find("engines")->asInt();
     if (engines < 1)
         return Status::invalidArgument("engines must be >= 1");
-    uint64_t routed = 0, shed = 0;
+    uint64_t routed = 0, shed = 0, unavailable = 0;
     const Json *rows = doc.find("decisions");
     for (size_t i = 0; i < rows->size(); ++i) {
         const Json &r = rows->at(i);
@@ -246,24 +275,30 @@ validateRouteJson(const Json &doc)
                     "decision %zu missing field '%s'", i, key));
         }
         int64_t engine = r.find("engine")->asInt();
-        if (engine < -1 || engine >= engines)
+        if (engine < -2 || engine >= engines)
             return Status::invalidArgument(detail::format(
-                "decision %zu engine %lld out of range [-1, %lld)", i,
+                "decision %zu engine %lld out of range [-2, %lld)", i,
                 static_cast<long long>(engine),
                 static_cast<long long>(engines)));
-        engine < 0 ? ++shed : ++routed;
+        if (engine == -2)
+            ++unavailable;
+        else if (engine < 0)
+            ++shed;
+        else
+            ++routed;
     }
     uint64_t dropped =
         static_cast<uint64_t>(doc.find("log_dropped")->asInt());
-    uint64_t logged_total = routed + shed + dropped;
+    uint64_t logged_total = routed + shed + unavailable + dropped;
     uint64_t counted =
         static_cast<uint64_t>(doc.find("routed")->asInt()) +
-        static_cast<uint64_t>(doc.find("shed")->asInt());
+        static_cast<uint64_t>(doc.find("shed")->asInt()) +
+        static_cast<uint64_t>(doc.find("unavailable")->asInt());
     if (logged_total != counted)
         return Status::invalidArgument(detail::format(
-            "decision rows (%llu) + dropped (%llu) != routed + shed "
-            "(%llu)",
-            static_cast<unsigned long long>(routed + shed),
+            "decision rows (%llu) + dropped (%llu) != routed + shed + "
+            "unavailable (%llu)",
+            static_cast<unsigned long long>(routed + shed + unavailable),
             static_cast<unsigned long long>(dropped),
             static_cast<unsigned long long>(counted)));
     uint64_t by_class = 0;

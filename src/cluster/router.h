@@ -86,6 +86,9 @@ struct EngineLoad
     uint64_t queued = 0;        //!< admission-queue occupancy
     uint64_t inflight = 0;      //!< requests in service
     uint64_t queueCapacity = 1; //!< EngineOptions::queueDepth
+    /** Health-check verdict: an evicted shard is skipped by every
+     *  policy (consistent_hash walks the ring past it). */
+    bool healthy = true;
 };
 
 /** One logged routing decision. */
@@ -94,7 +97,9 @@ struct RouteDecision
     uint64_t seq = 0;   //!< cluster-wide submission number (1-based)
     uint32_t model = 0;
     uint32_t cls = 0;   //!< deadline class index (SloMonitor ladder)
-    int32_t engine = -1; //!< target engine; -1 = shed at the front door
+    /** Target engine; -1 = shed at the front door, -2 = no healthy
+     *  engine left (the request is unavailable, not load-shed). */
+    int32_t engine = -1;
 };
 
 /**
@@ -114,8 +119,9 @@ class Router
      * Decide the target engine for one submission. @p model_name feeds
      * the hash ring (stable across runs: FNV-1a over the name);
      * @p loads must have one entry per engine. Returns the engine
-     * index, or -1 when the slo_aware policy sheds class @p cls at the
-     * front door. Appends to the decision log either way.
+     * index, -1 when the slo_aware policy sheds class @p cls at the
+     * front door, or -2 when no healthy engine remains (eviction took
+     * the whole fleet). Appends to the decision log either way.
      */
     int32_t route(uint64_t seq, uint32_t model,
                   const std::string &model_name, uint32_t cls,
@@ -126,6 +132,8 @@ class Router
 
     uint64_t routed() const { return routed_; }
     uint64_t shed() const { return shed_; }
+    /** Decisions that found no healthy engine (engine = -2). */
+    uint64_t unavailable() const { return unavailable_; }
     const std::vector<uint64_t> &shedByClass() const
     {
         return shedByClass_;
@@ -169,6 +177,8 @@ class Router
     };
 
     int32_t leastLoaded(const std::vector<EngineLoad> &loads) const;
+    int32_t ringWalk(const std::string &model_name,
+                     const std::vector<EngineLoad> &loads) const;
 
     RouterOptions opts_;
     unsigned engines_;
@@ -177,6 +187,7 @@ class Router
     std::vector<RouteDecision> log_;
     uint64_t routed_ = 0;
     uint64_t shed_ = 0;
+    uint64_t unavailable_ = 0;
     uint64_t logDropped_ = 0;
     std::vector<uint64_t> shedByClass_;
     std::function<void(const RouteDecision &)> sink_;

@@ -78,12 +78,18 @@ WeightCache::resident(uint32_t model) const
 void
 WeightCache::clear()
 {
-    lru_.clear();
-    index_.clear();
-    used_ = 0;
+    invalidate();
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+}
+
+void
+WeightCache::invalidate()
+{
+    lru_.clear();
+    index_.clear();
+    used_ = 0;
 }
 
 Json

@@ -71,6 +71,11 @@ class WeightCache
     /** Drop residents and counters (between replays). */
     void clear();
 
+    /** Drop residents but keep the hit/miss/eviction counters — a
+     *  mid-replay crash restart (the chaos plane's re-warm cycle) must
+     *  not rewind the cumulative cache telemetry. */
+    void invalidate();
+
     /** Residents MRU-first plus counters, machine-readable. */
     Json toJson() const;
 

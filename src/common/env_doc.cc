@@ -196,6 +196,51 @@ envVarDocs()
          "(schema bw.spanstream/1, NDJSON): one stitched "
          "router->engine->chain trace tree per line, as served on "
          "/fleet/spans.ndjson. Check with 'bw_spans validate-stream'."},
+        {"BW_CHAOS_RATE",
+         "Chaos-plane fault arrivals per virtual second (Poisson, "
+         "cluster-wide). 0 (default) disables fault injection; with "
+         "BW_CHAOS_HORIZON_S > 0 the cluster generates a seeded "
+         "ChaosSchedule at construction and replays inject "
+         "crash/hang/slow/drop faults deterministically."},
+        {"BW_CHAOS_HORIZON_S",
+         "Chaos-plane schedule horizon: faults are generated in [0, "
+         "horizon) virtual seconds. 0 (default) disables injection."},
+        {"BW_CHAOS_SEED",
+         "Seed for the generated fault schedule and for per-request "
+         "drop decisions (default 1). The schedule is a pure function "
+         "of (seed, options, shard count), so two replays under one "
+         "seed export byte-identical incident timelines."},
+        {"BW_CHAOS_MEAN_S",
+         "Mean fault-window length in virtual seconds (exponential; "
+         "default 0.05). Crash windows extend by the weight-cache "
+         "re-warm time on top of this."},
+        {"BW_CHAOS_SLOW_FACTOR",
+         "Service-time multiplier applied by slow-replica faults "
+         "(default 4.0, floor 1.0)."},
+        {"BW_CHAOS_DROP_PROB",
+         "Per-request drop probability inside a dropped-message "
+         "(partition) fault window (default 0.5, clamped to [0,1]). "
+         "Which requests drop is a seeded hash of the submission "
+         "sequence number, not an RNG stream."},
+        {"BW_HEDGE_MS",
+         "Hedged-request latency budget in virtual milliseconds: a "
+         "routed request whose primary attempt exceeds this (or fails "
+         "outright) dispatches a duplicate to the least-loaded other "
+         "healthy shard; first completion wins and the loser is "
+         "cancelled. Negative (default) disables hedging; 0 hedges "
+         "every request. Hedged attempts appear as hedge[i] span "
+         "children under the route span."},
+        {"BW_HEALTH_DETECT_MS",
+         "Virtual milliseconds between a crash/hang fault firing and "
+         "health-check detection (default 5). Detection immediately "
+         "evicts the shard from routing; crashes then re-warm their "
+         "weight cache before rejoining."},
+        {"BW_FLEET_INCIDENTS_JSON",
+         "Output path for cluster_serve's incident-timeline export "
+         "(schema bw.incident/1): one incident per injected fault with "
+         "fault/detect/evict/rewarm/recover phase stamps in virtual "
+         "microseconds, blast radius, and re-warm charges, as served "
+         "on /fleet/incidents.json. Check with 'bw_spans incidents'."},
     };
     return docs;
 }

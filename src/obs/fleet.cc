@@ -420,9 +420,10 @@ validateRouteStreamJson(std::istream &in)
                 "line %zu seq %lld is not ascending", lineno,
                 static_cast<long long>(seq)));
         last_seq = static_cast<uint64_t>(seq);
-        if (engine < -1 || engine >= engines)
+        // -1 = front-door shed, -2 = no healthy shard (unavailable).
+        if (engine < -2 || engine >= engines)
             return Status::invalidArgument(detail::format(
-                "line %zu engine %lld out of range [-1, %lld)", lineno,
+                "line %zu engine %lld out of range [-2, %lld)", lineno,
                 static_cast<long long>(engine),
                 static_cast<long long>(engines)));
         engine < 0 ? ++shed : ++routed;

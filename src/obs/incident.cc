@@ -1,0 +1,217 @@
+#include "obs/incident.h"
+
+#include "common/logging.h"
+
+namespace bw {
+namespace obs {
+
+namespace {
+
+constexpr const char *kSchema = "bw.incident/1";
+
+} // namespace
+
+const char *
+incidentPhaseName(IncidentPhase p)
+{
+    switch (p) {
+      case IncidentPhase::FaultInjected: return "fault_injected";
+      case IncidentPhase::Detected: return "detected";
+      case IncidentPhase::Evicted: return "evicted";
+      case IncidentPhase::RewarmStarted: return "rewarm_started";
+      case IncidentPhase::Recovered: return "recovered";
+      default: BW_PANIC("bad IncidentPhase %d", static_cast<int>(p));
+    }
+}
+
+Incident &
+IncidentLog::at(uint64_t id)
+{
+    BW_ASSERT(id >= 1 && id <= log_.size(), "incident id %llu out of range",
+              static_cast<unsigned long long>(id));
+    return log_[id - 1];
+}
+
+uint64_t
+IncidentLog::open(std::string cls, std::string shard, std::string group,
+                  uint64_t t_us)
+{
+    Incident inc;
+    inc.id = log_.size() + 1;
+    inc.cls = std::move(cls);
+    inc.shard = std::move(shard);
+    inc.group = std::move(group);
+    inc.events.push_back({IncidentPhase::FaultInjected, t_us});
+    log_.push_back(std::move(inc));
+    return log_.back().id;
+}
+
+void
+IncidentLog::event(uint64_t id, IncidentPhase phase, uint64_t t_us)
+{
+    Incident &inc = at(id);
+    // Virtual time never runs backwards; clamp defensively so a
+    // rounding quirk can never produce an invalid export.
+    if (!inc.events.empty() && t_us < inc.events.back().tUs)
+        t_us = inc.events.back().tUs;
+    inc.events.push_back({phase, t_us});
+}
+
+void
+IncidentLog::addAffected(uint64_t id)
+{
+    ++at(id).affected;
+}
+
+void
+IncidentLog::setReload(uint64_t id, uint64_t tiles, uint64_t us)
+{
+    Incident &inc = at(id);
+    inc.reloadTiles = tiles;
+    inc.reloadUs = us;
+}
+
+Json
+incidentJson(const IncidentLog &log)
+{
+    Json doc = Json::object();
+    doc.set("schema", kSchema);
+    doc.set("faults", static_cast<uint64_t>(log.faults()));
+    Json arr = Json::array();
+    for (const Incident &inc : log.incidents()) {
+        Json j = Json::object();
+        j.set("id", inc.id);
+        j.set("class", inc.cls);
+        j.set("shard", inc.shard);
+        j.set("group", inc.group);
+        j.set("affected", inc.affected);
+        j.set("reload_tiles", inc.reloadTiles);
+        j.set("reload_us", inc.reloadUs);
+        j.set("mttr_us", inc.mttrUs());
+        Json evs = Json::array();
+        for (const IncidentEvent &e : inc.events) {
+            Json ej = Json::object();
+            ej.set("phase", incidentPhaseName(e.phase));
+            ej.set("t_us", e.tUs);
+            evs.push(std::move(ej));
+        }
+        j.set("events", std::move(evs));
+        arr.push(std::move(j));
+    }
+    doc.set("incidents", std::move(arr));
+    return doc;
+}
+
+namespace {
+
+Status
+failIncident(size_t idx, const std::string &why)
+{
+    return Status::invalidArgument(
+        detail::format("incident %zu: %s", idx, why.c_str()));
+}
+
+bool
+knownPhase(const std::string &name)
+{
+    for (int p = 0;
+         p < static_cast<int>(IncidentPhase::NumIncidentPhases); ++p) {
+        if (name == incidentPhaseName(static_cast<IncidentPhase>(p)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Status
+validateIncidentJson(const Json &doc)
+{
+    if (doc.type() != Json::Type::Object)
+        return Status::invalidArgument(
+            "incident document is not an object");
+    const Json *schema = doc.find("schema");
+    if (!schema || schema->type() != Json::Type::String ||
+        schema->asString() != kSchema) {
+        return Status::invalidArgument(
+            std::string("incident document schema is not '") + kSchema +
+            "'");
+    }
+    const Json *faults = doc.find("faults");
+    if (!faults || faults->type() != Json::Type::Int ||
+        faults->asInt() < 0)
+        return Status::invalidArgument(
+            "incident document missing non-negative integer 'faults'");
+    const Json *incidents = doc.find("incidents");
+    if (!incidents || incidents->type() != Json::Type::Array)
+        return Status::invalidArgument(
+            "incident document has no incidents array");
+    if (static_cast<uint64_t>(faults->asInt()) != incidents->size())
+        return Status::invalidArgument(
+            "'faults' does not match the incidents array length");
+    for (size_t i = 0; i < incidents->size(); ++i) {
+        const Json &inc = incidents->at(i);
+        if (inc.type() != Json::Type::Object)
+            return failIncident(i, "not an object");
+        for (const char *key : {"class", "shard", "group"}) {
+            const Json *v = inc.find(key);
+            if (!v || v->type() != Json::Type::String ||
+                v->asString().empty())
+                return failIncident(
+                    i, detail::format("missing string '%s'", key));
+        }
+        for (const char *key :
+             {"id", "affected", "reload_tiles", "reload_us", "mttr_us"}) {
+            const Json *v = inc.find(key);
+            if (!v || v->type() != Json::Type::Int || v->asInt() < 0)
+                return failIncident(
+                    i, detail::format("missing non-negative integer '%s'",
+                                      key));
+        }
+        const Json *events = inc.find("events");
+        if (!events || events->type() != Json::Type::Array ||
+            events->size() == 0)
+            return failIncident(i, "missing non-empty events array");
+        int64_t prev = -1;
+        for (size_t e = 0; e < events->size(); ++e) {
+            const Json &ev = events->at(e);
+            if (ev.type() != Json::Type::Object)
+                return failIncident(i, "event is not an object");
+            const Json *phase = ev.find("phase");
+            if (!phase || phase->type() != Json::Type::String ||
+                !knownPhase(phase->asString()))
+                return failIncident(
+                    i, detail::format("event %zu has unknown phase", e));
+            const Json *t = ev.find("t_us");
+            if (!t || t->type() != Json::Type::Int || t->asInt() < 0)
+                return failIncident(
+                    i, detail::format(
+                           "event %zu missing non-negative t_us", e));
+            if (t->asInt() < prev)
+                return failIncident(
+                    i, detail::format(
+                           "event %zu stamp runs backwards in virtual "
+                           "time",
+                           e));
+            prev = t->asInt();
+        }
+        if (events->at(0).find("phase")->asString() != "fault_injected")
+            return failIncident(i,
+                                "first phase is not fault_injected");
+        const std::string terminal =
+            events->at(events->size() - 1).find("phase")->asString();
+        if (terminal != "recovered" && terminal != "evicted")
+            return failIncident(
+                i, "terminal phase is not recovered or evicted (fault "
+                   "left unresolved)");
+        int64_t mttr = events->at(events->size() - 1).find("t_us")->asInt() -
+                       events->at(0).find("t_us")->asInt();
+        if (inc.find("mttr_us")->asInt() != mttr)
+            return failIncident(
+                i, "mttr_us does not equal the first-to-last stamp gap");
+    }
+    return Status();
+}
+
+} // namespace obs
+} // namespace bw

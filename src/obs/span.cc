@@ -36,6 +36,7 @@ spanKindName(SpanKind k)
       case SpanKind::Execute: return "execute";
       case SpanKind::Chain: return "chain";
       case SpanKind::Route: return "route";
+      case SpanKind::Hedge: return "hedge";
       default: BW_PANIC("bad SpanKind %d", static_cast<int>(k));
     }
 }
@@ -283,6 +284,8 @@ spanName(const SpanRecord &s)
 {
     if (s.kind == SpanKind::Chain)
         return "chain[" + std::to_string(s.index) + "]";
+    if (s.kind == SpanKind::Hedge)
+        return "hedge[" + std::to_string(s.index) + "]";
     return spanKindName(s.kind);
 }
 
@@ -303,6 +306,10 @@ spanNode(const SpanRecord &s, const std::vector<const SpanRecord *> &kids)
         n.set("outcome", spanOutcomeName(s.outcome));
         n.set("engine", s.index);
         n.set("model", s.chainId);
+        break;
+      case SpanKind::Hedge:
+        n.set("outcome", spanOutcomeName(s.outcome));
+        n.set("engine", s.chainId);
         break;
       case SpanKind::Execute:
         n.set("replica", s.index);
@@ -638,6 +645,10 @@ appendSpanEvents(Json &chrome_doc, const std::vector<SpanRecord> &spans)
             args.set("outcome", spanOutcomeName(s.outcome));
             args.set("engine", s.index);
             args.set("model", s.chainId);
+            break;
+          case SpanKind::Hedge:
+            args.set("outcome", spanOutcomeName(s.outcome));
+            args.set("engine", s.chainId);
             break;
           case SpanKind::Execute:
             args.set("replica", s.index);

@@ -65,6 +65,7 @@ enum class SpanKind : uint8_t
     Execute,     //!< service on one accelerator replica
     Chain,       //!< one retired instruction chain within execute
     Route,       //!< cluster front-door routing decision (tree root)
+    Hedge,       //!< one hedged dispatch attempt under a route span
     NumSpanKinds
 };
 
